@@ -1,0 +1,77 @@
+// Experiment E7 (§5.1–5.3): the client analyses end to end.
+//
+// Regenerates: side effects, MHP, dependences, and lifetimes on the
+// producer/consumer workload (lock-protected handshake) and on the busy-
+// wait flag program, with counters for the facts the paper derives.
+#include <benchmark/benchmark.h>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/analysis/anomaly.h"
+#include "src/analysis/depend.h"
+#include "src/analysis/lifetime.h"
+#include "src/analysis/mhp.h"
+#include "src/analysis/sideeffect.h"
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+
+namespace {
+
+void BM_Analyses_ConcretePipeline(benchmark::State& state) {
+  auto program = copar::compile(copar::workload::producer_consumer());
+  std::uint64_t configs = 0;
+  std::size_t mhp = 0;
+  std::size_t deps = 0;
+  for (auto _ : state) {
+    copar::explore::ExploreOptions opts;
+    opts.record_pairs = true;
+    opts.record_accesses = true;
+    opts.record_lifetimes = true;
+    const auto r = copar::explore::explore(*program->lowered, opts);
+    configs = r.num_configs;
+    mhp = copar::analysis::mhp_from(r).pairs.size();
+    deps = copar::analysis::dependences_from(r).deps.size();
+    benchmark::DoNotOptimize(r.num_configs);
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+  state.counters["mhp_pairs"] = static_cast<double>(mhp);
+  state.counters["dependences"] = static_cast<double>(deps);
+}
+BENCHMARK(BM_Analyses_ConcretePipeline)->Unit(benchmark::kMillisecond);
+
+void BM_Analyses_AbstractPipeline(benchmark::State& state) {
+  auto program = copar::compile(copar::workload::producer_consumer());
+  std::uint64_t states = 0;
+  std::size_t mhp = 0;
+  std::size_t effect_procs = 0;
+  for (auto _ : state) {
+    copar::absem::AbsExplorer<copar::absdom::FlatInt> engine(*program->lowered, {});
+    const auto abs = engine.run();
+    states = abs.num_states;
+    mhp = abs.mhp.size();
+    effect_procs = copar::analysis::side_effects_from(*program->lowered, abs).per_proc.size();
+    benchmark::DoNotOptimize(abs.num_states);
+  }
+  state.counters["abs_states"] = static_cast<double>(states);
+  state.counters["abs_mhp_pairs"] = static_cast<double>(mhp);
+  state.counters["procs_with_effects"] = static_cast<double>(effect_procs);
+}
+BENCHMARK(BM_Analyses_AbstractPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_Analyses_BusyWaitConstProp(benchmark::State& state) {
+  auto program = copar::compile(copar::workload::busy_wait_flag());
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    copar::absem::AbsExplorer<copar::absdom::FlatInt> engine(*program->lowered, {});
+    const auto abs = engine.run();
+    states = abs.num_states;
+    benchmark::DoNotOptimize(abs.num_states);
+  }
+  state.counters["abs_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Analyses_BusyWaitConstProp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

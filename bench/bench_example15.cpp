@@ -1,0 +1,75 @@
+// Experiment E8 (Example 15 / Figure 8): further parallelization of calls.
+//
+// Regenerates: dependences exactly on (s1,s4) and (s2,s3) through the
+// callees' side effects, and the two-chain parallel schedule
+// cobegin {s1;s4} || {s2;s3} coend. Counters assert the dependence
+// structure; timing covers the abstract exploration + scheduling pipeline.
+#include <benchmark/benchmark.h>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/analysis/common.h"
+#include "src/apps/parallelize.h"
+#include "src/apps/shasha_snir.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+
+namespace {
+
+void BM_Example15_Parallelize(benchmark::State& state) {
+  auto program = copar::compile(copar::workload::example15_calls());
+  std::size_t chains = 0;
+  std::size_t stages = 0;
+  std::size_t deps = 0;
+  for (auto _ : state) {
+    copar::absem::AbsExplorer<copar::absdom::FlatInt> engine(*program->lowered, {});
+    const auto abs = engine.run();
+    const auto sched =
+        copar::apps::parallelize_labeled(*program->lowered, abs, {"s1", "s2", "s3", "s4"});
+    chains = sched.chains.size();
+    stages = sched.stages.size();
+    deps = sched.deps.deps.size();
+    benchmark::DoNotOptimize(sched.chains.size());
+  }
+  state.counters["parallel_chains"] = static_cast<double>(chains);  // paper: 2
+  state.counters["stages"] = static_cast<double>(stages);           // 2
+  state.counters["dependences"] = static_cast<double>(deps);        // (s1,s4) + (s2,s3)
+}
+BENCHMARK(BM_Example15_Parallelize);
+
+void BM_Example15_DelaysWhenConcurrent(benchmark::State& state) {
+  // The same four calls placed into two concurrent segments: the
+  // Shasha–Snir extension finds the delays (see bench_fig2 for the original
+  // assignment-level version).
+  auto program = copar::compile(R"(
+    var A; var B; var u; var v;
+    fun f1() { A = 1; }
+    fun f2() { u = B; }
+    fun f3() { B = 2; }
+    fun f4() { v = A; }
+    fun main() {
+      cobegin
+        { s1: f1(); s2: f2(); }
+      ||
+        { s3: f3(); s4: f4(); }
+      coend;
+    }
+  )");
+  std::size_t delays = 0;
+  std::size_t conflicts = 0;
+  for (auto _ : state) {
+    copar::absem::AbsExplorer<copar::absdom::FlatInt> engine(*program->lowered, {});
+    const auto abs = engine.run();
+    const auto d = copar::apps::analyze_delays(*program->lowered, abs);
+    delays = d.minimal_delays.size();
+    conflicts = d.conflicts.size();
+    benchmark::DoNotOptimize(d.delays.size());
+  }
+  state.counters["delays_required"] = static_cast<double>(delays);  // both segments: 2
+  state.counters["conflict_arcs"] = static_cast<double>(conflicts);
+}
+BENCHMARK(BM_Example15_DelaysWhenConcurrent);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Experiment E1 (Figure 2 / Example 1): the Shasha–Snir program.
+//
+// Regenerates: the set of sequentially-consistent outcomes {(0,1),(1,0),
+// (1,1)} — (0,0) absent — and the state-space size of the full
+// interleaving semantics. Counters report the paper's metric
+// (configurations); time per exploration is google-benchmark's.
+#include <benchmark/benchmark.h>
+
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+
+namespace {
+
+void BM_Fig2_FullExploration(benchmark::State& state) {
+  auto program = copar::compile(copar::workload::fig2_shasha_snir());
+  std::uint64_t configs = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t terminals = 0;
+  bool outcome_00_seen = false;
+  for (auto _ : state) {
+    copar::explore::ExploreOptions opts;
+    const auto r = copar::explore::explore(*program->lowered, opts);
+    configs = r.num_configs;
+    transitions = r.num_transitions;
+    terminals = r.terminals.size();
+    for (const auto& [key, t] : r.terminals) {
+      if (t.config.global_value("a")->as_int() == 0 &&
+          t.config.global_value("b")->as_int() == 0) {
+        outcome_00_seen = true;
+      }
+    }
+    benchmark::DoNotOptimize(r.num_configs);
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+  state.counters["transitions"] = static_cast<double>(transitions);
+  state.counters["terminal_outcomes"] = static_cast<double>(terminals);
+  state.counters["illegal_outcome_00"] = outcome_00_seen ? 1 : 0;  // must stay 0
+}
+BENCHMARK(BM_Fig2_FullExploration);
+
+void BM_Fig2_StubbornExploration(benchmark::State& state) {
+  auto program = copar::compile(copar::workload::fig2_shasha_snir());
+  std::uint64_t configs = 0;
+  for (auto _ : state) {
+    copar::explore::ExploreOptions opts;
+    opts.reduction = copar::explore::Reduction::Stubborn;
+    const auto r = copar::explore::explore(*program->lowered, opts);
+    configs = r.num_configs;
+    benchmark::DoNotOptimize(r.num_configs);
+  }
+  // Everything conflicts in this program: no reduction is expected — the
+  // stubborn machinery must not LOSE anything either.
+  state.counters["configs"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_Fig2_StubbornExploration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Experiment E2/E10 (Figure 3 + §6): folding configurations by abstraction.
+//
+// Regenerates: the concrete configuration space vs. the folded spaces of
+// the two abstractions the paper identifies — Taylor's concurrency states
+// (Tree folding) and McDowell's clans (Clan folding). Folding merges the
+// "dangling links" of Figure 3; the counters report how many states each
+// level keeps.
+#include <benchmark/benchmark.h>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+
+namespace {
+
+// A Figure-3-shaped workload scaled enough for folding to pay: four threads
+// racing on one shared variable. Concrete configurations split on the data
+// values (the "dangling links"); the folded semantics merges configurations
+// with the same control points, joining their stores.
+const char* kFoldingProgram = R"(
+  var x;
+  var y0; var y1; var y2; var y3;
+  fun main() {
+    cobegin
+      { y0 = x; x = x + 1; }
+    ||
+      { y1 = x; x = x + 2; }
+    ||
+      { y2 = x; x = x + 3; }
+    ||
+      { y3 = x; x = x + 4; }
+    coend;
+  }
+)";
+
+void BM_Fig3_Concrete(benchmark::State& state) {
+  auto program = copar::compile(kFoldingProgram);
+  std::uint64_t configs = 0;
+  for (auto _ : state) {
+    const auto r = copar::explore::explore(*program->lowered, {});
+    configs = r.num_configs;
+    benchmark::DoNotOptimize(r.num_configs);
+  }
+  state.counters["states"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_Fig3_Concrete);
+
+void abstract_mode(benchmark::State& state, copar::absem::Folding folding) {
+  auto program = copar::compile(kFoldingProgram);
+  std::uint64_t states = 0;
+  std::uint64_t mhp = 0;
+  for (auto _ : state) {
+    copar::absem::AbsOptions opts;
+    opts.folding = folding;
+    copar::absem::AbsExplorer<copar::absdom::FlatInt> engine(*program->lowered, opts);
+    const auto r = engine.run();
+    states = r.num_states;
+    mhp = r.mhp.size();
+    benchmark::DoNotOptimize(r.num_states);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["mhp_pairs"] = static_cast<double>(mhp);
+}
+
+void BM_Fig3_TaylorFolding(benchmark::State& state) {
+  abstract_mode(state, copar::absem::Folding::Tree);
+}
+void BM_Fig3_McDowellFolding(benchmark::State& state) {
+  abstract_mode(state, copar::absem::Folding::Clan);
+}
+BENCHMARK(BM_Fig3_TaylorFolding);
+BENCHMARK(BM_Fig3_McDowellFolding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

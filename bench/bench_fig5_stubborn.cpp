@@ -1,0 +1,39 @@
+// Experiment E3 (Figure 5): locality-driven stubborn-set reduction.
+//
+// Regenerates: "the configuration space can be greatly reduced ... which
+// contains only 13 configurations, while producing exactly the same set of
+// result-configurations". Counters: configs_full = 16, configs_stubborn =
+// 13, results_preserved = 1.
+#include <benchmark/benchmark.h>
+
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+
+namespace {
+
+void BM_Fig5(benchmark::State& state) {
+  auto program = copar::compile(copar::workload::fig5_locality());
+  std::uint64_t full_configs = 0;
+  std::uint64_t stub_configs = 0;
+  bool preserved = false;
+  for (auto _ : state) {
+    copar::explore::ExploreOptions full;
+    const auto rf = copar::explore::explore(*program->lowered, full);
+    copar::explore::ExploreOptions stub;
+    stub.reduction = copar::explore::Reduction::Stubborn;
+    const auto rs = copar::explore::explore(*program->lowered, stub);
+    full_configs = rf.num_configs;
+    stub_configs = rs.num_configs;
+    preserved = rf.terminal_keys() == rs.terminal_keys();
+    benchmark::DoNotOptimize(preserved);
+  }
+  state.counters["configs_full"] = static_cast<double>(full_configs);
+  state.counters["configs_stubborn"] = static_cast<double>(stub_configs);  // paper: 13
+  state.counters["results_preserved"] = preserved ? 1 : 0;
+}
+BENCHMARK(BM_Fig5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Experiment E10 ablation (§6.1/§6.2): how the folding mechanisms scale
+// compared to concrete exploration as the program's concurrency grows.
+//
+// Parametric workload: k threads of 2 statements each over one shared
+// variable. Concrete states grow with the interleavings; Taylor folding
+// (control points + store join) grows much slower; Clan folding is the
+// coarsest. Soundness (abstract MHP ⊇ concrete MHP) is asserted by the
+// test suite; here we measure the cost side of the trade.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+
+namespace {
+
+std::string k_threads(std::size_t k) {
+  std::ostringstream os;
+  os << "var x;\n";
+  for (std::size_t t = 0; t < k; ++t) os << "var y" << t << ";\n";
+  os << "fun main() {\n  cobegin\n";
+  for (std::size_t t = 0; t < k; ++t) {
+    if (t > 0) os << "  ||\n";
+    os << "  { y" << t << " = x; x = x + 1; }\n";
+  }
+  os << "  coend;\n}\n";
+  return os.str();
+}
+
+void BM_Ablation_Concrete(benchmark::State& state) {
+  auto program = copar::compile(k_threads(static_cast<std::size_t>(state.range(0))));
+  std::uint64_t configs = 0;
+  for (auto _ : state) {
+    copar::explore::ExploreOptions opts;
+    opts.max_configs = 10'000'000;
+    const auto r = copar::explore::explore(*program->lowered, opts);
+    configs = r.num_configs;
+    benchmark::DoNotOptimize(r.num_configs);
+  }
+  state.counters["states"] = static_cast<double>(configs);
+}
+
+void abstract_mode(benchmark::State& state, copar::absem::Folding folding) {
+  auto program = copar::compile(k_threads(static_cast<std::size_t>(state.range(0))));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    copar::absem::AbsOptions opts;
+    opts.folding = folding;
+    copar::absem::AbsExplorer<copar::absdom::FlatInt> engine(*program->lowered, opts);
+    const auto r = engine.run();
+    states = r.num_states;
+    benchmark::DoNotOptimize(r.num_states);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+
+void BM_Ablation_Taylor(benchmark::State& state) {
+  abstract_mode(state, copar::absem::Folding::Tree);
+}
+void BM_Ablation_McDowell(benchmark::State& state) {
+  abstract_mode(state, copar::absem::Folding::Clan);
+}
+
+BENCHMARK(BM_Ablation_Concrete)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ablation_Taylor)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ablation_McDowell)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Experiment E4 (§2.2 scaling claim, after [Val88]): dining philosophers.
+//
+// Regenerates: full interleaving exploration grows exponentially in n while
+// stubborn-set exploration grows polynomially (Valmari reports quadratic
+// for the Petri-net encoding). Run both and compare the `configs` counter
+// across n; the crossover in wall-clock time follows the state counts.
+#include <benchmark/benchmark.h>
+
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+#include "src/workload/philosophers.h"
+
+namespace {
+
+void explore_philosophers(benchmark::State& state, copar::explore::Reduction reduction,
+                          bool sleep_sets = false) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto program = copar::compile(copar::workload::dining_philosophers(n));
+  std::uint64_t configs = 0;
+  std::uint64_t transitions = 0;
+  bool deadlock = false;
+  for (auto _ : state) {
+    copar::explore::ExploreOptions opts;
+    opts.reduction = reduction;
+    opts.sleep_sets = sleep_sets;
+    opts.max_configs = 20'000'000;
+    const auto r = copar::explore::explore(*program->lowered, opts);
+    configs = r.num_configs;
+    transitions = r.num_transitions;
+    deadlock = r.deadlock_found;
+    benchmark::DoNotOptimize(r.num_configs);
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+  state.counters["transitions"] = static_cast<double>(transitions);
+  state.counters["deadlock"] = deadlock ? 1 : 0;  // circular wait: always 1
+}
+
+void BM_Philosophers_Full(benchmark::State& state) {
+  explore_philosophers(state, copar::explore::Reduction::Full);
+}
+void BM_Philosophers_Stubborn(benchmark::State& state) {
+  explore_philosophers(state, copar::explore::Reduction::Stubborn);
+}
+void BM_Philosophers_SleepOnly(benchmark::State& state) {
+  explore_philosophers(state, copar::explore::Reduction::Full, /*sleep_sets=*/true);
+}
+void BM_Philosophers_StubbornSleep(benchmark::State& state) {
+  explore_philosophers(state, copar::explore::Reduction::Stubborn, /*sleep_sets=*/true);
+}
+
+// Full exploration is exponential: keep n modest.
+BENCHMARK(BM_Philosophers_Full)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+// Stubborn exploration scales much further.
+BENCHMARK(BM_Philosophers_Stubborn)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+// Sleep sets cut fired transitions (edges) on top of either mode.
+BENCHMARK(BM_Philosophers_SleepOnly)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Philosophers_StubbornSleep)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

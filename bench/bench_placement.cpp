@@ -1,0 +1,58 @@
+// Experiment E9 (§7 closing example): memory placement of b1 and b2.
+//
+// Regenerates: "b1 should be allocated at a level of memory visible to both
+// processors (since b1 is accessed by both threads) while b2 can be
+// allocated locally". Counters: b1_shared = 1, b2_local = 1.
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/lifetime.h"
+#include "src/apps/dealloc.h"
+#include "src/apps/placement.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+
+namespace {
+
+void BM_Placement_B1B2(benchmark::State& state) {
+  auto program = copar::compile(copar::workload::placement_b1_b2());
+  bool b1_shared = false;
+  bool b2_local = false;
+  for (auto _ : state) {
+    const auto placement = copar::apps::place_objects(*program->lowered);
+    b1_shared =
+        placement.level_of(*program->lowered, "sB1") == copar::apps::MemoryLevel::Shared;
+    b2_local = placement.level_of(*program->lowered, "sB2") ==
+               copar::apps::MemoryLevel::ThreadLocal;
+    benchmark::DoNotOptimize(placement.per_site.size());
+  }
+  state.counters["b1_shared"] = b1_shared ? 1 : 0;
+  state.counters["b2_local"] = b2_local ? 1 : 0;
+}
+BENCHMARK(BM_Placement_B1B2);
+
+void BM_Placement_DeallocLists(benchmark::State& state) {
+  auto program = copar::compile(R"(
+    var keep;
+    fun maker() {
+      var tmp;
+      sLocal: tmp = alloc(4);
+      *tmp = 1;
+      sKept: keep = alloc(1);
+    }
+    fun main() { maker(); }
+  )");
+  std::size_t freeable = 0;
+  for (auto _ : state) {
+    const auto lifetimes = copar::analysis::analyze_lifetimes(*program->lowered);
+    const auto lists = copar::apps::dealloc_lists(*program->lowered, lifetimes);
+    freeable = 0;
+    for (const auto& [fn, sites] : lists.per_function) freeable += sites.size();
+    benchmark::DoNotOptimize(freeable);
+  }
+  state.counters["freeable_sites"] = static_cast<double>(freeable);  // sLocal only: 1
+}
+BENCHMARK(BM_Placement_DeallocLists);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Compiler-throughput benchmark: the whole pipeline (parse + resolve +
+// lower + explore/analyze) over the random-program corpus — the "cost of
+// the analysis inside a compiler" view, complementing the per-experiment
+// state-count benches.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+#include "src/workload/random_programs.h"
+
+namespace {
+
+std::vector<std::string> corpus(std::uint64_t base, std::size_t n) {
+  std::vector<std::string> out;
+  for (std::uint64_t s = base; s < base + n; ++s) {
+    out.push_back(copar::workload::random_program(s));
+  }
+  return out;
+}
+
+void BM_Throughput_CompileOnly(benchmark::State& state) {
+  const auto sources = corpus(1, 20);
+  std::size_t procs = 0;
+  for (auto _ : state) {
+    for (const std::string& src : sources) {
+      auto program = copar::compile(src);
+      procs += program->lowered->procs().size();
+      benchmark::DoNotOptimize(program->lowered->procs().size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * sources.size()));
+}
+BENCHMARK(BM_Throughput_CompileOnly)->Unit(benchmark::kMillisecond);
+
+void BM_Throughput_FullExploration(benchmark::State& state) {
+  const auto sources = corpus(1, 20);
+  std::uint64_t total_configs = 0;
+  for (auto _ : state) {
+    total_configs = 0;
+    for (const std::string& src : sources) {
+      auto program = copar::compile(src);
+      const auto r = copar::explore::explore(*program->lowered, {});
+      total_configs += r.num_configs;
+      benchmark::DoNotOptimize(r.num_configs);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * sources.size()));
+  state.counters["total_configs"] = static_cast<double>(total_configs);
+}
+BENCHMARK(BM_Throughput_FullExploration)->Unit(benchmark::kMillisecond);
+
+void BM_Throughput_StubbornCoarsened(benchmark::State& state) {
+  const auto sources = corpus(1, 20);
+  std::uint64_t total_configs = 0;
+  for (auto _ : state) {
+    total_configs = 0;
+    for (const std::string& src : sources) {
+      auto program = copar::compile(src);
+      copar::explore::ExploreOptions opts;
+      opts.reduction = copar::explore::Reduction::Stubborn;
+      opts.coarsen = true;
+      const auto r = copar::explore::explore(*program->lowered, opts);
+      total_configs += r.num_configs;
+      benchmark::DoNotOptimize(r.num_configs);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * sources.size()));
+  state.counters["total_configs"] = static_cast<double>(total_configs);
+}
+BENCHMARK(BM_Throughput_StubbornCoarsened)->Unit(benchmark::kMillisecond);
+
+void BM_Throughput_AbstractAnalysis(benchmark::State& state) {
+  const auto sources = corpus(1, 20);
+  std::uint64_t total_states = 0;
+  for (auto _ : state) {
+    total_states = 0;
+    for (const std::string& src : sources) {
+      auto program = copar::compile(src);
+      copar::absem::AbsExplorer<copar::absdom::FlatInt> engine(*program->lowered, {});
+      const auto r = engine.run();
+      total_states += r.num_states;
+      benchmark::DoNotOptimize(r.num_states);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * sources.size()));
+  state.counters["total_abs_states"] = static_cast<double>(total_states);
+}
+BENCHMARK(BM_Throughput_AbstractAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

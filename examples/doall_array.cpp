@@ -1,0 +1,61 @@
+// doall: data-parallel loops and clan folding.
+//
+//   $ ./examples/doall_array
+//
+// A doall initializes an array (instances independent: one terminal) and a
+// doall races on a scalar (lost updates: several terminals). The abstract
+// exploration folds any number of instances into one ω clan point —
+// McDowell's §6.2 observation — so it terminates even when the bound is a
+// run-time value.
+#include <iostream>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+
+int main() {
+  using namespace copar;
+
+  const std::string independent = R"(
+    var a; var sum;
+    fun main() {
+      a = alloc(4);
+      doall (i = 0 .. 3) { a[i] = i * i; }
+      sum = a[0] + a[1] + a[2] + a[3];
+    }
+  )";
+  const std::string racing = R"(
+    var x; var n = 3;
+    fun main() {
+      doall (i = 1 .. n) { var t = x; x = t + i; }
+    }
+  )";
+
+  {
+    std::cout << "=== independent doall (array init) ===\n" << independent;
+    auto program = compile(independent);
+    const auto r = explore::explore(*program->lowered, {});
+    std::cout << "configurations: " << r.num_configs
+              << ", terminal configurations: " << r.terminals.size() << '\n';
+    std::cout << "sum = ";
+    for (auto v : r.terminal_int_values("sum")) std::cout << v << ' ';
+    std::cout << "(deterministic)\n\n";
+  }
+  {
+    std::cout << "=== racing doall (lost updates) ===\n" << racing;
+    auto program = compile(racing);
+    const auto r = explore::explore(*program->lowered, {});
+    std::cout << "terminal x values:";
+    for (auto v : r.terminal_int_values("x")) std::cout << ' ' << v;
+    std::cout << "  (6 = all updates applied; smaller = lost updates)\n";
+
+    absem::AbsOptions opts;
+    opts.folding = absem::Folding::Clan;
+    absem::AbsExplorer<absdom::FlatInt> engine(*program->lowered, opts);
+    const auto abs = engine.run();
+    std::cout << "abstract (clan-folded) states: " << abs.num_states
+              << "  — independent of the instance count n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Access-anomaly detection and parallel-safe constant propagation — the
+// §1 motivating examples.
+//
+//   $ ./examples/race_detective
+//
+// Part 1: a racy counter and its lock-protected version — the detector
+// reports the race in the first and nothing (beyond the benign lock cell
+// contention) in the second.
+//
+// Part 2: the busy-wait flag program a naive sequential constant propagator
+// miscompiles; the parallel-aware analysis proves the loop exit reachable
+// and the flag constant afterwards.
+#include <iostream>
+
+#include "src/analysis/anomaly.h"
+#include "src/apps/constprop.h"
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+
+int main() {
+  using namespace copar;
+
+  const std::string racy = R"(
+    var x;
+    fun main() {
+      var t1; var t2;
+      cobegin
+        { s1: t1 = x; s2: x = t1 + 1; }
+      ||
+        { s3: t2 = x; s4: x = t2 + 1; }
+      coend;
+    }
+  )";
+  const std::string locked = R"(
+    var m; var x;
+    fun main() {
+      var t1; var t2;
+      cobegin
+        { lock(m); s1: t1 = x; s2: x = t1 + 1; unlock(m); }
+      ||
+        { lock(m); s3: t2 = x; s4: x = t2 + 1; unlock(m); }
+      coend;
+    }
+  )";
+
+  for (const auto& [name, source] : {std::pair{"racy counter", racy},
+                                     std::pair{"locked counter", locked}}) {
+    auto program = compile(source);
+    explore::ExploreOptions opts;
+    opts.record_pairs = true;
+    const auto result = explore::explore(*program->lowered, opts);
+    const analysis::Anomalies races = analysis::anomalies_from(result);
+    std::cout << "=== " << name << " ===\n";
+    std::cout << "final x values:";
+    for (auto v : result.terminal_int_values("x")) std::cout << ' ' << v;
+    std::cout << '\n' << races.report(*program->lowered) << '\n';
+  }
+
+  std::cout << "=== busy-wait flag (§1) ===\n" << workload::busy_wait_flag();
+  auto program = compile(workload::busy_wait_flag());
+  const apps::Constants consts = apps::analyze_constants(*program->lowered);
+  std::cout << "loop exit (sAfter) reachable: " << (consts.reachable("sAfter") ? "yes" : "no")
+            << '\n';
+  if (auto v = consts.global_at("sAfter", "s")) {
+    std::cout << "value of s after the wait: " << *v
+              << "  (a sequential analysis would call the exit dead code)\n";
+  }
+  return 0;
+}

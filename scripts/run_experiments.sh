@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md: runs the full test suite
+# and each benchmark binary, collecting outputs under results/.
+set -u
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" 2>&1 | tee "$OUT/ctest.txt" | tail -3
+
+echo "== benchmarks =="
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name=$(basename "$b")
+  echo "-- $name"
+  "$b" --benchmark_min_time=0.05 2>/dev/null | tee "$OUT/$name.txt" | grep -E '^BM_' || true
+done
+
+echo "outputs in $OUT/"

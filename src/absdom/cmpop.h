@@ -1,0 +1,54 @@
+// Comparison operators as data (for branch-condition refinement).
+//
+// The abstract semantics refines stores along branch outcomes: taking the
+// true edge of `if (x < e)` lets the numeric domain shrink x's value. Each
+// domain implements `refine_cmp(v, op, rhs, want_true)` — the best value
+// below v consistent with `v op rhs` having the requested outcome; sound
+// default is returning v unchanged.
+#pragma once
+
+#include <cstdint>
+
+namespace copar::absdom {
+
+enum class CmpOp : std::uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// The mirrored operator: (x op y) == (y mirror(op) x).
+constexpr CmpOp mirror(CmpOp op) {
+  switch (op) {
+    case CmpOp::Lt: return CmpOp::Gt;
+    case CmpOp::Le: return CmpOp::Ge;
+    case CmpOp::Gt: return CmpOp::Lt;
+    case CmpOp::Ge: return CmpOp::Le;
+    case CmpOp::Eq: return CmpOp::Eq;
+    case CmpOp::Ne: return CmpOp::Ne;
+  }
+  return op;
+}
+
+/// The operator whose truth is the negation: !(x op y) == (x negate(op) y).
+constexpr CmpOp negate(CmpOp op) {
+  switch (op) {
+    case CmpOp::Lt: return CmpOp::Ge;
+    case CmpOp::Le: return CmpOp::Gt;
+    case CmpOp::Gt: return CmpOp::Le;
+    case CmpOp::Ge: return CmpOp::Lt;
+    case CmpOp::Eq: return CmpOp::Ne;
+    case CmpOp::Ne: return CmpOp::Eq;
+  }
+  return op;
+}
+
+constexpr bool eval_cmp(CmpOp op, std::int64_t x, std::int64_t y) {
+  switch (op) {
+    case CmpOp::Lt: return x < y;
+    case CmpOp::Le: return x <= y;
+    case CmpOp::Gt: return x > y;
+    case CmpOp::Ge: return x >= y;
+    case CmpOp::Eq: return x == y;
+    case CmpOp::Ne: return x != y;
+  }
+  return false;
+}
+
+}  // namespace copar::absdom

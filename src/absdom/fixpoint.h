@@ -1,0 +1,85 @@
+// Generic worklist fixpoint solver.
+//
+// Solves X[n] ⊒ F(n, X) for a finite set of nodes with monotone transfer
+// functions, in the standard chaotic-iteration style. The abstract
+// exploration of src/absem is one instance; dataflow-style analyses are
+// another.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/absdom/lattice.h"
+
+namespace copar::absdom {
+
+/// Statistics from one solver run.
+struct FixpointStats {
+  std::uint64_t iterations = 0;  // node evaluations
+  std::uint64_t changes = 0;     // evaluations whose value grew
+};
+
+/// Solver over node ids [0, n). `transfer(node, read)` computes the new
+/// value of `node` given read access to the current assignment; `deps(node)`
+/// lists the nodes whose value `node`'s transfer reads (its predecessors),
+/// so successors are re-queued on change.
+template <JoinSemiLattice V>
+class FixpointSolver {
+ public:
+  using ReadFn = std::function<const V&(std::size_t)>;
+  using TransferFn = std::function<V(std::size_t, const ReadFn&)>;
+
+  explicit FixpointSolver(std::size_t num_nodes)
+      : values_(num_nodes, V::bottom()), succs_(num_nodes) {}
+
+  /// Declares that a change of `from` must re-evaluate `to`.
+  void add_edge(std::size_t from, std::size_t to) { succs_[from].push_back(to); }
+
+  void seed(std::size_t node, V v) { values_[node] = values_[node].join(v); }
+
+  FixpointStats solve(const TransferFn& transfer, bool use_widening = false) {
+    FixpointStats stats;
+    std::deque<std::size_t> work;
+    std::vector<char> queued(values_.size(), 1);
+    for (std::size_t n = 0; n < values_.size(); ++n) work.push_back(n);
+
+    const ReadFn read = [this](std::size_t n) -> const V& { return values_[n]; };
+
+    while (!work.empty()) {
+      const std::size_t n = work.front();
+      work.pop_front();
+      queued[n] = 0;
+      ++stats.iterations;
+      V next = transfer(n, read);
+      bool grew = false;
+      if constexpr (WidenableLattice<V>) {
+        grew = use_widening ? widen_into(values_[n], next) : join_into(values_[n], next);
+      } else {
+        grew = join_into(values_[n], next);
+      }
+      if (grew) {
+        ++stats.changes;
+        for (std::size_t s : succs_[n]) {
+          if (queued[s] == 0) {
+            queued[s] = 1;
+            work.push_back(s);
+          }
+        }
+      }
+    }
+    return stats;
+  }
+
+  [[nodiscard]] const V& value(std::size_t node) const { return values_[node]; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<V> values_;
+  std::vector<std::vector<std::size_t>> succs_;
+};
+
+}  // namespace copar::absdom

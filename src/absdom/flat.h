@@ -1,0 +1,137 @@
+// The flat ("constant propagation") lattice over 64-bit integers:
+//
+//        ⊤
+//   ... -1 0 1 2 ...
+//        ⊥
+//
+// The default numeric domain of the abstract semantics; it is what makes
+// parallel-safe constant propagation (§7) expressible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/absdom/cmpop.h"
+
+namespace copar::absdom {
+
+class FlatInt {
+ public:
+  static FlatInt bottom() { return FlatInt(State::Bottom, 0); }
+  static FlatInt top() { return FlatInt(State::Top, 0); }
+  static FlatInt constant(std::int64_t v) { return FlatInt(State::Const, v); }
+
+  [[nodiscard]] bool is_bottom() const { return state_ == State::Bottom; }
+  [[nodiscard]] bool is_top() const { return state_ == State::Top; }
+  [[nodiscard]] std::optional<std::int64_t> as_constant() const {
+    if (state_ == State::Const) return value_;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] FlatInt join(const FlatInt& o) const {
+    if (is_bottom()) return o;
+    if (o.is_bottom()) return *this;
+    if (*this == o) return *this;
+    return top();
+  }
+
+  /// Finite height: widening is join.
+  [[nodiscard]] FlatInt widen(const FlatInt& o) const { return join(o); }
+
+  [[nodiscard]] bool leq(const FlatInt& o) const {
+    if (is_bottom()) return true;
+    if (o.is_top()) return true;
+    return *this == o;
+  }
+
+  friend bool operator==(const FlatInt&, const FlatInt&) = default;
+
+  // --- abstract arithmetic (strict in bottom, otherwise best transformer) --
+  template <typename F>
+  static FlatInt lift(const FlatInt& a, const FlatInt& b, F&& f) {
+    if (a.is_bottom() || b.is_bottom()) return bottom();
+    if (auto x = a.as_constant()) {
+      if (auto y = b.as_constant()) {
+        if (auto r = f(*x, *y)) return constant(*r);
+      }
+    }
+    return top();
+  }
+
+  static FlatInt add(const FlatInt& a, const FlatInt& b) {
+    return lift(a, b, [](std::int64_t x, std::int64_t y) -> std::optional<std::int64_t> {
+      return x + y;
+    });
+  }
+  static FlatInt sub(const FlatInt& a, const FlatInt& b) {
+    return lift(a, b, [](std::int64_t x, std::int64_t y) -> std::optional<std::int64_t> {
+      return x - y;
+    });
+  }
+  static FlatInt mul(const FlatInt& a, const FlatInt& b) {
+    return lift(a, b, [](std::int64_t x, std::int64_t y) -> std::optional<std::int64_t> {
+      return x * y;
+    });
+  }
+  static FlatInt div(const FlatInt& a, const FlatInt& b) {
+    return lift(a, b, [](std::int64_t x, std::int64_t y) -> std::optional<std::int64_t> {
+      if (y == 0) return std::nullopt;
+      return x / y;
+    });
+  }
+  static FlatInt mod(const FlatInt& a, const FlatInt& b) {
+    return lift(a, b, [](std::int64_t x, std::int64_t y) -> std::optional<std::int64_t> {
+      if (y == 0) return std::nullopt;
+      return x % y;
+    });
+  }
+  static FlatInt cmp(const FlatInt& a, const FlatInt& b, bool (*pred)(std::int64_t, std::int64_t)) {
+    if (a.is_bottom() || b.is_bottom()) return bottom();
+    if (auto x = a.as_constant()) {
+      if (auto y = b.as_constant()) return constant(pred(*x, *y) ? 1 : 0);
+    }
+    return top();
+  }
+
+  /// Branch refinement: only equality against a known constant pins a flat
+  /// value; a failed disequality does the same.
+  static FlatInt refine_cmp(const FlatInt& v, CmpOp op, const FlatInt& rhs, bool want_true) {
+    if (v.is_bottom() || rhs.is_bottom()) return bottom();
+    if (!want_true) op = negate(op);
+    if (auto c = rhs.as_constant()) {
+      if (op == CmpOp::Eq) return v.leq(constant(*c)) || v.is_top() ? constant(*c) : bottom();
+      if (auto x = v.as_constant()) {
+        // Constant vs constant: keep v only if the comparison can hold.
+        return eval_cmp(op, *x, *c) ? v : bottom();
+      }
+    }
+    return v;
+  }
+
+  /// May this abstract value be truthy (nonzero)? / falsy (zero)?
+  [[nodiscard]] bool may_be_truthy() const {
+    if (is_bottom()) return false;
+    if (auto c = as_constant()) return *c != 0;
+    return true;
+  }
+  [[nodiscard]] bool may_be_falsy() const {
+    if (is_bottom()) return false;
+    if (auto c = as_constant()) return *c == 0;
+    return true;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_bottom()) return "⊥";
+    if (is_top()) return "⊤";
+    return std::to_string(value_);
+  }
+
+ private:
+  enum class State : std::uint8_t { Bottom, Const, Top };
+  FlatInt(State s, std::int64_t v) : state_(s), value_(v) {}
+  State state_;
+  std::int64_t value_;
+};
+
+}  // namespace copar::absdom

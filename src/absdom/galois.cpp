@@ -1,0 +1,28 @@
+// Compile-checks the header-only lattice library and anchors the static
+// library. Also instantiates the concepts against every shipped domain so a
+// regression breaks the build here rather than in a downstream target.
+#include "src/absdom/galois.h"
+
+#include "src/absdom/fixpoint.h"
+#include "src/absdom/flat.h"
+#include "src/absdom/interval.h"
+#include "src/absdom/map.h"
+#include "src/absdom/parity.h"
+#include "src/absdom/powerset.h"
+#include "src/absdom/sign.h"
+
+namespace copar::absdom {
+
+static_assert(JoinSemiLattice<FlatInt>);
+static_assert(WidenableLattice<FlatInt>);
+static_assert(JoinSemiLattice<Interval>);
+static_assert(WidenableLattice<Interval>);
+static_assert(JoinSemiLattice<Sign>);
+static_assert(JoinSemiLattice<Parity>);
+static_assert(WidenableLattice<Parity>);
+static_assert(WidenableLattice<Sign>);
+static_assert(JoinSemiLattice<PowerSet<int>>);
+static_assert(JoinSemiLattice<MapLattice<int, FlatInt>>);
+static_assert(WidenableLattice<MapLattice<int, Interval>>);
+
+}  // namespace copar::absdom

@@ -1,0 +1,94 @@
+// Galois-connection and lattice-law checkers.
+//
+// Abstract interpretation's correctness argument rests on (α, γ) pairs and
+// on the domains actually being lattices. These helpers let the test suite
+// verify the laws on concrete samples — the practical counterpart of the
+// paper's "the correctness of analysis can be proved formally and easily if
+// we follow some existing framework".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/absdom/lattice.h"
+
+namespace copar::absdom {
+
+/// Result of a law check: empty `violation` means the law held on the
+/// sample.
+struct LawCheck {
+  bool ok = true;
+  std::string violation;
+};
+
+/// Checks semilattice laws (commutativity, associativity, idempotence,
+/// join-consistency with leq, bottom neutrality) on a sample of elements.
+template <JoinSemiLattice D>
+LawCheck check_lattice_laws(const std::vector<D>& sample) {
+  auto fail = [](std::string msg) { return LawCheck{false, std::move(msg)}; };
+  const D bot = D::bottom();
+  for (const D& a : sample) {
+    if (!(a.join(a) == a)) return fail("join not idempotent");
+    if (!(a.join(bot) == a)) return fail("bottom not neutral");
+    if (!bot.leq(a)) return fail("bottom not least");
+    if (!a.leq(a)) return fail("leq not reflexive");
+    for (const D& b : sample) {
+      if (!(a.join(b) == b.join(a))) return fail("join not commutative");
+      if (!a.leq(a.join(b))) return fail("join not an upper bound");
+      if (a.leq(b) && !(a.join(b) == b)) return fail("leq inconsistent with join");
+      for (const D& c : sample) {
+        if (!(a.join(b).join(c) == a.join(b.join(c)))) return fail("join not associative");
+        if (a.leq(b) && b.leq(c) && !a.leq(c)) return fail("leq not transitive");
+      }
+    }
+  }
+  return LawCheck{};
+}
+
+/// Checks the soundness half of a Galois connection on samples: for every
+/// concrete c, c must be described by γ(α(c)); expressed via a user-supplied
+/// `models(c, abstract)` relation and abstraction function `alpha`.
+template <typename C, JoinSemiLattice D>
+LawCheck check_abstraction_sound(const std::vector<C>& concretes,
+                                 const std::function<D(const C&)>& alpha,
+                                 const std::function<bool(const C&, const D&)>& models) {
+  for (const C& c : concretes) {
+    const D a = alpha(c);
+    if (!models(c, a)) return LawCheck{false, "alpha(c) does not describe c"};
+    // Monotone safety: anything above alpha(c) must still describe c.
+    for (const C& other : concretes) {
+      const D bigger = a.join(alpha(other));
+      if (!models(c, bigger)) {
+        return LawCheck{false, "join with another abstraction lost c"};
+      }
+    }
+  }
+  return LawCheck{};
+}
+
+/// Checks that a binary abstract operator soundly over-approximates a
+/// concrete operator on sampled pairs.
+template <JoinSemiLattice D>
+LawCheck check_binop_sound(
+    const std::vector<std::int64_t>& ints, const std::function<D(std::int64_t)>& alpha,
+    const std::function<bool(std::int64_t, const D&)>& models,
+    const std::function<D(const D&, const D&)>& abs_op,
+    const std::function<std::optional<std::int64_t>(std::int64_t, std::int64_t)>& conc_op) {
+  for (std::int64_t x : ints) {
+    for (std::int64_t y : ints) {
+      const auto r = conc_op(x, y);
+      if (!r.has_value()) continue;  // undefined concretely (e.g. div by 0)
+      const D abs = abs_op(alpha(x), alpha(y));
+      if (!models(*r, abs)) {
+        return LawCheck{false, "abstract op lost " + std::to_string(x) + " op " +
+                                   std::to_string(y) + " = " + std::to_string(*r)};
+      }
+    }
+  }
+  return LawCheck{};
+}
+
+}  // namespace copar::absdom

@@ -1,0 +1,215 @@
+// The interval lattice over 64-bit integers with ±∞ bounds and the classic
+// threshold-free widening (unstable bounds jump to infinity).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "src/absdom/cmpop.h"
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace copar::absdom {
+
+class Interval {
+ public:
+  static constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min();
+  static constexpr std::int64_t kPosInf = std::numeric_limits<std::int64_t>::max();
+
+  static Interval bottom() { return Interval(true, 0, 0); }
+  static Interval top() { return Interval(false, kNegInf, kPosInf); }
+  static Interval constant(std::int64_t v) { return Interval(false, v, v); }
+  static Interval range(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) return bottom();
+    return Interval(false, lo, hi);
+  }
+
+  [[nodiscard]] bool is_bottom() const { return bottom_; }
+  [[nodiscard]] bool is_top() const { return !bottom_ && lo_ == kNegInf && hi_ == kPosInf; }
+  [[nodiscard]] std::int64_t lo() const { return lo_; }
+  [[nodiscard]] std::int64_t hi() const { return hi_; }
+  [[nodiscard]] std::optional<std::int64_t> as_constant() const {
+    if (!bottom_ && lo_ == hi_) return lo_;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] Interval join(const Interval& o) const {
+    if (bottom_) return o;
+    if (o.bottom_) return *this;
+    return Interval(false, std::min(lo_, o.lo_), std::max(hi_, o.hi_));
+  }
+
+  [[nodiscard]] bool leq(const Interval& o) const {
+    if (bottom_) return true;
+    if (o.bottom_) return false;
+    return o.lo_ <= lo_ && hi_ <= o.hi_;
+  }
+
+  /// Standard widening: a bound that moved since `*this` jumps to infinity.
+  /// Use as prev.widen(next) with prev ⊑ next.
+  [[nodiscard]] Interval widen(const Interval& next) const {
+    if (bottom_) return next;
+    if (next.bottom_) return *this;
+    const std::int64_t lo = next.lo_ < lo_ ? kNegInf : lo_;
+    const std::int64_t hi = next.hi_ > hi_ ? kPosInf : hi_;
+    return Interval(false, lo, hi);
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+  // --- abstract arithmetic (saturating; sound but not always optimal) ------
+  static Interval add(const Interval& a, const Interval& b) {
+    if (a.bottom_ || b.bottom_) return bottom();
+    return Interval(false, sat_add(a.lo_, b.lo_), sat_add(a.hi_, b.hi_));
+  }
+  static Interval sub(const Interval& a, const Interval& b) {
+    if (a.bottom_ || b.bottom_) return bottom();
+    return Interval(false, sat_sub(a.lo_, b.hi_), sat_sub(a.hi_, b.lo_));
+  }
+  static Interval mul(const Interval& a, const Interval& b) {
+    if (a.bottom_ || b.bottom_) return bottom();
+    if (auto x = a.as_constant(); x && *x == 0) return constant(0);
+    if (auto y = b.as_constant(); y && *y == 0) return constant(0);
+    if (a.is_top() || b.is_top()) return top();
+    const std::int64_t c[4] = {sat_mul(a.lo_, b.lo_), sat_mul(a.lo_, b.hi_),
+                               sat_mul(a.hi_, b.lo_), sat_mul(a.hi_, b.hi_)};
+    return Interval(false, *std::min_element(c, c + 4), *std::max_element(c, c + 4));
+  }
+  static Interval div(const Interval& a, const Interval& b) {
+    if (a.bottom_ || b.bottom_) return bottom();
+    if (auto y = b.as_constant(); y && *y != 0 && !a.is_top()) {
+      const std::int64_t p = a.lo_ / *y;
+      const std::int64_t q = a.hi_ / *y;
+      return Interval(false, std::min(p, q), std::max(p, q));
+    }
+    return top();
+  }
+  static Interval mod(const Interval& a, const Interval& b) {
+    if (a.bottom_ || b.bottom_) return bottom();
+    if (auto x = a.as_constant()) {
+      if (auto y = b.as_constant(); y && *y != 0) return constant(*x % *y);
+    }
+    return top();
+  }
+  static Interval cmp(const Interval& a, const Interval& b,
+                      bool (*pred)(std::int64_t, std::int64_t)) {
+    if (a.bottom_ || b.bottom_) return bottom();
+    // The predicates used by the abstract semantics are the six orderings
+    // (<, <=, >, >=, ==, !=). For those, evaluating on the interval
+    // endpoints plus the points where the intervals meet (and their ±1
+    // neighbors, for strict/non-strict distinctions) decides exactly which
+    // truth values are possible.
+    bool can_true = false;
+    bool can_false = false;
+    const auto reps = [](const Interval& v, const Interval& other) {
+      std::array<std::int64_t, 8> out{};
+      std::size_t n = 0;
+      auto add = [&](std::int64_t candidate) {
+        const std::int64_t clamped = std::clamp(candidate, v.lo_, v.hi_);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (out[i] == clamped) return;
+        }
+        out[n++] = clamped;
+      };
+      add(v.lo_);
+      add(v.hi_);
+      for (std::int64_t p : {other.lo_, other.hi_}) {
+        add(p);
+        if (p > kNegInf) add(p - 1);
+        if (p < kPosInf) add(p + 1);
+      }
+      return std::pair{out, n};
+    };
+    const auto [xs, nx] = reps(a, b);
+    const auto [ys, ny] = reps(b, a);
+    for (std::size_t i = 0; i < nx; ++i) {
+      for (std::size_t j = 0; j < ny; ++j) {
+        (pred(xs[i], ys[j]) ? can_true : can_false) = true;
+      }
+    }
+    if (can_true && can_false) return range(0, 1);
+    return constant(can_true ? 1 : 0);
+  }
+
+  /// Branch refinement: the largest subinterval of `v` consistent with
+  /// `v op rhs` evaluating to `want_true`.
+  static Interval refine_cmp(const Interval& v, CmpOp op, const Interval& rhs, bool want_true) {
+    if (v.bottom_ || rhs.bottom_) return bottom();
+    if (!want_true) op = negate(op);
+    switch (op) {
+      case CmpOp::Lt:
+        if (rhs.hi_ == kNegInf) return bottom();
+        return v.meet(range(kNegInf, rhs.hi_ == kPosInf ? kPosInf : rhs.hi_ - 1));
+      case CmpOp::Le:
+        return v.meet(range(kNegInf, rhs.hi_));
+      case CmpOp::Gt:
+        if (rhs.lo_ == kPosInf) return bottom();
+        return v.meet(range(rhs.lo_ == kNegInf ? kNegInf : rhs.lo_ + 1, kPosInf));
+      case CmpOp::Ge:
+        return v.meet(range(rhs.lo_, kPosInf));
+      case CmpOp::Eq:
+        return v.meet(rhs);
+      case CmpOp::Ne:
+        // Only refine when rhs is a constant at an endpoint of v.
+        if (auto c = rhs.as_constant()) {
+          if (!v.bottom_ && v.lo_ == *c && v.hi_ == *c) return bottom();
+          if (!v.bottom_ && v.lo_ == *c) return range(*c + 1, v.hi_);
+          if (!v.bottom_ && v.hi_ == *c) return range(v.lo_, *c - 1);
+        }
+        return v;
+    }
+    return v;
+  }
+
+  [[nodiscard]] Interval meet(const Interval& o) const {
+    if (bottom_ || o.bottom_) return bottom();
+    return range(std::max(lo_, o.lo_), std::min(hi_, o.hi_));
+  }
+
+  [[nodiscard]] bool may_be_truthy() const {
+    if (bottom_) return false;
+    return !(lo_ == 0 && hi_ == 0);
+  }
+  [[nodiscard]] bool may_be_falsy() const {
+    if (bottom_) return false;
+    return lo_ <= 0 && 0 <= hi_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (bottom_) return "⊥";
+    std::string lo = lo_ == kNegInf ? "-inf" : std::to_string(lo_);
+    std::string hi = hi_ == kPosInf ? "+inf" : std::to_string(hi_);
+    return "[" + lo + "," + hi + "]";
+  }
+
+ private:
+  Interval(bool bottom, std::int64_t lo, std::int64_t hi) : bottom_(bottom), lo_(lo), hi_(hi) {}
+
+  static std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+    if (a == kNegInf || b == kNegInf) return kNegInf;
+    if (a == kPosInf || b == kPosInf) return kPosInf;
+    std::int64_t r = 0;
+    if (__builtin_add_overflow(a, b, &r)) return a > 0 ? kPosInf : kNegInf;
+    return r;
+  }
+  static std::int64_t sat_sub(std::int64_t a, std::int64_t b) {
+    if (a == kNegInf || b == kPosInf) return kNegInf;
+    if (a == kPosInf || b == kNegInf) return kPosInf;
+    std::int64_t r = 0;
+    if (__builtin_sub_overflow(a, b, &r)) return a > b ? kPosInf : kNegInf;
+    return r;
+  }
+  static std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+    std::int64_t r = 0;
+    if (__builtin_mul_overflow(a, b, &r)) return (a > 0) == (b > 0) ? kPosInf : kNegInf;
+    return r;
+  }
+
+  bool bottom_;
+  std::int64_t lo_;
+  std::int64_t hi_;
+};
+
+}  // namespace copar::absdom

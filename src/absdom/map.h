@@ -1,0 +1,88 @@
+// Pointwise map lattice: K -> V with absent keys meaning V::bottom().
+// The abstract store is a MapLattice<AbsLoc, AbsValue>.
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/absdom/lattice.h"
+
+namespace copar::absdom {
+
+template <typename K, JoinSemiLattice V>
+class MapLattice {
+ public:
+  static MapLattice bottom() { return MapLattice(); }
+
+  [[nodiscard]] bool is_bottom() const { return map_.empty(); }
+  [[nodiscard]] const std::map<K, V>& entries() const { return map_; }
+
+  /// Value at `k` (bottom if absent).
+  [[nodiscard]] V get(const K& k) const {
+    auto it = map_.find(k);
+    return it == map_.end() ? V::bottom() : it->second;
+  }
+
+  /// Weak update: join `v` into the binding of `k`. Returns true if grew.
+  bool join_at(const K& k, const V& v) {
+    if (v == V::bottom()) return false;
+    auto [it, inserted] = map_.emplace(k, v);
+    if (inserted) return true;
+    return join_into(it->second, v);
+  }
+
+  /// Strong update: replace the binding of `k`.
+  void set(const K& k, V v) {
+    if (v == V::bottom()) {
+      map_.erase(k);
+    } else {
+      map_.insert_or_assign(k, std::move(v));
+    }
+  }
+
+  [[nodiscard]] MapLattice join(const MapLattice& o) const {
+    MapLattice out = *this;
+    for (const auto& [k, v] : o.map_) out.join_at(k, v);
+    return out;
+  }
+
+  /// Pointwise widening (requires V widenable).
+  [[nodiscard]] MapLattice widen(const MapLattice& next) const
+    requires WidenableLattice<V>
+  {
+    MapLattice out = next;
+    for (auto& [k, v] : out.map_) {
+      auto it = map_.find(k);
+      if (it != map_.end()) v = it->second.widen(v);
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool leq(const MapLattice& o) const {
+    for (const auto& [k, v] : map_) {
+      if (!v.leq(o.get(k))) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const MapLattice&, const MapLattice&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    for (const auto& [k, v] : map_) {
+      if constexpr (requires { k.to_string(); }) {
+        os << k.to_string();
+      } else {
+        os << k;
+      }
+      os << " -> " << v.to_string() << '\n';
+    }
+    return os.str();
+  }
+
+ private:
+  std::map<K, V> map_;
+};
+
+}  // namespace copar::absdom

@@ -1,0 +1,119 @@
+// The parity lattice: the powerset of {even, odd} ordered by inclusion.
+//
+//        {even,odd} = ⊤
+//        {even}  {odd}
+//            {} = ⊥
+//
+// A fourth plug-in numeric domain demonstrating the framework's domain
+// axis; it satisfies the same NumDomain concept as flat/interval/sign.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/absdom/cmpop.h"
+
+namespace copar::absdom {
+
+class Parity {
+ public:
+  static constexpr std::uint8_t kEven = 1;
+  static constexpr std::uint8_t kOdd = 2;
+
+  static Parity bottom() { return Parity(0); }
+  static Parity top() { return Parity(kEven | kOdd); }
+  static Parity constant(std::int64_t v) { return Parity((v % 2) == 0 ? kEven : kOdd); }
+  static Parity from_bits(std::uint8_t bits) { return Parity(bits & 3); }
+
+  [[nodiscard]] bool is_bottom() const { return bits_ == 0; }
+  [[nodiscard]] bool is_top() const { return bits_ == 3; }
+  [[nodiscard]] std::uint8_t bits() const { return bits_; }
+  /// Parity never pins a single value.
+  [[nodiscard]] std::optional<std::int64_t> as_constant() const { return std::nullopt; }
+
+  [[nodiscard]] Parity join(const Parity& o) const { return Parity(bits_ | o.bits_); }
+  [[nodiscard]] Parity widen(const Parity& o) const { return join(o); }
+  [[nodiscard]] bool leq(const Parity& o) const { return (bits_ & ~o.bits_) == 0; }
+  friend bool operator==(const Parity&, const Parity&) = default;
+
+  static Parity add(const Parity& a, const Parity& b) {
+    return combine(a, b, [](int pa, int pb) { return (pa + pb) % 2; });
+  }
+  static Parity sub(const Parity& a, const Parity& b) { return add(a, b); }
+  static Parity mul(const Parity& a, const Parity& b) {
+    return combine(a, b, [](int pa, int pb) { return (pa * pb) % 2; });
+  }
+  /// Truncating division does not respect parity.
+  static Parity div(const Parity& a, const Parity& b) {
+    if (a.is_bottom() || b.is_bottom()) return bottom();
+    return top();
+  }
+  /// x % y preserves nothing useful in general (sign interplay): top.
+  static Parity mod(const Parity& a, const Parity& b) {
+    if (a.is_bottom() || b.is_bottom()) return bottom();
+    return top();
+  }
+  static Parity cmp(const Parity& a, const Parity& b,
+                    bool (*pred)(std::int64_t, std::int64_t)) {
+    if (a.is_bottom() || b.is_bottom()) return bottom();
+    // Orderings are undecidable from parity alone except equality between
+    // disjoint parities.
+    bool can_true = false;
+    bool can_false = false;
+    a.for_each([&](int pa) {
+      b.for_each([&](int pb) {
+        // Representatives: pa/pb plus shifted representatives to cover
+        // ordering outcomes.
+        for (std::int64_t x : {std::int64_t{pa}, std::int64_t{pa + 2}, std::int64_t{pa - 2}}) {
+          for (std::int64_t y :
+               {std::int64_t{pb}, std::int64_t{pb + 2}, std::int64_t{pb - 2}}) {
+            (pred(x, y) ? can_true : can_false) = true;
+          }
+        }
+      });
+    });
+    std::uint8_t bits = 0;
+    if (can_true) bits |= kOdd;   // 1 is odd
+    if (can_false) bits |= kEven;  // 0 is even
+    return Parity(bits);
+  }
+  static Parity refine_cmp(const Parity& v, CmpOp op, const Parity& rhs, bool want_true) {
+    if (v.is_bottom() || rhs.is_bottom()) return bottom();
+    if (!want_true) op = absdom::negate(op);
+    // Equality against a single-parity value keeps only that parity.
+    if (op == CmpOp::Eq && !rhs.is_top()) return Parity(v.bits_ & rhs.bits_);
+    return v;
+  }
+
+  [[nodiscard]] bool may_be_truthy() const { return bits_ != 0; }  // any nonzero even/odd
+  [[nodiscard]] bool may_be_falsy() const { return (bits_ & kEven) != 0; }  // 0 is even
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_bottom()) return "⊥";
+    if (is_top()) return "⊤";
+    return (bits_ & kEven) != 0 ? "even" : "odd";
+  }
+
+ private:
+  explicit Parity(std::uint8_t bits) : bits_(bits) {}
+
+  template <typename F>
+  static Parity combine(const Parity& a, const Parity& b, F&& f) {
+    Parity out = bottom();
+    a.for_each([&](int pa) {
+      b.for_each([&](int pb) { out.bits_ |= (f(pa, pb) == 0 ? kEven : kOdd); });
+    });
+    return out;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    if (bits_ & kEven) f(0);
+    if (bits_ & kOdd) f(1);
+  }
+
+  std::uint8_t bits_;
+};
+
+}  // namespace copar::absdom

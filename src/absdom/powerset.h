@@ -1,0 +1,73 @@
+// Finite powerset lattice: sets of T ordered by inclusion. Used for
+// points-to sets (abstract locations), callee sets (abstract closures), and
+// generally wherever the abstract semantics collects "may" facts.
+#pragma once
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace copar::absdom {
+
+template <typename T>
+class PowerSet {
+ public:
+  PowerSet() = default;
+  explicit PowerSet(std::set<T> elems) : elems_(std::move(elems)) {}
+
+  static PowerSet bottom() { return PowerSet(); }
+  static PowerSet singleton(T v) {
+    PowerSet p;
+    p.elems_.insert(std::move(v));
+    return p;
+  }
+
+  [[nodiscard]] bool is_bottom() const { return elems_.empty(); }
+  [[nodiscard]] const std::set<T>& elems() const { return elems_; }
+  [[nodiscard]] std::size_t size() const { return elems_.size(); }
+  [[nodiscard]] bool contains(const T& v) const { return elems_.contains(v); }
+
+  [[nodiscard]] PowerSet join(const PowerSet& o) const {
+    PowerSet out = *this;
+    out.elems_.insert(o.elems_.begin(), o.elems_.end());
+    return out;
+  }
+  [[nodiscard]] PowerSet widen(const PowerSet& o) const { return join(o); }
+  [[nodiscard]] bool leq(const PowerSet& o) const {
+    return std::includes(o.elems_.begin(), o.elems_.end(), elems_.begin(), elems_.end());
+  }
+  [[nodiscard]] PowerSet meet(const PowerSet& o) const {
+    PowerSet out;
+    std::set_intersection(elems_.begin(), elems_.end(), o.elems_.begin(), o.elems_.end(),
+                          std::inserter(out.elems_, out.elems_.begin()));
+    return out;
+  }
+
+  void insert(T v) { elems_.insert(std::move(v)); }
+
+  friend bool operator==(const PowerSet&, const PowerSet&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (const T& e : elems_) {
+      if (!first) os << ',';
+      first = false;
+      if constexpr (requires { e.to_string(); }) {
+        os << e.to_string();
+      } else {
+        os << e;
+      }
+    }
+    os << '}';
+    return os.str();
+  }
+
+ private:
+  std::set<T> elems_;
+};
+
+}  // namespace copar::absdom

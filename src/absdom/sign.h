@@ -1,0 +1,167 @@
+// The sign lattice: the powerset of {-, 0, +} ordered by inclusion.
+//
+//                 {-,0,+} = ⊤
+//           {-,0}  {-,+}  {0,+}
+//            {-}    {0}    {+}
+//                  {} = ⊥
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/absdom/cmpop.h"
+
+namespace copar::absdom {
+
+class Sign {
+ public:
+  static constexpr std::uint8_t kNeg = 1;
+  static constexpr std::uint8_t kZero = 2;
+  static constexpr std::uint8_t kPos = 4;
+
+  static Sign bottom() { return Sign(0); }
+  static Sign top() { return Sign(kNeg | kZero | kPos); }
+  static Sign constant(std::int64_t v) {
+    if (v < 0) return Sign(kNeg);
+    if (v == 0) return Sign(kZero);
+    return Sign(kPos);
+  }
+  static Sign from_bits(std::uint8_t bits) { return Sign(bits & 7); }
+
+  [[nodiscard]] bool is_bottom() const { return bits_ == 0; }
+  [[nodiscard]] bool is_top() const { return bits_ == 7; }
+  [[nodiscard]] std::uint8_t bits() const { return bits_; }
+  [[nodiscard]] std::optional<std::int64_t> as_constant() const {
+    if (bits_ == kZero) return 0;  // the only sign that pins a value
+    return std::nullopt;
+  }
+
+  [[nodiscard]] Sign join(const Sign& o) const { return Sign(bits_ | o.bits_); }
+  [[nodiscard]] Sign widen(const Sign& o) const { return join(o); }
+  [[nodiscard]] bool leq(const Sign& o) const { return (bits_ & ~o.bits_) == 0; }
+  friend bool operator==(const Sign&, const Sign&) = default;
+
+  static Sign add(const Sign& a, const Sign& b) {
+    Sign out = bottom();
+    a.for_each([&](int sa) {
+      b.for_each([&](int sb) {
+        if (sa == 0) {
+          out = out.join(Sign(sign_bit(sb)));
+        } else if (sb == 0) {
+          out = out.join(Sign(sign_bit(sa)));
+        } else if (sa == sb) {
+          out = out.join(Sign(sign_bit(sa)));
+        } else {
+          out = out.join(top());
+        }
+      });
+    });
+    return out;
+  }
+  static Sign sub(const Sign& a, const Sign& b) { return add(a, negate(b)); }
+  static Sign negate(const Sign& a) {
+    std::uint8_t bits = a.bits_ & kZero;
+    if (a.bits_ & kNeg) bits |= kPos;
+    if (a.bits_ & kPos) bits |= kNeg;
+    return Sign(bits);
+  }
+  static Sign mul(const Sign& a, const Sign& b) {
+    Sign out = bottom();
+    a.for_each([&](int sa) {
+      b.for_each([&](int sb) { out = out.join(Sign(sign_bit(sa * sb))); });
+    });
+    return out;
+  }
+  static Sign div(const Sign& a, const Sign& b) {
+    if (a.is_bottom() || b.is_bottom()) return bottom();
+    // Truncating division can hit zero; keep it coarse but sound.
+    Sign out = Sign(kZero);
+    a.for_each([&](int sa) {
+      b.for_each([&](int sb) {
+        if (sb != 0) out = out.join(Sign(sign_bit(sa * sb)));
+      });
+    });
+    return out;
+  }
+  static Sign mod(const Sign& a, const Sign& b) {
+    if (a.is_bottom() || b.is_bottom()) return bottom();
+    return top();
+  }
+  static Sign cmp(const Sign& a, const Sign& b, bool (*pred)(std::int64_t, std::int64_t)) {
+    if (a.is_bottom() || b.is_bottom()) return bottom();
+    // Representatives decide what outcomes are possible.
+    bool can_true = false;
+    bool can_false = false;
+    a.for_each([&](int sa) {
+      b.for_each([&](int sb) {
+        // Use representative magnitudes 1; distinct-sign comparisons are
+        // decided, same-sign nonzero comparisons may go either way.
+        if (sa != 0 && sa == sb) {
+          can_true = true;
+          can_false = true;
+        } else {
+          (pred(sa, sb) ? can_true : can_false) = true;
+          if (sa != 0 || sb != 0) {
+            // magnitudes beyond 1 can flip <=-style predicates
+            (pred(2 * sa, 2 * sb) ? can_true : can_false) = true;
+          }
+        }
+      });
+    });
+    std::uint8_t bits = 0;
+    if (can_true) bits |= kPos;
+    if (can_false) bits |= kZero;
+    return Sign(bits);
+  }
+
+  /// Branch refinement against zero (the sign domain's only lever): e.g.
+  /// taking `x < 0` keeps only {-}; `x >= 0` keeps {0,+}.
+  static Sign refine_cmp(const Sign& v, CmpOp op, const Sign& rhs, bool want_true) {
+    if (v.is_bottom() || rhs.is_bottom()) return bottom();
+    if (!want_true) op = absdom::negate(op);  // Sign::negate shadows the CmpOp helper
+    if (rhs == Sign(kZero)) {
+      switch (op) {
+        case CmpOp::Lt: return Sign(static_cast<std::uint8_t>(v.bits_ & kNeg));
+        case CmpOp::Le: return Sign(static_cast<std::uint8_t>(v.bits_ & (kNeg | kZero)));
+        case CmpOp::Gt: return Sign(static_cast<std::uint8_t>(v.bits_ & kPos));
+        case CmpOp::Ge: return Sign(static_cast<std::uint8_t>(v.bits_ & (kZero | kPos)));
+        case CmpOp::Eq: return Sign(static_cast<std::uint8_t>(v.bits_ & kZero));
+        case CmpOp::Ne: return Sign(static_cast<std::uint8_t>(v.bits_ & (kNeg | kPos)));
+      }
+    }
+    return v;
+  }
+
+  [[nodiscard]] bool may_be_truthy() const { return (bits_ & (kNeg | kPos)) != 0; }
+  [[nodiscard]] bool may_be_falsy() const { return (bits_ & kZero) != 0; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_bottom()) return "⊥";
+    std::string out = "{";
+    if (bits_ & kNeg) out += "-";
+    if (bits_ & kZero) out += "0";
+    if (bits_ & kPos) out += "+";
+    return out + "}";
+  }
+
+ private:
+  explicit Sign(std::uint8_t bits) : bits_(bits) {}
+
+  static std::uint8_t sign_bit(std::int64_t v) {
+    if (v < 0) return kNeg;
+    if (v == 0) return kZero;
+    return kPos;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    if (bits_ & kNeg) f(-1);
+    if (bits_ & kZero) f(0);
+    if (bits_ & kPos) f(1);
+  }
+
+  std::uint8_t bits_;
+};
+
+}  // namespace copar::absdom

@@ -1,0 +1,22 @@
+// Explicit instantiations of the abstract explorer for the shipped numeric
+// domains, so downstream targets link against compiled bodies.
+#include "src/absem/absexplore.h"
+
+#include "src/absdom/flat.h"
+#include "src/absdom/interval.h"
+#include "src/absdom/parity.h"
+#include "src/absdom/sign.h"
+
+namespace copar::absem {
+
+static_assert(NumDomain<absdom::FlatInt>);
+static_assert(NumDomain<absdom::Interval>);
+static_assert(NumDomain<absdom::Parity>);
+static_assert(NumDomain<absdom::Sign>);
+
+template class AbsExplorer<absdom::FlatInt>;
+template class AbsExplorer<absdom::Interval>;
+template class AbsExplorer<absdom::Parity>;
+template class AbsExplorer<absdom::Sign>;
+
+}  // namespace copar::absem

@@ -1,0 +1,256 @@
+// Abstract exploration: the non-standard semantics of §4 executed over
+// abstract configurations, with pluggable folding (§6).
+//
+// An abstract configuration is a *control state* — a canonical set of
+// abstract process points — plus an abstract store (AbsLoc -> AbsValue)
+// associated with it. Folding modes:
+//
+//   Folding::Tree — points carry their fork path: the abstract
+//     configuration is the tree of live control points. This is Taylor's
+//     "concurrency state" (§6.1): configurations that differ only in
+//     data or in process identities fold together.
+//
+//   Folding::Clan — points drop the fork path and carry a 1/ω multiplicity
+//     instead: processes executing the same code from the same cobegin
+//     branch fold into one abstract process. This is McDowell's clan /
+//     virtual concurrency state (§6.2): "if several tasks are executing
+//     the same sequence of statements, it is often not necessary to know
+//     exactly how many of those tasks are at a certain point".
+//
+// Call stacks are abstracted 0-CFA style: a point is (proc, pc) and returns
+// flow to every discovered call site of the proc. Stores use weak updates
+// on summary locations (frames, heap) and strong updates on the unique
+// globals frame. The engine iterates to a fixpoint with widening, so it
+// terminates on every program, including ones the concrete explorer cannot
+// exhaust — that is the point of §6.
+//
+// Soundness note (documented deviation): Clan mode implements McDowell's
+// join rule — a coend waits while any clan member of one of its branches is
+// live. This is exact under McDowell's model (at most one simultaneously
+// active instance of each cobegin site); if a site can be active twice
+// concurrently, a join may be delayed relative to the concrete semantics.
+// Tree mode has no such caveat and is the default.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/absdom/map.h"
+#include "src/absem/absvalue.h"
+#include "src/sem/lower.h"
+#include "src/support/stats.h"
+
+namespace copar::absem {
+
+enum class Folding : std::uint8_t { Tree, Clan };
+
+struct AbsPathElem {
+  std::uint32_t site = 0;
+  std::uint32_t branch = 0;
+  friend bool operator==(const AbsPathElem&, const AbsPathElem&) = default;
+  friend auto operator<=>(const AbsPathElem&, const AbsPathElem&) = default;
+};
+
+/// One abstract process: control point + (Tree) fork path or (Clan) ω flag,
+/// plus a k-limited abstract procedure string (the call-site suffix): the
+/// paper's procedure strings, folded to their last k call symbols. k = 0
+/// gives 0-CFA (all call sites merge); larger k separates return flows.
+struct AbsPoint {
+  std::uint32_t proc = 0;
+  std::uint32_t pc = 0;
+  std::vector<AbsPathElem> path;
+  std::vector<std::uint32_t> cstring;  // call-site stmt ids, most recent last
+  bool omega = false;
+
+  /// Identity ignores omega (duplicates merge into one ω point).
+  [[nodiscard]] auto ident() const { return std::tie(proc, pc, path, cstring); }
+  friend bool operator==(const AbsPoint& a, const AbsPoint& b) {
+    return a.ident() == b.ident() && a.omega == b.omega;
+  }
+  friend bool operator<(const AbsPoint& a, const AbsPoint& b) {
+    return std::tie(a.proc, a.pc, a.path, a.cstring, a.omega) <
+           std::tie(b.proc, b.pc, b.path, b.cstring, b.omega);
+  }
+};
+
+using AbsControl = std::vector<AbsPoint>;  // sorted, duplicates merged via ω
+
+template <NumDomain N>
+using AbsStore = absdom::MapLattice<AbsLoc, AbsValue<N>>;
+
+struct AbsOptions {
+  Folding folding = Folding::Tree;
+  /// Fork paths longer than this are truncated (deep fork recursion);
+  /// truncation only merges more states.
+  std::size_t path_limit = 8;
+  /// k-limit of the abstract procedure (call) strings carried by points:
+  /// 0 = 0-CFA (all call sites of a function merge; cheapest), k > 0 keeps
+  /// the last k call sites apart (more states, more precise returns).
+  std::size_t call_string_k = 0;
+  std::uint64_t max_states = 200000;
+};
+
+template <NumDomain N>
+struct AbsResult {
+  std::uint64_t num_states = 0;
+  bool truncated = false;
+  /// May-happen-in-parallel statement pairs (lo <= hi; (s,s) = self-parallel).
+  std::set<std::pair<std::uint32_t, std::uint32_t>> mhp;
+  /// Assertions that may fail on some abstract path.
+  std::set<std::uint32_t> may_fail_asserts;
+  /// Direct abstract read/write sets per proc.
+  std::map<std::uint32_t, std::set<AbsLoc>> reads_direct;
+  std::map<std::uint32_t, std::set<AbsLoc>> writes_direct;
+  /// Abstract read/write sets per statement id.
+  std::map<std::uint32_t, std::set<AbsLoc>> stmt_reads;
+  std::map<std::uint32_t, std::set<AbsLoc>> stmt_writes;
+  /// Discovered call edges (caller proc -> callee proc) and fork edges.
+  std::map<std::uint32_t, std::set<std::uint32_t>> call_edges;
+  std::map<std::uint32_t, std::set<std::uint32_t>> fork_edges;
+  /// Callee procs discovered per call statement (for treating a call
+  /// statement as a unit with its callee's transitive effects).
+  std::map<std::uint32_t, std::set<std::uint32_t>> stmt_callees;
+  /// Join of the stores of every state containing (proc, pc).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, AbsStore<N>> point_stores;
+  StatRegistry stats;
+
+  /// Transitive side effects of `proc`: its own accesses plus those of
+  /// everything reachable through calls and forks.
+  [[nodiscard]] std::pair<std::set<AbsLoc>, std::set<AbsLoc>> effects_of(
+      std::uint32_t proc) const {
+    std::set<AbsLoc> reads;
+    std::set<AbsLoc> writes;
+    std::set<std::uint32_t> seen;
+    std::vector<std::uint32_t> work = {proc};
+    while (!work.empty()) {
+      const std::uint32_t p = work.back();
+      work.pop_back();
+      if (!seen.insert(p).second) continue;
+      if (auto it = reads_direct.find(p); it != reads_direct.end()) {
+        reads.insert(it->second.begin(), it->second.end());
+      }
+      if (auto it = writes_direct.find(p); it != writes_direct.end()) {
+        writes.insert(it->second.begin(), it->second.end());
+      }
+      for (const auto* edges : {&call_edges, &fork_edges}) {
+        if (auto it = edges->find(p); it != edges->end()) {
+          for (std::uint32_t q : it->second) work.push_back(q);
+        }
+      }
+    }
+    return {std::move(reads), std::move(writes)};
+  }
+
+  /// Abstract value of `loc` observable at control point (proc, pc);
+  /// bottom if the point was never reached.
+  [[nodiscard]] AbsValue<N> value_at(std::uint32_t proc, std::uint32_t pc,
+                                     const AbsLoc& loc) const {
+    auto it = point_stores.find({proc, pc});
+    if (it == point_stores.end()) return AbsValue<N>::bottom();
+    AbsValue<N> v = it->second.get(loc);
+    if (v.is_bottom()) return AbsValue<N>::of_int(0);  // never-written cell
+    return v;
+  }
+};
+
+template <NumDomain N>
+class AbsExplorer {
+ public:
+  AbsExplorer(const sem::LoweredProgram& program, AbsOptions options);
+
+  AbsResult<N> run();
+
+ private:
+  using Value = AbsValue<N>;
+  using Store = AbsStore<N>;
+
+  struct Continuation {
+    std::uint32_t proc;
+    std::uint32_t pc;
+    /// Fork path of the calling point: a return resumes only continuations
+    /// of the same thread context (otherwise returns would teleport control
+    /// across threads and blow up the control-state space).
+    std::vector<AbsPathElem> path;
+    /// Caller's call string (restored on return) and the callee context it
+    /// created (matched against the returning point under k > 0).
+    std::vector<std::uint32_t> caller_cstring;
+    std::vector<std::uint32_t> callee_cstring;
+    std::set<AbsLoc> dst;  // where the return value lands (empty: dropped)
+    friend auto operator<=>(const Continuation&, const Continuation&) = default;
+  };
+
+  // --- evaluation --------------------------------------------------------
+  [[nodiscard]] AbsLoc var_absloc(std::uint32_t proc, const lang::Expr& ref) const;
+  [[nodiscard]] Value read_loc(const Store& store, const AbsLoc& loc);
+  [[nodiscard]] Value eval(const Store& store, std::uint32_t proc, const lang::Expr& e);
+  [[nodiscard]] std::set<AbsLoc> lvalue_locs(const Store& store, std::uint32_t proc,
+                                             const lang::Expr& lv);
+  /// Pointer arithmetic on frame pointers may reach any slot of the frame.
+  [[nodiscard]] absdom::PowerSet<AbsLoc> spread_frames(const absdom::PowerSet<AbsLoc>& locs) const;
+
+  /// `attribute` controls whether the write lands in the current action's
+  /// access sets (return-value writes belong to the call site, not the
+  /// returning function).
+  void update(Store& store, const std::set<AbsLoc>& locs, const Value& v,
+              bool attribute = true);
+
+  /// Branch-condition refinement: narrows `store` along the `want_true`
+  /// edge of `cond` when the condition compares a refinable variable (a
+  /// global, or a local of the never-called entry proc — unique concrete
+  /// cells) against a numeric expression. Returns false if the edge is
+  /// infeasible (the refined value is bottom).
+  [[nodiscard]] bool refine_branch(Store& store, std::uint32_t proc, const lang::Expr& cond,
+                                   bool want_true);
+
+  // --- control-state plumbing ---------------------------------------------
+  [[nodiscard]] std::uint32_t settle_pc(std::uint32_t proc, std::uint32_t pc) const;
+  static void insert_point(AbsControl& ctrl, AbsPoint p);
+  [[nodiscard]] AbsControl with_point_replaced(const AbsControl& ctrl, std::size_t idx,
+                                               AbsPoint replacement) const;
+  [[nodiscard]] AbsControl with_point_removed(const AbsControl& ctrl, std::size_t idx) const;
+
+  void enqueue(AbsControl ctrl, Store store);
+  void transfer(const AbsControl& ctrl, const Store& store);
+  void transfer_point(const AbsControl& ctrl, const Store& store, std::size_t idx);
+
+  /// Context hash of a call string (0 for empty / context-insensitive).
+  [[nodiscard]] std::uint32_t cstring_ctx(const std::vector<std::uint32_t>& cs) const;
+  /// True if (fn, slot) must stay context-merged (accessed via hops).
+  [[nodiscard]] bool slot_merged(std::uint32_t fn, std::uint32_t slot) const {
+    return merged_fns_.contains(fn) || merged_slots_.contains({fn, slot});
+  }
+
+  const sem::LoweredProgram& prog_;
+  AbsOptions opts_;
+  AbsResult<N> result_;
+
+  /// Frame slots accessed with hops > 0 anywhere (lambda captures, doall
+  /// bodies reading enclosing locals): these keep context 0.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> merged_slots_;
+  /// Functions with address-taken locals: their whole frame stays merged
+  /// (pointers cannot know activation contexts).
+  std::set<std::uint32_t> merged_fns_;
+  /// Call string of the point currently being transferred (null = empty).
+  const std::vector<std::uint32_t>* cur_cstring_ = nullptr;
+
+  std::map<AbsControl, Store> states_;
+  std::deque<AbsControl> work_;
+  std::set<AbsControl> queued_;
+  std::map<std::uint32_t, std::set<Continuation>> conts_;  // proc -> call sites
+  bool conts_grew_ = false;
+
+  // scratch: accesses of the action currently being transferred
+  std::set<AbsLoc> cur_reads_;
+  std::set<AbsLoc> cur_writes_;
+};
+
+// Convenience aliases for the shipped numeric domains.
+// (Explicitly instantiated in absexplore.cpp.)
+
+}  // namespace copar::absem
+
+#include "src/absem/absexplore_impl.h"

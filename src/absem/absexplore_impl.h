@@ -1,0 +1,767 @@
+// Implementation of AbsExplorer (template bodies). Included at the end of
+// absexplore.h; do not include directly.
+#pragma once
+
+#include <algorithm>
+
+#include "src/lang/ast.h"
+#include "src/sem/step.h"
+#include "src/support/diagnostics.h"
+#include "src/support/hash.h"
+
+namespace copar::absem {
+
+// --------------------------------------------------------------------------
+// evaluation
+// --------------------------------------------------------------------------
+
+template <NumDomain N>
+AbsExplorer<N>::AbsExplorer(const sem::LoweredProgram& program, AbsOptions options)
+    : prog_(program), opts_(options) {
+  // Slots reachable through static-link hops must keep one merged abstract
+  // cell: a hop access cannot know its target activation's call string.
+  std::vector<const lang::Expr*> work;
+  auto push = [&](const lang::Expr* e) {
+    if (e != nullptr) work.push_back(e);
+  };
+  for (const sem::Proc& p : prog_.procs()) {
+    for (const sem::Instr& instr : p.code) {
+      push(instr.lhs);
+      push(instr.rhs);
+      push(instr.rhs2);
+      if (instr.args != nullptr) {
+        for (const auto& a : *instr.args) push(a.get());
+      }
+      while (!work.empty()) {
+        const lang::Expr* e = work.back();
+        work.pop_back();
+        switch (e->kind()) {
+          case lang::ExprKind::VarRef: {
+            const sem::VarLoc& vl = prog_.varloc(e->id());
+            if (!vl.is_global && vl.hops > 0) {
+              std::uint32_t fn = p.owner_fn;
+              for (std::uint16_t h = 0; h < vl.hops; ++h) {
+                fn = prog_.proc(fn).lexical_parent;
+                require(fn != sem::kNoProc, "hop chain fell off the top");
+              }
+              merged_slots_.insert({fn, vl.slot});
+            }
+            break;
+          }
+          case lang::ExprKind::Unary:
+            push(&lang::expr_cast<lang::Unary>(*e).operand());
+            break;
+          case lang::ExprKind::Binary:
+            push(&lang::expr_cast<lang::Binary>(*e).lhs());
+            push(&lang::expr_cast<lang::Binary>(*e).rhs());
+            break;
+          case lang::ExprKind::AddrOf: {
+            // Taking a local's address exposes the frame to pointer access
+            // (including arithmetic): merge the whole frame's contexts.
+            const lang::Expr& lv = lang::expr_cast<lang::AddrOf>(*e).lvalue();
+            if (lv.kind() == lang::ExprKind::VarRef) {
+              const sem::VarLoc& vl = prog_.varloc(lv.id());
+              if (!vl.is_global) {
+                std::uint32_t fn = p.owner_fn;
+                for (std::uint16_t h = 0; h < vl.hops; ++h) {
+                  fn = prog_.proc(fn).lexical_parent;
+                }
+                merged_fns_.insert(fn);
+              }
+            } else {
+              push(&lv);
+            }
+            break;
+          }
+          case lang::ExprKind::Deref:
+            push(&lang::expr_cast<lang::Deref>(*e).pointer());
+            break;
+          case lang::ExprKind::Index:
+            push(&lang::expr_cast<lang::Index>(*e).base());
+            push(&lang::expr_cast<lang::Index>(*e).index());
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+}
+
+template <NumDomain N>
+std::uint32_t AbsExplorer<N>::cstring_ctx(const std::vector<std::uint32_t>& cs) const {
+  if (opts_.call_string_k == 0 || cs.empty()) return 0;
+  const std::uint64_t h = hash_range(cs.begin(), cs.end(), 0x1234567);
+  return static_cast<std::uint32_t>(h) | 1u;  // never 0
+}
+
+template <NumDomain N>
+AbsLoc AbsExplorer<N>::var_absloc(std::uint32_t proc, const lang::Expr& ref) const {
+  const sem::VarLoc& vl = prog_.varloc(ref.id());
+  if (vl.is_global) return AbsLoc::global(vl.slot);
+  std::uint32_t fn = prog_.proc(proc).owner_fn;
+  for (std::uint16_t h = 0; h < vl.hops; ++h) {
+    fn = prog_.proc(fn).lexical_parent;
+    require(fn != sem::kNoProc, "abstract hop chain fell off the top");
+  }
+  std::uint32_t ctx = 0;
+  if (vl.hops == 0 && !slot_merged(fn, vl.slot) && cur_cstring_ != nullptr) {
+    ctx = cstring_ctx(*cur_cstring_);
+  }
+  return AbsLoc::frame(fn, vl.slot, ctx);
+}
+
+template <NumDomain N>
+AbsValue<N> AbsExplorer<N>::read_loc(const Store& store, const AbsLoc& loc) {
+  cur_reads_.insert(loc);
+  Value v = store.get(loc);
+  if (v.is_bottom()) return Value::of_int(0);  // zero-initialized cell
+  return v;
+}
+
+template <NumDomain N>
+absdom::PowerSet<AbsLoc> AbsExplorer<N>::spread_frames(
+    const absdom::PowerSet<AbsLoc>& locs) const {
+  absdom::PowerSet<AbsLoc> out;
+  for (const AbsLoc& loc : locs.elems()) {
+    if (loc.kind == AbsLoc::Kind::Frame) {
+      // Frame pointers only arise from address-taken locals, whose frames
+      // are context-merged (see the constructor), so ctx 0 is the cell.
+      const sem::Proc& fn = prog_.proc(loc.a);
+      for (std::uint32_t slot = 1; slot < std::max(fn.nslots, 1u); ++slot) {
+        out.insert(AbsLoc::frame(loc.a, slot, 0));
+      }
+    } else {
+      out.insert(loc);
+    }
+  }
+  return out;
+}
+
+template <NumDomain N>
+AbsValue<N> AbsExplorer<N>::eval(const Store& store, std::uint32_t proc, const lang::Expr& e) {
+  using lang::ExprKind;
+  switch (e.kind()) {
+    case ExprKind::IntLit:
+      return Value::of_int(lang::expr_cast<lang::IntLit>(e).value());
+    case ExprKind::BoolLit:
+      return Value::of_int(lang::expr_cast<lang::BoolLit>(e).value() ? 1 : 0);
+    case ExprKind::NullLit:
+      return Value::of_null();
+    case ExprKind::VarRef:
+      return read_loc(store, var_absloc(proc, e));
+    case ExprKind::Unary: {
+      const auto& u = lang::expr_cast<lang::Unary>(e);
+      const Value v = eval(store, proc, u.operand());
+      Value out;
+      if (u.op() == lang::UnOp::Neg) {
+        out.num = N::sub(N::constant(0), v.num);
+      } else {  // not
+        if (v.may_be_truthy()) out.num = out.num.join(N::constant(0));
+        if (v.may_be_falsy()) out.num = out.num.join(N::constant(1));
+      }
+      return out;
+    }
+    case ExprKind::Binary: {
+      const auto& b = lang::expr_cast<lang::Binary>(e);
+      const Value l = eval(store, proc, b.lhs());
+      const Value r = eval(store, proc, b.rhs());
+      Value out;
+      using lang::BinOp;
+      auto bool_out = [&](bool can_true, bool can_false) {
+        if (can_true) out.num = out.num.join(N::constant(1));
+        if (can_false) out.num = out.num.join(N::constant(0));
+      };
+      switch (b.op()) {
+        case BinOp::Add:
+        case BinOp::Sub: {
+          out.num = b.op() == BinOp::Add ? N::add(l.num, r.num) : N::sub(l.num, r.num);
+          // Pointer arithmetic moves within the pointed-to object; folded
+          // heap cells are unaffected, frame pointers may reach any slot.
+          if (!l.ptrs.is_bottom()) out.ptrs = out.ptrs.join(spread_frames(l.ptrs));
+          return out;
+        }
+        case BinOp::Mul:
+          out.num = N::mul(l.num, r.num);
+          return out;
+        case BinOp::Div:
+          out.num = N::div(l.num, r.num);
+          return out;
+        case BinOp::Mod:
+          out.num = N::mod(l.num, r.num);
+          return out;
+        case BinOp::Eq:
+        case BinOp::Ne: {
+          const bool ptrish =
+              !l.ptrs.is_bottom() || !r.ptrs.is_bottom() || l.may_null || r.may_null ||
+              !l.fns.is_bottom() || !r.fns.is_bottom();
+          if (ptrish) {
+            bool_out(true, true);  // aliasing undecided at this precision
+            return out;
+          }
+          const N c = N::cmp(l.num, r.num,
+                             b.op() == BinOp::Eq
+                                 ? +[](std::int64_t x, std::int64_t y) { return x == y; }
+                                 : +[](std::int64_t x, std::int64_t y) { return x != y; });
+          out.num = c;
+          return out;
+        }
+        case BinOp::Lt:
+          out.num = N::cmp(l.num, r.num, +[](std::int64_t x, std::int64_t y) { return x < y; });
+          return out;
+        case BinOp::Le:
+          out.num = N::cmp(l.num, r.num, +[](std::int64_t x, std::int64_t y) { return x <= y; });
+          return out;
+        case BinOp::Gt:
+          out.num = N::cmp(l.num, r.num, +[](std::int64_t x, std::int64_t y) { return x > y; });
+          return out;
+        case BinOp::Ge:
+          out.num = N::cmp(l.num, r.num, +[](std::int64_t x, std::int64_t y) { return x >= y; });
+          return out;
+        case BinOp::And:
+          bool_out(l.may_be_truthy() && r.may_be_truthy(),
+                   l.may_be_falsy() || r.may_be_falsy());
+          return out;
+        case BinOp::Or:
+          bool_out(l.may_be_truthy() || r.may_be_truthy(),
+                   l.may_be_falsy() && r.may_be_falsy());
+          return out;
+      }
+      throw Error("abstract eval: bad binop");
+    }
+    case ExprKind::AddrOf: {
+      const auto& a = lang::expr_cast<lang::AddrOf>(e);
+      Value out;
+      for (const AbsLoc& loc : lvalue_locs(store, proc, a.lvalue())) out.ptrs.insert(loc);
+      return out;
+    }
+    case ExprKind::Deref:
+    case ExprKind::Index: {
+      Value out;
+      for (const AbsLoc& loc : lvalue_locs(store, proc, e)) {
+        out = out.join(read_loc(store, loc));
+      }
+      return out;
+    }
+    case ExprKind::FunLit:
+      return Value::of_fn(lang::expr_cast<lang::FunLit>(e).decl().index());
+  }
+  throw Error("abstract eval: bad expr kind");
+}
+
+template <NumDomain N>
+std::set<AbsLoc> AbsExplorer<N>::lvalue_locs(const Store& store, std::uint32_t proc,
+                                             const lang::Expr& lv) {
+  using lang::ExprKind;
+  switch (lv.kind()) {
+    case ExprKind::VarRef:
+      return {var_absloc(proc, lv)};
+    case ExprKind::Deref: {
+      const Value p = eval(store, proc, lang::expr_cast<lang::Deref>(lv).pointer());
+      return {p.ptrs.elems().begin(), p.ptrs.elems().end()};
+    }
+    case ExprKind::Index: {
+      const auto& ix = lang::expr_cast<lang::Index>(lv);
+      const Value base = eval(store, proc, ix.base());
+      (void)eval(store, proc, ix.index());  // collect its reads
+      const auto spread = spread_frames(base.ptrs);
+      return {spread.elems().begin(), spread.elems().end()};
+    }
+    default:
+      throw Error("abstract lvalue_locs: not an lvalue");
+  }
+}
+
+template <NumDomain N>
+void AbsExplorer<N>::update(Store& store, const std::set<AbsLoc>& locs, const Value& v,
+                            bool attribute) {
+  if (attribute) {
+    for (const AbsLoc& loc : locs) cur_writes_.insert(loc);
+  }
+  if (locs.size() == 1 && !locs.begin()->is_summary()) {
+    store.set(*locs.begin(), v);  // strong update: unique concrete cell
+    return;
+  }
+  for (const AbsLoc& loc : locs) store.join_at(loc, v);
+}
+
+template <NumDomain N>
+bool AbsExplorer<N>::refine_branch(Store& store, std::uint32_t proc, const lang::Expr& cond,
+                                   bool want_true) {
+  using lang::BinOp;
+  using lang::ExprKind;
+  if (cond.kind() != ExprKind::Binary) return true;
+  const auto& b = lang::expr_cast<lang::Binary>(cond);
+  absdom::CmpOp op;
+  switch (b.op()) {
+    case BinOp::Lt: op = absdom::CmpOp::Lt; break;
+    case BinOp::Le: op = absdom::CmpOp::Le; break;
+    case BinOp::Gt: op = absdom::CmpOp::Gt; break;
+    case BinOp::Ge: op = absdom::CmpOp::Ge; break;
+    case BinOp::Eq: op = absdom::CmpOp::Eq; break;
+    case BinOp::Ne: op = absdom::CmpOp::Ne; break;
+    default: return true;
+  }
+
+  // A refinable location is a unique concrete cell: a global, or a frame
+  // slot of the entry proc while nothing ever calls it (re-entrance would
+  // make it a summary — checked dynamically; discovery of a call to main
+  // triggers the global requeue, after which refinement stops applying).
+  auto refinable = [&](const AbsLoc& loc) {
+    if (loc.kind == AbsLoc::Kind::Global) return true;
+    return loc.kind == AbsLoc::Kind::Frame && loc.a == prog_.entry_proc() &&
+           !conts_.contains(prog_.entry_proc());
+  };
+
+  auto try_side = [&](const lang::Expr& var_side, const lang::Expr& other_side,
+                      absdom::CmpOp side_op) {
+    if (var_side.kind() != ExprKind::VarRef) return true;
+    const AbsLoc loc = var_absloc(proc, var_side);
+    if (!refinable(loc)) return true;
+    const Value v = read_loc(store, loc);
+    // Numeric-only values refine; pointers/closures do not compare this way.
+    if (v.may_null || !v.ptrs.is_bottom() || !v.fns.is_bottom()) return true;
+    const Value rhs = eval(store, proc, other_side);
+    const N refined = N::refine_cmp(v.num, side_op, rhs.num, want_true);
+    if (refined == v.num) return true;
+    if (refined.is_bottom()) return false;  // edge infeasible for this state
+    Value nv = v;
+    nv.num = refined;
+    store.set(loc, nv);  // strong: unique cell
+    return true;
+  };
+
+  if (!try_side(b.lhs(), b.rhs(), op)) return false;
+  return try_side(b.rhs(), b.lhs(), absdom::mirror(op));
+}
+
+// --------------------------------------------------------------------------
+// control-state plumbing
+// --------------------------------------------------------------------------
+
+template <NumDomain N>
+std::uint32_t AbsExplorer<N>::settle_pc(std::uint32_t proc, std::uint32_t pc) const {
+  const auto& code = prog_.proc(proc).code;
+  while (pc < code.size() && code[pc].op == sem::Op::Jump) pc = code[pc].t1;
+  return pc;
+}
+
+template <NumDomain N>
+void AbsExplorer<N>::insert_point(AbsControl& ctrl, AbsPoint p) {
+  for (AbsPoint& q : ctrl) {
+    if (q.ident() == p.ident()) {
+      q.omega = true;  // two abstract instances fold into ω
+      return;
+    }
+  }
+  ctrl.push_back(std::move(p));
+  std::sort(ctrl.begin(), ctrl.end());
+}
+
+template <NumDomain N>
+AbsControl AbsExplorer<N>::with_point_removed(const AbsControl& ctrl, std::size_t idx) const {
+  AbsControl out = ctrl;
+  out.erase(out.begin() + static_cast<std::ptrdiff_t>(idx));
+  return out;
+}
+
+template <NumDomain N>
+AbsControl AbsExplorer<N>::with_point_replaced(const AbsControl& ctrl, std::size_t idx,
+                                               AbsPoint replacement) const {
+  AbsControl out = with_point_removed(ctrl, idx);
+  insert_point(out, std::move(replacement));
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// engine
+// --------------------------------------------------------------------------
+
+template <NumDomain N>
+void AbsExplorer<N>::enqueue(AbsControl ctrl, Store store) {
+  auto it = states_.find(ctrl);
+  if (it == states_.end()) {
+    if (states_.size() >= opts_.max_states) {
+      result_.truncated = true;
+      return;
+    }
+    states_.emplace(ctrl, std::move(store));
+  } else {
+    if (!absdom::widen_into(it->second, store)) return;  // no growth
+  }
+  if (queued_.insert(ctrl).second) work_.push_back(std::move(ctrl));
+}
+
+template <NumDomain N>
+AbsResult<N> AbsExplorer<N>::run() {
+  // Initial store: globals (function slots + initializers, left to right).
+  Store store;
+  for (const sem::GlobalSlot& g : prog_.globals()) {
+    if (g.fun != nullptr) {
+      store.set(AbsLoc::global(g.slot), Value::of_fn(g.fun->index()));
+    }
+  }
+  for (const sem::GlobalSlot& g : prog_.globals()) {
+    if (g.init != nullptr) {
+      cur_reads_.clear();
+      store.set(AbsLoc::global(g.slot), eval(store, prog_.entry_proc(), *g.init));
+    }
+  }
+  AbsControl init;
+  insert_point(init,
+               AbsPoint{prog_.entry_proc(), settle_pc(prog_.entry_proc(), 0), {}, {}, false});
+  enqueue(std::move(init), std::move(store));
+
+  while (!work_.empty()) {
+    const AbsControl ctrl = work_.front();
+    work_.pop_front();
+    queued_.erase(ctrl);
+    const Store snapshot = states_.at(ctrl);  // copy: transfer only reads it
+    transfer(ctrl, snapshot);
+    result_.stats.add("abs_state_evaluations");
+    if (conts_grew_) {
+      // A new call edge can retroactively give earlier Returns successors:
+      // re-evaluate everything (monotone, hence terminating).
+      conts_grew_ = false;
+      for (const auto& [c, s] : states_) {
+        if (queued_.insert(c).second) work_.push_back(c);
+      }
+      result_.stats.add("abs_global_requeues");
+    }
+  }
+
+  result_.num_states = states_.size();
+  result_.stats.set("abs_states", states_.size());
+  result_.stats.set("abs_mhp_pairs", result_.mhp.size());
+  return std::move(result_);
+}
+
+template <NumDomain N>
+void AbsExplorer<N>::transfer(const AbsControl& ctrl, const Store& store) {
+  // Record folding-level facts of this abstract configuration.
+  for (std::size_t i = 0; i < ctrl.size(); ++i) {
+    const AbsPoint& p = ctrl[i];
+    auto [it, fresh] =
+        result_.point_stores.emplace(std::make_pair(p.proc, p.pc), Store::bottom());
+    (void)absdom::join_into(it->second, store);
+
+    const sem::Instr& instr = prog_.proc(p.proc).code[p.pc];
+    const std::uint32_t stmt = instr.stmt != nullptr ? instr.stmt->id() : sem::kNoStmt;
+    if (stmt != sem::kNoStmt) {
+      if (p.omega) result_.mhp.insert({stmt, stmt});
+      for (std::size_t j = i + 1; j < ctrl.size(); ++j) {
+        const sem::Instr& other = prog_.proc(ctrl[j].proc).code[ctrl[j].pc];
+        const std::uint32_t so = other.stmt != nullptr ? other.stmt->id() : sem::kNoStmt;
+        if (so == sem::kNoStmt) continue;
+        result_.mhp.insert({std::min(stmt, so), std::max(stmt, so)});
+      }
+    }
+  }
+  for (std::size_t i = 0; i < ctrl.size(); ++i) transfer_point(ctrl, store, i);
+}
+
+template <NumDomain N>
+void AbsExplorer<N>::transfer_point(const AbsControl& ctrl, const Store& store,
+                                    std::size_t idx) {
+  const AbsPoint point = ctrl[idx];
+  const sem::Proc& proc = prog_.proc(point.proc);
+  const sem::Instr& instr = proc.code[point.pc];
+
+  cur_cstring_ = &point.cstring;
+  cur_reads_.clear();
+  cur_writes_.clear();
+
+  // Builds the successor control states for this point making a move; an ω
+  // point leaves a residual instance behind (count ≥ 2 means "one moves,
+  // at least one stays").
+  auto move_to = [&](const std::vector<AbsPoint>& new_points) {
+    std::vector<AbsControl> out;
+    if (!point.omega) {
+      AbsControl base = with_point_removed(ctrl, idx);
+      for (AbsPoint np : new_points) insert_point(base, std::move(np));
+      out.push_back(std::move(base));
+    } else {
+      for (bool residual_omega : {false, true}) {
+        AbsControl base = ctrl;
+        base[idx].omega = residual_omega;
+        std::sort(base.begin(), base.end());
+        for (AbsPoint np : new_points) insert_point(base, np);
+        out.push_back(std::move(base));
+      }
+    }
+    return out;
+  };
+  auto advance = [&](std::uint32_t new_pc) {
+    AbsPoint np = point;
+    np.omega = false;
+    np.pc = settle_pc(point.proc, new_pc);
+    return np;
+  };
+  auto emit = [&](const std::vector<AbsPoint>& new_points, Store new_store) {
+    for (AbsControl succ : move_to(new_points)) enqueue(std::move(succ), new_store);
+  };
+
+  switch (instr.op) {
+    case sem::Op::Assign: {
+      Store s = store;
+      const Value v = eval(s, point.proc, *instr.rhs);
+      update(s, lvalue_locs(s, point.proc, *instr.lhs), v);
+      emit({advance(point.pc + 1)}, std::move(s));
+      break;
+    }
+    case sem::Op::Alloc: {
+      Store s = store;
+      (void)eval(s, point.proc, *instr.rhs);  // size (reads collected)
+      require(instr.stmt != nullptr, "alloc without statement");
+      const AbsLoc site = AbsLoc::heap(instr.stmt->id());
+      s.join_at(site, Value::of_int(0));  // fresh cells are zero
+      update(s, lvalue_locs(s, point.proc, *instr.lhs), Value::of_ptr(site));
+      emit({advance(point.pc + 1)}, std::move(s));
+      break;
+    }
+    case sem::Op::Call: {
+      Store s = store;
+      const Value callee = eval(s, point.proc, *instr.rhs);
+      std::vector<Value> args;
+      if (instr.args != nullptr) {
+        for (const auto& a : *instr.args) args.push_back(eval(s, point.proc, *a));
+      }
+      std::set<AbsLoc> dst;
+      if (instr.lhs != nullptr) {
+        dst = lvalue_locs(s, point.proc, *instr.lhs);
+        // The eventual return-value write belongs to this call site.
+        for (const AbsLoc& loc : dst) cur_writes_.insert(loc);
+      }
+      // The callee's k-limited call string: caller's, extended by this site.
+      std::vector<std::uint32_t> callee_cs = point.cstring;
+      if (opts_.call_string_k > 0 && instr.stmt != nullptr) {
+        callee_cs.push_back(instr.stmt->id());
+        if (callee_cs.size() > opts_.call_string_k) {
+          callee_cs.erase(callee_cs.begin(),
+                          callee_cs.end() - static_cast<std::ptrdiff_t>(opts_.call_string_k));
+        }
+      }
+      for (std::uint32_t f : callee.fns.elems()) {
+        const sem::Proc& target = prog_.proc(f);
+        if (target.fun == nullptr) continue;  // thread procs are not callable
+        if (target.fun->params().size() != args.size()) continue;  // faults concretely
+        result_.call_edges[point.proc].insert(f);
+        if (instr.stmt != nullptr) result_.stmt_callees[instr.stmt->id()].insert(f);
+        if (conts_[f]
+                .insert(Continuation{point.proc, settle_pc(point.proc, point.pc + 1),
+                                     point.path, point.cstring, callee_cs, dst})
+                .second) {
+          conts_grew_ = true;
+        }
+        Store s2 = s;
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          const auto slot = static_cast<std::uint32_t>(1 + i);
+          const std::uint32_t pctx = slot_merged(f, slot) ? 0 : cstring_ctx(callee_cs);
+          s2.join_at(AbsLoc::frame(f, slot, pctx), args[i]);
+          cur_writes_.insert(AbsLoc::frame(f, slot, pctx));
+        }
+        AbsPoint np = point;
+        np.omega = false;
+        np.proc = f;
+        np.pc = settle_pc(f, 0);
+        np.cstring = callee_cs;
+        emit({np}, std::move(s2));
+      }
+      break;
+    }
+    case sem::Op::Return:
+    case sem::Op::Halt: {
+      if (proc.is_thread) {
+        // Thread exit: the point disappears.
+        emit({}, store);
+        break;
+      }
+      Store s = store;
+      Value v = Value::of_null();
+      if (instr.op == sem::Op::Return && instr.rhs != nullptr) {
+        v = eval(s, point.proc, *instr.rhs);
+      }
+      if (point.proc == prog_.entry_proc()) {
+        emit({}, std::move(s));  // main finished
+        break;
+      }
+      auto it = conts_.find(point.proc);
+      if (it == conts_.end()) break;  // callers not discovered yet
+      for (const Continuation& cont : it->second) {
+        if (cont.path != point.path) continue;           // different thread context
+        if (cont.callee_cstring != point.cstring) continue;  // different call context
+        Store s2 = s;
+        // The write was attributed at the call site; see update().
+        if (!cont.dst.empty()) update(s2, cont.dst, v, /*attribute=*/false);
+        AbsPoint np = point;
+        np.omega = false;
+        np.proc = cont.proc;
+        np.pc = cont.pc;
+        np.path = cont.path;
+        np.cstring = cont.caller_cstring;
+        emit({np}, std::move(s2));
+      }
+      break;
+    }
+    case sem::Op::Branch: {
+      Store s = store;
+      const Value c = eval(s, point.proc, *instr.rhs);
+      if (c.may_be_truthy()) {
+        Store st = s;
+        if (refine_branch(st, point.proc, *instr.rhs, true)) {
+          emit({advance(instr.t1)}, std::move(st));
+        }
+      }
+      if (c.may_be_falsy()) {
+        Store sf = s;
+        if (refine_branch(sf, point.proc, *instr.rhs, false)) {
+          emit({advance(instr.t2)}, std::move(sf));
+        }
+      }
+      break;
+    }
+    case sem::Op::Fork: {
+      require(instr.stmt != nullptr, "fork without statement");
+      const std::uint32_t site = instr.stmt->id();
+      std::vector<AbsPoint> news;
+      news.push_back(advance(point.pc + 1));  // parent proceeds to the Join
+      for (std::uint32_t b = 0; b < instr.forks.size(); ++b) {
+        AbsPoint child;
+        child.proc = instr.forks[b];
+        child.pc = settle_pc(child.proc, 0);
+        child.cstring = point.cstring;  // procedure string continues into threads
+        if (opts_.folding == Folding::Tree) {
+          child.path = point.path;
+          if (child.path.size() < opts_.path_limit) {
+            child.path.push_back(AbsPathElem{site, b});
+          }
+          // else: truncated — the child keeps the parent's path; joins at
+          // this depth become over-approximate (see Join below).
+        }
+        news.push_back(std::move(child));
+        result_.fork_edges[point.proc].insert(instr.forks[b]);
+      }
+      emit(news, store);
+      break;
+    }
+    case sem::Op::ForkRange: {
+      // doall: the instance count is a run-time value; abstractly the range
+      // may be empty (parent sails through the Join) or hold one-or-more
+      // instances (one ω point — exactly the clan picture of §6.2).
+      require(instr.stmt != nullptr, "doall without statement");
+      Store s = store;
+      const Value lo = eval(s, point.proc, *instr.rhs);
+      const Value hi = eval(s, point.proc, *instr.rhs2);
+      const std::uint32_t child_proc = instr.forks.at(0);
+      result_.fork_edges[point.proc].insert(child_proc);
+
+      const N nonempty = N::cmp(hi.num, lo.num,
+                                +[](std::int64_t x, std::int64_t y) { return x >= y; });
+      if (nonempty.may_be_falsy()) {
+        emit({advance(point.pc + 1)}, s);  // empty range: nothing forked
+      }
+      if (nonempty.may_be_truthy() || lo.num.is_bottom() || hi.num.is_bottom()) {
+        Store s2 = s;
+        // The index of every instance lies in [lo, hi]: join of the bounds.
+        const std::uint32_t ictx = slot_merged(child_proc, 1) ? 0 : cstring_ctx(point.cstring);
+        s2.join_at(AbsLoc::frame(child_proc, 1, ictx), Value::of_num(lo.num.join(hi.num)));
+        cur_writes_.insert(AbsLoc::frame(child_proc, 1, ictx));
+        AbsPoint child;
+        child.proc = child_proc;
+        child.pc = settle_pc(child_proc, 0);
+        child.cstring = point.cstring;
+        child.omega = true;  // one or more instances
+        if (opts_.folding == Folding::Tree) {
+          child.path = point.path;
+          if (child.path.size() < opts_.path_limit) {
+            child.path.push_back(AbsPathElem{instr.stmt->id(), 0});
+          }
+        }
+        emit({advance(point.pc + 1), child}, std::move(s2));
+      }
+      break;
+    }
+    case sem::Op::Join: {
+      bool enabled = true;
+      if (point.pc > 0 && (proc.code[point.pc - 1].op == sem::Op::Fork ||
+                           proc.code[point.pc - 1].op == sem::Op::ForkRange)) {
+        const sem::Instr& fork = proc.code[point.pc - 1];
+        require(fork.stmt != nullptr, "fork without statement");
+        if (opts_.folding == Folding::Tree && point.path.size() < opts_.path_limit) {
+          // Precise: look for this instance's children by exact path.
+          for (std::uint32_t b = 0; b < fork.forks.size() && enabled; ++b) {
+            std::vector<AbsPathElem> child_path = point.path;
+            child_path.push_back(AbsPathElem{fork.stmt->id(), b});
+            for (const AbsPoint& q : ctrl) {
+              if (q.proc == fork.forks[b] && q.path == child_path) {
+                enabled = false;  // that child is definitely still live
+                break;
+              }
+            }
+          }
+        } else if (opts_.folding == Folding::Clan) {
+          // McDowell's rule: the join waits while any clan member of a
+          // branch is live. Exact when a cobegin site has at most one
+          // simultaneously-active instance (McDowell's model); with
+          // multiple concurrent instances this may delay a join past the
+          // point where *this* instance's children finished.
+          for (const AbsPoint& q : ctrl) {
+            for (std::uint32_t child : fork.forks) {
+              if (q.proc == child) enabled = false;
+            }
+          }
+        }
+        // Truncated Tree paths: fire optimistically — only adds behaviors.
+      }
+      if (enabled) emit({advance(point.pc + 1)}, store);
+      break;
+    }
+    case sem::Op::Lock: {
+      Store s = store;
+      const std::set<AbsLoc> locs = lvalue_locs(s, point.proc, *instr.lhs);
+      bool may_acquire = false;
+      for (const AbsLoc& loc : locs) {
+        if (read_loc(s, loc).may_be_falsy()) may_acquire = true;
+      }
+      if (may_acquire) {
+        update(s, locs, Value::of_int(1));
+        emit({advance(point.pc + 1)}, std::move(s));
+      }
+      break;
+    }
+    case sem::Op::Unlock: {
+      Store s = store;
+      const std::set<AbsLoc> locs = lvalue_locs(s, point.proc, *instr.lhs);
+      update(s, locs, Value::of_int(0));
+      emit({advance(point.pc + 1)}, std::move(s));
+      break;
+    }
+    case sem::Op::Assert: {
+      Store s = store;
+      if (instr.rhs != nullptr) {
+        const Value c = eval(s, point.proc, *instr.rhs);
+        if (c.may_be_falsy() && instr.stmt != nullptr) {
+          result_.may_fail_asserts.insert(instr.stmt->id());
+        }
+      }
+      emit({advance(point.pc + 1)}, std::move(s));
+      break;
+    }
+    case sem::Op::Jump:
+      throw Error("abstract transfer: unsettled jump");
+  }
+
+  // Attribute this action's accesses to the executing proc and statement.
+  auto& reads = result_.reads_direct[point.proc];
+  reads.insert(cur_reads_.begin(), cur_reads_.end());
+  auto& writes = result_.writes_direct[point.proc];
+  writes.insert(cur_writes_.begin(), cur_writes_.end());
+  if (instr.stmt != nullptr) {
+    auto& sr = result_.stmt_reads[instr.stmt->id()];
+    sr.insert(cur_reads_.begin(), cur_reads_.end());
+    auto& sw = result_.stmt_writes[instr.stmt->id()];
+    sw.insert(cur_writes_.begin(), cur_writes_.end());
+  }
+}
+
+}  // namespace copar::absem

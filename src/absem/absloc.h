@@ -1,0 +1,50 @@
+// Abstract locations: the abstraction of the store's location domain.
+//
+// All activations of a function fold into one abstract frame, all objects
+// allocated at a site fold into one summary object (offsets included), and
+// globals map one-to-one. This is the location abstraction the paper's §6
+// builds on; everything the abstract semantics reads or writes is an AbsLoc.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace copar::absem {
+
+struct AbsLoc {
+  enum class Kind : std::uint8_t { Global, Frame, Heap };
+
+  Kind kind = Kind::Global;
+  std::uint32_t a = 0;  // Global: slot. Frame: function proc id. Heap: alloc stmt id.
+  std::uint32_t b = 0;  // Frame: slot. Others: 0.
+  /// Frame context qualifier under k-limited call strings (0 = merged /
+  /// context-insensitive; nonzero = hash of the activation's call string).
+  /// Slots reachable through static-link hops stay merged so hop accesses
+  /// and direct accesses agree on one abstract cell.
+  std::uint32_t c = 0;
+
+  static AbsLoc global(std::uint32_t slot) { return AbsLoc{Kind::Global, slot, 0, 0}; }
+  static AbsLoc frame(std::uint32_t fn, std::uint32_t slot, std::uint32_t ctx = 0) {
+    return AbsLoc{Kind::Frame, fn, slot, ctx};
+  }
+  static AbsLoc heap(std::uint32_t site) { return AbsLoc{Kind::Heap, site, 0, 0}; }
+
+  friend bool operator==(const AbsLoc&, const AbsLoc&) = default;
+  friend auto operator<=>(const AbsLoc&, const AbsLoc&) = default;
+
+  [[nodiscard]] bool is_summary() const { return kind != Kind::Global; }
+
+  [[nodiscard]] std::string to_string() const {
+    switch (kind) {
+      case Kind::Global: return "G" + std::to_string(a);
+      case Kind::Frame:
+        return "F" + std::to_string(a) + "." + std::to_string(b) +
+               (c != 0 ? ("#" + std::to_string(c % 997)) : "");
+      case Kind::Heap: return "H" + std::to_string(a);
+    }
+    return "?";
+  }
+};
+
+}  // namespace copar::absem

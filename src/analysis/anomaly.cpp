@@ -1,0 +1,43 @@
+#include "src/analysis/anomaly.h"
+
+#include <sstream>
+
+#include "src/analysis/common.h"
+#include "src/analysis/depend.h"
+
+namespace copar::analysis {
+
+std::string Anomalies::report(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  for (const Anomaly& a : all) {
+    os << (a.write_write ? "write/write race: " : "write/read race: ")
+       << describe_stmt(prog, a.stmt1) << " vs " << describe_stmt(prog, a.stmt2) << '\n';
+  }
+  return os.str();
+}
+
+Anomalies anomalies_from(const explore::ExploreResult& result) {
+  Anomalies out;
+  for (const auto& [pair, facts] : result.pairs) {
+    if (!facts.co_enabled) continue;
+    if (facts.w1_w2) out.all.insert(Anomaly{pair.first, pair.second, true});
+    if (facts.w1_r2 || facts.r1_w2) out.all.insert(Anomaly{pair.first, pair.second, false});
+  }
+  return out;
+}
+
+Anomalies anomalies_from(const absem::AbsResult<absdom::FlatInt>& result) {
+  Anomalies out;
+  const Dependences deps = dependences_from(result);
+  for (const Dependence& d : deps.deps) {
+    if (d.src > d.dst) continue;  // one report per unordered pair
+    if (d.kind == DepKind::Output) {
+      out.all.insert(Anomaly{d.src, d.dst, true});
+    } else {
+      out.all.insert(Anomaly{d.src, d.dst, false});
+    }
+  }
+  return out;
+}
+
+}  // namespace copar::analysis

@@ -1,0 +1,42 @@
+// Access-anomaly (data race) detection: conflicting accesses by concurrent
+// threads with no synchronization ordering them.
+//
+// The paper distinguishes debugging-oriented analyses (anomalies are bugs,
+// [MH89]) from optimization-oriented ones (anomalies are behaviors the
+// compiler must preserve); this module serves both: it reports every
+// conflicting co-enabled pair.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+#include "src/sem/lower.h"
+
+namespace copar::analysis {
+
+struct Anomaly {
+  std::uint32_t stmt1 = 0;
+  std::uint32_t stmt2 = 0;
+  bool write_write = false;  // else write/read
+  friend auto operator<=>(const Anomaly&, const Anomaly&) = default;
+};
+
+class Anomalies {
+ public:
+  std::set<Anomaly> all;
+
+  [[nodiscard]] bool any() const { return !all.empty(); }
+  [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
+};
+
+/// Exact anomalies of the explored space (requires record_pairs).
+Anomalies anomalies_from(const explore::ExploreResult& result);
+
+/// Sound abstract anomaly candidates.
+Anomalies anomalies_from(const absem::AbsResult<absdom::FlatInt>& result);
+
+}  // namespace copar::analysis

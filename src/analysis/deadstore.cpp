@@ -1,0 +1,149 @@
+#include "src/analysis/deadstore.h"
+
+#include <sstream>
+
+#include "src/analysis/common.h"
+#include "src/lang/ast.h"
+#include "src/support/bitset.h"
+
+namespace copar::analysis {
+
+namespace {
+
+/// The exact class written by an Assign whose target is a plain VarRef;
+/// SIZE_MAX when the write is not must-kill material.
+std::size_t exact_written_class(const sem::LoweredProgram& prog,
+                                const explore::StaticInfo& si, const sem::Proc& p,
+                                const sem::Instr& instr) {
+  if (instr.op != sem::Op::Assign) return SIZE_MAX;
+  if (instr.lhs == nullptr || instr.lhs->kind() != lang::ExprKind::VarRef) return SIZE_MAX;
+  // The write set of a VarRef assignment is that single class.
+  const DynamicBitset& w = si.instr_writes(p.id, static_cast<std::uint32_t>(
+                                                     &instr - p.code.data()));
+  if (w.count() != 1) return SIZE_MAX;
+  std::size_t cls = SIZE_MAX;
+  w.for_each([&](std::size_t c) { cls = c; });
+  (void)prog;
+  return cls;
+}
+
+}  // namespace
+
+std::string DeadStores::report(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  for (std::uint32_t s : stores) {
+    os << "dead store: " << describe_stmt(prog, s) << '\n';
+  }
+  return os.str();
+}
+
+DeadStores find_dead_stores(const sem::LoweredProgram& prog,
+                            const explore::StaticInfo& static_info) {
+  DeadStores out;
+  const std::size_t nclasses = static_info.num_classes();
+
+  // Classes another proc may touch: stores to them are observable
+  // elsewhere. Computed per proc as the union of every other proc's direct
+  // accesses (call/fork closures are already reflected in per-proc direct
+  // sets of the procs themselves).
+  std::vector<DynamicBitset> others(prog.procs().size(), DynamicBitset(nclasses));
+  for (const sem::Proc& p : prog.procs()) {
+    for (const sem::Proc& q : prog.procs()) {
+      if (q.id == p.id) continue;
+      others[p.id] |= static_info.direct_reads(q.id);
+      others[p.id] |= static_info.direct_writes(q.id);
+    }
+  }
+
+  // Global classes are observable at termination: they seed exit liveness.
+  // (StaticInfo assigns class ids 1..nglobals-1 to the global slots first.)
+  DynamicBitset global_classes(nclasses);
+  for (std::uint32_t cls = 1; cls < prog.nglobal_cells(); ++cls) global_classes.set(cls);
+
+  for (const sem::Proc& p : prog.procs()) {
+    const std::size_t len = p.code.size();
+    if (len == 0) continue;
+
+    // Backward liveness to fixpoint.
+    std::vector<DynamicBitset> live_out(len, DynamicBitset(nclasses));
+    DynamicBitset exit_live = global_classes;
+    exit_live |= others[p.id];
+    exit_live |= static_info.pointer_targets();
+
+    auto succs = [&](std::size_t pc, std::vector<std::size_t>& ss) {
+      ss.clear();
+      const sem::Instr& i = p.code[pc];
+      switch (i.op) {
+        case sem::Op::Branch:
+          ss.push_back(i.t1);
+          ss.push_back(i.t2);
+          break;
+        case sem::Op::Jump:
+          ss.push_back(i.t1);
+          break;
+        case sem::Op::Return:
+        case sem::Op::Halt:
+          break;
+        default:
+          if (pc + 1 < len) ss.push_back(pc + 1);
+          break;
+      }
+    };
+
+    auto live_in_of = [&](std::size_t pc) {
+      const sem::Instr& i = p.code[pc];
+      DynamicBitset in = live_out[pc];
+      const std::size_t kill =
+          exact_written_class(prog, static_info, p, i);
+      if (kill != SIZE_MAX) in.reset(kill);
+      in |= static_info.instr_reads(p.id, static_cast<std::uint32_t>(pc));
+      // Calls/forks make their targets' accesses live here.
+      for (std::uint32_t t : static_info.instr_targets(p.id, static_cast<std::uint32_t>(pc))) {
+        in |= static_info.future_reads(t);
+      }
+      return in;
+    };
+
+    bool changed = true;
+    std::vector<std::size_t> ss;
+    while (changed) {
+      changed = false;
+      for (std::size_t pc = len; pc-- > 0;) {
+        DynamicBitset next_out(nclasses);
+        const sem::Instr& i = p.code[pc];
+        if (i.op == sem::Op::Return || i.op == sem::Op::Halt) {
+          next_out = exit_live;
+        } else {
+          succs(pc, ss);
+          for (std::size_t s : ss) next_out |= live_in_of(s);
+          if (ss.empty()) next_out = exit_live;
+        }
+        if (!(next_out == live_out[pc])) {
+          live_out[pc] = std::move(next_out);
+          changed = true;
+        }
+      }
+    }
+
+    // A store is dead when its exactly-written class is not live out, is
+    // not visible to any other proc, and cannot be reached via pointers.
+    for (std::size_t pc = 0; pc < len; ++pc) {
+      const sem::Instr& i = p.code[pc];
+      if (i.stmt == nullptr) continue;
+      const std::size_t cls = exact_written_class(prog, static_info, p, i);
+      if (cls == SIZE_MAX) continue;
+      if (live_out[pc].test(cls)) continue;  // exit liveness covers globals
+      if (others[p.id].test(cls)) continue;
+      if (static_info.pointer_targets().test(cls)) continue;
+      out.stores.insert(i.stmt->id());
+    }
+  }
+  return out;
+}
+
+DeadStores find_dead_stores(const sem::LoweredProgram& prog) {
+  const explore::StaticInfo si(prog);
+  return find_dead_stores(prog, si);
+}
+
+}  // namespace copar::analysis

@@ -1,0 +1,42 @@
+// Parallel-safe dead-store elimination candidates.
+//
+// The paper's opening example is a compiler killing a "dead" store that a
+// sibling thread was busy-waiting on. This analysis is the safe version:
+// classic backward liveness over each proc's lowered code, with the
+// concurrency escape hatches that make it sound for cobegin programs —
+//
+//   * a store to a class another proc may access is never dead (this is
+//     what saves the busy-wait flag: the setter thread never reads `s`,
+//     but the spinning sibling does);
+//   * classes reachable through pointers (heap, address-taken variables)
+//     are never dead (may-alias);
+//   * globals are live at every proc exit (observable at termination).
+//
+// Kills are applied only for exact single-class assignments (must-kill);
+// everything else only generates liveness.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "src/explore/staticinfo.h"
+#include "src/sem/lower.h"
+
+namespace copar::analysis {
+
+struct DeadStores {
+  /// Statement ids of assignments whose stored value can never be observed.
+  std::set<std::uint32_t> stores;
+
+  [[nodiscard]] bool is_dead(std::uint32_t stmt_id) const { return stores.contains(stmt_id); }
+  [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
+};
+
+DeadStores find_dead_stores(const sem::LoweredProgram& prog,
+                            const explore::StaticInfo& static_info);
+
+/// Convenience: builds the static summaries internally.
+DeadStores find_dead_stores(const sem::LoweredProgram& prog);
+
+}  // namespace copar::analysis

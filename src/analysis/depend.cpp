@@ -1,0 +1,146 @@
+#include "src/analysis/depend.h"
+
+#include <sstream>
+
+#include "src/analysis/common.h"
+
+namespace copar::analysis {
+
+std::string_view dep_kind_name(DepKind k) {
+  switch (k) {
+    case DepKind::Flow: return "flow";
+    case DepKind::Anti: return "anti";
+    case DepKind::Output: return "output";
+  }
+  return "?";
+}
+
+bool Dependences::conflicting(std::uint32_t s, std::uint32_t t) const {
+  for (const Dependence& d : deps) {
+    if ((d.src == s && d.dst == t) || (d.src == t && d.dst == s)) return true;
+  }
+  return false;
+}
+
+std::string Dependences::report(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  for (const Dependence& d : deps) {
+    os << dep_kind_name(d.kind) << ": " << describe_stmt(prog, d.src) << " -> "
+       << describe_stmt(prog, d.dst) << '\n';
+  }
+  return os.str();
+}
+
+Dependences dependences_from(const explore::ExploreResult& result) {
+  Dependences out;
+  for (const auto& [pair, facts] : result.pairs) {
+    if (!facts.co_enabled) continue;
+    const auto [s1, s2] = pair;
+    if (facts.w1_r2) {
+      out.deps.insert(Dependence{s1, s2, DepKind::Flow});
+      out.deps.insert(Dependence{s2, s1, DepKind::Anti});
+    }
+    if (facts.r1_w2) {
+      out.deps.insert(Dependence{s2, s1, DepKind::Flow});
+      out.deps.insert(Dependence{s1, s2, DepKind::Anti});
+    }
+    if (facts.w1_w2) {
+      out.deps.insert(Dependence{s1, s2, DepKind::Output});
+      if (s1 != s2) out.deps.insert(Dependence{s2, s1, DepKind::Output});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool intersects(const std::set<absem::AbsLoc>& a, const std::set<absem::AbsLoc>& b) {
+  for (const absem::AbsLoc& x : a) {
+    if (b.contains(x)) return true;
+  }
+  return false;
+}
+
+const std::set<absem::AbsLoc>& lookup(
+    const std::map<std::uint32_t, std::set<absem::AbsLoc>>& m, std::uint32_t k) {
+  static const std::set<absem::AbsLoc> kEmpty;
+  auto it = m.find(k);
+  return it == m.end() ? kEmpty : it->second;
+}
+
+void classify(Dependences& out, std::uint32_t s1, std::uint32_t s2,
+              const std::set<absem::AbsLoc>& r1, const std::set<absem::AbsLoc>& w1,
+              const std::set<absem::AbsLoc>& r2, const std::set<absem::AbsLoc>& w2) {
+  if (intersects(w1, r2)) {
+    out.deps.insert(Dependence{s1, s2, DepKind::Flow});
+    out.deps.insert(Dependence{s2, s1, DepKind::Anti});
+  }
+  if (intersects(r1, w2)) {
+    out.deps.insert(Dependence{s2, s1, DepKind::Flow});
+    out.deps.insert(Dependence{s1, s2, DepKind::Anti});
+  }
+  if (intersects(w1, w2)) {
+    out.deps.insert(Dependence{s1, s2, DepKind::Output});
+    if (s1 != s2) out.deps.insert(Dependence{s2, s1, DepKind::Output});
+  }
+}
+
+}  // namespace
+
+Dependences dependences_from(const absem::AbsResult<absdom::FlatInt>& result) {
+  Dependences out;
+  for (const auto& [s1, s2] : result.mhp) {
+    classify(out, s1, s2, lookup(result.stmt_reads, s1), lookup(result.stmt_writes, s1),
+             lookup(result.stmt_reads, s2), lookup(result.stmt_writes, s2));
+  }
+  return out;
+}
+
+bool UnitAccesses::conflicts(const UnitAccesses& other) const {
+  return intersects(writes, other.reads) || intersects(writes, other.writes) ||
+         intersects(reads, other.writes);
+}
+
+UnitAccesses unit_accesses(const absem::AbsResult<absdom::FlatInt>& result,
+                           std::uint32_t stmt) {
+  UnitAccesses out;
+  const auto& r = lookup(result.stmt_reads, stmt);
+  const auto& w = lookup(result.stmt_writes, stmt);
+  out.reads.insert(r.begin(), r.end());
+  out.writes.insert(w.begin(), w.end());
+  if (auto it = result.stmt_callees.find(stmt); it != result.stmt_callees.end()) {
+    for (std::uint32_t callee : it->second) {
+      auto [cr, cw] = result.effects_of(callee);
+      out.reads.insert(cr.begin(), cr.end());
+      out.writes.insert(cw.begin(), cw.end());
+    }
+  }
+  return out;
+}
+
+Dependences sequential_dependences(const std::vector<std::uint32_t>& ordered,
+                                   const absem::AbsResult<absdom::FlatInt>& result) {
+  Dependences out;
+  std::vector<UnitAccesses> units;
+  units.reserve(ordered.size());
+  for (std::uint32_t s : ordered) units.push_back(unit_accesses(result, s));
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    for (std::size_t j = i + 1; j < ordered.size(); ++j) {
+      const std::uint32_t s = ordered[i];
+      const std::uint32_t t = ordered[j];
+      // Directional: s executes before t in program order.
+      if (intersects(units[i].writes, units[j].reads)) {
+        out.deps.insert(Dependence{s, t, DepKind::Flow});
+      }
+      if (intersects(units[i].reads, units[j].writes)) {
+        out.deps.insert(Dependence{s, t, DepKind::Anti});
+      }
+      if (intersects(units[i].writes, units[j].writes)) {
+        out.deps.insert(Dependence{s, t, DepKind::Output});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace copar::analysis

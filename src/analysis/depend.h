@@ -1,0 +1,74 @@
+// Data-dependence analysis (§5.2): conflicting accesses between statements
+// that may execute concurrently (across cobegin branches) or between
+// statements ordered within one thread.
+//
+// Two sources of facts, both exposed:
+//   - Concrete: the full exploration's co-enabled pair facts (exact for the
+//     explored program).
+//   - Abstract: abstract MHP × per-statement abstract access sets (sound
+//     over-approximation; terminates on every program).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+
+namespace copar::analysis {
+
+enum class DepKind : std::uint8_t { Flow, Anti, Output };
+
+std::string_view dep_kind_name(DepKind k);
+
+struct Dependence {
+  std::uint32_t src = 0;  // statement id
+  std::uint32_t dst = 0;
+  DepKind kind = DepKind::Flow;
+  friend auto operator<=>(const Dependence&, const Dependence&) = default;
+};
+
+class Dependences {
+ public:
+  std::set<Dependence> deps;
+
+  /// Any dependence (either direction, any kind) between the two statements.
+  [[nodiscard]] bool conflicting(std::uint32_t s, std::uint32_t t) const;
+  [[nodiscard]] bool has(std::uint32_t src, std::uint32_t dst, DepKind kind) const {
+    return deps.contains(Dependence{src, dst, kind});
+  }
+
+  [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
+};
+
+/// Concrete dependences between concurrent statements, from recorded pair
+/// facts (requires ExploreOptions::record_pairs).
+Dependences dependences_from(const explore::ExploreResult& result);
+
+/// Abstract dependences between concurrent statements: for every abstract
+/// MHP pair, conflicts of the statements' abstract access sets.
+Dependences dependences_from(const absem::AbsResult<absdom::FlatInt>& result);
+
+/// Dependences among a *sequence* of statements of one thread (used by the
+/// further-parallelization application, Example 15): src precedes dst in
+/// `ordered`, and their abstract access sets conflict.
+Dependences sequential_dependences(const std::vector<std::uint32_t>& ordered,
+                                   const absem::AbsResult<absdom::FlatInt>& result);
+
+/// Access sets of a statement *as a unit*: its own accesses plus, for call
+/// statements, the transitive effects of every discovered callee. This is
+/// the §5.1-derived summary that lets applications treat `call f();` like
+/// the block of accesses f performs (Example 15 / Figure 8).
+struct UnitAccesses {
+  std::set<absem::AbsLoc> reads;
+  std::set<absem::AbsLoc> writes;
+
+  [[nodiscard]] bool conflicts(const UnitAccesses& other) const;
+};
+
+UnitAccesses unit_accesses(const absem::AbsResult<absdom::FlatInt>& result, std::uint32_t stmt);
+
+}  // namespace copar::analysis

@@ -1,0 +1,51 @@
+#include "src/analysis/lifetime.h"
+
+#include <sstream>
+
+#include "src/analysis/common.h"
+
+namespace copar::analysis {
+
+const SiteLifetime* Lifetimes::site(std::uint32_t stmt_id) const {
+  auto it = sites.find(stmt_id);
+  return it == sites.end() ? nullptr : &it->second;
+}
+
+const SiteLifetime* Lifetimes::site(const sem::LoweredProgram& prog,
+                                    std::string_view label) const {
+  const auto id = labeled_stmt(prog, label);
+  return id.has_value() ? site(*id) : nullptr;
+}
+
+std::string Lifetimes::report(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  for (const auto& [id, s] : sites) {
+    os << describe_stmt(prog, id) << ": "
+       << (s.shared_across_threads ? "shared" : "thread-local") << ", "
+       << (s.escapes_creating_function ? "escapes function" : "function-local") << ", "
+       << (s.live_at_program_exit ? "live at exit" : "collectible") << '\n';
+  }
+  return os.str();
+}
+
+Lifetimes lifetimes_from(const explore::ExploreResult& result) {
+  Lifetimes out;
+  for (const auto& [site_id, info] : result.accesses.sites) {
+    SiteLifetime s;
+    s.site = site_id;
+    s.shared_across_threads = info.accessor_threads.size() > 1 || info.accessed_by_other_process;
+    s.escapes_creating_function = info.escapes_creating_function;
+    s.live_at_program_exit = info.live_at_exit > 0;
+    out.sites.emplace(site_id, s);
+  }
+  return out;
+}
+
+Lifetimes analyze_lifetimes(const sem::LoweredProgram& prog) {
+  explore::ExploreOptions opts;
+  opts.record_accesses = true;
+  opts.record_lifetimes = true;
+  return lifetimes_from(explore::explore(prog, opts));
+}
+
+}  // namespace copar::analysis

@@ -1,0 +1,47 @@
+// Object lifetime analysis (§5.3), built on birthdates and access logs.
+//
+// For every allocation site the analysis answers:
+//   - is the object shared between concurrent threads? (drives the §7
+//     memory-placement application: the paper's b1/b2 example)
+//   - does it escape its creating function activation? (drives compile-time
+//     deallocation lists at function exits, as proposed in [Har89])
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/explore/explorer.h"
+#include "src/sem/lower.h"
+
+namespace copar::analysis {
+
+struct SiteLifetime {
+  std::uint32_t site = 0;  // AllocStmt statement id
+  /// Accessed by more than one thread context, or by a process other than
+  /// its creator: must live in memory visible to all of them.
+  bool shared_across_threads = false;
+  /// Stayed reachable past the return of the allocating activation.
+  bool escapes_creating_function = false;
+  /// Still reachable at some terminal configuration.
+  bool live_at_program_exit = false;
+};
+
+class Lifetimes {
+ public:
+  std::map<std::uint32_t, SiteLifetime> sites;
+
+  [[nodiscard]] const SiteLifetime* site(std::uint32_t stmt_id) const;
+  [[nodiscard]] const SiteLifetime* site(const sem::LoweredProgram& prog,
+                                         std::string_view label) const;
+
+  [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
+};
+
+/// From a concrete exploration run with record_accesses + record_lifetimes.
+Lifetimes lifetimes_from(const explore::ExploreResult& result);
+
+/// Convenience: full exploration with the right recording options.
+Lifetimes analyze_lifetimes(const sem::LoweredProgram& prog);
+
+}  // namespace copar::analysis

@@ -1,0 +1,39 @@
+#include "src/analysis/mhp.h"
+
+#include <sstream>
+
+#include "src/analysis/common.h"
+
+namespace copar::analysis {
+
+bool Mhp::parallel(const sem::LoweredProgram& prog, std::string_view l1,
+                   std::string_view l2) const {
+  const auto s = labeled_stmt(prog, l1);
+  const auto t = labeled_stmt(prog, l2);
+  if (!s.has_value() || !t.has_value()) return false;
+  return parallel(*s, *t);
+}
+
+std::string Mhp::report(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  for (const auto& [s, t] : pairs) {
+    os << describe_stmt(prog, s) << " || " << describe_stmt(prog, t) << '\n';
+  }
+  return os.str();
+}
+
+Mhp mhp_from(const explore::ExploreResult& result) {
+  Mhp out;
+  for (const auto& [pair, facts] : result.pairs) {
+    if (facts.co_enabled) out.pairs.insert(pair);
+  }
+  return out;
+}
+
+Mhp mhp_from(const absem::AbsResult<absdom::FlatInt>& result) {
+  Mhp out;
+  out.pairs = result.mhp;
+  return out;
+}
+
+}  // namespace copar::analysis

@@ -1,0 +1,37 @@
+// May-happen-in-parallel queries by statement label, over either the
+// concrete exploration or the abstract one.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+
+namespace copar::analysis {
+
+class Mhp {
+ public:
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;  // lo <= hi
+
+  [[nodiscard]] bool parallel(std::uint32_t s, std::uint32_t t) const {
+    return pairs.contains({std::min(s, t), std::max(s, t)});
+  }
+
+  /// By label; false if either label is unknown.
+  [[nodiscard]] bool parallel(const sem::LoweredProgram& prog, std::string_view l1,
+                              std::string_view l2) const;
+
+  [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
+};
+
+/// Exact-for-the-explored-space MHP (requires record_pairs).
+Mhp mhp_from(const explore::ExploreResult& result);
+
+/// Sound abstract MHP.
+Mhp mhp_from(const absem::AbsResult<absdom::FlatInt>& result);
+
+}  // namespace copar::analysis

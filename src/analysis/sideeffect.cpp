@@ -1,0 +1,73 @@
+#include "src/analysis/sideeffect.h"
+
+#include <sstream>
+
+#include "src/absdom/flat.h"
+#include "src/analysis/common.h"
+
+namespace copar::analysis {
+
+const FunctionEffects& SideEffects::of(std::uint32_t proc) const {
+  static const FunctionEffects kEmpty;
+  auto it = per_proc.find(proc);
+  return it == per_proc.end() ? kEmpty : it->second;
+}
+
+const FunctionEffects& SideEffects::of(const sem::LoweredProgram& prog,
+                                       std::string_view name) const {
+  const lang::FunDecl* f = prog.module().find_function(name);
+  require(f != nullptr, "side effects: unknown function");
+  return of(f->index());
+}
+
+bool SideEffects::is_pure(std::uint32_t proc) const {
+  const FunctionEffects& fx = of(proc);
+  for (const absem::AbsLoc& loc : fx.writes) {
+    if (loc.kind != absem::AbsLoc::Kind::Frame || loc.a != proc) return false;
+  }
+  return true;
+}
+
+bool SideEffects::independent(std::uint32_t f, std::uint32_t g) const {
+  const FunctionEffects& a = of(f);
+  const FunctionEffects& b = of(g);
+  for (const absem::AbsLoc& w : a.writes) {
+    if (b.touches(w)) return false;
+  }
+  for (const absem::AbsLoc& w : b.writes) {
+    if (a.touches(w)) return false;
+  }
+  return true;
+}
+
+std::string SideEffects::report(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  for (const auto& [proc, fx] : per_proc) {
+    os << prog.proc(proc).name << ":\n";
+    os << "  reads:";
+    for (const auto& loc : fx.reads) os << ' ' << describe_loc(prog, loc);
+    os << "\n  writes:";
+    for (const auto& loc : fx.writes) os << ' ' << describe_loc(prog, loc);
+    os << '\n';
+  }
+  return os.str();
+}
+
+SideEffects side_effects_from(const sem::LoweredProgram& prog,
+                              const absem::AbsResult<absdom::FlatInt>& result) {
+  SideEffects out;
+  for (std::uint32_t proc = 0; proc < prog.procs().size(); ++proc) {
+    auto [reads, writes] = result.effects_of(proc);
+    if (reads.empty() && writes.empty()) continue;
+    out.per_proc[proc] = FunctionEffects{std::move(reads), std::move(writes)};
+  }
+  return out;
+}
+
+SideEffects analyze_side_effects(const sem::LoweredProgram& prog) {
+  absem::AbsExplorer<absdom::FlatInt> engine(prog, absem::AbsOptions{});
+  const auto result = engine.run();
+  return side_effects_from(prog, result);
+}
+
+}  // namespace copar::analysis

@@ -1,0 +1,59 @@
+// Side-effect analysis (§5.1): for every function, the set of abstract
+// locations its evaluation may read or write, including everything its
+// callees and spawned threads do.
+//
+// "We say function f makes a reference to an object if the evaluation of f
+// reads or writes the object."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/sem/lower.h"
+
+namespace copar::analysis {
+
+struct FunctionEffects {
+  std::set<absem::AbsLoc> reads;
+  std::set<absem::AbsLoc> writes;
+
+  [[nodiscard]] bool touches(const absem::AbsLoc& loc) const {
+    return reads.contains(loc) || writes.contains(loc);
+  }
+};
+
+class SideEffects {
+ public:
+  /// Effects of a lowered proc (function or cobegin branch); empty if never
+  /// reached by the abstract exploration.
+  [[nodiscard]] const FunctionEffects& of(std::uint32_t proc) const;
+
+  /// Effects of the named function; throws copar::Error if unknown.
+  [[nodiscard]] const FunctionEffects& of(const sem::LoweredProgram& prog,
+                                          std::string_view name) const;
+
+  /// A function is observably pure if it writes nothing but its own frame.
+  [[nodiscard]] bool is_pure(std::uint32_t proc) const;
+
+  /// Two functions are independent if neither writes what the other touches
+  /// — the §7 condition for running calls in parallel.
+  [[nodiscard]] bool independent(std::uint32_t f, std::uint32_t g) const;
+
+  [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
+
+  std::map<std::uint32_t, FunctionEffects> per_proc;
+};
+
+/// Runs the abstract exploration (Tree folding, flat constants) and
+/// assembles transitive per-function effects.
+SideEffects analyze_side_effects(const sem::LoweredProgram& prog);
+
+/// Reuse an existing abstract result.
+SideEffects side_effects_from(const sem::LoweredProgram& prog,
+                              const absem::AbsResult<absdom::FlatInt>& result);
+
+}  // namespace copar::analysis

@@ -1,0 +1,55 @@
+#include "src/apps/constprop.h"
+
+#include "src/analysis/common.h"
+
+namespace copar::apps {
+
+namespace {
+
+/// Joins the stores of every abstract point whose instruction belongs to
+/// the statement; nullopt if the statement was never reached.
+std::optional<absem::AbsStore<absdom::FlatInt>> store_at_stmt(
+    const sem::LoweredProgram& prog, const absem::AbsResult<absdom::FlatInt>& result,
+    std::uint32_t stmt_id) {
+  std::optional<absem::AbsStore<absdom::FlatInt>> acc;
+  for (const auto& [point, store] : result.point_stores) {
+    const auto& code = prog.proc(point.first).code;
+    if (point.second >= code.size()) continue;
+    const sem::Instr& instr = code[point.second];
+    if (instr.stmt == nullptr || instr.stmt->id() != stmt_id) continue;
+    if (!acc.has_value()) {
+      acc = store;
+    } else {
+      acc = acc->join(store);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> Constants::global_at(std::string_view label,
+                                                 std::string_view name) const {
+  const auto stmt = analysis::labeled_stmt(*prog_, label);
+  const auto slot = analysis::global_slot(*prog_, name);
+  if (!stmt.has_value() || !slot.has_value()) return std::nullopt;
+  const auto store = store_at_stmt(*prog_, result_, *stmt);
+  if (!store.has_value()) return std::nullopt;
+  auto v = store->get(absem::AbsLoc::global(*slot));
+  if (v.is_bottom()) return 0;  // never written: still the initial 0
+  if (v.may_null || !v.ptrs.is_bottom() || !v.fns.is_bottom()) return std::nullopt;
+  return v.num.as_constant();
+}
+
+bool Constants::reachable(std::string_view label) const {
+  const auto stmt = analysis::labeled_stmt(*prog_, label);
+  if (!stmt.has_value()) return false;
+  return store_at_stmt(*prog_, result_, *stmt).has_value();
+}
+
+Constants analyze_constants(const sem::LoweredProgram& prog) {
+  absem::AbsExplorer<absdom::FlatInt> engine(prog, absem::AbsOptions{});
+  return Constants(prog, engine.run());
+}
+
+}  // namespace copar::apps

@@ -1,0 +1,45 @@
+// Parallel-safe constant propagation (§1/§7).
+//
+// The paper's opening example: a naive sequential constant propagator folds
+// `while (s == 0)` into an infinite loop because it cannot see the
+// concurrent thread that sets s. This module answers constantness queries
+// from the abstract exploration, which accounts for every interleaving, so
+// a "constant" answer is safe to fold even in parallel code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/sem/lower.h"
+
+namespace copar::apps {
+
+class Constants {
+ public:
+  Constants(const sem::LoweredProgram& prog, absem::AbsResult<absdom::FlatInt> result)
+      : prog_(&prog), result_(std::move(result)) {}
+
+  /// The value of global `name` observable at the statement labeled
+  /// `label`, if it is the same constant on every interleaving.
+  [[nodiscard]] std::optional<std::int64_t> global_at(std::string_view label,
+                                                      std::string_view name) const;
+
+  /// True if the labeled statement is reachable at all (dead parallel code
+  /// elimination).
+  [[nodiscard]] bool reachable(std::string_view label) const;
+
+  [[nodiscard]] const absem::AbsResult<absdom::FlatInt>& result() const { return result_; }
+
+ private:
+  const sem::LoweredProgram* prog_;
+  absem::AbsResult<absdom::FlatInt> result_;
+};
+
+/// Runs the abstract exploration (Tree folding) and wraps it for queries.
+Constants analyze_constants(const sem::LoweredProgram& prog);
+
+}  // namespace copar::apps

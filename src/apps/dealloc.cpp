@@ -1,0 +1,40 @@
+#include "src/apps/dealloc.h"
+
+#include <sstream>
+
+#include "src/analysis/common.h"
+
+namespace copar::apps {
+
+bool DeallocLists::freeable_at(std::uint32_t fn, std::uint32_t site) const {
+  auto it = per_function.find(fn);
+  return it != per_function.end() && it->second.contains(site);
+}
+
+std::string DeallocLists::report(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  for (const auto& [fn, sites] : per_function) {
+    os << prog.proc(fn).name << " exit frees:";
+    for (std::uint32_t s : sites) os << ' ' << analysis::describe_stmt(prog, s);
+    os << '\n';
+  }
+  return os.str();
+}
+
+DeallocLists dealloc_lists(const sem::LoweredProgram& prog,
+                           const analysis::Lifetimes& lifetimes) {
+  DeallocLists out;
+  for (const sem::Proc& p : prog.procs()) {
+    for (const sem::Instr& instr : p.code) {
+      if (instr.op != sem::Op::Alloc || instr.stmt == nullptr) continue;
+      const std::uint32_t site = instr.stmt->id();
+      const analysis::SiteLifetime* info = lifetimes.site(site);
+      if (info == nullptr) continue;  // never executed
+      if (info->escapes_creating_function) continue;
+      out.per_function[p.owner_fn].insert(site);
+    }
+  }
+  return out;
+}
+
+}  // namespace copar::apps

@@ -1,0 +1,32 @@
+// Compile-time deallocation lists ([Har89] via §5.3): for each function, the
+// allocation sites whose objects never survive the function's activation —
+// the compiler can free them at every exit of the function, removing
+// garbage-collection pressure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/analysis/lifetime.h"
+#include "src/sem/lower.h"
+
+namespace copar::apps {
+
+class DeallocLists {
+ public:
+  /// function proc id -> alloc sites freeable at its exits.
+  std::map<std::uint32_t, std::set<std::uint32_t>> per_function;
+
+  [[nodiscard]] bool freeable_at(std::uint32_t fn, std::uint32_t site) const;
+  [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
+};
+
+/// Sites allocated lexically within each function (a cobegin branch's
+/// allocations belong to the enclosing function) that do not escape their
+/// creating activation.
+DeallocLists dealloc_lists(const sem::LoweredProgram& prog,
+                           const analysis::Lifetimes& lifetimes);
+
+}  // namespace copar::apps

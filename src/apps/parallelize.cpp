@@ -1,0 +1,116 @@
+#include "src/apps/parallelize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/analysis/common.h"
+
+namespace copar::apps {
+
+bool ParallelSchedule::independent(std::uint32_t u, std::uint32_t v) const {
+  // Dependence reachability over the (acyclic, program-ordered) edges.
+  auto reaches = [&](std::uint32_t from, std::uint32_t to) {
+    std::set<std::uint32_t> seen = {from};
+    std::vector<std::uint32_t> work = {from};
+    while (!work.empty()) {
+      const std::uint32_t cur = work.back();
+      work.pop_back();
+      if (cur == to) return true;
+      for (const analysis::Dependence& d : deps.deps) {
+        if (d.src == cur && seen.insert(d.dst).second) work.push_back(d.dst);
+      }
+    }
+    return false;
+  };
+  return !reaches(u, v) && !reaches(v, u);
+}
+
+ParallelSchedule parallelize(const std::vector<std::uint32_t>& ordered,
+                             const absem::AbsResult<absdom::FlatInt>& abs) {
+  ParallelSchedule out;
+  out.ordered = ordered;
+  out.deps = analysis::sequential_dependences(ordered, abs);
+
+  // Topological levels (stage = all statements whose predecessors are done).
+  std::map<std::uint32_t, std::size_t> level;
+  for (std::uint32_t s : ordered) {
+    std::size_t lv = 0;
+    for (const analysis::Dependence& d : out.deps.deps) {
+      if (d.dst == s) {
+        auto it = level.find(d.src);
+        if (it != level.end()) lv = std::max(lv, it->second + 1);
+      }
+    }
+    level[s] = lv;
+    if (out.stages.size() <= lv) out.stages.resize(lv + 1);
+    out.stages[lv].push_back(s);
+  }
+
+  // Greedy chain decomposition: repeatedly extend a chain with the first
+  // unassigned statement depending (directly) on the chain's tail, keeping
+  // every dependence inside some chain where possible.
+  std::set<std::uint32_t> assigned;
+  for (std::uint32_t s : ordered) {
+    if (assigned.contains(s)) continue;
+    std::vector<std::uint32_t> chain = {s};
+    assigned.insert(s);
+    bool extended = true;
+    while (extended) {
+      extended = false;
+      for (std::uint32_t t : ordered) {
+        if (assigned.contains(t)) continue;
+        const bool direct_dep =
+            out.deps.deps.contains(analysis::Dependence{chain.back(), t,
+                                                        analysis::DepKind::Flow}) ||
+            out.deps.deps.contains(analysis::Dependence{chain.back(), t,
+                                                        analysis::DepKind::Anti}) ||
+            out.deps.deps.contains(analysis::Dependence{chain.back(), t,
+                                                        analysis::DepKind::Output});
+        if (direct_dep) {
+          chain.push_back(t);
+          assigned.insert(t);
+          extended = true;
+          break;
+        }
+      }
+    }
+    out.chains.push_back(std::move(chain));
+  }
+  return out;
+}
+
+ParallelSchedule parallelize_labeled(const sem::LoweredProgram& prog,
+                                     const absem::AbsResult<absdom::FlatInt>& abs,
+                                     const std::vector<std::string>& labels) {
+  std::vector<std::uint32_t> ordered;
+  for (const std::string& label : labels) {
+    const auto id = analysis::labeled_stmt(prog, label);
+    require(id.has_value(), "parallelize: unknown label " + label);
+    ordered.push_back(*id);
+  }
+  return parallelize(ordered, abs);
+}
+
+std::string ParallelSchedule::report(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  os << "dependences:\n" << deps.report(prog);
+  os << "stages:\n";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    os << "  stage " << i << ":";
+    for (std::uint32_t s : stages[i]) os << ' ' << analysis::describe_stmt(prog, s);
+    os << '\n';
+  }
+  os << "parallel chains: cobegin\n";
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    if (i > 0) os << "  ||\n";
+    os << "  {";
+    for (std::uint32_t s : chains[i]) os << ' ' << analysis::describe_stmt(prog, s) << ';';
+    os << " }\n";
+  }
+  os << "coend\n";
+  return os.str();
+}
+
+}  // namespace copar::apps

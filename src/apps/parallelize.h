@@ -1,0 +1,47 @@
+// Further parallelization of sequential statements (Example 15 / Figure 8):
+// given a sequence of statements (typically calls), compute a dependence-
+// preserving parallel schedule.
+//
+// Two shapes are produced:
+//   - stages():   topological levels — statements within a level can run in
+//                 a cobegin; levels run in sequence;
+//   - chains():   a partition into sequential chains that can run as
+//                 parallel threads (the paper's Figure 8 answer: with deps
+//                 (s1,s4) and (s2,s3), {s1;s4} || {s2;s3} is legal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/analysis/depend.h"
+#include "src/sem/lower.h"
+
+namespace copar::apps {
+
+class ParallelSchedule {
+ public:
+  std::vector<std::uint32_t> ordered;        // input statements, program order
+  analysis::Dependences deps;                // directional (program order)
+  std::vector<std::vector<std::uint32_t>> stages;
+  std::vector<std::vector<std::uint32_t>> chains;
+
+  /// True if u and v have no dependence path between them — they may run in
+  /// parallel.
+  [[nodiscard]] bool independent(std::uint32_t u, std::uint32_t v) const;
+
+  [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
+};
+
+/// Schedules the given statements (ids, in program order).
+ParallelSchedule parallelize(const std::vector<std::uint32_t>& ordered,
+                             const absem::AbsResult<absdom::FlatInt>& abs);
+
+/// Convenience: schedules the statements labeled `labels` (in that order).
+ParallelSchedule parallelize_labeled(const sem::LoweredProgram& prog,
+                                     const absem::AbsResult<absdom::FlatInt>& abs,
+                                     const std::vector<std::string>& labels);
+
+}  // namespace copar::apps

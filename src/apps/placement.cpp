@@ -1,0 +1,47 @@
+#include "src/apps/placement.h"
+
+#include <sstream>
+
+#include "src/analysis/common.h"
+
+namespace copar::apps {
+
+std::string_view memory_level_name(MemoryLevel level) {
+  return level == MemoryLevel::Shared ? "shared" : "thread-local";
+}
+
+MemoryLevel Placement::level_of(std::uint32_t site) const {
+  auto it = per_site.find(site);
+  // Unknown sites are conservatively shared.
+  return it == per_site.end() ? MemoryLevel::Shared : it->second;
+}
+
+MemoryLevel Placement::level_of(const sem::LoweredProgram& prog,
+                                std::string_view label) const {
+  const auto id = analysis::labeled_stmt(prog, label);
+  require(id.has_value(), "placement: unknown label");
+  return level_of(*id);
+}
+
+std::string Placement::report(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  for (const auto& [site, level] : per_site) {
+    os << analysis::describe_stmt(prog, site) << ": " << memory_level_name(level) << '\n';
+  }
+  return os.str();
+}
+
+Placement place_objects(const analysis::Lifetimes& lifetimes) {
+  Placement out;
+  for (const auto& [site, info] : lifetimes.sites) {
+    out.per_site[site] =
+        info.shared_across_threads ? MemoryLevel::Shared : MemoryLevel::ThreadLocal;
+  }
+  return out;
+}
+
+Placement place_objects(const sem::LoweredProgram& prog) {
+  return place_objects(analysis::analyze_lifetimes(prog));
+}
+
+}  // namespace copar::apps

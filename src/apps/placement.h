@@ -1,0 +1,40 @@
+// Memory-hierarchy placement (§7): "suppose each cobegin thread is executed
+// in a processor. If we know an object will be referenced by another
+// concurrent thread, then it should be allocated in the memory accessible
+// to both threads" — otherwise it can live in processor-local memory.
+//
+// This reproduces the paper's closing example: b1 (touched by both threads)
+// goes to the shared level, b2 stays local.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/analysis/lifetime.h"
+#include "src/sem/lower.h"
+
+namespace copar::apps {
+
+enum class MemoryLevel : std::uint8_t { ThreadLocal, Shared };
+
+std::string_view memory_level_name(MemoryLevel level);
+
+class Placement {
+ public:
+  std::map<std::uint32_t, MemoryLevel> per_site;  // alloc stmt id -> level
+
+  [[nodiscard]] MemoryLevel level_of(std::uint32_t site) const;
+  [[nodiscard]] MemoryLevel level_of(const sem::LoweredProgram& prog,
+                                     std::string_view label) const;
+
+  [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
+};
+
+/// Derives placement from the lifetime analysis.
+Placement place_objects(const analysis::Lifetimes& lifetimes);
+
+/// Convenience: run the lifetime analysis and place.
+Placement place_objects(const sem::LoweredProgram& prog);
+
+}  // namespace copar::apps

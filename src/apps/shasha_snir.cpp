@@ -1,0 +1,204 @@
+#include "src/apps/shasha_snir.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/analysis/common.h"
+#include "src/analysis/depend.h"
+#include "src/lang/ast.h"
+
+namespace copar::apps {
+
+namespace {
+
+using lang::Stmt;
+using lang::StmtKind;
+
+/// Preorder collection of elementary statement ids in a branch. The
+/// [SS88] model is straight-line code; control structure is flattened into
+/// syntactic order, which over-approximates the execution orders.
+void collect_stmts(const Stmt& s, std::vector<std::uint32_t>& out) {
+  switch (s.kind()) {
+    case StmtKind::Block:
+      for (const auto& inner : lang::stmt_cast<lang::Block>(s).stmts()) {
+        collect_stmts(*inner, out);
+      }
+      break;
+    case StmtKind::VarDecl:
+      break;  // lowers to nothing
+    case StmtKind::If: {
+      const auto& i = lang::stmt_cast<lang::IfStmt>(s);
+      out.push_back(s.id());
+      collect_stmts(i.then_branch(), out);
+      if (i.else_branch() != nullptr) collect_stmts(*i.else_branch(), out);
+      break;
+    }
+    case StmtKind::While: {
+      out.push_back(s.id());
+      collect_stmts(lang::stmt_cast<lang::WhileStmt>(s).body(), out);
+      break;
+    }
+    case StmtKind::Cobegin: {
+      out.push_back(s.id());
+      for (const auto& b : lang::stmt_cast<lang::CobeginStmt>(s).branches()) {
+        collect_stmts(*b, out);
+      }
+      break;
+    }
+    default:
+      out.push_back(s.id());
+      break;
+  }
+}
+
+const lang::CobeginStmt* find_cobegin(const Stmt& s, std::string_view label,
+                                      const lang::Module& module) {
+  if (s.kind() == StmtKind::Cobegin) {
+    if (label.empty() ||
+        (s.label().valid() && module.interner().spelling(s.label()) == label)) {
+      return &lang::stmt_cast<lang::CobeginStmt>(s);
+    }
+  }
+  switch (s.kind()) {
+    case StmtKind::Block:
+      for (const auto& inner : lang::stmt_cast<lang::Block>(s).stmts()) {
+        if (const auto* found = find_cobegin(*inner, label, module)) return found;
+      }
+      break;
+    case StmtKind::If: {
+      const auto& i = lang::stmt_cast<lang::IfStmt>(s);
+      if (const auto* found = find_cobegin(i.then_branch(), label, module)) return found;
+      if (i.else_branch() != nullptr) {
+        if (const auto* found = find_cobegin(*i.else_branch(), label, module)) return found;
+      }
+      break;
+    }
+    case StmtKind::While:
+      return find_cobegin(lang::stmt_cast<lang::WhileStmt>(s).body(), label, module);
+    case StmtKind::Cobegin:
+      for (const auto& b : lang::stmt_cast<lang::CobeginStmt>(s).branches()) {
+        if (const auto* found = find_cobegin(*b, label, module)) return found;
+      }
+      break;
+    default:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+DelayAnalysis analyze_delays(const sem::LoweredProgram& prog,
+                             const absem::AbsResult<absdom::FlatInt>& abs,
+                             std::string_view cobegin_label) {
+  DelayAnalysis out;
+  const lang::FunDecl* main_fn = prog.module().find_function("main");
+  require(main_fn != nullptr, "analyze_delays: no main");
+  const lang::CobeginStmt* cb = find_cobegin(main_fn->body(), cobegin_label, prog.module());
+  require(cb != nullptr, "analyze_delays: no cobegin found");
+
+  for (const auto& branch : cb->branches()) {
+    std::vector<std::uint32_t> stmts;
+    collect_stmts(*branch, stmts);
+    out.segments.push_back(std::move(stmts));
+  }
+
+  // Unit access sets (calls expanded to their side effects).
+  std::map<std::uint32_t, analysis::UnitAccesses> units;
+  std::map<std::uint32_t, std::size_t> segment_of;
+  for (std::size_t seg = 0; seg < out.segments.size(); ++seg) {
+    for (std::uint32_t s : out.segments[seg]) {
+      units.emplace(s, analysis::unit_accesses(abs, s));
+      segment_of[s] = seg;
+    }
+  }
+
+  // Conflict arcs C between different segments.
+  for (std::size_t i = 0; i < out.segments.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.segments.size(); ++j) {
+      for (std::uint32_t u : out.segments[i]) {
+        for (std::uint32_t v : out.segments[j]) {
+          if (units.at(u).conflicts(units.at(v))) {
+            out.conflicts.insert(SegmentConflict{u, v});
+          }
+        }
+      }
+    }
+  }
+
+  // Adjacency: C edges (both ways) plus program arcs of segments other than
+  // a designated one. For each segment S and each ordered pair (u, v) in S,
+  // (u,v) needs a delay iff v reaches u without using S's program arcs —
+  // then u ->P v closes a cycle in P ∪ C (a critical cycle, conservatively).
+  std::map<std::uint32_t, std::vector<std::uint32_t>> conflict_adj;
+  for (const SegmentConflict& c : out.conflicts) {
+    conflict_adj[c.stmt1].push_back(c.stmt2);
+    conflict_adj[c.stmt2].push_back(c.stmt1);
+  }
+
+  for (std::size_t seg = 0; seg < out.segments.size(); ++seg) {
+    const auto& stmts = out.segments[seg];
+    // BFS in C ∪ P(other segments) from each v.
+    auto reaches = [&](std::uint32_t from, std::uint32_t target) {
+      std::set<std::uint32_t> seen = {from};
+      std::vector<std::uint32_t> work = {from};
+      while (!work.empty()) {
+        const std::uint32_t cur = work.back();
+        work.pop_back();
+        if (cur == target) return true;
+        if (auto it = conflict_adj.find(cur); it != conflict_adj.end()) {
+          for (std::uint32_t next : it->second) {
+            if (seen.insert(next).second) work.push_back(next);
+          }
+        }
+        // Program arc within a segment other than `seg`.
+        const auto sit = segment_of.find(cur);
+        if (sit != segment_of.end() && sit->second != seg) {
+          const auto& other = out.segments[sit->second];
+          for (std::size_t k = 0; k + 1 < other.size(); ++k) {
+            if (other[k] == cur && seen.insert(other[k + 1]).second) {
+              work.push_back(other[k + 1]);
+            }
+          }
+        }
+      }
+      return false;
+    };
+    for (std::size_t a = 0; a < stmts.size(); ++a) {
+      for (std::size_t b = a + 1; b < stmts.size(); ++b) {
+        if (reaches(stmts[b], stmts[a])) {
+          out.delays.insert(DelayPair{stmts[a], stmts[b]});
+        }
+      }
+    }
+  }
+
+  // Minimality: drop pairs implied by chaining two retained pairs.
+  out.minimal_delays = out.delays;
+  for (const DelayPair& p : out.delays) {
+    for (const DelayPair& q : out.delays) {
+      if (p.after == q.before && p.before != q.after) {
+        out.minimal_delays.erase(DelayPair{p.before, q.after});
+      }
+    }
+  }
+  return out;
+}
+
+std::string DelayAnalysis::report(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  os << segments.size() << " segments\n";
+  os << "conflicts:\n";
+  for (const SegmentConflict& c : conflicts) {
+    os << "  " << analysis::describe_stmt(prog, c.stmt1) << " -- "
+       << analysis::describe_stmt(prog, c.stmt2) << '\n';
+  }
+  os << "delays required:\n";
+  for (const DelayPair& d : minimal_delays) {
+    os << "  " << analysis::describe_stmt(prog, d.before) << " < "
+       << analysis::describe_stmt(prog, d.after) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace copar::apps

@@ -1,0 +1,67 @@
+// Shasha–Snir delay insertion [SS88], extended to procedure calls
+// (the paper's Example 15 / Figure 8).
+//
+// Given a cobegin whose branches ("segments") run concurrently, sequential
+// consistency is preserved by hardware/compiler reorderings as long as the
+// union of enforced program arcs P and conflict arcs C is acyclic. The
+// analysis finds the program-order pairs that participate in critical
+// cycles: those pairs must be protected by delays (fences); every other
+// same-segment pair may be freely reordered or parallelized.
+//
+// Conflicts are computed from abstract unit access sets, so a statement may
+// be a call — its callee's transitive side effects count (this is exactly
+// how the paper extends [SS88] "to procedure calls").
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/sem/lower.h"
+
+namespace copar::apps {
+
+struct DelayPair {
+  std::uint32_t before = 0;  // statement id, earlier in program order
+  std::uint32_t after = 0;
+  friend auto operator<=>(const DelayPair&, const DelayPair&) = default;
+};
+
+struct SegmentConflict {
+  std::uint32_t stmt1 = 0;  // in one segment
+  std::uint32_t stmt2 = 0;  // in another
+  friend auto operator<=>(const SegmentConflict&, const SegmentConflict&) = default;
+};
+
+class DelayAnalysis {
+ public:
+  /// Segments: the statement ids of each branch, in program order.
+  std::vector<std::vector<std::uint32_t>> segments;
+  /// Cross-segment conflict arcs (C).
+  std::set<SegmentConflict> conflicts;
+  /// Program-order pairs that must be enforced with delays: (u,v) such that
+  /// v can reach u again through conflicts and other segments' program
+  /// order — i.e. (u,v) lies on a critical cycle.
+  std::set<DelayPair> delays;
+  /// `delays` with pairs implied by transitivity of others removed.
+  std::set<DelayPair> minimal_delays;
+
+  /// A same-segment pair not in `delays` may be reordered/parallelized.
+  [[nodiscard]] bool may_reorder(std::uint32_t u, std::uint32_t v) const {
+    return !delays.contains(DelayPair{u, v}) && !delays.contains(DelayPair{v, u});
+  }
+
+  [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
+};
+
+/// Analyzes the first cobegin found in `main` (or the cobegin labeled
+/// `cobegin_label` if non-empty). Elementary statements of each branch form
+/// the segments; calls are treated as units via their side effects.
+DelayAnalysis analyze_delays(const sem::LoweredProgram& prog,
+                             const absem::AbsResult<absdom::FlatInt>& abs,
+                             std::string_view cobegin_label = "");
+
+}  // namespace copar::apps

@@ -1,0 +1,109 @@
+#include "src/apps/transform.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/explore/explorer.h"
+#include "src/lang/printer.h"
+#include "src/sem/program.h"
+
+namespace copar::apps {
+
+namespace {
+
+/// Renders a terminal configuration's observable valuation: every declared
+/// (non-function) global, by name. Pointer identities are not comparable
+/// across programs, so pointers render coarsely.
+std::string valuation(const sem::LoweredProgram& prog, const sem::Configuration& cfg) {
+  std::ostringstream os;
+  for (const sem::GlobalSlot& g : prog.globals()) {
+    if (g.fun != nullptr) continue;
+    const sem::Value v = cfg.store.read(0, g.slot);
+    os << prog.module().interner().spelling(g.name) << '=';
+    if (v.is_ptr()) {
+      os << "<ptr>";
+    } else {
+      os << v.to_string();
+    }
+    os << ';';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string rewrite_as_parallel_chains(const sem::LoweredProgram& prog,
+                                       const ParallelSchedule& schedule) {
+  const lang::Module& module = prog.module();
+  const lang::FunDecl* main_fn = module.find_function("main");
+  require(main_fn != nullptr, "rewrite: no main");
+
+  // The scheduled statements must be top-level statements of main.
+  std::map<std::uint32_t, const lang::Stmt*> by_id;
+  for (const auto& s : main_fn->body().stmts()) by_id[s->id()] = s.get();
+  for (std::uint32_t id : schedule.ordered) {
+    require(by_id.contains(id), "rewrite: scheduled statement is not top-level in main");
+  }
+  const std::set<std::uint32_t> covered(schedule.ordered.begin(), schedule.ordered.end());
+
+  std::ostringstream os;
+  for (const lang::GlobalDecl& g : module.globals()) {
+    os << "var " << module.interner().spelling(g.name);
+    if (g.init != nullptr) os << " = " << lang::print_expr(module, *g.init);
+    os << ";\n";
+  }
+  for (const auto& f : module.functions()) {
+    if (!f->name().valid()) continue;  // lambdas print at use sites
+    if (module.interner().spelling(f->name()) == "main") continue;
+    os << "fun " << module.interner().spelling(f->name()) << "(";
+    for (std::size_t i = 0; i < f->params().size(); ++i) {
+      if (i > 0) os << ", ";
+      os << module.interner().spelling(f->params()[i]);
+    }
+    os << ") " << lang::print_stmt(module, f->body());
+  }
+
+  os << "fun main() {\n";
+  bool emitted_cobegin = false;
+  for (const auto& s : main_fn->body().stmts()) {
+    if (covered.contains(s->id())) {
+      if (!emitted_cobegin) {
+        emitted_cobegin = true;
+        os << "  cobegin\n";
+        for (std::size_t c = 0; c < schedule.chains.size(); ++c) {
+          if (c > 0) os << "  ||\n";
+          os << "  {\n";
+          for (std::uint32_t id : schedule.chains[c]) {
+            os << lang::print_stmt(module, *by_id.at(id), 2);
+          }
+          os << "  }\n";
+        }
+        os << "  coend;\n";
+      }
+      continue;  // consumed by the cobegin
+    }
+    os << lang::print_stmt(module, *s, 1);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+bool observably_equivalent(std::string_view source_a, std::string_view source_b) {
+  auto pa = compile(source_a);
+  auto pb = compile(source_b);
+  explore::ExploreOptions opts;
+  const auto ra = explore::explore(*pa->lowered, opts);
+  const auto rb = explore::explore(*pb->lowered, opts);
+  if (ra.truncated || rb.truncated) return false;
+  if (ra.deadlock_found != rb.deadlock_found) return false;
+  if (ra.faults.empty() != rb.faults.empty()) return false;
+  if (ra.violations.empty() != rb.violations.empty()) return false;
+
+  std::set<std::string> va;
+  for (const auto& [key, t] : ra.terminals) va.insert(valuation(*pa->lowered, t.config));
+  std::set<std::string> vb;
+  for (const auto& [key, t] : rb.terminals) vb.insert(valuation(*pb->lowered, t.config));
+  return va == vb;
+}
+
+}  // namespace copar::apps

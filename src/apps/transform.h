@@ -1,0 +1,33 @@
+// Source-to-source transformation: applying the §7 optimizations.
+//
+// The analyses license restructurings; this module performs them as text
+// rewrites of the (pretty-printed) program and — crucially — the test suite
+// machine-checks *semantic equivalence* by comparing the observable
+// terminal outcomes of the original and transformed programs under full
+// exploration. That closing of the loop (analyze → transform → re-verify)
+// is what "the information obtained facilitates program optimization"
+// amounts to in practice.
+#pragma once
+
+#include <string>
+
+#include "src/apps/parallelize.h"
+#include "src/sem/lower.h"
+
+namespace copar::apps {
+
+/// Rewrites `main` so that the scheduled statements run as parallel chains:
+/// the contiguous run of statements covered by `schedule.ordered` is
+/// replaced with `cobegin { chain1 } || { chain2 } ... coend`. Statements
+/// must be top-level statements of main, in program order. Returns the new
+/// program source.
+std::string rewrite_as_parallel_chains(const sem::LoweredProgram& prog,
+                                       const ParallelSchedule& schedule);
+
+/// Observable-equivalence check: both sources are compiled and fully
+/// explored; returns true if the multisets of terminal global-variable
+/// valuations coincide (and neither deadlocks/faults unless the other
+/// does). Used by tests and by callers that want a verified transform.
+bool observably_equivalent(std::string_view source_a, std::string_view source_b);
+
+}  // namespace copar::apps

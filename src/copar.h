@@ -1,0 +1,60 @@
+// Umbrella header: the whole framework through one include.
+//
+//   #include "src/copar.h"
+//   auto program = copar::compile(source);
+//   auto result  = copar::explore::explore(*program->lowered, {});
+//
+// Individual headers remain the canonical documentation for each module;
+// include them directly for faster builds.
+#pragma once
+
+// Front end
+#include "src/lang/ast.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+// Standard (instrumented) semantics
+#include "src/sem/config.h"
+#include "src/sem/eval.h"
+#include "src/sem/lower.h"
+#include "src/sem/procstring.h"
+#include "src/sem/program.h"
+#include "src/sem/step.h"
+
+// Concrete exploration + reductions
+#include "src/explore/explorer.h"
+#include "src/explore/staticinfo.h"
+#include "src/explore/stubborn.h"
+#include "src/explore/witness.h"
+
+// Abstract domains + abstract semantics
+#include "src/absdom/flat.h"
+#include "src/absdom/interval.h"
+#include "src/absdom/sign.h"
+#include "src/absem/absexplore.h"
+
+// Client analyses (§5)
+#include "src/analysis/anomaly.h"
+#include "src/analysis/deadstore.h"
+#include "src/analysis/depend.h"
+#include "src/analysis/lifetime.h"
+#include "src/analysis/mhp.h"
+#include "src/analysis/sideeffect.h"
+
+// Applications (§7)
+#include "src/apps/constprop.h"
+#include "src/apps/dealloc.h"
+#include "src/apps/parallelize.h"
+#include "src/apps/placement.h"
+#include "src/apps/shasha_snir.h"
+#include "src/apps/transform.h"
+
+// Petri-net substrate (native stubborn-set setting)
+#include "src/petri/models.h"
+#include "src/petri/net.h"
+#include "src/petri/reach.h"
+
+// Workloads
+#include "src/workload/paper_examples.h"
+#include "src/workload/philosophers.h"
+#include "src/workload/random_programs.h"

@@ -1,0 +1,71 @@
+// Configuration-independent location identities and access logging.
+//
+// Dense store location ids are only meaningful within one configuration, so
+// the analyses aggregate accesses under a *location key*: globals by slot,
+// frame slots by (function proc, slot) — i.e. all activations of a function
+// fold together — and heap cells by (allocation site, offset). This is
+// itself an abstraction in the paper's sense (an abstraction of the domain
+// of locations), and it is what the side-effect/dependence/lifetime
+// analyses of §5 consume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/sem/store.h"
+
+namespace copar::explore {
+
+struct LocKey {
+  sem::ObjKind kind = sem::ObjKind::Heap;
+  /// Globals: 0. Frame: function proc id. Heap: AllocStmt statement id.
+  std::uint32_t site = 0;
+  std::uint32_t off = 0;
+
+  friend bool operator==(const LocKey&, const LocKey&) = default;
+  friend auto operator<=>(const LocKey&, const LocKey&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Derives the key of a concrete location.
+[[nodiscard]] LocKey loc_key(const sem::Store& store, std::size_t loc);
+
+/// Read/write key sets attributed to a statement or a function.
+struct AccessSets {
+  std::set<LocKey> reads;
+  std::set<LocKey> writes;
+
+  void merge(const AccessSets& other) {
+    reads.insert(other.reads.begin(), other.reads.end());
+    writes.insert(other.writes.begin(), other.writes.end());
+  }
+};
+
+/// Per-allocation-site lifetime facts gathered during exploration.
+struct SiteInfo {
+  /// Thread contexts (rendered fork paths, "" = root) that accessed cells
+  /// of objects from this site.
+  std::set<std::string> accessor_threads;
+  /// Thread contexts that allocated objects at this site.
+  std::set<std::string> creator_threads;
+  /// Some access came from a process other than the creating process.
+  bool accessed_by_other_process = false;
+  /// An object from this site survived (stayed reachable past) the return
+  /// of the function activation that allocated it.
+  bool escapes_creating_function = false;
+  /// Objects allocated / still reachable at some terminal configuration.
+  std::uint64_t allocated = 0;
+  std::uint64_t live_at_exit = 0;
+};
+
+/// Everything the exploration records for the client analyses (§5).
+struct AccessLog {
+  std::map<std::uint32_t, AccessSets> by_stmt;  // statement id -> accesses
+  std::map<std::uint32_t, AccessSets> by_proc;  // lowered proc id -> accesses
+  std::map<std::uint32_t, SiteInfo> sites;      // alloc site stmt id -> facts
+};
+
+}  // namespace copar::explore

@@ -1,0 +1,445 @@
+#include "src/explore/explorer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/explore/stubborn.h"
+
+namespace copar::explore {
+
+using sem::ActionInfo;
+using sem::ActionKind;
+using sem::Configuration;
+using sem::Pid;
+
+namespace {
+
+/// Rendered fork path: the thread context of a process ("" = root line).
+std::string thread_context(const sem::Process& p) {
+  std::string out;
+  for (const sem::PathElem& e : p.path) {
+    if (!out.empty()) out += '/';
+    out += 's' + std::to_string(e.site) + 'b' + std::to_string(e.branch);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string LocKey::to_string() const {
+  switch (kind) {
+    case sem::ObjKind::Globals: return "g[" + std::to_string(off) + "]";
+    case sem::ObjKind::Frame:
+      return "f" + std::to_string(site) + "[" + std::to_string(off) + "]";
+    case sem::ObjKind::Heap:
+      return "h" + std::to_string(site) + "[" + std::to_string(off) + "]";
+  }
+  return "?";
+}
+
+LocKey loc_key(const sem::Store& store, std::size_t loc) {
+  const auto [obj, off] = store.locate(loc);
+  const sem::Object& o = store.object(obj);
+  LocKey key;
+  key.kind = o.obj_kind;
+  key.off = off;
+  switch (o.obj_kind) {
+    case sem::ObjKind::Globals: key.site = 0; break;
+    case sem::ObjKind::Frame:
+    case sem::ObjKind::Heap: key.site = o.site; break;
+  }
+  return key;
+}
+
+std::set<std::string> ExploreResult::terminal_keys() const {
+  std::set<std::string> keys;
+  for (const auto& [key, info] : terminals) keys.insert(key);
+  return keys;
+}
+
+std::set<std::int64_t> ExploreResult::terminal_int_values(std::string_view name) const {
+  std::set<std::int64_t> values;
+  for (const auto& [key, info] : terminals) {
+    if (auto v = info.config.global_value(name); v.has_value() && v->is_int()) {
+      values.insert(v->as_int());
+    }
+  }
+  return values;
+}
+
+Explorer::Explorer(const sem::LoweredProgram& program, ExploreOptions options)
+    : program_(program), options_(options), static_info_(program) {}
+
+bool Explorer::action_is_critical(const Configuration& cfg, const ActionInfo& info) const {
+  bool critical = false;
+  info.reads.for_each([&](std::size_t loc) {
+    critical = critical || static_info_.is_critical(static_info_.class_of(cfg.store, loc));
+  });
+  if (critical) return true;
+  info.writes.for_each([&](std::size_t loc) {
+    critical = critical || static_info_.is_critical(static_info_.class_of(cfg.store, loc));
+  });
+  return critical;
+}
+
+void Explorer::record_action(const Configuration& cfg, const ActionInfo& info,
+                             ExploreResult& result) {
+  if (!options_.record_accesses) return;
+  const sem::Process& p = cfg.processes[info.pid];
+
+  AccessSets sets;
+  info.reads.for_each([&](std::size_t loc) { sets.reads.insert(loc_key(cfg.store, loc)); });
+  info.writes.for_each([&](std::size_t loc) { sets.writes.insert(loc_key(cfg.store, loc)); });
+
+  if (info.stmt_id != sem::kNoStmt) result.accesses.by_stmt[info.stmt_id].merge(sets);
+  for (std::size_t i = 0; i < p.frames.size(); ++i) {
+    AccessSets attributed = sets;
+    // A Return's write of the result cell belongs to the call site, not to
+    // the returning activation (a function is still "pure" if its value is
+    // stored by its caller).
+    if (info.kind == ActionKind::Return && i + 1 == p.frames.size()) attributed.writes.clear();
+    result.accesses.by_proc[p.frames[i].proc].merge(attributed);
+  }
+
+  const std::string ctx = thread_context(p);
+  auto touch_site = [&](const LocKey& key, bool /*write*/) {
+    if (key.kind != sem::ObjKind::Heap) return;
+    SiteInfo& site = result.accesses.sites[key.site];
+    site.accessor_threads.insert(ctx);
+  };
+  for (const LocKey& k : sets.reads) touch_site(k, false);
+  for (const LocKey& k : sets.writes) touch_site(k, true);
+
+  // Cross-process access detection needs the concrete objects.
+  auto other_process = [&](const DynamicBitset& locs) {
+    locs.for_each([&](std::size_t loc) {
+      const auto [obj, off] = cfg.store.locate(loc);
+      const sem::Object& o = cfg.store.object(obj);
+      if (o.obj_kind == sem::ObjKind::Heap && o.creator != info.pid) {
+        result.accesses.sites[o.site].accessed_by_other_process = true;
+      }
+    });
+  };
+  other_process(info.reads);
+  other_process(info.writes);
+
+  if (info.kind == ActionKind::Alloc && info.stmt_id != sem::kNoStmt) {
+    SiteInfo& site = result.accesses.sites[info.stmt_id];
+    site.creator_threads.insert(ctx);
+    site.allocated += 1;
+  }
+}
+
+void Explorer::record_pairs(const std::vector<ActionInfo>& infos, ExploreResult& result) {
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    for (std::size_t j = i + 1; j < infos.size(); ++j) {
+      const ActionInfo* a = &infos[i];
+      const ActionInfo* b = &infos[j];
+      if (!a->enabled || !b->enabled) continue;
+      if (a->stmt_id == sem::kNoStmt || b->stmt_id == sem::kNoStmt) continue;
+      if (a->stmt_id > b->stmt_id) std::swap(a, b);
+      PairFacts& facts = result.pairs[{a->stmt_id, b->stmt_id}];
+      facts.co_enabled = true;
+      facts.w1_r2 = facts.w1_r2 || a->writes.intersects(b->reads);
+      facts.w1_w2 = facts.w1_w2 || a->writes.intersects(b->writes);
+      facts.r1_w2 = facts.r1_w2 || a->reads.intersects(b->writes);
+    }
+  }
+}
+
+void Explorer::record_return_lifetime(const Configuration& before, Pid pid,
+                                      const Configuration& after, ExploreResult& result) {
+  if (!options_.record_lifetimes) return;
+  const sem::Process& p = before.processes[pid];
+  if (p.frames.empty()) return;
+  const sem::ProcString& activation_birth = before.store.object(p.top().frame_obj).birth;
+
+  const std::vector<bool> reachable = sem::reachable_objects(after);
+  for (sem::ObjId obj = 0; obj < after.store.num_objects(); ++obj) {
+    const sem::Object& o = after.store.object(obj);
+    if (o.obj_kind != sem::ObjKind::Heap) continue;
+    if (!activation_birth.is_prefix_of(o.birth)) continue;  // not born here
+    if (obj < reachable.size() && reachable[obj]) {
+      result.accesses.sites[o.site].escapes_creating_function = true;
+    }
+  }
+}
+
+void Explorer::record_terminal_lifetimes(const Configuration& cfg, ExploreResult& result) {
+  if (!options_.record_lifetimes) return;
+  const std::vector<bool> reachable = sem::reachable_objects(cfg);
+  for (sem::ObjId obj = 0; obj < cfg.store.num_objects(); ++obj) {
+    const sem::Object& o = cfg.store.object(obj);
+    if (o.obj_kind != sem::ObjKind::Heap) continue;
+    if (obj < reachable.size() && reachable[obj]) {
+      result.accesses.sites[o.site].live_at_exit += 1;
+    }
+  }
+}
+
+Configuration Explorer::step(const Configuration& cfg, Pid pid, ExploreResult& result) {
+  ActionInfo info = sem::action_info(cfg, pid);
+  require(info.exists && info.enabled, "step: action not fireable");
+  record_action(cfg, info, result);
+
+  Configuration succ = sem::apply_action(cfg, pid);
+  if (info.kind == ActionKind::Return) record_return_lifetime(cfg, pid, succ, result);
+
+  if (!options_.coarsen) return succ;
+
+  // Virtual coarsening: keep running this process while its following
+  // actions are non-critical (Observation 5). A combined action thus holds
+  // at most one critical reference — the first.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_points;
+  for (int guard = 0; guard < 4096; ++guard) {
+    const sem::Process& p = succ.processes[pid];
+    if (!p.live() || p.frames.empty()) break;
+    ActionInfo next = sem::action_info(succ, pid);
+    if (!next.exists || !next.enabled) break;
+    if (next.kind == ActionKind::Fork) break;
+    if (action_is_critical(succ, next)) break;
+    if (!seen_points.insert({next.proc, next.pc}).second) break;  // local cycle
+    record_action(succ, next, result);
+    Configuration succ2 = sem::apply_action(succ, pid);
+    if (next.kind == ActionKind::Return) record_return_lifetime(succ, pid, succ2, result);
+    succ = std::move(succ2);
+    result.stats.add("coarsened_micro_actions");
+  }
+  return succ;
+}
+
+std::vector<Pid> Explorer::choose_expansion(const Configuration& cfg,
+                                            const std::vector<ActionInfo>& infos,
+                                            ExploreResult& result) const {
+  std::vector<Pid> enabled;
+  for (const ActionInfo& info : infos) {
+    if (info.enabled) enabled.push_back(info.pid);
+  }
+  if (options_.reduction == Reduction::Full || enabled.size() <= 1) return enabled;
+
+  const StubbornChoice choice = stubborn_set(cfg, infos, static_info_);
+  result.stats.add("stubborn_steps");
+  if (choice.expand.size() == 1) result.stats.add("stubborn_singletons");
+  if (!choice.is_full) result.stats.add("stubborn_reduced_steps");
+  return choice.expand;
+}
+
+struct Explorer::StackEntry {
+  Configuration cfg;
+  std::uint32_t id = 0;
+  std::vector<Pid> expand;
+  std::size_t next = 0;
+  bool expanded_full = false;
+  /// Sleep set at this state (sleep_sets mode): pids whose firing here is
+  /// covered by an earlier sibling order.
+  std::set<Pid> sleep;
+};
+
+ExploreResult Explorer::run() {
+  ExploreResult result;
+  std::unordered_map<std::string, std::uint32_t> visited;
+  std::vector<std::uint16_t> on_stack;  // count: sleep re-exploration can stack an id twice
+  std::vector<StackEntry> stack;
+
+  // sleep_sets mode: per-id stored sleep (for the revisit rule) and retained
+  // configurations (re-exploration needs the state back).
+  std::vector<std::set<Pid>> sleep_store;
+  std::vector<Configuration> cfg_store;
+
+  // Registers a configuration; returns its id. For new non-terminal
+  // configurations, pushes a stack entry.
+  auto register_config = [&](Configuration&& cfg, const std::string& key,
+                             std::set<Pid> sleep) -> std::uint32_t {
+    const auto id = static_cast<std::uint32_t>(visited.size());
+    visited.emplace(key, id);
+    on_stack.push_back(0);
+    result.num_configs += 1;
+
+    for (std::uint32_t v : cfg.violations) result.violations.insert(v);
+    for (const auto& f : cfg.faults) result.faults.insert(f);
+
+    const std::vector<ActionInfo> infos = sem::all_action_infos(cfg);
+    const bool any_enabled =
+        std::any_of(infos.begin(), infos.end(), [](const ActionInfo& i) { return i.enabled; });
+    if (!any_enabled) {
+      const bool deadlock = cfg.num_live() > 0;
+      result.deadlock_found = result.deadlock_found || deadlock;
+      record_terminal_lifetimes(cfg, result);
+      if (options_.record_graph) {
+        result.graph.terminal_nodes.push_back(id);
+        if (deadlock) result.graph.deadlock_nodes.push_back(id);
+      }
+      if (options_.sleep_sets) {
+        sleep_store.emplace_back();
+        cfg_store.push_back(cfg);
+      }
+      result.terminals.emplace(key, TerminalInfo{std::move(cfg), deadlock});
+      return id;
+    }
+    if (options_.record_pairs) record_pairs(infos, result);
+
+    StackEntry entry;
+    entry.cfg = std::move(cfg);
+    entry.id = id;
+    entry.expand = choose_expansion(entry.cfg, infos, result);
+    if (options_.sleep_sets) {
+      sleep_store.push_back(sleep);
+      cfg_store.push_back(entry.cfg);
+      std::erase_if(entry.expand, [&](Pid p) {
+        const bool sleeping = sleep.contains(p);
+        if (sleeping) result.stats.add("sleep_suppressed_transitions");
+        return sleeping;
+      });
+      entry.sleep = std::move(sleep);
+      if (entry.expand.empty()) return id;  // fully covered elsewhere
+    }
+    on_stack[id] += 1;
+    stack.push_back(std::move(entry));
+    return id;
+  };
+
+  Configuration init = Configuration::initial(program_);
+  const std::string init_key = init.canonical_key();
+  register_config(std::move(init), init_key, {});
+
+  while (!stack.empty()) {
+    StackEntry& top = stack.back();
+    if (top.next >= top.expand.size()) {
+      on_stack[top.id] -= 1;
+      stack.pop_back();
+      continue;
+    }
+    const std::size_t fire_index = top.next;
+    const Pid pid = top.expand[top.next++];
+    const std::uint32_t from_id = top.id;
+
+    // Capture edge metadata before stepping; sleep sets also need the fired
+    // action for independence filtering.
+    sem::ActionKind edge_kind = ActionKind::None;
+    std::uint32_t edge_stmt = sem::kNoStmt;
+    ActionInfo fired;
+    if (options_.record_graph || options_.sleep_sets) {
+      fired = sem::action_info(top.cfg, pid);
+      edge_kind = fired.kind;
+      edge_stmt = fired.stmt_id;
+    }
+
+    // Successor sleep set: surviving (independent) entries of this state's
+    // sleep plus the earlier-fired siblings that are independent of `pid`.
+    std::set<Pid> succ_sleep;
+    if (options_.sleep_sets) {
+      auto keep_if_independent = [&](Pid t) {
+        const ActionInfo other = sem::action_info(top.cfg, t);
+        if (!other.exists) return;
+        if (!actions_conflict(fired, other)) succ_sleep.insert(t);
+      };
+      for (Pid t : top.sleep) keep_if_independent(t);
+      for (std::size_t i = 0; i < fire_index; ++i) keep_if_independent(top.expand[i]);
+    }
+
+    Configuration succ = step(top.cfg, pid, result);
+    result.num_transitions += 1;
+    const std::string key = succ.canonical_key();
+
+    std::uint32_t to_id;
+    if (auto it = visited.find(key); it != visited.end()) {
+      to_id = it->second;
+      // Stack proviso (ignoring problem): a reduced expansion that closes a
+      // cycle on the DFS stack re-expands the source state fully.
+      if (options_.reduction == Reduction::Stubborn && options_.cycle_proviso &&
+          on_stack[to_id] != 0) {
+        StackEntry& cur = stack.back();
+        if (!cur.expanded_full) {
+          cur.expanded_full = true;
+          cur.next = 0;
+          cur.expand.clear();
+          cur.sleep.clear();
+          for (const ActionInfo& info : sem::all_action_infos(cur.cfg)) {
+            if (info.enabled) cur.expand.push_back(info.pid);
+          }
+          result.stats.add("proviso_full_expansions");
+        }
+      }
+      // Sleep revisit rule: transitions sleeping on the first visit but
+      // awake now must be explored from the stored configuration.
+      if (options_.sleep_sets) {
+        std::set<Pid> missing;
+        for (Pid t : sleep_store[to_id]) {
+          if (!succ_sleep.contains(t)) missing.insert(t);
+        }
+        if (!missing.empty()) {
+          std::set<Pid> narrowed;
+          for (Pid t : sleep_store[to_id]) {
+            if (succ_sleep.contains(t)) narrowed.insert(t);
+          }
+          sleep_store[to_id] = narrowed;
+          StackEntry redo;
+          redo.cfg = cfg_store[to_id];
+          redo.id = to_id;
+          for (Pid t : missing) {
+            const ActionInfo info = sem::action_info(redo.cfg, t);
+            if (info.exists && info.enabled) redo.expand.push_back(t);
+          }
+          redo.sleep = std::move(narrowed);
+          if (!redo.expand.empty()) {
+            on_stack[to_id] += 1;
+            stack.push_back(std::move(redo));
+            result.stats.add("sleep_reexplorations");
+          }
+        }
+      }
+    } else {
+      if (result.num_configs >= options_.max_configs) {
+        result.truncated = true;
+        break;
+      }
+      to_id = register_config(std::move(succ), key, std::move(succ_sleep));
+    }
+    if (options_.record_graph) {
+      result.graph.edges.push_back(StateGraph::Edge{from_id, to_id, edge_stmt, edge_kind});
+    }
+  }
+
+  result.graph.num_nodes = result.num_configs;
+  result.stats.set("configs", result.num_configs);
+  result.stats.set("transitions", result.num_transitions);
+  result.stats.set("terminals", result.terminals.size());
+  result.stats.set("deadlocks", result.deadlock_found ? 1 : 0);
+  return result;
+}
+
+ExploreResult explore(const sem::LoweredProgram& program, const ExploreOptions& options) {
+  return Explorer(program, options).run();
+}
+
+std::string to_dot(const StateGraph& graph, const sem::LoweredProgram& prog) {
+  std::ostringstream os;
+  os << "digraph configurations {\n";
+  os << "  rankdir=TB;\n  node [shape=circle, label=\"\", width=0.25];\n";
+  for (std::uint32_t t : graph.terminal_nodes) {
+    os << "  n" << t << " [shape=doublecircle];\n";
+  }
+  for (std::uint32_t d : graph.deadlock_nodes) {
+    os << "  n" << d << " [style=filled, fillcolor=\"#cc3333\"];\n";
+  }
+  os << "  n0 [style=filled, fillcolor=\"#99ccff\"];\n";  // initial
+  for (const StateGraph::Edge& e : graph.edges) {
+    os << "  n" << e.from << " -> n" << e.to;
+    std::string label;
+    if (e.stmt != sem::kNoStmt) {
+      // Labels only for statements the user named; everything else stays
+      // compact.
+      for (const auto& [sym, stmt] : prog.module().labels()) {
+        if (stmt->id() == e.stmt) label = prog.module().interner().spelling(sym);
+      }
+    }
+    if (label.empty()) label = std::string(sem::action_kind_name(e.kind));
+    os << " [label=\"" << label << "\", fontsize=9]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace copar::explore

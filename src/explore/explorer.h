@@ -1,0 +1,152 @@
+// State-space exploration of cobegin programs (the paper's framework, §2/§4).
+//
+// The explorer enumerates reachable configurations of the standard
+// (instrumented) semantics, deduplicating by canonical key. Reductions:
+//
+//   Reduction::Full      — expand every enabled process at every step
+//                           (the naive interleaving semantics);
+//   Reduction::Stubborn  — expand only a stubborn set (Algorithm 1), with
+//                           the stack proviso solving the ignoring problem:
+//                           when a reduced expansion closes a cycle on the
+//                           DFS stack, the state is re-expanded fully.
+//
+// Virtual coarsening (Observation 5) can be layered on either: a step runs
+// a process through its next action and then through following actions as
+// long as they are non-critical, so a combined action contains at most one
+// critical reference.
+//
+// The explorer optionally records the raw material of the §5 analyses:
+// per-statement/per-function access sets, may-happen-in-parallel and
+// conflicting statement pairs, per-allocation-site lifetime facts, and the
+// full state graph.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/explore/access.h"
+#include "src/explore/staticinfo.h"
+#include "src/sem/config.h"
+#include "src/sem/step.h"
+#include "src/support/stats.h"
+
+namespace copar::explore {
+
+enum class Reduction : std::uint8_t { Full, Stubborn };
+
+struct ExploreOptions {
+  Reduction reduction = Reduction::Full;
+  bool coarsen = false;
+  /// Sleep sets (Godefroid): prune transitions whose interleavings are
+  /// covered by earlier siblings. Orthogonal to the stubborn reduction;
+  /// reduces fired transitions (edges), preserving all states reachable
+  /// by non-pruned orders — result configurations in particular. Uses the
+  /// classic re-exploration rule on revisits, which requires retaining
+  /// visited configurations (extra memory).
+  bool sleep_sets = false;
+  /// Abort (result.truncated = true) after this many distinct configurations.
+  std::uint64_t max_configs = 2'000'000;
+  bool record_graph = false;
+  bool record_accesses = false;
+  bool record_pairs = false;      // MHP / conflicting statement pairs
+  bool record_lifetimes = false;  // per-site escape facts (implies extra work)
+  bool cycle_proviso = true;      // stubborn only
+};
+
+struct TerminalInfo {
+  sem::Configuration config;
+  bool deadlock = false;
+};
+
+/// Co-enabledness/conflict facts about an unordered statement pair
+/// (first < second in the map key).
+struct PairFacts {
+  bool co_enabled = false;
+  bool w1_r2 = false;  // first writes a location second reads
+  bool w1_w2 = false;
+  bool r1_w2 = false;
+};
+
+struct StateGraph {
+  struct Edge {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    std::uint32_t stmt = sem::kNoStmt;
+    sem::ActionKind kind = sem::ActionKind::None;
+  };
+  std::uint64_t num_nodes = 0;
+  std::vector<Edge> edges;
+  /// Node ids of terminal configurations (completions and deadlocks).
+  std::vector<std::uint32_t> terminal_nodes;
+  std::vector<std::uint32_t> deadlock_nodes;
+};
+
+/// Graphviz rendering of a recorded state graph (requires record_graph).
+/// Terminals are doublecircled, deadlocks filled red; edges carry the
+/// acting statement.
+std::string to_dot(const StateGraph& graph, const sem::LoweredProgram& prog);
+
+struct ExploreResult {
+  std::uint64_t num_configs = 0;      // distinct canonical configurations
+  std::uint64_t num_transitions = 0;  // edges fired (post-dedup of sources)
+  bool truncated = false;
+  /// Terminal configurations (normal completion and deadlocks), deduplicated.
+  std::map<std::string, TerminalInfo> terminals;
+  bool deadlock_found = false;
+  std::set<std::uint32_t> violations;  // failed assert stmt ids anywhere
+  std::set<std::pair<std::uint32_t, std::uint8_t>> faults;
+  StatRegistry stats;
+
+  // Optional payloads (see ExploreOptions):
+  AccessLog accesses;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, PairFacts> pairs;
+  StateGraph graph;
+
+  /// Canonical keys of the terminal configurations (for set comparisons in
+  /// tests: reduction must preserve exactly this set).
+  [[nodiscard]] std::set<std::string> terminal_keys() const;
+
+  /// All distinct values global `name` holds across terminal configurations.
+  [[nodiscard]] std::set<std::int64_t> terminal_int_values(std::string_view name) const;
+};
+
+class Explorer {
+ public:
+  Explorer(const sem::LoweredProgram& program, ExploreOptions options);
+
+  [[nodiscard]] ExploreResult run();
+
+  [[nodiscard]] const StaticInfo& static_info() const noexcept { return static_info_; }
+
+ private:
+  struct StackEntry;
+
+  /// One (possibly coarsened) step of process `pid`.
+  sem::Configuration step(const sem::Configuration& cfg, sem::Pid pid, ExploreResult& result);
+
+  void record_action(const sem::Configuration& cfg, const sem::ActionInfo& info,
+                     ExploreResult& result);
+  void record_pairs(const std::vector<sem::ActionInfo>& infos, ExploreResult& result);
+  void record_return_lifetime(const sem::Configuration& before, sem::Pid pid,
+                              const sem::Configuration& after, ExploreResult& result);
+  void record_terminal_lifetimes(const sem::Configuration& cfg, ExploreResult& result);
+
+  [[nodiscard]] bool action_is_critical(const sem::Configuration& cfg,
+                                        const sem::ActionInfo& info) const;
+
+  [[nodiscard]] std::vector<sem::Pid> choose_expansion(const sem::Configuration& cfg,
+                                                       const std::vector<sem::ActionInfo>& infos,
+                                                       ExploreResult& result) const;
+
+  const sem::LoweredProgram& program_;
+  ExploreOptions options_;
+  StaticInfo static_info_;
+};
+
+/// Convenience one-shot wrapper.
+ExploreResult explore(const sem::LoweredProgram& program, const ExploreOptions& options);
+
+}  // namespace copar::explore

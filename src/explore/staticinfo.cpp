@@ -1,0 +1,463 @@
+#include "src/explore/staticinfo.h"
+
+#include <set>
+
+namespace copar::explore {
+
+namespace {
+using lang::Expr;
+using lang::ExprKind;
+using sem::Instr;
+using sem::Op;
+using sem::Proc;
+}  // namespace
+
+constexpr std::uint32_t kLinksClass = 0;
+
+StaticInfo::StaticInfo(const sem::LoweredProgram& program) : program_(&program) {
+  build_classes();
+  collect_address_taken();
+  build_direct_sets();
+  build_reachability();
+  build_point_futures();
+  build_criticality();
+}
+
+void StaticInfo::build_classes() {
+  std::uint32_t next = 1;  // 0 = static-link cells
+  global_class_.assign(program_->nglobal_cells(), kLinksClass);
+  for (std::uint32_t slot = 1; slot < program_->nglobal_cells(); ++slot) {
+    global_class_[slot] = next++;
+  }
+  for (const Proc& p : program_->procs()) {
+    // Functions and doall bodies own frames; cobegin branches (nslots 0)
+    // use their owner's.
+    if (p.fun == nullptr && p.nslots == 0) continue;
+    for (std::uint32_t slot = 1; slot < std::max(p.nslots, 1u); ++slot) {
+      frame_class_[{p.id, slot}] = next++;
+    }
+  }
+  for (const Proc& p : program_->procs()) {
+    for (const Instr& i : p.code) {
+      if (i.op == Op::Alloc && i.stmt != nullptr) {
+        if (!heap_class_.contains(i.stmt->id())) heap_class_[i.stmt->id()] = next++;
+      }
+    }
+  }
+  num_classes_ = next;
+  for (const auto& [site, cls] : heap_class_) pointer_targets_.set(cls);
+}
+
+std::uint32_t StaticInfo::class_of(const sem::Store& store, std::size_t loc) const {
+  const auto [obj, off] = store.locate(loc);
+  const sem::Object& o = store.object(obj);
+  switch (o.obj_kind) {
+    case sem::ObjKind::Globals:
+      return off < global_class_.size() ? global_class_[off] : kLinksClass;
+    case sem::ObjKind::Frame: {
+      if (off == 0) return kLinksClass;
+      auto it = frame_class_.find({o.site, off});
+      // Slots beyond the static layout cannot occur; fall back defensively.
+      return it == frame_class_.end() ? kLinksClass : it->second;
+    }
+    case sem::ObjKind::Heap: {
+      auto it = heap_class_.find(o.site);
+      require(it != heap_class_.end(), "heap object with unknown allocation site");
+      return it->second;
+    }
+  }
+  return kLinksClass;
+}
+
+namespace {
+
+/// Resolves a VarRef occurring in proc `p` to its class, mirroring the
+/// dynamic hop chain statically: hops walk lexical parents of the frame
+/// owner.
+std::uint32_t varref_class(
+    const sem::LoweredProgram& prog,
+    const std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>& frame_class,
+    const std::vector<std::uint32_t>& global_class, const Proc& p, const Expr& ref) {
+  const sem::VarLoc& vl = prog.varloc(ref.id());
+  if (vl.is_global) {
+    return vl.slot < global_class.size() ? global_class[vl.slot] : kLinksClass;
+  }
+  std::uint32_t fn = p.owner_fn;
+  for (std::uint16_t h = 0; h < vl.hops; ++h) {
+    fn = prog.proc(fn).lexical_parent;
+    require(fn != sem::kNoProc, "static hop chain fell off the top");
+  }
+  auto it = frame_class.find({fn, vl.slot});
+  require(it != frame_class.end(), "unmapped frame slot");
+  return it->second;
+}
+
+}  // namespace
+
+void StaticInfo::collect_address_taken() {
+  // Any variable whose address is taken can be reached through pointers, so
+  // its class joins the pointer-target set (heap classes are already in).
+  for (const Proc& p : program_->procs()) {
+    for (const Instr& instr : p.code) {
+      // Walk every expression hanging off the instruction.
+      std::vector<const Expr*> work;
+      auto push = [&](const Expr* e) {
+        if (e != nullptr) work.push_back(e);
+      };
+      push(instr.lhs);
+      push(instr.rhs);
+      if (instr.args != nullptr) {
+        for (const auto& a : *instr.args) push(a.get());
+      }
+      while (!work.empty()) {
+        const Expr* e = work.back();
+        work.pop_back();
+        switch (e->kind()) {
+          case ExprKind::AddrOf: {
+            const Expr& lv = lang::expr_cast<lang::AddrOf>(*e).lvalue();
+            if (lv.kind() == ExprKind::VarRef) {
+              pointer_targets_.set(
+                  varref_class(*program_, frame_class_, global_class_, p, lv));
+            } else {
+              push(&lv);  // &p[i], &*q: base already a pointer
+            }
+            break;
+          }
+          case ExprKind::Unary:
+            push(&lang::expr_cast<lang::Unary>(*e).operand());
+            break;
+          case ExprKind::Binary:
+            push(&lang::expr_cast<lang::Binary>(*e).lhs());
+            push(&lang::expr_cast<lang::Binary>(*e).rhs());
+            break;
+          case ExprKind::Deref:
+            push(&lang::expr_cast<lang::Deref>(*e).pointer());
+            break;
+          case ExprKind::Index:
+            push(&lang::expr_cast<lang::Index>(*e).base());
+            push(&lang::expr_cast<lang::Index>(*e).index());
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+}
+
+void StaticInfo::build_direct_sets() {
+  const std::size_t n = program_->procs().size();
+  direct_reads_.assign(n, DynamicBitset(num_classes_));
+  direct_writes_.assign(n, DynamicBitset(num_classes_));
+  call_fork_edges_.assign(n, {});
+
+  // Global function slots that are reassigned anywhere force conservative
+  // call targets.
+  std::set<std::uint32_t> mutable_global_slots;
+  auto note_lvalue_global = [&](const Expr* lv) {
+    if (lv != nullptr && lv->kind() == ExprKind::VarRef) {
+      const sem::VarLoc& vl = program_->varloc(lv->id());
+      if (vl.is_global) mutable_global_slots.insert(vl.slot);
+    }
+  };
+  for (const Proc& p : program_->procs()) {
+    for (const Instr& instr : p.code) {
+      if (instr.op == Op::Assign || instr.op == Op::Alloc || instr.op == Op::Call) {
+        note_lvalue_global(instr.lhs);
+      }
+    }
+  }
+
+  instr_reads_.assign(n, {});
+  instr_writes_.assign(n, {});
+  instr_targets_.assign(n, {});
+
+  for (const Proc& p : program_->procs()) {
+    // Per-instruction scratch sets; aggregated into the proc-level sets at
+    // the end of each instruction.
+    DynamicBitset reads(num_classes_);
+    DynamicBitset writes(num_classes_);
+
+    // read-mode / address-mode expression walks
+    auto walk_read = [&](const Expr& e, auto&& self) -> void {
+      switch (e.kind()) {
+        case ExprKind::IntLit:
+        case ExprKind::BoolLit:
+        case ExprKind::NullLit:
+        case ExprKind::FunLit:
+          break;
+        case ExprKind::VarRef: {
+          const sem::VarLoc& vl = program_->varloc(e.id());
+          if (!vl.is_global && vl.hops > 0) reads.set(kLinksClass);
+          reads.set(varref_class(*program_, frame_class_, global_class_, p, e));
+          break;
+        }
+        case ExprKind::Unary:
+          self(lang::expr_cast<lang::Unary>(e).operand(), self);
+          break;
+        case ExprKind::Binary:
+          self(lang::expr_cast<lang::Binary>(e).lhs(), self);
+          self(lang::expr_cast<lang::Binary>(e).rhs(), self);
+          break;
+        case ExprKind::AddrOf: {
+          const Expr& lv = lang::expr_cast<lang::AddrOf>(e).lvalue();
+          // Address computation reads subexpressions but not the cell.
+          if (lv.kind() == ExprKind::Deref) {
+            self(lang::expr_cast<lang::Deref>(lv).pointer(), self);
+          } else if (lv.kind() == ExprKind::Index) {
+            self(lang::expr_cast<lang::Index>(lv).base(), self);
+            self(lang::expr_cast<lang::Index>(lv).index(), self);
+          }
+          break;
+        }
+        case ExprKind::Deref:
+          self(lang::expr_cast<lang::Deref>(e).pointer(), self);
+          reads |= pointer_targets_;
+          break;
+        case ExprKind::Index:
+          self(lang::expr_cast<lang::Index>(e).base(), self);
+          self(lang::expr_cast<lang::Index>(e).index(), self);
+          reads |= pointer_targets_;
+          break;
+      }
+    };
+    auto lvalue_write = [&](const Expr& lv) {
+      switch (lv.kind()) {
+        case ExprKind::VarRef:
+          writes.set(varref_class(*program_, frame_class_, global_class_, p, lv));
+          break;
+        case ExprKind::Deref:
+          walk_read(lang::expr_cast<lang::Deref>(lv).pointer(), walk_read);
+          writes |= pointer_targets_;
+          break;
+        case ExprKind::Index:
+          walk_read(lang::expr_cast<lang::Index>(lv).base(), walk_read);
+          walk_read(lang::expr_cast<lang::Index>(lv).index(), walk_read);
+          writes |= pointer_targets_;
+          break;
+        default:
+          throw Error("static walk: bad lvalue");
+      }
+    };
+
+    for (const Instr& instr : p.code) {
+      reads.clear();
+      writes.clear();
+      std::vector<std::uint32_t> targets;
+      switch (instr.op) {
+        case Op::Assign:
+        case Op::Alloc:
+          walk_read(*instr.rhs, walk_read);
+          lvalue_write(*instr.lhs);
+          break;
+        case Op::Call: {
+          walk_read(*instr.rhs, walk_read);
+          if (instr.args != nullptr) {
+            for (const auto& a : *instr.args) walk_read(*a, walk_read);
+          }
+          if (instr.lhs != nullptr) lvalue_write(*instr.lhs);
+          // Call targets.
+          bool known = false;
+          if (instr.rhs->kind() == ExprKind::FunLit) {
+            targets.push_back(lang::expr_cast<lang::FunLit>(*instr.rhs).decl().index());
+            known = true;
+          } else if (instr.rhs->kind() == ExprKind::VarRef) {
+            const sem::VarLoc& vl = program_->varloc(instr.rhs->id());
+            if (vl.is_global && !mutable_global_slots.contains(vl.slot)) {
+              for (const sem::GlobalSlot& g : program_->globals()) {
+                if (g.slot == vl.slot && g.fun != nullptr) {
+                  targets.push_back(g.fun->index());
+                  known = true;
+                }
+              }
+            }
+          }
+          if (!known) {
+            for (const Proc& q : program_->procs()) {
+              if (q.fun != nullptr) targets.push_back(q.id);
+            }
+          }
+          break;
+        }
+        case Op::Return:
+          if (instr.rhs != nullptr) walk_read(*instr.rhs, walk_read);
+          break;
+        case Op::Branch:
+        case Op::Assert:
+          if (instr.rhs != nullptr) walk_read(*instr.rhs, walk_read);
+          break;
+        case Op::Lock:
+        case Op::Unlock: {
+          const Expr& lv = *instr.lhs;
+          if (lv.kind() == ExprKind::VarRef) {
+            const std::uint32_t cls =
+                varref_class(*program_, frame_class_, global_class_, p, lv);
+            reads.set(cls);
+            writes.set(cls);
+          } else {
+            lvalue_write(lv);
+            reads |= pointer_targets_;
+          }
+          break;
+        }
+        case Op::Fork:
+          for (std::uint32_t child : instr.forks) targets.push_back(child);
+          break;
+        case Op::ForkRange:
+          walk_read(*instr.rhs, walk_read);
+          walk_read(*instr.rhs2, walk_read);
+          for (std::uint32_t child : instr.forks) targets.push_back(child);
+          break;
+        case Op::Join:
+        case Op::Jump:
+        case Op::Halt:
+          break;
+      }
+      for (std::uint32_t t : targets) call_fork_edges_[p.id].push_back(t);
+      direct_reads_[p.id] |= reads;
+      direct_writes_[p.id] |= writes;
+      instr_reads_[p.id].push_back(reads);
+      instr_writes_[p.id].push_back(writes);
+      instr_targets_[p.id].push_back(std::move(targets));
+    }
+  }
+}
+
+void StaticInfo::build_point_futures() {
+  const std::size_t n = program_->procs().size();
+  point_future_reads_.assign(n, {});
+  point_future_writes_.assign(n, {});
+  for (const Proc& p : program_->procs()) {
+    const std::size_t len = p.code.size();
+    auto& fr = point_future_reads_[p.id];
+    auto& fw = point_future_writes_[p.id];
+    fr.assign(len, DynamicBitset(num_classes_));
+    fw.assign(len, DynamicBitset(num_classes_));
+
+    auto succs = [&](std::size_t pc, std::vector<std::size_t>& out) {
+      out.clear();
+      const Instr& i = p.code[pc];
+      switch (i.op) {
+        case Op::Branch:
+          out.push_back(i.t1);
+          out.push_back(i.t2);
+          break;
+        case Op::Jump:
+          out.push_back(i.t1);
+          break;
+        case Op::Return:
+        case Op::Halt:
+          break;  // continuation belongs to the caller frame
+        default:
+          if (pc + 1 < len) out.push_back(pc + 1);
+          break;
+      }
+    };
+
+    // Backward fixpoint: future(pc) = direct(pc) ∪ targets' whole-proc sets
+    // ∪ futures of successors. Loops converge because sets only grow.
+    bool changed = true;
+    std::vector<std::size_t> ss;
+    while (changed) {
+      changed = false;
+      for (std::size_t pc = len; pc-- > 0;) {
+        DynamicBitset r = instr_reads_[p.id][pc];
+        DynamicBitset w = instr_writes_[p.id][pc];
+        for (std::uint32_t t : instr_targets_[p.id][pc]) {
+          r |= future_reads_[t];
+          w |= future_writes_[t];
+        }
+        succs(pc, ss);
+        for (std::size_t s : ss) {
+          r |= fr[s];
+          w |= fw[s];
+        }
+        if (!(r == fr[pc])) {
+          fr[pc] = std::move(r);
+          changed = true;
+        }
+        if (!(w == fw[pc])) {
+          fw[pc] = std::move(w);
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+void StaticInfo::build_reachability() {
+  const std::size_t n = program_->procs().size();
+  reach_.assign(n, {});
+  future_reads_.assign(n, DynamicBitset(num_classes_));
+  future_writes_.assign(n, DynamicBitset(num_classes_));
+  for (std::uint32_t p = 0; p < n; ++p) {
+    std::vector<std::uint32_t> stack = {p};
+    std::set<std::uint32_t> seen = {p};
+    while (!stack.empty()) {
+      const std::uint32_t cur = stack.back();
+      stack.pop_back();
+      reach_[p].push_back(cur);
+      future_reads_[p] |= direct_reads_[cur];
+      future_writes_[p] |= direct_writes_[cur];
+      for (std::uint32_t next : call_fork_edges_[cur]) {
+        if (seen.insert(next).second) stack.push_back(next);
+      }
+    }
+  }
+}
+
+void StaticInfo::build_criticality() {
+  critical_ = DynamicBitset(num_classes_);
+  // For every cobegin site, branches are pairwise concurrent; a class is
+  // critical when one branch context may write it while a sibling context
+  // may access it (Definition 4 lifted to classes).
+  for (const Proc& p : program_->procs()) {
+    for (const Instr& instr : p.code) {
+      if (instr.op == Op::ForkRange) {
+        // All doall instances run the same code concurrently: every class
+        // the body may write is written-while-accessed by a sibling
+        // instance, hence critical (Definition 4 self-conflict).
+        critical_ |= future_writes_[instr.forks.at(0)];
+        continue;
+      }
+      if (instr.op != Op::Fork) continue;
+      const auto& children = instr.forks;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        for (std::size_t j = 0; j < children.size(); ++j) {
+          if (i == j) continue;
+          const DynamicBitset& wi = future_writes_[children[i]];
+          const DynamicBitset& rj = future_reads_[children[j]];
+          const DynamicBitset& wj = future_writes_[children[j]];
+          DynamicBitset acc = rj;
+          acc |= wj;
+          acc &= wi;
+          critical_ |= acc;
+        }
+      }
+    }
+  }
+}
+
+std::string StaticInfo::describe_class(std::uint32_t cls) const {
+  if (cls == kLinksClass) return "<links>";
+  for (std::uint32_t slot = 1; slot < global_class_.size(); ++slot) {
+    if (global_class_[slot] == cls) {
+      for (const sem::GlobalSlot& g : program_->globals()) {
+        if (g.slot == slot) {
+          return "global " + std::string(program_->module().interner().spelling(g.name));
+        }
+      }
+    }
+  }
+  for (const auto& [key, c] : frame_class_) {
+    if (c == cls) {
+      return "frame " + program_->proc(key.first).name + "[" + std::to_string(key.second) + "]";
+    }
+  }
+  for (const auto& [site, c] : heap_class_) {
+    if (c == cls) return "heap@stmt" + std::to_string(site);
+  }
+  return "class" + std::to_string(cls);
+}
+
+}  // namespace copar::explore

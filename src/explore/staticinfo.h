@@ -1,0 +1,132 @@
+// Static access summaries backing stubborn sets and virtual coarsening.
+//
+// Both reductions need may-information about what a process can touch *in
+// the future*, not just in its next action:
+//
+//   - stubborn sets (§2): a process q outside the stubborn set must be
+//     incapable of ever performing an action dependent on the one being
+//     fired — so the conflict test intersects the fired action's locations
+//     with q's statically-reachable future accesses;
+//   - virtual coarsening (Definition 4 / Observation 5): a reference is
+//     *critical* if the location may be written by another concurrent
+//     thread (or read, for a write) — a statically computed property.
+//
+// Locations are abstracted into *classes*: one per global slot, one per
+// (function, frame slot), one per heap allocation site, and a distinguished
+// class for static-link cells (written only at frame birth, hence inert).
+// A dereference may touch any heap class or any address-taken variable
+// class. Call targets are resolved exactly for literal/function-named
+// callees whose global binding is never reassigned; otherwise every
+// function is assumed callable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/sem/lower.h"
+#include "src/sem/store.h"
+#include "src/support/bitset.h"
+
+namespace copar::explore {
+
+class StaticInfo {
+ public:
+  explicit StaticInfo(const sem::LoweredProgram& program);
+
+  [[nodiscard]] const sem::LoweredProgram& program() const noexcept { return *program_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+
+  /// Class of a concrete store location in a configuration's store.
+  [[nodiscard]] std::uint32_t class_of(const sem::Store& store, std::size_t loc) const;
+
+  /// Classes proc `p`'s code may read/write, including everything reachable
+  /// from it through calls and forks.
+  [[nodiscard]] const DynamicBitset& future_reads(std::uint32_t proc) const {
+    return future_reads_.at(proc);
+  }
+  [[nodiscard]] const DynamicBitset& future_writes(std::uint32_t proc) const {
+    return future_writes_.at(proc);
+  }
+
+  /// Program-point-sensitive refinement: classes reachable from (proc, pc)
+  /// onward (instructions still ahead of the point, plus everything their
+  /// calls and forks reach). A process that already passed its critical
+  /// section stops conflicting — this is what makes stubborn sets shrink
+  /// lock-stepped workloads like the dining philosophers.
+  [[nodiscard]] const DynamicBitset& future_reads_at(std::uint32_t proc, std::uint32_t pc) const {
+    return point_future_reads_.at(proc).at(pc);
+  }
+  [[nodiscard]] const DynamicBitset& future_writes_at(std::uint32_t proc,
+                                                      std::uint32_t pc) const {
+    return point_future_writes_.at(proc).at(pc);
+  }
+
+  /// Critical classes per Definition 4: some thread context writes the
+  /// class while a concurrent context accesses it.
+  [[nodiscard]] bool is_critical(std::uint32_t cls) const { return critical_.test(cls); }
+  [[nodiscard]] const DynamicBitset& critical_classes() const noexcept { return critical_; }
+
+  /// Direct (own-code, non-transitive) access sets of a proc.
+  [[nodiscard]] const DynamicBitset& direct_reads(std::uint32_t proc) const {
+    return direct_reads_.at(proc);
+  }
+  [[nodiscard]] const DynamicBitset& direct_writes(std::uint32_t proc) const {
+    return direct_writes_.at(proc);
+  }
+
+  /// Per-instruction direct class sets (what dataflow clients consume).
+  [[nodiscard]] const DynamicBitset& instr_reads(std::uint32_t proc, std::uint32_t pc) const {
+    return instr_reads_.at(proc).at(pc);
+  }
+  [[nodiscard]] const DynamicBitset& instr_writes(std::uint32_t proc, std::uint32_t pc) const {
+    return instr_writes_.at(proc).at(pc);
+  }
+  /// Callee/fork targets of the instruction (call edges + fork children).
+  [[nodiscard]] const std::vector<std::uint32_t>& instr_targets(std::uint32_t proc,
+                                                                std::uint32_t pc) const {
+    return instr_targets_.at(proc).at(pc);
+  }
+  /// Classes reachable through pointers (heap + address-taken variables).
+  [[nodiscard]] const DynamicBitset& pointer_targets() const noexcept {
+    return pointer_targets_;
+  }
+
+  /// Procs reachable from `p` via calls and forks (including `p`).
+  [[nodiscard]] const std::vector<std::uint32_t>& reachable_procs(std::uint32_t proc) const {
+    return reach_.at(proc);
+  }
+
+  /// Human-readable description of a class (tests/debugging).
+  [[nodiscard]] std::string describe_class(std::uint32_t cls) const;
+
+ private:
+  void build_classes();
+  void collect_address_taken();
+  void build_direct_sets();
+  void build_reachability();
+  void build_point_futures();
+  void build_criticality();
+
+  const sem::LoweredProgram* program_;
+  std::size_t num_classes_ = 0;
+
+  // class tables
+  std::vector<std::uint32_t> global_class_;                     // slot -> class
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> frame_class_;
+  std::map<std::uint32_t, std::uint32_t> heap_class_;           // alloc stmt -> class
+  DynamicBitset pointer_targets_;  // heap + address-taken classes
+
+  std::vector<DynamicBitset> direct_reads_, direct_writes_;
+  std::vector<DynamicBitset> future_reads_, future_writes_;
+  /// Per-instruction direct class sets (same walk as direct_*, unaggregated).
+  std::vector<std::vector<DynamicBitset>> instr_reads_, instr_writes_;
+  /// Callee/fork contributions per instruction (whole-proc transitive sets).
+  std::vector<std::vector<std::vector<std::uint32_t>>> instr_targets_;
+  std::vector<std::vector<DynamicBitset>> point_future_reads_, point_future_writes_;
+  std::vector<std::vector<std::uint32_t>> reach_;
+  std::vector<std::vector<std::uint32_t>> call_fork_edges_;
+  DynamicBitset critical_;
+};
+
+}  // namespace copar::explore

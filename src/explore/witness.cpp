@@ -1,0 +1,135 @@
+#include "src/explore/witness.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/explore/stubborn.h"
+
+namespace copar::explore {
+
+using sem::ActionInfo;
+using sem::Configuration;
+using sem::Pid;
+
+std::string Witness::to_string(const sem::LoweredProgram& prog) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const WitnessStep& s = steps[i];
+    os << i + 1 << ". p" << s.pid << ": " << sem::action_kind_name(s.kind);
+    if (!s.point.empty()) os << " at " << s.point;
+    os << '\n';
+  }
+  os << "reached:\n" << terminal.to_string();
+  (void)prog;
+  return os.str();
+}
+
+namespace {
+
+bool matches(const WitnessQuery& q, const Configuration& cfg, bool deadlock) {
+  if (q.want_deadlock && !deadlock) return false;
+  if (q.want_violation != sem::kNoStmt || q.want_fault != sem::kNoStmt) {
+    bool ok = false;
+    if (q.want_violation != sem::kNoStmt) ok = ok || cfg.violations.contains(q.want_violation);
+    if (q.want_fault != sem::kNoStmt) {
+      for (const auto& [stmt, kind] : cfg.faults) ok = ok || stmt == q.want_fault;
+    }
+    if (!ok) return false;
+  } else if (!q.want_deadlock && !q.predicate) {
+    // Nothing requested: any terminal matches.
+  }
+  if (q.predicate && !q.predicate(cfg)) return false;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
+                                    const WitnessQuery& query) {
+  const StaticInfo static_info(prog);
+
+  struct Node {
+    Configuration cfg;
+    std::uint32_t parent = 0xffffffffu;
+    WitnessStep via;
+  };
+  std::vector<Node> nodes;
+  std::unordered_map<std::string, std::uint32_t> visited;
+  std::deque<std::uint32_t> work;  // BFS: shortest witnesses
+
+  auto push = [&](Configuration cfg, std::uint32_t parent, WitnessStep via)
+      -> std::optional<std::uint32_t> {
+    std::string key = cfg.canonical_key();
+    auto it = visited.find(key);
+    if (it != visited.end()) return std::nullopt;
+    const auto id = static_cast<std::uint32_t>(nodes.size());
+    visited.emplace(std::move(key), id);
+    nodes.push_back(Node{std::move(cfg), parent, std::move(via)});
+    work.push_back(id);
+    return id;
+  };
+
+  auto build = [&](std::uint32_t id) {
+    Witness w;
+    w.terminal = nodes[id].cfg;
+    std::vector<WitnessStep> rev;
+    for (std::uint32_t cur = id; nodes[cur].parent != 0xffffffffu; cur = nodes[cur].parent) {
+      rev.push_back(nodes[cur].via);
+    }
+    w.steps.assign(rev.rbegin(), rev.rend());
+    return w;
+  };
+
+  (void)push(Configuration::initial(prog), 0xffffffffu, WitnessStep{});
+
+  while (!work.empty()) {
+    const std::uint32_t id = work.front();
+    work.pop_front();
+    if (nodes.size() > query.explore.max_configs) return std::nullopt;
+
+    // Snapshot — nodes may reallocate during expansion.
+    const Configuration cfg = nodes[id].cfg;
+    const std::vector<ActionInfo> infos = sem::all_action_infos(cfg);
+    std::vector<Pid> expand;
+    for (const ActionInfo& info : infos) {
+      if (info.enabled) expand.push_back(info.pid);
+    }
+    if (expand.empty()) {
+      const bool deadlock = cfg.num_live() > 0;
+      if (matches(query, cfg, deadlock)) return build(id);
+      continue;
+    }
+    if (query.explore.reduction == Reduction::Stubborn && expand.size() > 1) {
+      // NOTE: no cycle proviso here — BFS has no stack. Fall back to full
+      // expansion when the reduced choice would revisit only known states,
+      // which keeps the search complete on cyclic spaces.
+      const StubbornChoice choice = stubborn_set(cfg, infos, static_info);
+      bool all_known = true;
+      for (Pid pid : choice.expand) {
+        Configuration succ = sem::apply_action(cfg, pid);
+        if (!visited.contains(succ.canonical_key())) all_known = false;
+      }
+      if (!all_known || choice.is_full) expand = choice.expand;
+    }
+    for (Pid pid : expand) {
+      const ActionInfo info = sem::action_info(cfg, pid);
+      WitnessStep step;
+      step.pid = pid;
+      step.stmt = info.stmt_id;
+      step.kind = info.kind;
+      step.point = prog.describe_point(info.proc, info.pc);
+      Configuration succ = sem::apply_action(cfg, pid);
+      (void)push(std::move(succ), id, std::move(step));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Witness> find_deadlock(const sem::LoweredProgram& prog) {
+  WitnessQuery q;
+  q.want_deadlock = true;
+  return find_witness(prog, q);
+}
+
+}  // namespace copar::explore

@@ -1,0 +1,56 @@
+// Witness schedules: a concrete interleaving reaching a chosen terminal
+// configuration (deadlock, assertion violation, fault, or any outcome).
+//
+// The paper positions the framework for both optimization and debugging
+// ("detecting access anomalies or assisting debugging"); a reported fact is
+// far more useful with the schedule that exhibits it. The witness explorer
+// runs a (full or reduced) exploration that remembers one predecessor per
+// configuration and replays the action sequence on demand.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/explore/explorer.h"
+
+namespace copar::explore {
+
+struct WitnessStep {
+  sem::Pid pid = 0;                      // process that acted
+  std::uint32_t stmt = sem::kNoStmt;     // originating statement
+  sem::ActionKind kind = sem::ActionKind::None;
+  std::string point;                     // human-readable control point
+};
+
+struct Witness {
+  std::vector<WitnessStep> steps;
+  sem::Configuration terminal;
+
+  /// One line per step: "p2: lock (s4: lock(fork1))".
+  [[nodiscard]] std::string to_string(const sem::LoweredProgram& prog) const;
+};
+
+/// What to search for.
+struct WitnessQuery {
+  bool want_deadlock = false;
+  /// A terminal whose violations contain this statement id (kNoStmt: any).
+  std::uint32_t want_violation = sem::kNoStmt;
+  /// A terminal whose faults contain this statement id (kNoStmt: any).
+  std::uint32_t want_fault = sem::kNoStmt;
+  /// Predicate on the terminal configuration (null: none). Applied last.
+  std::function<bool(const sem::Configuration&)> predicate;
+
+  ExploreOptions explore;  // reduction etc.; record flags are ignored
+};
+
+/// Explores until a terminal matching the query is found; nullopt if the
+/// (possibly truncated) exploration finds none.
+std::optional<Witness> find_witness(const sem::LoweredProgram& prog, const WitnessQuery& query);
+
+/// Convenience: a schedule into any deadlock.
+std::optional<Witness> find_deadlock(const sem::LoweredProgram& prog);
+
+}  // namespace copar::explore

@@ -1,0 +1,38 @@
+#include "src/lang/ast.h"
+
+namespace copar::lang {
+
+std::string_view binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::And: return "and";
+    case BinOp::Or: return "or";
+  }
+  return "<?>";
+}
+
+const Stmt* Module::find_labeled(std::string_view label) const {
+  for (const auto& [sym, stmt] : labels_) {
+    if (interner_->spelling(sym) == label) return stmt;
+  }
+  return nullptr;
+}
+
+const FunDecl* Module::find_function(std::string_view name) const {
+  for (const auto& f : functions_) {
+    if (f->name().valid() && interner_->spelling(f->name()) == name) return f.get();
+  }
+  return nullptr;
+}
+
+}  // namespace copar::lang

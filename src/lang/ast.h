@@ -1,0 +1,502 @@
+// Abstract syntax for the copar language.
+//
+// The language mirrors the one in the paper (and its companion [CH92]):
+// first-class functions (named and anonymous, with lexical capture), dynamic
+// allocation (`alloc`), pointers (`&x`, `*p`, `p[i]`), and nested
+// `cobegin ... || ... coend` parallelism. Two deliberate restrictions keep
+// every statement a single atomic action with a computable read/write set,
+// matching the paper's model of "statements with read and write sets":
+//
+//   1. `alloc(e)` may appear only as the entire right-hand side of an
+//      assignment (`x = alloc(n);`).
+//   2. calls may appear only as statements (`f(a);` or `x = f(a);`), never
+//      nested inside expressions.
+//
+// Statements may carry labels (`s1: x = 1;`); the paper's figures reference
+// statements by such labels and our tests/benches do the same.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/diagnostics.h"
+#include "src/support/interner.h"
+
+namespace copar::lang {
+
+class FunDecl;
+
+// ---------------------------------------------------------------------------
+// Expressions (pure: no calls, no allocation)
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit,
+  BoolLit,
+  NullLit,
+  VarRef,
+  Unary,
+  Binary,
+  AddrOf,
+  Deref,
+  Index,
+  FunLit,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not };
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Mod,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+};
+
+/// Spelling of a binary operator ("+", "==", "and", ...).
+std::string_view binop_name(BinOp op);
+
+class Expr {
+ public:
+  Expr(ExprKind kind, SourceLoc loc, std::uint32_t id) : kind_(kind), loc_(loc), id_(id) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  [[nodiscard]] ExprKind kind() const noexcept { return kind_; }
+  [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+  /// Module-unique id; analyses key results off expression/statement ids.
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+
+ private:
+  ExprKind kind_;
+  SourceLoc loc_;
+  std::uint32_t id_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLit final : public Expr {
+ public:
+  IntLit(std::int64_t value, SourceLoc loc, std::uint32_t id)
+      : Expr(ExprKind::IntLit, loc, id), value_(value) {}
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_;
+};
+
+class BoolLit final : public Expr {
+ public:
+  BoolLit(bool value, SourceLoc loc, std::uint32_t id)
+      : Expr(ExprKind::BoolLit, loc, id), value_(value) {}
+  [[nodiscard]] bool value() const noexcept { return value_; }
+
+ private:
+  bool value_;
+};
+
+class NullLit final : public Expr {
+ public:
+  NullLit(SourceLoc loc, std::uint32_t id) : Expr(ExprKind::NullLit, loc, id) {}
+};
+
+class VarRef final : public Expr {
+ public:
+  VarRef(Symbol name, SourceLoc loc, std::uint32_t id)
+      : Expr(ExprKind::VarRef, loc, id), name_(name) {}
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+
+ private:
+  Symbol name_;
+};
+
+class Unary final : public Expr {
+ public:
+  Unary(UnOp op, ExprPtr operand, SourceLoc loc, std::uint32_t id)
+      : Expr(ExprKind::Unary, loc, id), op_(op), operand_(std::move(operand)) {}
+  [[nodiscard]] UnOp op() const noexcept { return op_; }
+  [[nodiscard]] const Expr& operand() const noexcept { return *operand_; }
+
+ private:
+  UnOp op_;
+  ExprPtr operand_;
+};
+
+class Binary final : public Expr {
+ public:
+  Binary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc, std::uint32_t id)
+      : Expr(ExprKind::Binary, loc, id), op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  [[nodiscard]] BinOp op() const noexcept { return op_; }
+  [[nodiscard]] const Expr& lhs() const noexcept { return *lhs_; }
+  [[nodiscard]] const Expr& rhs() const noexcept { return *rhs_; }
+
+ private:
+  BinOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// `&x` or `&p[i]` — the address of an lvalue.
+class AddrOf final : public Expr {
+ public:
+  AddrOf(ExprPtr lvalue, SourceLoc loc, std::uint32_t id)
+      : Expr(ExprKind::AddrOf, loc, id), lvalue_(std::move(lvalue)) {}
+  [[nodiscard]] const Expr& lvalue() const noexcept { return *lvalue_; }
+
+ private:
+  ExprPtr lvalue_;
+};
+
+/// `*p`.
+class Deref final : public Expr {
+ public:
+  Deref(ExprPtr pointer, SourceLoc loc, std::uint32_t id)
+      : Expr(ExprKind::Deref, loc, id), pointer_(std::move(pointer)) {}
+  [[nodiscard]] const Expr& pointer() const noexcept { return *pointer_; }
+
+ private:
+  ExprPtr pointer_;
+};
+
+/// `p[i]` — equivalent to `*(p + i)` over an allocated object's cells.
+class Index final : public Expr {
+ public:
+  Index(ExprPtr base, ExprPtr index, SourceLoc loc, std::uint32_t id)
+      : Expr(ExprKind::Index, loc, id), base_(std::move(base)), index_(std::move(index)) {}
+  [[nodiscard]] const Expr& base() const noexcept { return *base_; }
+  [[nodiscard]] const Expr& index() const noexcept { return *index_; }
+
+ private:
+  ExprPtr base_;
+  ExprPtr index_;
+};
+
+/// An anonymous `fun (params) { ... }` literal; evaluates to a closure over
+/// the current environment. `decl()` points into Module::functions().
+class FunLit final : public Expr {
+ public:
+  FunLit(const FunDecl* decl, SourceLoc loc, std::uint32_t id)
+      : Expr(ExprKind::FunLit, loc, id), decl_(decl) {}
+  [[nodiscard]] const FunDecl& decl() const noexcept { return *decl_; }
+
+ private:
+  const FunDecl* decl_;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Block,
+  VarDecl,
+  Assign,
+  Alloc,
+  Call,
+  If,
+  While,
+  Cobegin,
+  DoAll,
+  Return,
+  Lock,
+  Unlock,
+  Skip,
+  Assert,
+};
+
+class Stmt {
+ public:
+  Stmt(StmtKind kind, SourceLoc loc, std::uint32_t id) : kind_(kind), loc_(loc), id_(id) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] StmtKind kind() const noexcept { return kind_; }
+  [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+
+  /// Optional `name:` label; invalid Symbol when absent.
+  [[nodiscard]] Symbol label() const noexcept { return label_; }
+  void set_label(Symbol label) noexcept { label_ = label; }
+
+ private:
+  StmtKind kind_;
+  SourceLoc loc_;
+  std::uint32_t id_;
+  Symbol label_;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class Block final : public Stmt {
+ public:
+  Block(std::vector<StmtPtr> stmts, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::Block, loc, id), stmts_(std::move(stmts)) {}
+  [[nodiscard]] const std::vector<StmtPtr>& stmts() const noexcept { return stmts_; }
+
+ private:
+  std::vector<StmtPtr> stmts_;
+};
+
+class VarDeclStmt final : public Stmt {
+ public:
+  VarDeclStmt(Symbol name, ExprPtr init, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::VarDecl, loc, id), name_(name), init_(std::move(init)) {}
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] const Expr* init() const noexcept { return init_.get(); }
+
+ private:
+  Symbol name_;
+  ExprPtr init_;  // may be null (defaults to 0)
+};
+
+class AssignStmt final : public Stmt {
+ public:
+  AssignStmt(ExprPtr lhs, ExprPtr rhs, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::Assign, loc, id), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  [[nodiscard]] const Expr& lhs() const noexcept { return *lhs_; }
+  [[nodiscard]] const Expr& rhs() const noexcept { return *rhs_; }
+
+ private:
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// `lhs = alloc(size);` — allocate `size` cells, bind pointer to lhs.
+class AllocStmt final : public Stmt {
+ public:
+  AllocStmt(ExprPtr lhs, ExprPtr size, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::Alloc, loc, id), lhs_(std::move(lhs)), size_(std::move(size)) {}
+  [[nodiscard]] const Expr& lhs() const noexcept { return *lhs_; }
+  [[nodiscard]] const Expr& size() const noexcept { return *size_; }
+
+ private:
+  ExprPtr lhs_;
+  ExprPtr size_;
+};
+
+/// `dst = callee(args);` or `callee(args);` (dst null).
+class CallStmt final : public Stmt {
+ public:
+  CallStmt(ExprPtr dst, ExprPtr callee, std::vector<ExprPtr> args, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::Call, loc, id),
+        dst_(std::move(dst)),
+        callee_(std::move(callee)),
+        args_(std::move(args)) {}
+  [[nodiscard]] const Expr* dst() const noexcept { return dst_.get(); }
+  [[nodiscard]] const Expr& callee() const noexcept { return *callee_; }
+  [[nodiscard]] const std::vector<ExprPtr>& args() const noexcept { return args_; }
+
+ private:
+  ExprPtr dst_;  // may be null
+  ExprPtr callee_;
+  std::vector<ExprPtr> args_;
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::If, loc, id),
+        cond_(std::move(cond)),
+        then_(std::move(then_branch)),
+        else_(std::move(else_branch)) {}
+  [[nodiscard]] const Expr& cond() const noexcept { return *cond_; }
+  [[nodiscard]] const Stmt& then_branch() const noexcept { return *then_; }
+  [[nodiscard]] const Stmt* else_branch() const noexcept { return else_.get(); }
+
+ private:
+  ExprPtr cond_;
+  StmtPtr then_;
+  StmtPtr else_;  // may be null
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  WhileStmt(ExprPtr cond, StmtPtr body, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::While, loc, id), cond_(std::move(cond)), body_(std::move(body)) {}
+  [[nodiscard]] const Expr& cond() const noexcept { return *cond_; }
+  [[nodiscard]] const Stmt& body() const noexcept { return *body_; }
+
+ private:
+  ExprPtr cond_;
+  StmtPtr body_;
+};
+
+/// `cobegin B1 || B2 || ... coend` — fork one process per branch, then wait
+/// for all of them (the paper's cobegin; nesting is allowed).
+class CobeginStmt final : public Stmt {
+ public:
+  CobeginStmt(std::vector<StmtPtr> branches, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::Cobegin, loc, id), branches_(std::move(branches)) {}
+  [[nodiscard]] const std::vector<StmtPtr>& branches() const noexcept { return branches_; }
+
+ private:
+  std::vector<StmtPtr> branches_;
+};
+
+/// `doall (i = lo .. hi) body` — fork one process per index in the
+/// inclusive range [lo, hi] (evaluated at fork time; an empty range forks
+/// nothing), each with its own binding of `i`, then wait for all of them.
+/// The data-parallel sibling of cobegin mentioned in the paper's
+/// introduction; the number of processes is a run-time value, which is what
+/// makes McDowell's clan folding (§6.2) earn its keep.
+class DoAllStmt final : public Stmt {
+ public:
+  DoAllStmt(Symbol var, ExprPtr lo, ExprPtr hi, StmtPtr body, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::DoAll, loc, id),
+        var_(var),
+        lo_(std::move(lo)),
+        hi_(std::move(hi)),
+        body_(std::move(body)) {}
+  [[nodiscard]] Symbol var() const noexcept { return var_; }
+  [[nodiscard]] const Expr& lo() const noexcept { return *lo_; }
+  [[nodiscard]] const Expr& hi() const noexcept { return *hi_; }
+  [[nodiscard]] const Stmt& body() const noexcept { return *body_; }
+
+ private:
+  Symbol var_;
+  ExprPtr lo_;
+  ExprPtr hi_;
+  StmtPtr body_;
+};
+
+class ReturnStmt final : public Stmt {
+ public:
+  ReturnStmt(ExprPtr value, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::Return, loc, id), value_(std::move(value)) {}
+  [[nodiscard]] const Expr* value() const noexcept { return value_.get(); }
+
+ private:
+  ExprPtr value_;  // may be null
+};
+
+/// `lock(lv);` — blocking acquire of the cell named by lvalue `lv`
+/// (0 = free; held cells record the owner). Models shared-variable
+/// synchronization; the location participates in read/write sets so
+/// stubborn-set conflicts see it.
+class LockStmt final : public Stmt {
+ public:
+  LockStmt(ExprPtr lvalue, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::Lock, loc, id), lvalue_(std::move(lvalue)) {}
+  [[nodiscard]] const Expr& lvalue() const noexcept { return *lvalue_; }
+
+ private:
+  ExprPtr lvalue_;
+};
+
+class UnlockStmt final : public Stmt {
+ public:
+  UnlockStmt(ExprPtr lvalue, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::Unlock, loc, id), lvalue_(std::move(lvalue)) {}
+  [[nodiscard]] const Expr& lvalue() const noexcept { return *lvalue_; }
+
+ private:
+  ExprPtr lvalue_;
+};
+
+class SkipStmt final : public Stmt {
+ public:
+  SkipStmt(SourceLoc loc, std::uint32_t id) : Stmt(StmtKind::Skip, loc, id) {}
+};
+
+class AssertStmt final : public Stmt {
+ public:
+  AssertStmt(ExprPtr cond, SourceLoc loc, std::uint32_t id)
+      : Stmt(StmtKind::Assert, loc, id), cond_(std::move(cond)) {}
+  [[nodiscard]] const Expr& cond() const noexcept { return *cond_; }
+
+ private:
+  ExprPtr cond_;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations and modules
+// ---------------------------------------------------------------------------
+
+/// A function: named top-level `fun f(a,b) {...}` or an anonymous literal.
+/// All functions (including lambdas) are collected in Module::functions().
+class FunDecl {
+ public:
+  FunDecl(Symbol name, std::vector<Symbol> params, std::unique_ptr<Block> body, SourceLoc loc,
+          std::uint32_t index)
+      : name_(name), params_(std::move(params)), body_(std::move(body)), loc_(loc), index_(index) {}
+
+  /// Invalid Symbol for anonymous functions.
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Symbol>& params() const noexcept { return params_; }
+  [[nodiscard]] const Block& body() const noexcept { return *body_; }
+  [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+  /// Index into Module::functions().
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+
+ private:
+  Symbol name_;
+  std::vector<Symbol> params_;
+  std::unique_ptr<Block> body_;
+  SourceLoc loc_;
+  std::uint32_t index_;
+};
+
+struct GlobalDecl {
+  Symbol name;
+  ExprPtr init;  // may be null (defaults to 0)
+  SourceLoc loc;
+};
+
+/// A parsed + resolved compilation unit. Owns all AST nodes and the
+/// interner used for its identifiers.
+class Module {
+ public:
+  Module() : interner_(std::make_unique<Interner>()) {}
+
+  [[nodiscard]] Interner& interner() noexcept { return *interner_; }
+  [[nodiscard]] const Interner& interner() const noexcept { return *interner_; }
+
+  [[nodiscard]] const std::vector<GlobalDecl>& globals() const noexcept { return globals_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<FunDecl>>& functions() const noexcept {
+    return functions_;
+  }
+
+  /// The named function to start interpretation from (usually "main");
+  /// nullptr if absent.
+  [[nodiscard]] const FunDecl* find_function(std::string_view name) const;
+
+  /// Next fresh node id (used by the parser).
+  std::uint32_t next_id() noexcept { return next_id_++; }
+  /// One past the largest node id handed out; ids are dense in [0, count).
+  [[nodiscard]] std::uint32_t node_count() const noexcept { return next_id_; }
+
+  void add_global(GlobalDecl g) { globals_.push_back(std::move(g)); }
+  FunDecl* add_function(std::unique_ptr<FunDecl> f) {
+    functions_.push_back(std::move(f));
+    return functions_.back().get();
+  }
+
+  /// Label table, populated by the resolver. The paper's figures refer to
+  /// statements as `s1:`, `s2:`, ...; tests and benches look them up here.
+  [[nodiscard]] const Stmt* find_labeled(std::string_view label) const;
+  void register_label(Symbol label, const Stmt* stmt) { labels_.emplace(label, stmt); }
+  [[nodiscard]] const std::unordered_map<Symbol, const Stmt*>& labels() const noexcept {
+    return labels_;
+  }
+
+ private:
+  std::unique_ptr<Interner> interner_;
+  std::vector<GlobalDecl> globals_;
+  std::vector<std::unique_ptr<FunDecl>> functions_;
+  std::unordered_map<Symbol, const Stmt*> labels_;
+  std::uint32_t next_id_ = 0;
+};
+
+/// Checked downcast helpers.
+template <typename T>
+const T& expr_cast(const Expr& e) {
+  return static_cast<const T&>(e);
+}
+template <typename T>
+const T& stmt_cast(const Stmt& s) {
+  return static_cast<const T&>(s);
+}
+
+}  // namespace copar::lang

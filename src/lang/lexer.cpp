@@ -1,0 +1,168 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace copar::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kw = {
+      {"var", Tok::KwVar},       {"fun", Tok::KwFun},       {"if", Tok::KwIf},
+      {"else", Tok::KwElse},     {"while", Tok::KwWhile},   {"cobegin", Tok::KwCobegin},
+      {"coend", Tok::KwCoend},   {"doall", Tok::KwDoall},   {"return", Tok::KwReturn}, {"skip", Tok::KwSkip},
+      {"lock", Tok::KwLock},     {"unlock", Tok::KwUnlock}, {"assert", Tok::KwAssert},
+      {"alloc", Tok::KwAlloc},   {"null", Tok::KwNull},     {"true", Tok::KwTrue},
+      {"false", Tok::KwFalse},   {"and", Tok::KwAnd},       {"or", Tok::KwOr},
+      {"not", Tok::KwNot},
+  };
+  return kw;
+}
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_cont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source, Interner& interner, DiagnosticEngine& diags)
+    : source_(source), interner_(interner), diags_(diags) {}
+
+char Lexer::peek(std::size_t ahead) const noexcept {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() noexcept {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::skip_trivia() {
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLoc start = here();
+      advance();
+      advance();
+      bool closed = false;
+      while (!at_end()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) diags_.error(start, "unterminated block comment");
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::next() {
+  skip_trivia();
+  Token t;
+  t.loc = here();
+  if (at_end()) {
+    t.kind = Tok::Eof;
+    return t;
+  }
+  const char c = advance();
+  switch (c) {
+    case '(': t.kind = Tok::LParen; return t;
+    case ')': t.kind = Tok::RParen; return t;
+    case '{': t.kind = Tok::LBrace; return t;
+    case '}': t.kind = Tok::RBrace; return t;
+    case '[': t.kind = Tok::LBracket; return t;
+    case ']': t.kind = Tok::RBracket; return t;
+    case ';': t.kind = Tok::Semi; return t;
+    case ',': t.kind = Tok::Comma; return t;
+    case ':': t.kind = Tok::Colon; return t;
+    case '.':
+      if (peek() == '.') { advance(); t.kind = Tok::DotDot; return t; }
+      diags_.error(t.loc, "unexpected '.' (ranges are written 'lo .. hi')");
+      return next();
+    case '+': t.kind = Tok::Plus; return t;
+    case '-': t.kind = Tok::Minus; return t;
+    case '*': t.kind = Tok::Star; return t;
+    case '/': t.kind = Tok::Slash; return t;
+    case '%': t.kind = Tok::Percent; return t;
+    case '=':
+      if (peek() == '=') { advance(); t.kind = Tok::EqEq; } else { t.kind = Tok::Assign; }
+      return t;
+    case '!':
+      if (peek() == '=') { advance(); t.kind = Tok::NotEq; return t; }
+      diags_.error(t.loc, "unexpected '!' (use 'not' / '!=')");
+      return next();
+    case '<':
+      if (peek() == '=') { advance(); t.kind = Tok::Le; } else { t.kind = Tok::Lt; }
+      return t;
+    case '>':
+      if (peek() == '=') { advance(); t.kind = Tok::Ge; } else { t.kind = Tok::Gt; }
+      return t;
+    case '&':
+      if (peek() == '&') {
+        advance();
+        diags_.error(t.loc, "unexpected '&&' (use 'and')");
+        return next();
+      }
+      t.kind = Tok::Amp;
+      return t;
+    case '|':
+      if (peek() == '|') { advance(); t.kind = Tok::BarBar; return t; }
+      diags_.error(t.loc, "unexpected '|' (use 'or', or '||' to separate cobegin branches)");
+      return next();
+    default:
+      break;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::int64_t value = c - '0';
+    bool overflow = false;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      const int digit = advance() - '0';
+      if (value > (INT64_MAX - digit) / 10) overflow = true;
+      if (!overflow) value = value * 10 + digit;
+    }
+    if (overflow) diags_.error(t.loc, "integer literal overflows 64 bits");
+    t.kind = Tok::Int;
+    t.int_value = value;
+    return t;
+  }
+  if (is_ident_start(c)) {
+    const std::size_t start = pos_ - 1;
+    while (!at_end() && is_ident_cont(peek())) advance();
+    const std::string_view text = source_.substr(start, pos_ - start);
+    if (auto it = keywords().find(text); it != keywords().end()) {
+      t.kind = it->second;
+    } else {
+      t.kind = Tok::Ident;
+      t.ident = interner_.intern(text);
+    }
+    return t;
+  }
+  diags_.error(t.loc, std::string("unexpected character '") + c + "'");
+  return next();
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  for (;;) {
+    out.push_back(next());
+    if (out.back().is(Tok::Eof)) break;
+  }
+  return out;
+}
+
+}  // namespace copar::lang

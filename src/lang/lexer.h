@@ -1,0 +1,38 @@
+// Hand-written lexer for the copar language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/support/diagnostics.h"
+#include "src/support/interner.h"
+
+namespace copar::lang {
+
+/// Tokenizes a whole source buffer. Unknown characters produce diagnostics
+/// and are skipped, so parsing can continue to surface later errors.
+class Lexer {
+ public:
+  Lexer(std::string_view source, Interner& interner, DiagnosticEngine& diags);
+
+  /// Lexes the entire input, ending with a Tok::Eof token.
+  std::vector<Token> lex_all();
+
+ private:
+  Token next();
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept;
+  char advance() noexcept;
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= source_.size(); }
+  [[nodiscard]] SourceLoc here() const noexcept { return SourceLoc{line_, column_}; }
+  void skip_trivia();
+
+  std::string_view source_;
+  Interner& interner_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace copar::lang

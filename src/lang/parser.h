@@ -1,0 +1,94 @@
+// Recursive-descent parser for the copar language.
+//
+// Grammar (informal):
+//
+//   module   := (global | fundecl)*
+//   global   := 'var' ID ('=' expr)? ';'
+//   fundecl  := 'fun' ID '(' params? ')' block
+//   block    := '{' stmt* '}'
+//   stmt     := (ID ':')? unlabeled
+//   unlabeled:= block
+//             | 'var' ID ('=' rhs)? ';'
+//             | 'if' '(' expr ')' stmt ('else' stmt)?
+//             | 'while' '(' expr ')' stmt
+//             | 'cobegin' branch ('||' branch)* 'coend' ';'?
+//             | 'return' expr? ';'
+//             | 'skip' ';' | 'lock' '(' expr ')' ';' | 'unlock' '(' expr ')' ';'
+//             | 'assert' '(' expr ')' ';'
+//             | expr '=' rhs ';'           (assignment / alloc / call)
+//             | expr '(' args? ')' ';'     (bare call)
+//   branch   := block | unlabeled
+//   rhs      := 'alloc' '(' expr ')' | expr ('(' args? ')')?
+//   expr     := or-expr  (with 'and'/'or', comparisons, +,-,*,/,%, unary
+//               '-','not','*','&', indexing e[i], 'fun' literals)
+//
+// Restrictions enforced here (see ast.h): `alloc` only as a whole RHS, calls
+// only at statement level with a syntactically primary callee.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/token.h"
+#include "src/support/diagnostics.h"
+
+namespace copar::lang {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Module& module, DiagnosticEngine& diags);
+
+  /// Parses a whole module; on syntax errors, reports and recovers at ';'.
+  void parse_module();
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  bool match(Tok t);
+  const Token& expect(Tok t, std::string_view context);
+  void sync_to_semi();
+
+  void parse_global();
+  void parse_fundecl();
+  std::unique_ptr<Block> parse_block();
+  void parse_stmt(std::vector<StmtPtr>& out);
+  void parse_unlabeled(std::vector<StmtPtr>& out, Symbol label);
+  StmtPtr parse_branch();
+  StmtPtr parse_stmt_single();
+  void parse_assign_or_call(std::vector<StmtPtr>& out, Symbol label);
+  void parse_rhs_into(ExprPtr lhs, SourceLoc loc, Symbol label, std::vector<StmtPtr>& out);
+
+  ExprPtr parse_expr();
+  ExprPtr parse_or();
+  ExprPtr parse_and();
+  ExprPtr parse_cmp();
+  ExprPtr parse_add();
+  ExprPtr parse_mul();
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+  std::vector<ExprPtr> parse_args();
+
+  /// True if `e` is a valid assignment target (VarRef/Deref/Index).
+  static bool is_lvalue(const Expr& e);
+  /// True if `e` may syntactically be a call target.
+  static bool is_callable(const Expr& e);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Module& module_;
+  DiagnosticEngine& diags_;
+  int fun_depth_ = 0;
+};
+
+/// Convenience: lex + parse + resolve `source` into a fresh Module.
+/// Throws copar::Error with all diagnostics if anything fails.
+std::unique_ptr<Module> parse_program(std::string_view source);
+
+/// Non-throwing variant; diagnostics go to `diags`, returns the module
+/// (possibly partial) regardless.
+std::unique_ptr<Module> parse_program(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace copar::lang

@@ -1,0 +1,279 @@
+#include "src/lang/printer.h"
+
+#include <sstream>
+
+namespace copar::lang {
+
+namespace {
+
+class PrinterImpl {
+ public:
+  explicit PrinterImpl(const Module& m) : module_(m) {}
+
+  std::string module_text() {
+    for (const GlobalDecl& g : module_.globals()) {
+      os_ << "var " << name(g.name);
+      if (g.init) {
+        os_ << " = ";
+        expr(*g.init);
+      }
+      os_ << ";\n";
+    }
+    for (const auto& f : module_.functions()) {
+      if (!f->name().valid()) continue;  // lambdas print at their use site
+      os_ << "fun " << name(f->name()) << "(";
+      params(*f);
+      os_ << ") ";
+      block(f->body(), 0);
+      os_ << "\n";
+    }
+    return os_.str();
+  }
+
+  std::string stmt_text(const Stmt& s, int indent) {
+    stmt(s, indent);
+    return os_.str();
+  }
+
+  std::string expr_text(const Expr& e) {
+    expr(e);
+    return os_.str();
+  }
+
+ private:
+  [[nodiscard]] std::string_view name(Symbol s) const { return module_.interner().spelling(s); }
+
+  void params(const FunDecl& f) {
+    for (std::size_t i = 0; i < f.params().size(); ++i) {
+      if (i > 0) os_ << ", ";
+      os_ << name(f.params()[i]);
+    }
+  }
+
+  void pad(int indent) {
+    for (int i = 0; i < indent; ++i) os_ << "  ";
+  }
+
+  void block(const Block& b, int indent) {
+    os_ << "{\n";
+    for (const StmtPtr& s : b.stmts()) stmt(*s, indent + 1);
+    pad(indent);
+    os_ << "}";
+  }
+
+  void stmt(const Stmt& s, int indent) {
+    pad(indent);
+    if (s.label().valid()) os_ << name(s.label()) << ": ";
+    switch (s.kind()) {
+      case StmtKind::Block:
+        block(stmt_cast<Block>(s), indent);
+        os_ << "\n";
+        break;
+      case StmtKind::VarDecl: {
+        const auto& d = stmt_cast<VarDeclStmt>(s);
+        os_ << "var " << name(d.name());
+        if (d.init()) {
+          os_ << " = ";
+          expr(*d.init());
+        }
+        os_ << ";\n";
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = stmt_cast<AssignStmt>(s);
+        expr(a.lhs());
+        os_ << " = ";
+        expr(a.rhs());
+        os_ << ";\n";
+        break;
+      }
+      case StmtKind::Alloc: {
+        const auto& a = stmt_cast<AllocStmt>(s);
+        expr(a.lhs());
+        os_ << " = alloc(";
+        expr(a.size());
+        os_ << ");\n";
+        break;
+      }
+      case StmtKind::Call: {
+        const auto& c = stmt_cast<CallStmt>(s);
+        if (c.dst()) {
+          expr(*c.dst());
+          os_ << " = ";
+        }
+        expr(c.callee());
+        os_ << "(";
+        for (std::size_t i = 0; i < c.args().size(); ++i) {
+          if (i > 0) os_ << ", ";
+          expr(*c.args()[i]);
+        }
+        os_ << ");\n";
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = stmt_cast<IfStmt>(s);
+        os_ << "if (";
+        expr(i.cond());
+        os_ << ") ";
+        stmt_inline(i.then_branch(), indent);
+        if (i.else_branch()) {
+          pad(indent);
+          os_ << "else ";
+          stmt_inline(*i.else_branch(), indent);
+        }
+        break;
+      }
+      case StmtKind::While: {
+        const auto& w = stmt_cast<WhileStmt>(s);
+        os_ << "while (";
+        expr(w.cond());
+        os_ << ") ";
+        stmt_inline(w.body(), indent);
+        break;
+      }
+      case StmtKind::Cobegin: {
+        const auto& c = stmt_cast<CobeginStmt>(s);
+        os_ << "cobegin\n";
+        for (std::size_t i = 0; i < c.branches().size(); ++i) {
+          if (i > 0) {
+            pad(indent);
+            os_ << "||\n";
+          }
+          stmt(*c.branches()[i], indent + 1);
+        }
+        pad(indent);
+        os_ << "coend;\n";
+        break;
+      }
+      case StmtKind::DoAll: {
+        const auto& d = stmt_cast<DoAllStmt>(s);
+        os_ << "doall (" << name(d.var()) << " = ";
+        expr(d.lo());
+        os_ << " .. ";
+        expr(d.hi());
+        os_ << ") ";
+        stmt_inline(d.body(), indent);
+        break;
+      }
+      case StmtKind::Return: {
+        const auto& r = stmt_cast<ReturnStmt>(s);
+        os_ << "return";
+        if (r.value()) {
+          os_ << " ";
+          expr(*r.value());
+        }
+        os_ << ";\n";
+        break;
+      }
+      case StmtKind::Lock:
+        os_ << "lock(";
+        expr(stmt_cast<LockStmt>(s).lvalue());
+        os_ << ");\n";
+        break;
+      case StmtKind::Unlock:
+        os_ << "unlock(";
+        expr(stmt_cast<UnlockStmt>(s).lvalue());
+        os_ << ");\n";
+        break;
+      case StmtKind::Skip:
+        os_ << "skip;\n";
+        break;
+      case StmtKind::Assert:
+        os_ << "assert(";
+        expr(stmt_cast<AssertStmt>(s).cond());
+        os_ << ");\n";
+        break;
+    }
+  }
+
+  /// Prints a statement that follows `if (...)` / `while (...)` on the same
+  /// line when it is a block.
+  void stmt_inline(const Stmt& s, int indent) {
+    if (s.kind() == StmtKind::Block) {
+      block(stmt_cast<Block>(s), indent);
+      os_ << "\n";
+    } else {
+      os_ << "\n";
+      stmt(s, indent + 1);
+    }
+  }
+
+  /// Fully parenthesized expression printing: correct by construction, and
+  /// re-parsing yields the identical tree shape.
+  void expr(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+        os_ << expr_cast<IntLit>(e).value();
+        break;
+      case ExprKind::BoolLit:
+        os_ << (expr_cast<BoolLit>(e).value() ? "true" : "false");
+        break;
+      case ExprKind::NullLit:
+        os_ << "null";
+        break;
+      case ExprKind::VarRef:
+        os_ << name(expr_cast<VarRef>(e).name());
+        break;
+      case ExprKind::Unary: {
+        const auto& u = expr_cast<Unary>(e);
+        os_ << (u.op() == UnOp::Neg ? "(-" : "(not ");
+        expr(u.operand());
+        os_ << ")";
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& b = expr_cast<Binary>(e);
+        os_ << "(";
+        expr(b.lhs());
+        os_ << " " << binop_name(b.op()) << " ";
+        expr(b.rhs());
+        os_ << ")";
+        break;
+      }
+      case ExprKind::AddrOf:
+        os_ << "(&";
+        expr(expr_cast<AddrOf>(e).lvalue());
+        os_ << ")";
+        break;
+      case ExprKind::Deref:
+        os_ << "(*";
+        expr(expr_cast<Deref>(e).pointer());
+        os_ << ")";
+        break;
+      case ExprKind::Index: {
+        const auto& i = expr_cast<Index>(e);
+        expr(i.base());
+        os_ << "[";
+        expr(i.index());
+        os_ << "]";
+        break;
+      }
+      case ExprKind::FunLit: {
+        const auto& f = expr_cast<FunLit>(e).decl();
+        os_ << "fun (";
+        params(f);
+        os_ << ") ";
+        // Lambdas print inline; indentation restarts at 0 inside.
+        block(f.body(), 0);
+        break;
+      }
+    }
+  }
+
+  const Module& module_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string print(const Module& module) { return PrinterImpl(module).module_text(); }
+
+std::string print_stmt(const Module& module, const Stmt& stmt, int indent) {
+  return PrinterImpl(module).stmt_text(stmt, indent);
+}
+
+std::string print_expr(const Module& module, const Expr& expr) {
+  return PrinterImpl(module).expr_text(expr);
+}
+
+}  // namespace copar::lang

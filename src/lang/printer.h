@@ -1,0 +1,16 @@
+// Pretty-printer: renders a Module (or single statements/expressions) back
+// to parseable source text. print(parse(print(m))) == print(m) is a tested
+// invariant (note: `var x = e;` prints in its desugared two-statement form).
+#pragma once
+
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace copar::lang {
+
+std::string print(const Module& module);
+std::string print_stmt(const Module& module, const Stmt& stmt, int indent = 0);
+std::string print_expr(const Module& module, const Expr& expr);
+
+}  // namespace copar::lang

@@ -1,0 +1,235 @@
+#include "src/lang/resolver.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace copar::lang {
+
+namespace {
+
+class Resolver {
+ public:
+  Resolver(Module& module, DiagnosticEngine& diags) : module_(module), diags_(diags) {}
+
+  void run() {
+    // Globals and named functions form the outermost scope; a function may
+    // be referenced before its textual declaration (mutual recursion).
+    push_scope();
+    for (const GlobalDecl& g : module_.globals()) declare(g.name, g.loc);
+    for (const auto& f : module_.functions()) {
+      if (f->name().valid()) declare(f->name(), f->loc());
+    }
+    for (const GlobalDecl& g : module_.globals()) {
+      if (g.init) check_expr(*g.init);
+    }
+    // Named functions are resolved here; anonymous literals are resolved
+    // where they occur (their bodies see the enclosing lexical scope).
+    for (const auto& f : module_.functions()) {
+      if (f->name().valid()) check_function(*f);
+    }
+    pop_scope();
+  }
+
+ private:
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  void declare(Symbol name, SourceLoc loc) {
+    auto& scope = scopes_.back();
+    if (!scope.insert(name).second) {
+      diags_.error(loc, "duplicate declaration of '" +
+                            std::string(module_.interner().spelling(name)) + "'");
+    }
+  }
+
+  [[nodiscard]] bool is_visible(Symbol name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->contains(name)) return true;
+    }
+    return false;
+  }
+
+  void check_function(const FunDecl& f) {
+    push_scope();
+    for (Symbol p : f.params()) declare(p, f.loc());
+    const int saved_cobegin = cobegin_depth_;
+    cobegin_depth_ = 0;
+    check_block(f.body());
+    cobegin_depth_ = saved_cobegin;
+    pop_scope();
+  }
+
+  void check_block(const Block& b) {
+    push_scope();
+    for (const StmtPtr& s : b.stmts()) check_stmt(*s);
+    pop_scope();
+  }
+
+  void check_stmt(const Stmt& s) {
+    if (s.label().valid()) {
+      if (module_.labels().contains(s.label())) {
+        diags_.error(s.loc(), "duplicate statement label '" +
+                                  std::string(module_.interner().spelling(s.label())) + "'");
+      } else {
+        module_.register_label(s.label(), &s);
+      }
+    }
+    switch (s.kind()) {
+      case StmtKind::Block:
+        check_block(stmt_cast<Block>(s));
+        break;
+      case StmtKind::VarDecl: {
+        const auto& d = stmt_cast<VarDeclStmt>(s);
+        if (d.init()) check_expr(*d.init());
+        declare(d.name(), s.loc());
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = stmt_cast<AssignStmt>(s);
+        check_expr(a.lhs());
+        check_expr(a.rhs());
+        break;
+      }
+      case StmtKind::Alloc: {
+        const auto& a = stmt_cast<AllocStmt>(s);
+        check_expr(a.lhs());
+        check_expr(a.size());
+        break;
+      }
+      case StmtKind::Call: {
+        const auto& c = stmt_cast<CallStmt>(s);
+        if (c.dst()) check_expr(*c.dst());
+        check_expr(c.callee());
+        for (const ExprPtr& a : c.args()) check_expr(*a);
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = stmt_cast<IfStmt>(s);
+        check_expr(i.cond());
+        check_stmt_scoped(i.then_branch());
+        if (i.else_branch()) check_stmt_scoped(*i.else_branch());
+        break;
+      }
+      case StmtKind::While: {
+        const auto& w = stmt_cast<WhileStmt>(s);
+        check_expr(w.cond());
+        check_stmt_scoped(w.body());
+        break;
+      }
+      case StmtKind::Cobegin: {
+        const auto& c = stmt_cast<CobeginStmt>(s);
+        ++cobegin_depth_;
+        for (const StmtPtr& b : c.branches()) check_stmt_scoped(*b);
+        --cobegin_depth_;
+        break;
+      }
+      case StmtKind::DoAll: {
+        const auto& d = stmt_cast<DoAllStmt>(s);
+        check_expr(d.lo());
+        check_expr(d.hi());
+        ++cobegin_depth_;  // the body runs in forked threads: no `return`
+        push_scope();
+        declare(d.var(), s.loc());
+        check_stmt(d.body());
+        pop_scope();
+        --cobegin_depth_;
+        break;
+      }
+      case StmtKind::Return: {
+        const auto& r = stmt_cast<ReturnStmt>(s);
+        if (cobegin_depth_ > 0) {
+          diags_.error(s.loc(), "'return' may not appear inside a cobegin branch");
+        }
+        if (r.value()) check_expr(*r.value());
+        break;
+      }
+      case StmtKind::Lock:
+        check_expr(stmt_cast<LockStmt>(s).lvalue());
+        break;
+      case StmtKind::Unlock:
+        check_expr(stmt_cast<UnlockStmt>(s).lvalue());
+        break;
+      case StmtKind::Skip:
+        break;
+      case StmtKind::Assert:
+        check_expr(stmt_cast<AssertStmt>(s).cond());
+        break;
+    }
+  }
+
+  /// A non-block statement used as a branch body still opens a scope so a
+  /// bare `var` declaration in it does not leak.
+  void check_stmt_scoped(const Stmt& s) {
+    if (s.kind() == StmtKind::Block) {
+      check_block(stmt_cast<Block>(s));
+    } else {
+      push_scope();
+      check_stmt(s);
+      pop_scope();
+    }
+  }
+
+  void check_expr(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+      case ExprKind::BoolLit:
+      case ExprKind::NullLit:
+        break;
+      case ExprKind::VarRef: {
+        const auto& v = expr_cast<VarRef>(e);
+        if (!is_visible(v.name())) {
+          diags_.error(e.loc(), "use of undeclared identifier '" +
+                                    std::string(module_.interner().spelling(v.name())) + "'");
+        }
+        break;
+      }
+      case ExprKind::Unary:
+        check_expr(expr_cast<Unary>(e).operand());
+        break;
+      case ExprKind::Binary: {
+        const auto& b = expr_cast<Binary>(e);
+        check_expr(b.lhs());
+        check_expr(b.rhs());
+        break;
+      }
+      case ExprKind::AddrOf:
+        check_expr(expr_cast<AddrOf>(e).lvalue());
+        break;
+      case ExprKind::Deref:
+        check_expr(expr_cast<Deref>(e).pointer());
+        break;
+      case ExprKind::Index: {
+        const auto& i = expr_cast<Index>(e);
+        check_expr(i.base());
+        check_expr(i.index());
+        break;
+      }
+      case ExprKind::FunLit: {
+        // Lambda body sees the current lexical scope (closure capture).
+        const auto& f = expr_cast<FunLit>(e).decl();
+        push_scope();
+        for (Symbol p : f.params()) declare(p, f.loc());
+        const int saved = cobegin_depth_;
+        cobegin_depth_ = 0;
+        check_block(f.body());
+        cobegin_depth_ = saved;
+        pop_scope();
+        break;
+      }
+    }
+  }
+
+  Module& module_;
+  DiagnosticEngine& diags_;
+  std::vector<std::unordered_set<Symbol>> scopes_;
+  int cobegin_depth_ = 0;
+};
+
+}  // namespace
+
+void resolve(Module& module, DiagnosticEngine& diags) {
+  Resolver(module, diags).run();
+}
+
+}  // namespace copar::lang

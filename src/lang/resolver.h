@@ -1,0 +1,24 @@
+// Static name resolution and well-formedness checks.
+//
+// Checks performed:
+//   - every VarRef names a visible local, parameter, global, or function;
+//   - no duplicate declaration in the same scope;
+//   - `return` does not appear (directly) inside a cobegin branch — a thread
+//     exits by running off the end of its branch, never by returning from
+//     the enclosing function;
+//   - statement labels are unique module-wide (registered in the Module).
+//
+// Name resolution in the semantics itself is dynamic (Scheme-style
+// environment chains), so the resolver records no per-reference data; it
+// only rejects programs the interpreter could not execute.
+#pragma once
+
+#include "src/lang/ast.h"
+#include "src/support/diagnostics.h"
+
+namespace copar::lang {
+
+/// Resolves `module` in place; problems are reported to `diags`.
+void resolve(Module& module, DiagnosticEngine& diags);
+
+}  // namespace copar::lang

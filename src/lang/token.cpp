@@ -1,0 +1,58 @@
+#include "src/lang/token.h"
+
+namespace copar::lang {
+
+std::string_view tok_name(Tok t) {
+  switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::Int: return "integer literal";
+    case Tok::KwVar: return "'var'";
+    case Tok::KwFun: return "'fun'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwCobegin: return "'cobegin'";
+    case Tok::KwCoend: return "'coend'";
+    case Tok::KwDoall: return "'doall'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwSkip: return "'skip'";
+    case Tok::KwLock: return "'lock'";
+    case Tok::KwUnlock: return "'unlock'";
+    case Tok::KwAssert: return "'assert'";
+    case Tok::KwAlloc: return "'alloc'";
+    case Tok::KwNull: return "'null'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::KwAnd: return "'and'";
+    case Tok::KwOr: return "'or'";
+    case Tok::KwNot: return "'not'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semi: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Colon: return "':'";
+    case Tok::DotDot: return "'..'";
+    case Tok::Assign: return "'='";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::BarBar: return "'||'";
+    case Tok::Eof: return "end of input";
+  }
+  return "<?>";
+}
+
+}  // namespace copar::lang

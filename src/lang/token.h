@@ -1,0 +1,83 @@
+// Token definitions for the copar language.
+//
+// The analyzed language is the paper's: C/Scheme-style with first-class
+// functions, dynamic allocation, pointers, and (nested) cobegin parallelism.
+// Logical operators are spelled `and`/`or`/`not` so that `||` is free to act
+// as the cobegin branch separator, matching the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/support/diagnostics.h"
+#include "src/support/interner.h"
+
+namespace copar::lang {
+
+enum class Tok : std::uint8_t {
+  // literals / identifiers
+  Ident,
+  Int,
+  // keywords
+  KwVar,
+  KwFun,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwCobegin,
+  KwCoend,
+  KwDoall,
+  KwReturn,
+  KwSkip,
+  KwLock,
+  KwUnlock,
+  KwAssert,
+  KwAlloc,
+  KwNull,
+  KwTrue,
+  KwFalse,
+  KwAnd,
+  KwOr,
+  KwNot,
+  // punctuation
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  DotDot,
+  Assign,    // =
+  EqEq,      // ==
+  NotEq,     // !=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,      // multiplication and dereference
+  Slash,
+  Percent,
+  Amp,       // address-of
+  BarBar,    // cobegin branch separator
+  Eof,
+};
+
+/// Spelling of a token kind for diagnostics ("'while'", "';'", ...).
+std::string_view tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  SourceLoc loc;
+  Symbol ident;          // for Tok::Ident
+  std::int64_t int_value = 0;  // for Tok::Int
+
+  [[nodiscard]] bool is(Tok t) const noexcept { return kind == t; }
+};
+
+}  // namespace copar::lang

@@ -1,0 +1,72 @@
+#include "src/petri/models.h"
+
+#include <string>
+
+namespace copar::petri {
+
+PetriNet dining_philosophers_net(std::size_t n, bool cyclic) {
+  PetriNet net;
+  std::vector<PlaceId> thinking(n);
+  std::vector<PlaceId> hasl(n);
+  std::vector<PlaceId> eating(n);
+  std::vector<PlaceId> fork(n);
+  std::vector<PlaceId> done(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string s = std::to_string(i);
+    thinking[i] = net.add_place("think" + s, 1);
+    hasl[i] = net.add_place("hasL" + s, 0);
+    eating[i] = net.add_place("eat" + s, 0);
+    fork[i] = net.add_place("fork" + s, 1);
+    if (!cyclic) done[i] = net.add_place("done" + s, 0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string s = std::to_string(i);
+    const PlaceId left = fork[i];
+    const PlaceId right = fork[(i + 1) % n];
+    net.add_transition("takeL" + s, {thinking[i], left}, {hasl[i]});
+    net.add_transition("takeR" + s, {hasl[i], right}, {eating[i]});
+    if (cyclic) {
+      net.add_transition("release" + s, {eating[i]}, {thinking[i], left, right});
+    } else {
+      net.add_transition("release" + s, {eating[i]}, {done[i], left, right});
+    }
+  }
+  return net;
+}
+
+PetriNet independent_producers_net(std::size_t n, std::size_t items) {
+  PetriNet net;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string s = std::to_string(i);
+    const PlaceId todo = net.add_place("todo" + s, static_cast<std::uint32_t>(items));
+    const PlaceId empty = net.add_place("empty" + s, 1);
+    const PlaceId full = net.add_place("full" + s, 0);
+    const PlaceId got = net.add_place("got" + s, 0);
+    net.add_transition("produce" + s, {todo, empty}, {full});
+    net.add_transition("consume" + s, {full}, {empty, got});
+  }
+  return net;
+}
+
+PetriNet fork_join_net(std::size_t n) {
+  PetriNet net;
+  const PlaceId start = net.add_place("start", 1);
+  const PlaceId end = net.add_place("end", 0);
+  std::vector<PlaceId> ready(n);
+  std::vector<PlaceId> finished(n);
+  std::vector<PlaceId> fan_out;
+  std::vector<PlaceId> fan_in;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string s = std::to_string(i);
+    ready[i] = net.add_place("ready" + s, 0);
+    finished[i] = net.add_place("fin" + s, 0);
+    fan_out.push_back(ready[i]);
+    fan_in.push_back(finished[i]);
+    net.add_transition("task" + s, {ready[i]}, {finished[i]});
+  }
+  net.add_transition("fork", {start}, fan_out);
+  net.add_transition("join", fan_in, {end});
+  return net;
+}
+
+}  // namespace copar::petri

@@ -1,0 +1,30 @@
+// Standard Petri-net models for tests and benchmarks.
+#pragma once
+
+#include <cstddef>
+
+#include "src/petri/net.h"
+
+namespace copar::petri {
+
+/// The n dining philosophers as a net — the [Val88] demonstration the paper
+/// cites ("the state space for n dining philosophers is reduced from
+/// exponential to quadratic in n").
+///
+/// Per philosopher i: places thinking_i, hasL_i, eating_i, and fork_i
+/// (shared with neighbor i-1). Transitions: takeL_i (thinking+forkL ->
+/// hasL), takeR_i (hasL+forkR -> eating), release_i (eating -> thinking +
+/// both forks). The right-handed protocol deadlocks (all hold their left
+/// fork); `cyclic` keeps them eating forever (release returns to thinking),
+/// which exercises the cycle proviso.
+PetriNet dining_philosophers_net(std::size_t n, bool cyclic = true);
+
+/// n independent producer/consumer pairs over 1-bounded buffers: fully
+/// decomposable, the stubborn-set best case (linear vs exponential).
+PetriNet independent_producers_net(std::size_t n, std::size_t items = 2);
+
+/// A simple fork/join workflow net: one start transition fans out to n
+/// parallel tasks that synchronize on a final join transition.
+PetriNet fork_join_net(std::size_t n);
+
+}  // namespace copar::petri

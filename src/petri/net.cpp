@@ -1,0 +1,66 @@
+#include "src/petri/net.h"
+
+#include <sstream>
+
+namespace copar::petri {
+
+PlaceId PetriNet::add_place(std::string name, std::uint32_t initial_tokens) {
+  const auto id = static_cast<PlaceId>(place_names_.size());
+  place_names_.push_back(std::move(name));
+  initial_.push_back(initial_tokens);
+  consumers_.emplace_back();
+  producers_.emplace_back();
+  return id;
+}
+
+TransId PetriNet::add_transition(std::string name, std::vector<PlaceId> pre,
+                                 std::vector<PlaceId> post) {
+  const auto id = static_cast<TransId>(transitions_.size());
+  for (PlaceId p : pre) {
+    require(p < place_names_.size(), "petri: bad pre place");
+    consumers_[p].push_back(id);
+  }
+  for (PlaceId p : post) {
+    require(p < place_names_.size(), "petri: bad post place");
+    producers_[p].push_back(id);
+  }
+  transitions_.push_back(Transition{std::move(name), std::move(pre), std::move(post)});
+  return id;
+}
+
+bool PetriNet::enabled(TransId t, const Marking& m) const {
+  // Multiplicities: count required tokens per place.
+  const Transition& tr = transitions_.at(t);
+  for (std::size_t i = 0; i < tr.pre.size(); ++i) {
+    std::uint32_t need = 0;
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (tr.pre[j] == tr.pre[i]) ++need;
+    }
+    if (m[tr.pre[i]] < need) return false;
+  }
+  return true;
+}
+
+Marking PetriNet::fire(TransId t, const Marking& m) const {
+  require(enabled(t, m), "petri: firing a disabled transition");
+  Marking out = m;
+  const Transition& tr = transitions_.at(t);
+  for (PlaceId p : tr.pre) out[p] -= 1;
+  for (PlaceId p : tr.post) out[p] += 1;
+  return out;
+}
+
+std::string PetriNet::describe(const Marking& m) const {
+  std::ostringstream os;
+  bool first = true;
+  for (PlaceId p = 0; p < m.size(); ++p) {
+    if (m[p] == 0) continue;
+    if (!first) os << ' ';
+    first = false;
+    os << place_names_[p];
+    if (m[p] > 1) os << 'x' << m[p];
+  }
+  return os.str();
+}
+
+}  // namespace copar::petri

@@ -1,0 +1,67 @@
+// Place/transition Petri nets — the native setting of stubborn-set theory.
+//
+// The paper takes stubborn sets from Valmari's Petri-net reachability work
+// ([Val88, Val89, Val90]) and transplants them to program configurations.
+// This module provides the original substrate: nets, markings, firing, and
+// reachability exploration with the same full-vs-stubborn comparison — so
+// the [Val88] dining-philosophers claim the paper cites can be reproduced
+// in its own terms (see src/petri/reach.h and bench_petri).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/diagnostics.h"
+
+namespace copar::petri {
+
+using PlaceId = std::uint32_t;
+using TransId = std::uint32_t;
+
+struct Transition {
+  std::string name;
+  /// Input places: one token consumed from each (multiplicities expressed
+  /// by repetition).
+  std::vector<PlaceId> pre;
+  /// Output places: one token produced into each.
+  std::vector<PlaceId> post;
+};
+
+/// Token counts per place.
+using Marking = std::vector<std::uint32_t>;
+
+class PetriNet {
+ public:
+  PlaceId add_place(std::string name, std::uint32_t initial_tokens = 0);
+  TransId add_transition(std::string name, std::vector<PlaceId> pre, std::vector<PlaceId> post);
+
+  [[nodiscard]] std::size_t num_places() const noexcept { return place_names_.size(); }
+  [[nodiscard]] std::size_t num_transitions() const noexcept { return transitions_.size(); }
+  [[nodiscard]] const Transition& transition(TransId t) const { return transitions_.at(t); }
+  [[nodiscard]] const std::string& place_name(PlaceId p) const { return place_names_.at(p); }
+  [[nodiscard]] const Marking& initial_marking() const noexcept { return initial_; }
+
+  [[nodiscard]] bool enabled(TransId t, const Marking& m) const;
+  /// Fires `t` (precondition: enabled); returns the successor marking.
+  [[nodiscard]] Marking fire(TransId t, const Marking& m) const;
+
+  /// Transitions consuming from place p (consumers_) / producing into p.
+  [[nodiscard]] const std::vector<TransId>& consumers(PlaceId p) const {
+    return consumers_.at(p);
+  }
+  [[nodiscard]] const std::vector<TransId>& producers(PlaceId p) const {
+    return producers_.at(p);
+  }
+
+  [[nodiscard]] std::string describe(const Marking& m) const;
+
+ private:
+  std::vector<std::string> place_names_;
+  Marking initial_;
+  std::vector<Transition> transitions_;
+  std::vector<std::vector<TransId>> consumers_;
+  std::vector<std::vector<TransId>> producers_;
+};
+
+}  // namespace copar::petri

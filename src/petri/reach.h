@@ -1,0 +1,48 @@
+// Reachability exploration of Petri nets: full vs. stubborn sets.
+//
+// The stubborn-set computation is the classic place/transition closure
+// ([Val88]-style, as the paper's §2.2 summarizes):
+//
+//   - for an ENABLED transition t in the set, every transition that shares
+//     an input place with t joins (they can disable each other);
+//   - for a DISABLED transition t in the set, pick one insufficiently
+//     marked input place p and add the producers of p (only they can help
+//     enable t).
+//
+// At each expansion step every enabled transition is tried as a seed, the
+// closures are compared, and the one with the fewest enabled members wins.
+// The DFS stack proviso handles the ignoring problem on cyclic nets.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/petri/net.h"
+#include "src/support/stats.h"
+
+namespace copar::petri {
+
+struct ReachOptions {
+  bool stubborn = false;
+  bool cycle_proviso = true;
+  std::uint64_t max_markings = 10'000'000;
+};
+
+struct ReachResult {
+  std::uint64_t num_markings = 0;
+  std::uint64_t num_edges = 0;
+  bool truncated = false;
+  /// Dead markings (no transition enabled), deduplicated.
+  std::set<Marking> deadlocks;
+  StatRegistry stats;
+};
+
+ReachResult explore(const PetriNet& net, const ReachOptions& options);
+
+/// The stubborn set at `m`: transition ids whose enabled members are to be
+/// fired. Exposed for tests.
+std::vector<TransId> stubborn_set(const PetriNet& net, const Marking& m);
+
+}  // namespace copar::petri

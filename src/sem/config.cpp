@@ -1,0 +1,294 @@
+#include "src/sem/config.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/sem/eval.h"
+
+namespace copar::sem {
+
+std::string_view fault_name(Fault f) {
+  switch (f) {
+    case Fault::DerefNull: return "null dereference";
+    case Fault::DerefNonPointer: return "dereference of non-pointer";
+    case Fault::OutOfBounds: return "out-of-bounds access";
+    case Fault::TypeError: return "type error";
+    case Fault::DivByZero: return "division by zero";
+    case Fault::NotAFunction: return "call of non-function";
+    case Fault::ArityMismatch: return "wrong number of arguments";
+    case Fault::UnlockNotHeld: return "unlock of lock not held";
+    case Fault::NegativeAlloc: return "negative allocation size";
+  }
+  return "<?>";
+}
+
+Configuration Configuration::initial(const LoweredProgram& program) {
+  Configuration cfg;
+  cfg.program_ = &program;
+
+  // Globals frame (always object 0). Cell 0 is unused (uniform layout).
+  const ObjId g = cfg.store.allocate(ObjKind::Globals, 0, 0, ProcString(), program.nglobal_cells());
+  require(g == 0, "globals frame must be object 0");
+  cfg.store.write(0, 0, Value::null());
+
+  // Named functions first (so initializers may reference any function),
+  // then initializer expressions, left to right.
+  for (const GlobalSlot& slot : program.globals()) {
+    if (slot.fun != nullptr) {
+      cfg.store.write(0, slot.slot, Value::closure(slot.fun->index(), kNoObj));
+    }
+  }
+  for (const GlobalSlot& slot : program.globals()) {
+    if (slot.init != nullptr) {
+      Evaluator ev(cfg, kNoObj);
+      try {
+        cfg.store.write(0, slot.slot, ev.eval(*slot.init));
+      } catch (const EvalFault& f) {
+        throw Error("global initializer for '" +
+                    std::string(program.module().interner().spelling(slot.name)) +
+                    "' faulted: " + std::string(fault_name(f.kind)));
+      }
+    }
+  }
+
+  // Root process entering main.
+  const Proc& entry = program.proc(program.entry_proc());
+  const ObjId frame =
+      cfg.store.allocate(ObjKind::Frame, entry.id, 0, ProcString(), std::max(entry.nslots, 1u));
+  cfg.store.write(frame, 0, Value::null());
+  Process root;
+  root.status = ProcStatus::Running;
+  root.frames.push_back(Frame{entry.id, 0, frame, false, kNoObj, 0});
+  root.pstr = ProcString().append(ProcString::call_sym(entry.id));
+  cfg.processes.push_back(std::move(root));
+  return cfg;
+}
+
+std::size_t Configuration::num_live() const {
+  return static_cast<std::size_t>(
+      std::count_if(processes.begin(), processes.end(),
+                    [](const Process& p) { return p.live(); }));
+}
+
+std::optional<Value> Configuration::global_value(std::string_view name) const {
+  for (const GlobalSlot& slot : program_->globals()) {
+    if (program_->module().interner().spelling(slot.name) == name) {
+      return store.read(0, slot.slot);
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Little-endian byte serializer for canonical keys.
+class ByteSink {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void pstring(const ProcString& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    for (const PSym& sym : s.syms()) {
+      u8(static_cast<std::uint8_t>(sym.kind));
+      u32(sym.id);
+      u32(sym.branch);
+    }
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+}  // namespace
+
+std::string Configuration::canonical_key() const {
+  // 1. Canonical order of live processes: lexicographic by fork path.
+  std::vector<Pid> live;
+  for (Pid pid = 0; pid < processes.size(); ++pid) {
+    if (processes[pid].live()) live.push_back(pid);
+  }
+  std::sort(live.begin(), live.end(),
+            [&](Pid a, Pid b) { return processes[a].path < processes[b].path; });
+  std::unordered_map<Pid, std::uint32_t> canon_pid;
+  for (std::uint32_t i = 0; i < live.size(); ++i) canon_pid.emplace(live[i], i);
+
+  // 2. Object renumbering by deterministic reachability (also GC).
+  std::unordered_map<ObjId, std::uint32_t> remap;
+  std::vector<ObjId> order;
+  auto visit = [&](ObjId obj) {
+    if (obj == kNoObj) return;
+    if (remap.emplace(obj, static_cast<std::uint32_t>(order.size())).second) {
+      order.push_back(obj);
+    }
+  };
+  visit(0);  // globals frame
+  for (Pid pid : live) {
+    for (const Frame& f : processes[pid].frames) {
+      visit(f.frame_obj);
+      if (f.has_ret_dst) visit(f.ret_obj);
+    }
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {  // order grows during scan
+    const Object& o = store.object(order[i]);
+    for (const Value& v : o.cells) {
+      if (v.is_ptr()) visit(v.ptr_obj());
+      if (v.is_closure()) visit(v.closure_env());
+    }
+  }
+
+  auto canon_obj = [&](ObjId obj) -> std::uint32_t {
+    auto it = remap.find(obj);
+    return it == remap.end() ? 0xffffffffu : it->second;
+  };
+  auto emit_value = [&](ByteSink& sink, const Value& v) {
+    sink.u8(static_cast<std::uint8_t>(v.kind()));
+    switch (v.kind()) {
+      case VKind::Int:
+        sink.u64(static_cast<std::uint64_t>(v.as_int()));
+        break;
+      case VKind::Null:
+        break;
+      case VKind::Ptr:
+        sink.u32(canon_obj(v.ptr_obj()));
+        sink.u32(v.ptr_off());
+        break;
+      case VKind::Closure:
+        sink.u32(v.closure_proc());
+        sink.u32(v.closure_env() == kNoObj ? 0xffffffffu : canon_obj(v.closure_env()));
+        break;
+    }
+  };
+
+  // 3. Serialize.
+  ByteSink sink;
+  sink.u32(static_cast<std::uint32_t>(order.size()));
+  for (ObjId obj : order) {
+    const Object& o = store.object(obj);
+    sink.u8(static_cast<std::uint8_t>(o.obj_kind));
+    sink.u32(o.site);
+    sink.pstring(o.birth);
+    sink.u32(static_cast<std::uint32_t>(o.cells.size()));
+    for (const Value& v : o.cells) emit_value(sink, v);
+  }
+
+  sink.u32(static_cast<std::uint32_t>(live.size()));
+  for (Pid pid : live) {
+    const Process& p = processes[pid];
+    sink.u32(static_cast<std::uint32_t>(p.path.size()));
+    for (const PathElem& e : p.path) {
+      sink.u32(e.site);
+      sink.u32(e.branch);
+    }
+    sink.pstring(p.pstr);
+    sink.u32(p.pending_children);
+    sink.u32(static_cast<std::uint32_t>(p.frames.size()));
+    for (const Frame& f : p.frames) {
+      sink.u32(f.proc);
+      sink.u32(f.pc);
+      sink.u32(canon_obj(f.frame_obj));
+      sink.u8(f.has_ret_dst ? 1 : 0);
+      if (f.has_ret_dst) {
+        sink.u32(canon_obj(f.ret_obj));
+        sink.u32(f.ret_off);
+      }
+    }
+  }
+
+  // Lock table, sorted by canonical location.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> locks;
+  for (const auto& [loc, owner] : lock_owners) {
+    const std::uint32_t co = canon_obj(loc.first);
+    if (co == 0xffffffffu) continue;  // unreachable cell: lock is inert
+    auto it = canon_pid.find(owner);
+    locks.emplace_back(co, loc.second,
+                       it == canon_pid.end() ? 0xffffffffu : it->second);
+  }
+  std::sort(locks.begin(), locks.end());
+  sink.u32(static_cast<std::uint32_t>(locks.size()));
+  for (const auto& [obj, off, owner] : locks) {
+    sink.u32(obj);
+    sink.u32(off);
+    sink.u32(owner);
+  }
+
+  sink.u32(static_cast<std::uint32_t>(violations.size()));
+  for (std::uint32_t v : violations) sink.u32(v);
+  sink.u32(static_cast<std::uint32_t>(faults.size()));
+  for (const auto& [stmt, kind] : faults) {
+    sink.u32(stmt);
+    sink.u8(kind);
+  }
+  return sink.take();
+}
+
+std::vector<bool> reachable_objects(const Configuration& cfg) {
+  std::vector<bool> seen(cfg.store.num_objects(), false);
+  std::vector<ObjId> work;
+  auto visit = [&](ObjId obj) {
+    if (obj == kNoObj || obj >= seen.size() || seen[obj]) return;
+    seen[obj] = true;
+    work.push_back(obj);
+  };
+  visit(0);
+  for (const Process& p : cfg.processes) {
+    if (!p.live()) continue;
+    for (const Frame& f : p.frames) {
+      visit(f.frame_obj);
+      if (f.has_ret_dst) visit(f.ret_obj);
+    }
+  }
+  while (!work.empty()) {
+    const ObjId obj = work.back();
+    work.pop_back();
+    for (const Value& v : cfg.store.object(obj).cells) {
+      if (v.is_ptr()) visit(v.ptr_obj());
+      if (v.is_closure()) visit(v.closure_env());
+    }
+  }
+  return seen;
+}
+
+std::string Configuration::to_string() const {
+  std::ostringstream os;
+  for (Pid pid = 0; pid < processes.size(); ++pid) {
+    const Process& p = processes[pid];
+    os << "p" << pid;
+    switch (p.status) {
+      case ProcStatus::Running: os << " [run]"; break;
+      case ProcStatus::Terminated: os << " [done]"; break;
+      case ProcStatus::Faulted: os << " [fault]"; break;
+    }
+    if (p.live()) {
+      os << " at ";
+      for (std::size_t i = 0; i < p.frames.size(); ++i) {
+        if (i > 0) os << " > ";
+        os << program_->describe_point(p.frames[i].proc, p.frames[i].pc);
+      }
+      if (p.pending_children > 0) os << " (waiting on " << p.pending_children << ")";
+    }
+    os << " pstr=" << p.pstr.to_string() << '\n';
+  }
+  os << store.to_string();
+  if (!violations.empty()) {
+    os << "violations:";
+    for (std::uint32_t v : violations) os << ' ' << v;
+    os << '\n';
+  }
+  if (!faults.empty()) {
+    os << "faults:";
+    for (const auto& [stmt, kind] : faults) {
+      os << " (stmt " << stmt << ": " << fault_name(static_cast<Fault>(kind)) << ')';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace copar::sem

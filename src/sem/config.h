@@ -1,0 +1,131 @@
+// Configurations: the states of the standard (instrumented) semantics.
+//
+// A configuration is a shared store plus a set of processes, each a stack of
+// frames (control point + frame object) carrying its procedure string. The
+// exploration engine deduplicates configurations by a *canonical key*:
+//
+//   - live processes are ordered by their fork path — the sequence of
+//     (cobegin site, branch index) pairs from the root — which is
+//     independent of interleaving, unlike raw pids;
+//   - store objects are renumbered by a deterministic reachability traversal
+//     from the globals frame and the live processes (this doubles as a
+//     garbage collection: unreachable objects do not affect the key);
+//   - terminated processes, transient pids, and fork sequence counters are
+//     excluded from the key.
+//
+// Birthdates and procedure strings are *included* in the key: this is the
+// paper's instrumented semantics, whose states carry that history.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sem/lower.h"
+#include "src/sem/procstring.h"
+#include "src/sem/store.h"
+#include "src/sem/value.h"
+
+namespace copar::sem {
+
+using Pid = std::uint32_t;
+constexpr Pid kNoPid = 0xffffffffu;
+
+struct Frame {
+  std::uint32_t proc = 0;  // lowered proc id
+  std::uint32_t pc = 0;
+  ObjId frame_obj = kNoObj;
+  /// Where this activation's Return writes its value in the caller
+  /// (captured at call time).
+  bool has_ret_dst = false;
+  ObjId ret_obj = kNoObj;
+  std::uint32_t ret_off = 0;
+};
+
+/// Interleaving-independent identity of a forked process: one element per
+/// ancestor cobegin, (site statement id, branch index). Among live
+/// processes, paths are unique — a parent has at most one outstanding fork
+/// per cobegin site.
+struct PathElem {
+  std::uint32_t site = 0;
+  std::uint32_t branch = 0;
+  friend bool operator==(const PathElem&, const PathElem&) = default;
+  friend auto operator<=>(const PathElem&, const PathElem&) = default;
+};
+
+enum class ProcStatus : std::uint8_t { Running, Terminated, Faulted };
+
+struct Process {
+  ProcStatus status = ProcStatus::Running;
+  std::vector<Frame> frames;  // back() = innermost
+  ProcString pstr;
+  Pid parent = kNoPid;
+  std::uint32_t pending_children = 0;
+  std::vector<PathElem> path;
+
+  [[nodiscard]] bool live() const noexcept { return status == ProcStatus::Running; }
+  [[nodiscard]] const Frame& top() const { return frames.back(); }
+  [[nodiscard]] Frame& top() { return frames.back(); }
+};
+
+/// Kinds of runtime faults a process can incur; part of configuration
+/// identity (stmt id, fault kind).
+enum class Fault : std::uint8_t {
+  DerefNull,
+  DerefNonPointer,
+  OutOfBounds,
+  TypeError,
+  DivByZero,
+  NotAFunction,
+  ArityMismatch,
+  UnlockNotHeld,
+  NegativeAlloc,
+};
+
+std::string_view fault_name(Fault f);
+
+class Configuration {
+ public:
+  Store store;
+  std::vector<Process> processes;  // index = pid; entries are never erased
+  /// Held locks: location (obj, off) -> owner pid.
+  std::map<std::pair<ObjId, std::uint32_t>, Pid> lock_owners;
+  /// Failed assertions (statement ids) observed on this path.
+  std::set<std::uint32_t> violations;
+  /// Runtime faults (statement id, kind) observed on this path.
+  std::set<std::pair<std::uint32_t, std::uint8_t>> faults;
+
+  /// Builds the initial configuration: globals frame (function cells bound
+  /// to closures, initializers evaluated left to right) and a root process
+  /// entering `main`.
+  static Configuration initial(const LoweredProgram& program);
+
+  [[nodiscard]] const LoweredProgram& program() const noexcept { return *program_; }
+
+  [[nodiscard]] std::size_t num_live() const;
+  /// True when no process is live (normal termination or all faulted).
+  [[nodiscard]] bool all_done() const { return num_live() == 0; }
+
+  /// Deterministic serialization of the canonical form; equal strings <=>
+  /// equivalent configurations. See file header for what it includes.
+  [[nodiscard]] std::string canonical_key() const;
+
+  /// Convenience for tests/benches: current value of global `name`.
+  [[nodiscard]] std::optional<Value> global_value(std::string_view name) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  friend Configuration make_initial(const LoweredProgram&);
+  const LoweredProgram* program_ = nullptr;
+};
+
+/// Which store objects are reachable from the globals frame and the live
+/// processes (same traversal canonical_key uses; exposed for the lifetime
+/// analyses). Indexed by ObjId.
+[[nodiscard]] std::vector<bool> reachable_objects(const Configuration& cfg);
+
+}  // namespace copar::sem

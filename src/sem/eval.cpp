@@ -1,0 +1,149 @@
+#include "src/sem/eval.h"
+
+namespace copar::sem {
+
+using lang::Expr;
+using lang::ExprKind;
+
+Value Evaluator::read_cell(ObjId obj, std::uint32_t off, std::uint32_t expr_id) {
+  if (!cfg_.store.in_bounds(obj, off)) throw EvalFault{Fault::OutOfBounds, expr_id};
+  if (reads_ != nullptr) reads_->set(cfg_.store.loc_id(obj, off));
+  return cfg_.store.read(obj, off);
+}
+
+ObjId Evaluator::hop_frames(std::uint16_t hops, std::uint32_t expr_id) {
+  ObjId obj = frame_;
+  for (std::uint16_t h = 0; h < hops; ++h) {
+    const Value link = read_cell(obj, 0, expr_id);
+    require(link.is_ptr(), "static link chain corrupt");
+    obj = link.ptr_obj();
+  }
+  return obj;
+}
+
+Address Evaluator::var_address(const Expr& ref) {
+  const VarLoc& loc = cfg_.program().varloc(ref.id());
+  if (loc.is_global) return Address{0, loc.slot};  // globals frame is object 0
+  require(frame_ != kNoObj, "local variable referenced outside any frame");
+  return Address{hop_frames(loc.hops, ref.id()), loc.slot};
+}
+
+std::int64_t Evaluator::want_int(const Value& v, std::uint32_t expr_id) {
+  if (!v.is_int()) throw EvalFault{Fault::TypeError, expr_id};
+  return v.as_int();
+}
+
+Address Evaluator::addr(const Expr& lvalue) {
+  switch (lvalue.kind()) {
+    case ExprKind::VarRef:
+      return var_address(lvalue);
+    case ExprKind::Deref: {
+      const auto& d = lang::expr_cast<lang::Deref>(lvalue);
+      const Value p = eval(d.pointer());
+      if (p.is_null()) throw EvalFault{Fault::DerefNull, lvalue.id()};
+      if (!p.is_ptr()) throw EvalFault{Fault::DerefNonPointer, lvalue.id()};
+      return Address{p.ptr_obj(), p.ptr_off()};
+    }
+    case ExprKind::Index: {
+      const auto& ix = lang::expr_cast<lang::Index>(lvalue);
+      const Value base = eval(ix.base());
+      if (base.is_null()) throw EvalFault{Fault::DerefNull, lvalue.id()};
+      if (!base.is_ptr()) throw EvalFault{Fault::DerefNonPointer, lvalue.id()};
+      const std::int64_t i = want_int(eval(ix.index()), ix.index().id());
+      const std::int64_t off = static_cast<std::int64_t>(base.ptr_off()) + i;
+      if (off < 0) throw EvalFault{Fault::OutOfBounds, lvalue.id()};
+      return Address{base.ptr_obj(), static_cast<std::uint32_t>(off)};
+    }
+    default:
+      throw Error("addr: expression is not an lvalue");
+  }
+}
+
+Value Evaluator::eval(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::IntLit:
+      return Value::integer(lang::expr_cast<lang::IntLit>(e).value());
+    case ExprKind::BoolLit:
+      return Value::integer(lang::expr_cast<lang::BoolLit>(e).value() ? 1 : 0);
+    case ExprKind::NullLit:
+      return Value::null();
+    case ExprKind::VarRef: {
+      const Address a = var_address(e);
+      return read_cell(a.obj, a.off, e.id());
+    }
+    case ExprKind::Deref:
+    case ExprKind::Index: {
+      const Address a = addr(e);
+      return read_cell(a.obj, a.off, e.id());
+    }
+    case ExprKind::AddrOf: {
+      const Address a = addr(lang::expr_cast<lang::AddrOf>(e).lvalue());
+      return Value::pointer(a.obj, a.off);
+    }
+    case ExprKind::Unary: {
+      const auto& u = lang::expr_cast<lang::Unary>(e);
+      const Value v = eval(u.operand());
+      if (u.op() == lang::UnOp::Neg) return Value::integer(-want_int(v, e.id()));
+      return Value::integer(v.truthy() ? 0 : 1);  // not
+    }
+    case ExprKind::Binary: {
+      const auto& b = lang::expr_cast<lang::Binary>(e);
+      const Value l = eval(b.lhs());
+      const Value r = eval(b.rhs());
+      using lang::BinOp;
+      switch (b.op()) {
+        case BinOp::Add:
+          // Pointer arithmetic: p + i moves within the pointed-to object.
+          if (l.is_ptr() && r.is_int()) {
+            const std::int64_t off = static_cast<std::int64_t>(l.ptr_off()) + r.as_int();
+            if (off < 0) throw EvalFault{Fault::OutOfBounds, e.id()};
+            return Value::pointer(l.ptr_obj(), static_cast<std::uint32_t>(off));
+          }
+          return Value::integer(want_int(l, e.id()) + want_int(r, e.id()));
+        case BinOp::Sub:
+          if (l.is_ptr() && r.is_int()) {
+            const std::int64_t off = static_cast<std::int64_t>(l.ptr_off()) - r.as_int();
+            if (off < 0) throw EvalFault{Fault::OutOfBounds, e.id()};
+            return Value::pointer(l.ptr_obj(), static_cast<std::uint32_t>(off));
+          }
+          return Value::integer(want_int(l, e.id()) - want_int(r, e.id()));
+        case BinOp::Mul:
+          return Value::integer(want_int(l, e.id()) * want_int(r, e.id()));
+        case BinOp::Div: {
+          const std::int64_t d = want_int(r, e.id());
+          if (d == 0) throw EvalFault{Fault::DivByZero, e.id()};
+          return Value::integer(want_int(l, e.id()) / d);
+        }
+        case BinOp::Mod: {
+          const std::int64_t d = want_int(r, e.id());
+          if (d == 0) throw EvalFault{Fault::DivByZero, e.id()};
+          return Value::integer(want_int(l, e.id()) % d);
+        }
+        case BinOp::Eq:
+          return Value::integer(l == r ? 1 : 0);
+        case BinOp::Ne:
+          return Value::integer(l == r ? 0 : 1);
+        case BinOp::Lt:
+          return Value::integer(want_int(l, e.id()) < want_int(r, e.id()) ? 1 : 0);
+        case BinOp::Le:
+          return Value::integer(want_int(l, e.id()) <= want_int(r, e.id()) ? 1 : 0);
+        case BinOp::Gt:
+          return Value::integer(want_int(l, e.id()) > want_int(r, e.id()) ? 1 : 0);
+        case BinOp::Ge:
+          return Value::integer(want_int(l, e.id()) >= want_int(r, e.id()) ? 1 : 0);
+        case BinOp::And:
+          return Value::integer(l.truthy() && r.truthy() ? 1 : 0);
+        case BinOp::Or:
+          return Value::integer(l.truthy() || r.truthy() ? 1 : 0);
+      }
+      throw Error("eval: bad binary op");
+    }
+    case ExprKind::FunLit: {
+      const auto& f = lang::expr_cast<lang::FunLit>(e);
+      return Value::closure(f.decl().index(), frame_);
+    }
+  }
+  throw Error("eval: bad expression kind");
+}
+
+}  // namespace copar::sem

@@ -1,0 +1,53 @@
+// Pure expression evaluation over a configuration.
+//
+// Expressions in the language are side-effect free (alloc and calls are
+// statement-level), so one evaluator serves both real execution and the
+// "dry runs" that compute an action's read set for stubborn-set conflict
+// detection: every store cell read during evaluation (including static-link
+// hops and pointer loads) is recorded into the optional read bitset.
+//
+// Runtime faults (null deref, division by zero, ...) are reported by
+// throwing EvalFault; the stepper converts them into fault states.
+#pragma once
+
+#include "src/lang/ast.h"
+#include "src/sem/config.h"
+#include "src/support/bitset.h"
+
+namespace copar::sem {
+
+struct EvalFault {
+  Fault kind;
+  std::uint32_t expr_id;
+};
+
+struct Address {
+  ObjId obj = kNoObj;
+  std::uint32_t off = 0;
+};
+
+class Evaluator {
+ public:
+  /// `frame` is the current frame object (kNoObj only while evaluating
+  /// global initializers, where locals cannot occur).
+  Evaluator(const Configuration& cfg, ObjId frame, DynamicBitset* reads = nullptr)
+      : cfg_(cfg), frame_(frame), reads_(reads) {}
+
+  [[nodiscard]] Value eval(const lang::Expr& e);
+
+  /// Address of an lvalue (VarRef / Deref / Index). Evaluating the address
+  /// reads whatever the address computation reads, but not the cell itself.
+  [[nodiscard]] Address addr(const lang::Expr& lvalue);
+
+ private:
+  [[nodiscard]] Value read_cell(ObjId obj, std::uint32_t off, std::uint32_t expr_id);
+  [[nodiscard]] ObjId hop_frames(std::uint16_t hops, std::uint32_t expr_id);
+  [[nodiscard]] Address var_address(const lang::Expr& ref);
+  [[nodiscard]] std::int64_t want_int(const Value& v, std::uint32_t expr_id);
+
+  const Configuration& cfg_;
+  ObjId frame_;
+  DynamicBitset* reads_;
+};
+
+}  // namespace copar::sem

@@ -1,0 +1,474 @@
+#include "src/sem/lower.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "src/lang/printer.h"
+
+namespace copar::sem {
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::Assign: return "assign";
+    case Op::Alloc: return "alloc";
+    case Op::Call: return "call";
+    case Op::Return: return "return";
+    case Op::Branch: return "branch";
+    case Op::Jump: return "jump";
+    case Op::Fork: return "fork";
+    case Op::ForkRange: return "forkrange";
+    case Op::Join: return "join";
+    case Op::Lock: return "lock";
+    case Op::Unlock: return "unlock";
+    case Op::Assert: return "assert";
+    case Op::Halt: return "halt";
+  }
+  return "<?>";
+}
+
+namespace {
+using namespace copar::lang;
+}  // namespace
+
+class Lowerer {
+ public:
+  Lowerer(const Module& module, DiagnosticEngine& diags)
+      : module_(module), diags_(diags), out_(std::make_unique<LoweredProgram>()) {
+    out_->module_ = &module;
+    out_->varlocs_.resize(module.node_count());
+  }
+
+  std::unique_ptr<LoweredProgram> run() {
+    // Pre-assign proc ids: proc i = module.functions()[i] (lambdas included),
+    // so closures can reference procs before their bodies are lowered.
+    for (const auto& f : module_.functions()) {
+      Proc p;
+      p.id = f->index();
+      p.fun = f.get();
+      p.name = f->name().valid() ? std::string(module_.interner().spelling(f->name()))
+                                 : ("<lambda@" + copar::to_string(f->loc()) + ">");
+      out_->procs_.push_back(std::move(p));
+    }
+
+    // Global slot layout: cell 0 reserved, then declared globals, then named
+    // functions (function-valued globals).
+    for (const GlobalDecl& g : module_.globals()) {
+      declare_global(g.name, g.loc, g.init.get(), nullptr);
+    }
+    for (const auto& f : module_.functions()) {
+      if (f->name().valid()) declare_global(f->name(), f->loc(), nullptr, f.get());
+    }
+    out_->nglobal_cells_ = next_global_slot_;
+
+    // Resolve global initializer expressions in the global scope.
+    for (const GlobalSlot& g : out_->globals_) {
+      if (g.init != nullptr) resolve_expr(*g.init);
+    }
+
+    // Lower named functions. Lambdas are lowered inline where they occur.
+    for (const auto& f : module_.functions()) {
+      if (f->name().valid()) lower_function(*f);
+    }
+
+    const FunDecl* main_fn = module_.find_function("main");
+    if (main_fn == nullptr) {
+      diags_.error(SourceLoc{}, "program has no 'main' function");
+    } else {
+      if (!main_fn->params().empty()) {
+        diags_.error(main_fn->loc(), "'main' must take no parameters");
+      }
+      out_->entry_proc_ = main_fn->index();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // --- scope management -----------------------------------------------
+  struct Binding {
+    std::uint32_t func_level;  // which lexical function frame owns the slot
+    std::uint32_t slot;
+  };
+  struct Scope {
+    std::unordered_map<Symbol, Binding> names;
+  };
+
+  void declare_global(Symbol name, SourceLoc, const Expr* init, const FunDecl* fun) {
+    GlobalSlot g;
+    g.name = name;
+    g.slot = next_global_slot_++;
+    g.init = init;
+    g.fun = fun;
+    global_slots_.emplace(name, g.slot);
+    out_->globals_.push_back(g);
+  }
+
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  void declare_local(Symbol name) {
+    // Slot in the current function's frame. Distinct declarations (even in
+    // disjoint blocks or parallel branches) get distinct slots.
+    const Binding b{cur_func_level_, next_slot_in_frame_()++};
+    scopes_.back().names[name] = b;
+  }
+
+  std::uint32_t& next_slot_in_frame_() { return frame_slot_counters_.back(); }
+
+  [[nodiscard]] VarLoc resolve_name(Symbol name, SourceLoc loc) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (auto f = it->names.find(name); f != it->names.end()) {
+        VarLoc v;
+        v.is_global = false;
+        require(cur_func_level_ >= f->second.func_level, "scope nesting corrupt");
+        v.hops = static_cast<std::uint16_t>(cur_func_level_ - f->second.func_level);
+        v.slot = f->second.slot;
+        return v;
+      }
+    }
+    if (auto g = global_slots_.find(name); g != global_slots_.end()) {
+      VarLoc v;
+      v.is_global = true;
+      v.slot = g->second;
+      return v;
+    }
+    // The resolver already rejected unknown names; reaching here means the
+    // resolver and lowerer disagree.
+    diags_.error(loc, "lowering: unresolved name '" +
+                          std::string(module_.interner().spelling(name)) + "'");
+    return VarLoc{};
+  }
+
+  // --- functions --------------------------------------------------------
+  void lower_function(const FunDecl& f) {
+    // NOTE: do not hold a Proc& across lower_stmt — lowering cobegins
+    // appends thread procs and may reallocate the procs vector.
+    out_->procs_[f.index()].nesting = cur_func_level_ + 1;
+    out_->procs_[f.index()].owner_fn = f.index();
+    out_->procs_[f.index()].lexical_parent =
+        cur_func_level_ == 0 ? kNoProc : cur_proc_owner_fn_();
+
+    const std::uint32_t saved_level = cur_func_level_;
+    const std::uint32_t saved_proc = cur_proc_;
+    ++cur_func_level_;
+    cur_proc_ = f.index();
+    frame_slot_counters_.push_back(1);  // cell 0 = static link
+
+    push_scope();
+    for (Symbol param : f.params()) declare_local(param);
+    lower_stmt(f.body(), f.index());
+    pop_scope();
+
+    emit(f.index(), Instr{.op = Op::Halt});
+    out_->procs_[f.index()].nslots = frame_slot_counters_.back();
+    frame_slot_counters_.pop_back();
+    cur_func_level_ = saved_level;
+    cur_proc_ = saved_proc;
+  }
+
+  // --- statements -------------------------------------------------------
+  std::uint32_t emit(std::uint32_t proc, Instr instr) {
+    out_->procs_[proc].code.push_back(std::move(instr));
+    return static_cast<std::uint32_t>(out_->procs_[proc].code.size() - 1);
+  }
+
+  [[nodiscard]] std::uint32_t next_pc(std::uint32_t proc) const {
+    return static_cast<std::uint32_t>(out_->procs_[proc].code.size());
+  }
+
+  void lower_stmt(const Stmt& s, std::uint32_t proc) {
+    switch (s.kind()) {
+      case StmtKind::Block: {
+        const auto& b = stmt_cast<lang::Block>(s);
+        push_scope();
+        for (const StmtPtr& inner : b.stmts()) lower_stmt(*inner, proc);
+        pop_scope();
+        break;
+      }
+      case StmtKind::VarDecl: {
+        const auto& d = stmt_cast<VarDeclStmt>(s);
+        // Declarations lower to nothing: slots are zero-initialized at frame
+        // creation. (The parser desugars initializers to a separate Assign.)
+        require(d.init() == nullptr, "lowering: VarDecl initializer should have been desugared");
+        declare_local(d.name());
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = stmt_cast<AssignStmt>(s);
+        resolve_expr(a.lhs());
+        resolve_expr(a.rhs());
+        emit(proc, Instr{.op = Op::Assign, .stmt = &s, .lhs = &a.lhs(), .rhs = &a.rhs()});
+        break;
+      }
+      case StmtKind::Alloc: {
+        const auto& a = stmt_cast<AllocStmt>(s);
+        resolve_expr(a.lhs());
+        resolve_expr(a.size());
+        emit(proc, Instr{.op = Op::Alloc, .stmt = &s, .lhs = &a.lhs(), .rhs = &a.size()});
+        break;
+      }
+      case StmtKind::Call: {
+        const auto& c = stmt_cast<CallStmt>(s);
+        if (c.dst() != nullptr) resolve_expr(*c.dst());
+        resolve_expr(c.callee());
+        for (const ExprPtr& arg : c.args()) resolve_expr(*arg);
+        emit(proc, Instr{.op = Op::Call,
+                         .stmt = &s,
+                         .lhs = c.dst(),
+                         .rhs = &c.callee(),
+                         .args = &c.args()});
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = stmt_cast<IfStmt>(s);
+        resolve_expr(i.cond());
+        const std::uint32_t branch_pc =
+            emit(proc, Instr{.op = Op::Branch, .stmt = &s, .rhs = &i.cond()});
+        out_->procs_[proc].code[branch_pc].t1 = next_pc(proc);
+        push_scope();
+        lower_stmt(i.then_branch(), proc);
+        pop_scope();
+        if (i.else_branch() != nullptr) {
+          const std::uint32_t jump_pc = emit(proc, Instr{.op = Op::Jump, .stmt = &s});
+          out_->procs_[proc].code[branch_pc].t2 = next_pc(proc);
+          push_scope();
+          lower_stmt(*i.else_branch(), proc);
+          pop_scope();
+          out_->procs_[proc].code[jump_pc].t1 = next_pc(proc);
+        } else {
+          out_->procs_[proc].code[branch_pc].t2 = next_pc(proc);
+        }
+        break;
+      }
+      case StmtKind::While: {
+        const auto& w = stmt_cast<WhileStmt>(s);
+        const std::uint32_t head = next_pc(proc);
+        resolve_expr(w.cond());
+        const std::uint32_t branch_pc =
+            emit(proc, Instr{.op = Op::Branch, .stmt = &s, .rhs = &w.cond()});
+        out_->procs_[proc].code[branch_pc].t1 = next_pc(proc);
+        push_scope();
+        lower_stmt(w.body(), proc);
+        pop_scope();
+        Instr back;
+        back.op = Op::Jump;
+        back.stmt = &s;
+        back.t1 = head;
+        emit(proc, std::move(back));
+        out_->procs_[proc].code[branch_pc].t2 = next_pc(proc);
+        break;
+      }
+      case StmtKind::Cobegin: {
+        const auto& c = stmt_cast<CobeginStmt>(s);
+        Instr fork;
+        fork.op = Op::Fork;
+        fork.stmt = &s;
+        for (const StmtPtr& branch : c.branches()) {
+          // Thread proc: runs in the forker's frame; shares the slot counter
+          // of the current function so branch-local declarations get slots
+          // in the enclosing frame.
+          Proc tp;
+          tp.id = static_cast<std::uint32_t>(out_->procs_.size());
+          tp.is_thread = true;
+          tp.nesting = cur_func_level_;
+          tp.owner_fn = cur_proc_owner_fn_();
+          tp.lexical_parent = out_->procs_[cur_proc_].lexical_parent;
+          tp.name = out_->procs_[cur_proc_].name + "$b" + std::to_string(fork.forks.size());
+          out_->procs_.push_back(std::move(tp));
+          const std::uint32_t child_id = static_cast<std::uint32_t>(out_->procs_.size() - 1);
+          fork.forks.push_back(child_id);
+
+          const std::uint32_t saved_proc = cur_proc_;
+          cur_proc_ = child_id;
+          push_scope();
+          lower_stmt(*branch, child_id);
+          pop_scope();
+          emit(child_id, Instr{.op = Op::Halt, .stmt = &s});
+          cur_proc_ = saved_proc;
+        }
+        emit(proc, std::move(fork));
+        emit(proc, Instr{.op = Op::Join, .stmt = &s});
+        break;
+      }
+      case StmtKind::DoAll: {
+        const auto& d = stmt_cast<DoAllStmt>(s);
+        resolve_expr(d.lo());
+        resolve_expr(d.hi());
+        // The body is a thread proc with its own frame: slot 1 holds the
+        // per-instance index, the static link chains to the forker's frame
+        // (so body references to enclosing locals resolve with hops >= 1).
+        Proc tp;
+        tp.id = static_cast<std::uint32_t>(out_->procs_.size());
+        tp.is_thread = true;
+        tp.nesting = cur_func_level_ + 1;
+        tp.lexical_parent = cur_proc_owner_fn_();
+        tp.name = out_->procs_[cur_proc_].name + "$doall";
+        out_->procs_.push_back(std::move(tp));
+        const std::uint32_t child_id = static_cast<std::uint32_t>(out_->procs_.size() - 1);
+        out_->procs_[child_id].owner_fn = child_id;  // owns its frame
+
+        const std::uint32_t saved_level = cur_func_level_;
+        const std::uint32_t saved_proc = cur_proc_;
+        ++cur_func_level_;
+        cur_proc_ = child_id;
+        frame_slot_counters_.push_back(1);
+        push_scope();
+        declare_local(d.var());  // slot 1: the index
+        lower_stmt(d.body(), child_id);
+        pop_scope();
+        emit(child_id, Instr{.op = Op::Halt, .stmt = &s});
+        out_->procs_[child_id].nslots = frame_slot_counters_.back();
+        frame_slot_counters_.pop_back();
+        cur_func_level_ = saved_level;
+        cur_proc_ = saved_proc;
+
+        Instr fork;
+        fork.op = Op::ForkRange;
+        fork.stmt = &s;
+        fork.rhs = &d.lo();
+        fork.rhs2 = &d.hi();
+        fork.forks.push_back(child_id);
+        emit(proc, std::move(fork));
+        emit(proc, Instr{.op = Op::Join, .stmt = &s});
+        break;
+      }
+      case StmtKind::Return: {
+        const auto& r = stmt_cast<ReturnStmt>(s);
+        if (r.value() != nullptr) resolve_expr(*r.value());
+        emit(proc, Instr{.op = Op::Return, .stmt = &s, .rhs = r.value()});
+        break;
+      }
+      case StmtKind::Lock: {
+        const auto& l = stmt_cast<LockStmt>(s);
+        resolve_expr(l.lvalue());
+        emit(proc, Instr{.op = Op::Lock, .stmt = &s, .lhs = &l.lvalue()});
+        break;
+      }
+      case StmtKind::Unlock: {
+        const auto& u = stmt_cast<UnlockStmt>(s);
+        resolve_expr(u.lvalue());
+        emit(proc, Instr{.op = Op::Unlock, .stmt = &s, .lhs = &u.lvalue()});
+        break;
+      }
+      case StmtKind::Skip:
+        // `skip;` is an observable no-op action in the paper's examples
+        // (a transition that reads and writes nothing).
+        emit(proc, Instr{.op = Op::Assert, .stmt = &s, .rhs = nullptr});
+        break;
+      case StmtKind::Assert: {
+        const auto& a = stmt_cast<AssertStmt>(s);
+        resolve_expr(a.cond());
+        emit(proc, Instr{.op = Op::Assert, .stmt = &s, .rhs = &a.cond()});
+        break;
+      }
+    }
+  }
+
+  // --- expressions --------------------------------------------------------
+  void resolve_expr(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+      case ExprKind::BoolLit:
+      case ExprKind::NullLit:
+        break;
+      case ExprKind::VarRef: {
+        const auto& v = expr_cast<VarRef>(e);
+        out_->varlocs_[e.id()] = resolve_name(v.name(), e.loc());
+        break;
+      }
+      case ExprKind::Unary:
+        resolve_expr(expr_cast<Unary>(e).operand());
+        break;
+      case ExprKind::Binary: {
+        const auto& b = expr_cast<Binary>(e);
+        resolve_expr(b.lhs());
+        resolve_expr(b.rhs());
+        break;
+      }
+      case ExprKind::AddrOf:
+        resolve_expr(expr_cast<AddrOf>(e).lvalue());
+        break;
+      case ExprKind::Deref:
+        resolve_expr(expr_cast<Deref>(e).pointer());
+        break;
+      case ExprKind::Index: {
+        const auto& i = expr_cast<Index>(e);
+        resolve_expr(i.base());
+        resolve_expr(i.index());
+        break;
+      }
+      case ExprKind::FunLit: {
+        // Lower the lambda body now, in the current lexical scope.
+        lower_function(expr_cast<FunLit>(e).decl());
+        break;
+      }
+    }
+  }
+
+  /// The function proc owning the frame that code currently being lowered
+  /// runs in (thread procs share their enclosing function's frame).
+  [[nodiscard]] std::uint32_t cur_proc_owner_fn_() const {
+    return out_->procs_[cur_proc_].is_thread ? out_->procs_[cur_proc_].owner_fn : cur_proc_;
+  }
+
+  const Module& module_;
+  DiagnosticEngine& diags_;
+  std::unique_ptr<LoweredProgram> out_;
+
+  std::vector<Scope> scopes_;
+  std::vector<std::uint32_t> frame_slot_counters_;
+  std::unordered_map<Symbol, std::uint32_t> global_slots_;
+  std::uint32_t next_global_slot_ = 1;  // cell 0 reserved
+  std::uint32_t cur_func_level_ = 0;
+  std::uint32_t cur_proc_ = 0;
+};
+
+std::string LoweredProgram::describe_point(std::uint32_t proc, std::uint32_t pc) const {
+  std::ostringstream os;
+  os << procs_.at(proc).name << '+' << pc;
+  if (pc < procs_[proc].code.size()) {
+    const Instr& i = procs_[proc].code[pc];
+    if (i.stmt != nullptr && i.stmt->label().valid()) {
+      os << '(' << module_->interner().spelling(i.stmt->label()) << ')';
+    }
+  }
+  return os.str();
+}
+
+std::string LoweredProgram::disassemble() const {
+  std::ostringstream os;
+  for (const Proc& p : procs_) {
+    os << "proc " << p.id << " '" << p.name << "'"
+       << (p.is_thread ? " [thread]" : "") << " nslots=" << p.nslots << ":\n";
+    for (std::size_t pc = 0; pc < p.code.size(); ++pc) {
+      const Instr& i = p.code[pc];
+      os << "  " << pc << ": " << op_name(i.op);
+      if (i.lhs != nullptr) os << " lhs=" << lang::print_expr(*module_, *i.lhs);
+      if (i.rhs != nullptr) os << " rhs=" << lang::print_expr(*module_, *i.rhs);
+      if (i.op == Op::Branch) os << " then=" << i.t1 << " else=" << i.t2;
+      if (i.op == Op::Jump) os << " to=" << i.t1;
+      if (i.op == Op::Fork || i.op == Op::ForkRange) {
+        os << " children=[";
+        for (std::size_t k = 0; k < i.forks.size(); ++k) {
+          if (k > 0) os << ',';
+          os << i.forks[k];
+        }
+        os << ']';
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::unique_ptr<LoweredProgram> lower(const lang::Module& module, DiagnosticEngine& diags) {
+  return Lowerer(module, diags).run();
+}
+
+std::unique_ptr<LoweredProgram> lower(const lang::Module& module) {
+  DiagnosticEngine diags;
+  auto out = lower(module, diags);
+  if (diags.has_errors()) throw Error("lowering failed:\n" + diags.to_string());
+  return out;
+}
+
+}  // namespace copar::sem

@@ -1,0 +1,143 @@
+// Lowering: AST -> per-procedure lists of atomic actions.
+//
+// The paper's model treats a parallel program as processes executing atomic
+// actions, each with a read set and a write set. Lowering produces exactly
+// that: every elementary statement becomes one instruction (one transition
+// of the standard semantics); pure control plumbing (Jump) is executed
+// transparently by the stepper and never counts as a transition.
+//
+// Variables are resolved statically to frame slots:
+//   - globals (and named functions, which are just function-valued globals)
+//     live in the distinguished globals frame;
+//   - each function activation gets a frame object: cell 0 is the static
+//     link (for closures), cells 1.. are parameters and locals. Locals
+//     declared anywhere in the function body — including inside cobegin
+//     branches — get distinct slots in the function's frame, zero-
+//     initialized at activation (declarations themselves lower to nothing);
+//   - a cobegin branch lowers to a *thread proc* that executes in the
+//     forker's frame, so branches read and write the enclosing function's
+//     locals directly, as in the paper's examples;
+//   - anonymous function literals lower to procs whose frames chain to the
+//     defining activation via the static link (lexical capture).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/support/diagnostics.h"
+
+namespace copar::sem {
+
+enum class Op : std::uint8_t {
+  Assign,   // lhs = rhs
+  Alloc,    // lhs = alloc(rhs)
+  Call,     // lhs? = rhs(args...)
+  Return,   // return rhs?
+  Branch,   // if (rhs) goto t1 else goto t2
+  Jump,     // goto t1 (micro-op: folded into the preceding action)
+  Fork,     // spawn forks[], then fall through to the Join at pc+1
+  ForkRange,  // doall: spawn (rhs2 - rhs + 1) instances of forks[0], each
+              // with its own frame holding the index; then the Join at pc+1
+  Join,     // wait for all children of the current cobegin/doall
+  Lock,     // acquire cell named by lhs
+  Unlock,   // release cell named by lhs
+  Assert,   // check rhs
+  Halt,     // end of proc: implicit `return null` (functions) / thread exit
+};
+
+std::string_view op_name(Op op);
+
+struct Instr {
+  Op op = Op::Halt;
+  /// Originating statement; null for synthesized instructions (e.g. Halt).
+  const lang::Stmt* stmt = nullptr;
+  const lang::Expr* lhs = nullptr;  // assign/alloc/call dst; lock/unlock lvalue
+  const lang::Expr* rhs = nullptr;  // assign rhs / alloc size / cond / callee / return value
+                                    // / doall range lo
+  const lang::Expr* rhs2 = nullptr;  // doall range hi (inclusive)
+  const std::vector<lang::ExprPtr>* args = nullptr;  // call arguments
+  std::uint32_t t1 = 0;  // branch/jump target
+  std::uint32_t t2 = 0;  // branch false-target
+  std::vector<std::uint32_t> forks;  // child proc ids
+};
+
+/// A lowered code unit: a function body or a cobegin branch ("thread proc").
+struct Proc {
+  std::uint32_t id = 0;
+  std::string name;
+  const lang::FunDecl* fun = nullptr;  // null for thread procs
+  bool is_thread = false;
+  /// Frame size in cells including the static-link cell 0. Cobegin-branch
+  /// thread procs have nslots 0: they run in the forker's frame. Doall-body
+  /// thread procs own a frame (slot 1 = the index variable) whose static
+  /// link points at the forker's frame.
+  std::uint32_t nslots = 0;
+  /// Lexical function-nesting depth (globals = 0, top-level functions = 1,
+  /// a lambda inside one = 2, ...). Thread procs inherit their function's.
+  std::uint32_t nesting = 0;
+  /// The function proc whose frame this proc's code runs in: itself for
+  /// functions, the enclosing function for thread procs.
+  std::uint32_t owner_fn = 0;
+  /// The lexically enclosing function proc (for resolving hops statically);
+  /// kNoProc for top-level functions.
+  std::uint32_t lexical_parent = 0xffffffffu;
+  std::vector<Instr> code;
+};
+
+constexpr std::uint32_t kNoProc = 0xffffffffu;
+
+/// Where a VarRef (or decl target) lives.
+struct VarLoc {
+  bool is_global = false;
+  std::uint16_t hops = 0;  // static-link hops from the current frame
+  std::uint32_t slot = 0;  // cell index within the target frame
+};
+
+struct GlobalSlot {
+  Symbol name;
+  std::uint32_t slot = 0;
+  const lang::Expr* init = nullptr;     // null: zero or function closure
+  const lang::FunDecl* fun = nullptr;   // non-null for named functions
+};
+
+/// A fully lowered module, ready for the stepper. Owns nothing from the
+/// Module; the Module must outlive it.
+class LoweredProgram {
+ public:
+  [[nodiscard]] const lang::Module& module() const noexcept { return *module_; }
+  [[nodiscard]] const std::vector<Proc>& procs() const noexcept { return procs_; }
+  [[nodiscard]] const Proc& proc(std::uint32_t id) const { return procs_.at(id); }
+  [[nodiscard]] const std::vector<GlobalSlot>& globals() const noexcept { return globals_; }
+  [[nodiscard]] std::uint32_t nglobal_cells() const noexcept { return nglobal_cells_; }
+  [[nodiscard]] std::uint32_t entry_proc() const noexcept { return entry_proc_; }
+
+  /// Resolution of the VarRef (by expression id).
+  [[nodiscard]] const VarLoc& varloc(std::uint32_t expr_id) const { return varlocs_.at(expr_id); }
+
+  /// Human-readable control point, e.g. "main+3(s2)".
+  [[nodiscard]] std::string describe_point(std::uint32_t proc, std::uint32_t pc) const;
+
+  /// Disassembly of every proc (debugging / golden tests).
+  [[nodiscard]] std::string disassemble() const;
+
+ private:
+  friend class Lowerer;
+  const lang::Module* module_ = nullptr;
+  std::vector<Proc> procs_;
+  std::vector<VarLoc> varlocs_;
+  std::vector<GlobalSlot> globals_;
+  std::uint32_t nglobal_cells_ = 1;  // cell 0 reserved (uniform frame layout)
+  std::uint32_t entry_proc_ = 0;
+};
+
+/// Lowers a resolved module. Reports problems (e.g. missing `main`) to
+/// `diags`; the result is unusable if diags has errors.
+std::unique_ptr<LoweredProgram> lower(const lang::Module& module, DiagnosticEngine& diags);
+
+/// Throwing convenience wrapper.
+std::unique_ptr<LoweredProgram> lower(const lang::Module& module);
+
+}  // namespace copar::sem

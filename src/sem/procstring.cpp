@@ -1,0 +1,89 @@
+#include "src/sem/procstring.h"
+
+#include <algorithm>
+
+namespace copar::sem {
+
+ProcString ProcString::append(PSym s) const {
+  ProcString out = *this;
+  if (!out.syms_.empty() && out.syms_.back().cancels(s)) {
+    out.syms_.pop_back();
+  } else {
+    out.syms_.push_back(s);
+  }
+  return out;
+}
+
+ProcString ProcString::net_between(const ProcString& from, const ProcString& to) {
+  std::size_t common = 0;
+  const std::size_t n = std::min(from.size(), to.size());
+  while (common < n && from.syms_[common] == to.syms_[common]) ++common;
+  ProcString out;
+  // Invert the tail of `from` (exits undoing its entries), innermost first.
+  for (std::size_t i = from.size(); i-- > common;) {
+    const PSym& s = from.syms_[i];
+    switch (s.kind) {
+      case PSymKind::Call: out.syms_.push_back(PSym{PSymKind::Ret, s.id, s.branch}); break;
+      case PSymKind::Ret: out.syms_.push_back(PSym{PSymKind::Call, s.id, s.branch}); break;
+      case PSymKind::Fork: out.syms_.push_back(PSym{PSymKind::Join, s.id, s.branch}); break;
+      case PSymKind::Join: out.syms_.push_back(PSym{PSymKind::Fork, s.id, s.branch}); break;
+    }
+  }
+  // Then the tail of `to`.
+  for (std::size_t i = common; i < to.size(); ++i) out.syms_.push_back(to.syms_[i]);
+  return out;
+}
+
+bool ProcString::descends_only() const noexcept {
+  return std::all_of(syms_.begin(), syms_.end(), [](const PSym& s) {
+    return s.kind == PSymKind::Call || s.kind == PSymKind::Fork;
+  });
+}
+
+bool ProcString::crosses_thread() const noexcept {
+  return std::any_of(syms_.begin(), syms_.end(), [](const PSym& s) {
+    return s.kind == PSymKind::Fork || s.kind == PSymKind::Join;
+  });
+}
+
+bool ProcString::is_prefix_of(const ProcString& other) const noexcept {
+  if (syms_.size() > other.syms_.size()) return false;
+  return std::equal(syms_.begin(), syms_.end(), other.syms_.begin());
+}
+
+ProcString ProcString::k_limited(std::size_t k) const {
+  if (syms_.size() <= k) return *this;
+  ProcString out;
+  out.syms_.assign(syms_.end() - static_cast<std::ptrdiff_t>(k), syms_.end());
+  return out;
+}
+
+std::uint64_t ProcString::hash() const noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  for (const PSym& s : syms_) {
+    h = hash_combine(h, static_cast<std::uint64_t>(s.kind));
+    h = hash_combine(h, s.id);
+    h = hash_combine(h, s.branch);
+  }
+  return h;
+}
+
+std::string ProcString::to_string() const {
+  std::string out;
+  for (const PSym& s : syms_) {
+    if (!out.empty()) out += '.';
+    switch (s.kind) {
+      case PSymKind::Call: out += "c" + std::to_string(s.id); break;
+      case PSymKind::Ret: out += "r" + std::to_string(s.id); break;
+      case PSymKind::Fork:
+        out += "f" + std::to_string(s.id) + "_" + std::to_string(s.branch);
+        break;
+      case PSymKind::Join:
+        out += "j" + std::to_string(s.id) + "_" + std::to_string(s.branch);
+        break;
+    }
+  }
+  return out.empty() ? "ε" : out;
+}
+
+}  // namespace copar::sem

@@ -1,0 +1,111 @@
+// Procedure strings (Harrison 1989), the device of the paper's instrumented
+// semantics.
+//
+// A procedure string records the procedural and concurrency movements of a
+// process: entering/exiting a procedure, and entering/exiting a cobegin
+// thread. When an object is created, the creating process's current string
+// is recorded as the object's *birthdate*; comparing birthdates against
+// later strings (via the `net` normal form) yields lifetime and extent
+// information (§5.3 of the paper).
+//
+// Symbols:
+//   call(p)        — entered procedure p
+//   ret(p)         — exited procedure p
+//   fork(s, b)     — entered branch b of the cobegin at statement s
+//   join(s, b)     — exited that branch
+//
+// net() cancels adjacent matching call/ret (and fork/join) pairs, leaving
+// the process's net movement — e.g. the net of `call f, call g, ret g`
+// is `call f`, meaning "currently one activation of f below where we
+// started".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/hash.h"
+
+namespace copar::sem {
+
+enum class PSymKind : std::uint8_t { Call, Ret, Fork, Join };
+
+struct PSym {
+  PSymKind kind;
+  std::uint32_t id;      // proc id for Call/Ret; cobegin stmt id for Fork/Join
+  std::uint32_t branch;  // branch index for Fork/Join; 0 otherwise
+
+  friend bool operator==(const PSym&, const PSym&) = default;
+
+  /// True if `other` undoes this symbol (call/ret of same proc, fork/join of
+  /// same site+branch).
+  [[nodiscard]] bool cancels(const PSym& other) const noexcept {
+    if (kind == PSymKind::Call && other.kind == PSymKind::Ret) return id == other.id;
+    if (kind == PSymKind::Fork && other.kind == PSymKind::Join) {
+      return id == other.id && branch == other.branch;
+    }
+    return false;
+  }
+};
+
+/// An immutable-by-convention sequence of movement symbols.
+class ProcString {
+ public:
+  ProcString() = default;
+
+  [[nodiscard]] const std::vector<PSym>& syms() const noexcept { return syms_; }
+  [[nodiscard]] bool empty() const noexcept { return syms_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return syms_.size(); }
+
+  /// Returns this string extended with one symbol, cancelling on the fly so
+  /// strings stay in net normal form (the instrumented semantics only ever
+  /// needs net strings; keeping them normalized bounds their size by the
+  /// current call/fork depth).
+  [[nodiscard]] ProcString append(PSym s) const;
+
+  static PSym call_sym(std::uint32_t proc) { return PSym{PSymKind::Call, proc, 0}; }
+  static PSym ret_sym(std::uint32_t proc) { return PSym{PSymKind::Ret, proc, 0}; }
+  static PSym fork_sym(std::uint32_t site, std::uint32_t branch) {
+    return PSym{PSymKind::Fork, site, branch};
+  }
+  static PSym join_sym(std::uint32_t site, std::uint32_t branch) {
+    return PSym{PSymKind::Join, site, branch};
+  }
+
+  /// The net movement from `from` to `to`: cancel the common prefix, then
+  /// invert the remainder of `from` and concatenate the remainder of `to`.
+  /// Used to relate an object's birthdate to a later control point.
+  static ProcString net_between(const ProcString& from, const ProcString& to);
+
+  /// True if every symbol is a Call/Fork (i.e. `to` is strictly *inside*
+  /// activations entered since `from`). An object whose birthdate-to-exit
+  /// net contains no Ret/Join symbols was born in the current activation.
+  [[nodiscard]] bool descends_only() const noexcept;
+
+  /// True if this (net-normal) string contains a Fork symbol — the movement
+  /// crossed into a cobegin thread.
+  [[nodiscard]] bool crosses_thread() const noexcept;
+
+  /// True if this string is a (possibly equal) prefix of `other`: `other`'s
+  /// position is within the dynamic extent of this one.
+  [[nodiscard]] bool is_prefix_of(const ProcString& other) const noexcept;
+
+  /// Keep only the last `k` symbols (the usual k-limiting abstraction for
+  /// the abstract semantics).
+  [[nodiscard]] ProcString k_limited(std::size_t k) const;
+
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const ProcString&, const ProcString&) = default;
+
+ private:
+  std::vector<PSym> syms_;
+};
+
+}  // namespace copar::sem
+
+template <>
+struct std::hash<copar::sem::ProcString> {
+  std::size_t operator()(const copar::sem::ProcString& s) const noexcept { return s.hash(); }
+};

@@ -1,0 +1,14 @@
+#include "src/sem/program.h"
+
+#include "src/lang/parser.h"
+
+namespace copar {
+
+std::unique_ptr<CompiledProgram> compile(std::string_view source) {
+  auto out = std::make_unique<CompiledProgram>();
+  out->module = lang::parse_program(source);
+  out->lowered = sem::lower(*out->module);
+  return out;
+}
+
+}  // namespace copar

@@ -1,0 +1,30 @@
+// One-call front door: source text -> resolved module + lowered program.
+//
+//   auto prog = copar::compile(R"(
+//     var x = 0; var y = 0;
+//     fun main() { cobegin { x = 1; } || { y = x; } coend; }
+//   )");
+//   auto result = explore::explore(*prog->lowered, {});
+//
+// CompiledProgram owns the AST and the lowered form; keep it alive as long
+// as any Configuration or analysis result derived from it.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "src/lang/ast.h"
+#include "src/sem/lower.h"
+
+namespace copar {
+
+struct CompiledProgram {
+  std::unique_ptr<lang::Module> module;
+  std::unique_ptr<sem::LoweredProgram> lowered;
+};
+
+/// Parses, resolves, and lowers `source`. Throws copar::Error carrying all
+/// diagnostics on failure.
+std::unique_ptr<CompiledProgram> compile(std::string_view source);
+
+}  // namespace copar

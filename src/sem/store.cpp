@@ -1,0 +1,90 @@
+#include "src/sem/store.h"
+
+#include <sstream>
+
+namespace copar::sem {
+
+ObjId Store::allocate(ObjKind kind, std::uint32_t site, std::uint32_t creator, ProcString birth,
+                      std::uint32_t ncells) {
+  Object obj;
+  obj.obj_kind = kind;
+  obj.site = site;
+  obj.creator = creator;
+  obj.birth = std::move(birth);
+  obj.base = next_base_;
+  obj.cells.assign(ncells, Value::integer(0));
+  next_base_ += ncells;
+  objects_.push_back(std::move(obj));
+  return static_cast<ObjId>(objects_.size() - 1);
+}
+
+const Object& Store::object(ObjId id) const {
+  require(id < objects_.size(), "Store::object: bad object id");
+  return objects_[id];
+}
+
+Object& Store::object(ObjId id) {
+  require(id < objects_.size(), "Store::object: bad object id");
+  return objects_[id];
+}
+
+bool Store::in_bounds(ObjId obj, std::uint32_t off) const noexcept {
+  return obj < objects_.size() && off < objects_[obj].cells.size();
+}
+
+Value Store::read(ObjId obj, std::uint32_t off) const {
+  require(in_bounds(obj, off), "store read out of bounds");
+  return objects_[obj].cells[off];
+}
+
+void Store::write(ObjId obj, std::uint32_t off, Value v) {
+  require(in_bounds(obj, off), "store write out of bounds");
+  objects_[obj].cells[off] = v;
+}
+
+std::size_t Store::loc_id(ObjId obj, std::uint32_t off) const {
+  require(in_bounds(obj, off), "loc_id out of bounds");
+  return objects_[obj].base + off;
+}
+
+std::pair<ObjId, std::uint32_t> Store::locate(std::size_t loc) const {
+  // Bases are strictly increasing; binary-search the owning object.
+  require(loc < next_base_, "locate: bad location id");
+  std::size_t lo = 0;
+  std::size_t hi = objects_.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (objects_[mid].base <= loc) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // Zero-cell objects share their base with the next object; skip backwards
+  // never needed because such objects own no locations.
+  const std::uint32_t off = static_cast<std::uint32_t>(loc - objects_[lo].base);
+  require(off < objects_[lo].cells.size(), "locate: location in zero-cell gap");
+  return {static_cast<ObjId>(lo), off};
+}
+
+std::string Store::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    const Object& o = objects_[i];
+    os << "obj" << i << "(";
+    switch (o.obj_kind) {
+      case ObjKind::Globals: os << "globals"; break;
+      case ObjKind::Frame: os << "frame p" << o.site; break;
+      case ObjKind::Heap: os << "heap s" << o.site; break;
+    }
+    os << ") = [";
+    for (std::size_t c = 0; c < o.cells.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << o.cells[c].to_string();
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace copar::sem

@@ -1,0 +1,74 @@
+// The shared store of the standard semantics.
+//
+// Every variable and heap cell lives in the store: the globals live in a
+// distinguished frame object, each function activation allocates a frame
+// object (cell 0 = static link for closures, cells 1.. = parameter/local
+// slots), and `alloc(n)` creates an n-cell heap object. A *location* is an
+// (object, cell) pair; locations have dense ids (object base + offset) so
+// read/write sets are bitsets.
+//
+// Per the instrumented semantics (§5), every object records its allocation
+// site, creating process, and *birthdate* procedure string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sem/procstring.h"
+#include "src/sem/value.h"
+#include "src/support/diagnostics.h"
+
+namespace copar::sem {
+
+/// What kind of storage an object provides; affects sharedness/criticality
+/// classification and the analyses.
+enum class ObjKind : std::uint8_t { Globals, Frame, Heap };
+
+struct Object {
+  ObjKind obj_kind = ObjKind::Heap;
+  /// AllocStmt id for heap objects; lowered proc id for frames; 0 for globals.
+  std::uint32_t site = 0;
+  /// Creating process id (transient; canonicalization ignores it) — used by
+  /// the access-log analyses.
+  std::uint32_t creator = 0;
+  /// Birthdate: the creator's procedure string at allocation time.
+  ProcString birth;
+  /// First dense location id of cell 0 within the owning Store.
+  std::uint32_t base = 0;
+  std::vector<Value> cells;
+};
+
+class Store {
+ public:
+  /// Creates `ncells` zero-initialized cells; returns the new object's id.
+  ObjId allocate(ObjKind kind, std::uint32_t site, std::uint32_t creator, ProcString birth,
+                 std::uint32_t ncells);
+
+  [[nodiscard]] const Object& object(ObjId id) const;
+  [[nodiscard]] Object& object(ObjId id);
+  [[nodiscard]] std::size_t num_objects() const noexcept { return objects_.size(); }
+  /// One past the largest dense location id.
+  [[nodiscard]] std::size_t num_locations() const noexcept { return next_base_; }
+
+  /// Reads/writes with bounds checking; offset past the object's cells is a
+  /// runtime error reported via copar::Error (the stepper catches it).
+  [[nodiscard]] Value read(ObjId obj, std::uint32_t off) const;
+  void write(ObjId obj, std::uint32_t off, Value v);
+  [[nodiscard]] bool in_bounds(ObjId obj, std::uint32_t off) const noexcept;
+
+  /// Dense location id of (obj, off) for read/write bitsets.
+  [[nodiscard]] std::size_t loc_id(ObjId obj, std::uint32_t off) const;
+
+  /// Inverse of loc_id: which (object, offset) a dense location id names.
+  [[nodiscard]] std::pair<ObjId, std::uint32_t> locate(std::size_t loc) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Object> objects_;
+  std::uint32_t next_base_ = 0;
+};
+
+}  // namespace copar::sem

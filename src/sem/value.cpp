@@ -1,0 +1,19 @@
+#include "src/sem/value.h"
+
+namespace copar::sem {
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case VKind::Int: return std::to_string(as_int());
+    case VKind::Null: return "null";
+    case VKind::Ptr:
+      return "&obj" + std::to_string(ptr_obj()) + "[" + std::to_string(ptr_off()) + "]";
+    case VKind::Closure:
+      return "<fn" + std::to_string(closure_proc()) +
+             (closure_env() == kNoObj ? std::string() : ("@obj" + std::to_string(closure_env()))) +
+             ">";
+  }
+  return "<?>";
+}
+
+}  // namespace copar::sem

@@ -1,0 +1,91 @@
+// Runtime values of the standard semantics.
+//
+// The language is dynamically typed (Scheme-flavored, like the paper's
+// MIPRAC lineage): a cell holds an integer, a null, a pointer to an object
+// cell, or a closure. Booleans are represented as integers 0/1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/hash.h"
+
+namespace copar::sem {
+
+/// Index of an object in a Store.
+using ObjId = std::uint32_t;
+constexpr ObjId kNoObj = 0xffffffffu;
+
+enum class VKind : std::uint8_t { Int, Null, Ptr, Closure };
+
+/// A first-class runtime value. Ptr carries (object, cell offset); Closure
+/// carries (lowered proc id, defining frame object — kNoObj for top-level
+/// functions, which close over nothing but the globals).
+class Value {
+ public:
+  constexpr Value() : kind_(VKind::Int), a_(0), b_(0) {}
+
+  static constexpr Value integer(std::int64_t v) {
+    Value x;
+    x.kind_ = VKind::Int;
+    x.a_ = static_cast<std::uint64_t>(v);
+    return x;
+  }
+  static constexpr Value null() {
+    Value x;
+    x.kind_ = VKind::Null;
+    return x;
+  }
+  static constexpr Value pointer(ObjId obj, std::uint32_t off) {
+    Value x;
+    x.kind_ = VKind::Ptr;
+    x.a_ = obj;
+    x.b_ = off;
+    return x;
+  }
+  static constexpr Value closure(std::uint32_t proc, ObjId env) {
+    Value x;
+    x.kind_ = VKind::Closure;
+    x.a_ = proc;
+    x.b_ = env;
+    return x;
+  }
+
+  [[nodiscard]] constexpr VKind kind() const noexcept { return kind_; }
+  [[nodiscard]] constexpr bool is_int() const noexcept { return kind_ == VKind::Int; }
+  [[nodiscard]] constexpr bool is_null() const noexcept { return kind_ == VKind::Null; }
+  [[nodiscard]] constexpr bool is_ptr() const noexcept { return kind_ == VKind::Ptr; }
+  [[nodiscard]] constexpr bool is_closure() const noexcept { return kind_ == VKind::Closure; }
+
+  [[nodiscard]] constexpr std::int64_t as_int() const noexcept {
+    return static_cast<std::int64_t>(a_);
+  }
+  [[nodiscard]] constexpr ObjId ptr_obj() const noexcept { return static_cast<ObjId>(a_); }
+  [[nodiscard]] constexpr std::uint32_t ptr_off() const noexcept { return b_; }
+  [[nodiscard]] constexpr std::uint32_t closure_proc() const noexcept {
+    return static_cast<std::uint32_t>(a_);
+  }
+  [[nodiscard]] constexpr ObjId closure_env() const noexcept { return b_; }
+
+  /// Truthiness for conditions: nonzero int; non-null pointer/closure.
+  [[nodiscard]] constexpr bool truthy() const noexcept {
+    return kind_ == VKind::Int ? a_ != 0 : kind_ != VKind::Null;
+  }
+
+  friend constexpr bool operator==(const Value& x, const Value& y) noexcept {
+    return x.kind_ == y.kind_ && x.a_ == y.a_ && x.b_ == y.b_;
+  }
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    return hash_combine(hash_combine(static_cast<std::uint64_t>(kind_), a_), b_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  VKind kind_;
+  std::uint64_t a_;
+  std::uint32_t b_ = 0;
+};
+
+}  // namespace copar::sem

@@ -1,0 +1,95 @@
+#include "src/support/bitset.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace copar {
+
+void DynamicBitset::ensure(std::size_t bit) {
+  const std::size_t need = bit / 64 + 1;
+  if (words_.size() < need) words_.resize(need, 0);
+}
+
+void DynamicBitset::set(std::size_t bit) {
+  ensure(bit);
+  words_[bit / 64] |= (1ULL << (bit % 64));
+}
+
+void DynamicBitset::reset(std::size_t bit) {
+  if (bit / 64 < words_.size()) words_[bit / 64] &= ~(1ULL << (bit % 64));
+}
+
+bool DynamicBitset::test(std::size_t bit) const noexcept {
+  return bit / 64 < words_.size() && (words_[bit / 64] >> (bit % 64)) & 1;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+bool DynamicBitset::empty() const noexcept {
+  return std::all_of(words_.begin(), words_.end(), [](std::uint64_t w) { return w == 0; });
+}
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  if (words_.size() < other.words_.size()) words_.resize(other.words_.size(), 0);
+  for (std::size_t i = 0; i < other.words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] &= other.words_[i];
+  for (std::size_t i = n; i < words_.size(); ++i) words_[i] = 0;
+  return *this;
+}
+
+std::vector<std::size_t> DynamicBitset::bits() const {
+  std::vector<std::size_t> out;
+  for_each([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::uint64_t DynamicBitset::hash() const noexcept {
+  // Trailing zero words must not affect the hash (sets over different store
+  // sizes compare equal when their set bits coincide).
+  std::size_t n = words_.size();
+  while (n > 0 && words_[n - 1] == 0) --n;
+  std::uint64_t h = 0x6a09e667f3bcc908ULL;
+  for (std::size_t i = 0; i < n; ++i) h = hash_combine(h, words_[i]);
+  return h;
+}
+
+std::string DynamicBitset::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for_each([&](std::size_t i) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(i);
+  });
+  out += '}';
+  return out;
+}
+
+bool operator==(const DynamicBitset& a, const DynamicBitset& b) noexcept {
+  const std::size_t n = std::max(a.words_.size(), b.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t wa = i < a.words_.size() ? a.words_[i] : 0;
+    const std::uint64_t wb = i < b.words_.size() ? b.words_[i] : 0;
+    if (wa != wb) return false;
+  }
+  return true;
+}
+
+}  // namespace copar

@@ -1,0 +1,42 @@
+#include "src/support/diagnostics.h"
+
+#include <sstream>
+
+namespace copar {
+
+std::string to_string(SourceLoc loc) {
+  if (!loc.valid()) return "<unknown>";
+  std::ostringstream os;
+  os << loc.line << ':' << loc.column;
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << copar::to_string(d.loc) << ": ";
+    switch (d.severity) {
+      case Severity::Note: os << "note: "; break;
+      case Severity::Warning: os << "warning: "; break;
+      case Severity::Error: os << "error: "; break;
+    }
+    os << d.message << '\n';
+  }
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+void require(bool cond, std::string_view message) {
+  if (!cond) throw Error(std::string(message));
+}
+
+}  // namespace copar

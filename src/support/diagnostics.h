@@ -1,0 +1,68 @@
+// Source locations and diagnostic reporting for the analyzed language.
+//
+// The front end (lexer/parser/resolver) reports problems through a
+// DiagnosticEngine rather than throwing on first error, so a caller can
+// surface every syntax error in a program at once. Fatal internal errors in
+// the framework itself use copar::Error.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace copar {
+
+/// A position in analyzed source text (1-based line/column; 0 means unknown).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return line != 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Render "line:col" (or "<unknown>" when invalid).
+std::string to_string(SourceLoc loc);
+
+enum class Severity { Note, Warning, Error };
+
+/// One reported problem, tied to a source location when available.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics during lexing/parsing/resolution.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) { report(Severity::Error, loc, std::move(message)); }
+  void warning(SourceLoc loc, std::string message) { report(Severity::Warning, loc, std::move(message)); }
+
+  [[nodiscard]] bool has_errors() const noexcept { return error_count_ != 0; }
+  [[nodiscard]] std::size_t error_count() const noexcept { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const noexcept { return diags_; }
+
+  /// All diagnostics formatted one per line, e.g. "3:7: error: unexpected ')'".
+  [[nodiscard]] std::string to_string() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+/// Fatal framework error (programming errors, malformed internal state).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws copar::Error with the given message when `cond` is false.
+void require(bool cond, std::string_view message);
+
+}  // namespace copar

@@ -1,0 +1,49 @@
+// Hash-combining utilities used throughout the framework.
+//
+// Configurations, stores, and procedure strings are hashed constantly during
+// state-space exploration, so we provide a small, fast, dependency-free
+// mixing scheme (64-bit, based on the splitmix64 finalizer).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+namespace copar {
+
+/// One round of the splitmix64 finalizer; a good cheap bit mixer.
+constexpr std::uint64_t hash_mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combine a new value into a running hash (order-dependent).
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) noexcept {
+  return hash_mix(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Hash a range of hashable elements, order-dependent.
+template <typename It>
+std::uint64_t hash_range(It first, It last, std::uint64_t seed = 0) {
+  for (; first != last; ++first) {
+    seed = hash_combine(seed, static_cast<std::uint64_t>(std::hash<std::decay_t<decltype(*first)>>{}(*first)));
+  }
+  return seed;
+}
+
+/// FNV-1a over bytes; used for string-ish data.
+constexpr std::uint64_t hash_bytes(std::string_view s, std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace copar

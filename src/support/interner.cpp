@@ -1,0 +1,26 @@
+#include "src/support/interner.h"
+
+#include "src/support/diagnostics.h"
+
+namespace copar {
+
+Interner::Interner() {
+  spellings_.emplace_back();  // slot 0: the invalid symbol
+}
+
+Symbol Interner::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) return Symbol(it->second);
+  const auto id = static_cast<std::uint32_t>(spellings_.size());
+  spellings_.emplace_back(s);
+  // Key the map with a view into our stable storage. std::string contents
+  // are heap-allocated, so the view survives vector reallocation.
+  index_.emplace(std::string_view(spellings_.back()), id);
+  return Symbol(id);
+}
+
+std::string_view Interner::spelling(Symbol sym) const {
+  require(sym.id() < spellings_.size(), "Interner::spelling: foreign symbol");
+  return spellings_[sym.id()];
+}
+
+}  // namespace copar

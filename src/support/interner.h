@@ -1,0 +1,60 @@
+// String interning: maps identifier spellings to small dense Symbol ids.
+//
+// Interning makes identifier comparison O(1) and lets read/write sets,
+// environments, and procedure strings store 32-bit ids instead of strings.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace copar {
+
+/// A lightweight handle to an interned string. Value 0 is reserved as the
+/// invalid symbol so a default-constructed Symbol is detectably empty.
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(std::uint32_t id) : id_(id) {}
+
+  [[nodiscard]] constexpr std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != 0; }
+
+  friend constexpr bool operator==(Symbol, Symbol) = default;
+  friend constexpr auto operator<=>(Symbol, Symbol) = default;
+
+ private:
+  std::uint32_t id_ = 0;
+};
+
+/// Owns the spellings; hands out Symbols. Not thread-safe by design (each
+/// analysis pipeline owns one interner).
+class Interner {
+ public:
+  Interner();
+
+  /// Returns the symbol for `s`, interning it on first sight.
+  Symbol intern(std::string_view s);
+
+  /// Looks up a spelling; Symbol must have come from this interner.
+  [[nodiscard]] std::string_view spelling(Symbol sym) const;
+
+  /// Number of distinct interned strings (excluding the invalid slot).
+  [[nodiscard]] std::size_t size() const noexcept { return spellings_.size() - 1; }
+
+ private:
+  // Deque: element addresses are stable under growth, so the string_view
+  // keys in index_ (which point into the stored strings, including
+  // small-string-optimized ones) never dangle.
+  std::deque<std::string> spellings_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace copar
+
+template <>
+struct std::hash<copar::Symbol> {
+  std::size_t operator()(copar::Symbol s) const noexcept { return s.id(); }
+};

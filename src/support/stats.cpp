@@ -1,0 +1,22 @@
+#include "src/support/stats.h"
+
+#include <sstream>
+
+namespace copar {
+
+void StatRegistry::add(const std::string& name, std::uint64_t delta) { counters_[name] += delta; }
+
+void StatRegistry::set(const std::string& name, std::uint64_t value) { counters_[name] = value; }
+
+std::uint64_t StatRegistry::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string StatRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) os << name << '=' << value << '\n';
+  return os.str();
+}
+
+}  // namespace copar

@@ -1,0 +1,36 @@
+// Named counters for exploration/analysis statistics.
+//
+// The paper's evaluation metric is state counts (configurations generated,
+// transitions fired, interleavings pruned); StatRegistry gives every engine
+// a uniform way to expose them to tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace copar {
+
+class StatRegistry {
+ public:
+  /// Adds `delta` to counter `name`, creating it at zero on first use.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Sets counter `name` to `value`.
+  void set(const std::string& name, std::uint64_t value);
+
+  /// Current value (0 if never touched).
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const noexcept { return counters_; }
+
+  /// "name=value" lines, sorted by name.
+  [[nodiscard]] std::string to_string() const;
+
+  void clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace copar

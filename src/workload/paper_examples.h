@@ -1,0 +1,53 @@
+// The paper's worked examples as ready-to-compile sources. Each constant is
+// referenced by the test suite, the examples, and the benchmark that
+// regenerates the corresponding figure (see DESIGN.md's experiment index).
+#pragma once
+
+#include <string>
+
+namespace copar::workload {
+
+/// Figure 2(a) / Example 1: the Shasha–Snir program. Under sequential
+/// consistency (a,b) ∈ {(0,1),(1,0),(1,1)}; (0,0) is impossible.
+std::string fig2_shasha_snir();
+
+/// Figure 3-style program: two threads, each with a couple of statements,
+/// where folding merges the "dangling link" configurations.
+std::string fig3_two_threads();
+
+/// Figure 5: two threads with mostly-local statements and a single shared
+/// variable; stubborn sets shrink the configuration space to 13
+/// configurations while preserving the result configurations.
+std::string fig5_locality();
+
+/// Example 8: the pointer program s1..s4 (y = malloc; *y = 10; x = malloc;
+/// *x = *y) written in copar syntax, with the statements labeled.
+std::string example8_pointers();
+
+/// Example 15 / Figure 8: four function calls in sequence, where analysis
+/// finds dependences exactly on (s1,s4) and (s2,s3).
+std::string example15_calls();
+
+/// §7 closing example: b1 is accessed by both threads (shared level), b2 by
+/// one (local).
+std::string placement_b1_b2();
+
+/// §1 motivating example: busy-waiting on a flag set by a sibling thread —
+/// the program a naive sequential constant propagator miscompiles.
+std::string busy_wait_flag();
+
+/// Producer/consumer over a one-slot buffer with lock-based handshaking.
+std::string producer_consumer();
+
+/// Peterson's mutual-exclusion algorithm — the class of programs the
+/// paper's introduction says restricted sharing models cannot express
+/// ("some important classes of algorithms can not be programmed, such as
+/// mutual exclusion or shared variable synchronization"). The critical
+/// sections assert exclusion; exploration proves no violation is reachable.
+std::string peterson_mutex();
+
+/// Peterson without the turn variable (flags only): exclusion is broken
+/// and exploration finds the violation.
+std::string peterson_broken();
+
+}  // namespace copar::workload

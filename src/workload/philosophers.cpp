@@ -1,0 +1,29 @@
+#include "src/workload/philosophers.h"
+
+#include <sstream>
+
+namespace copar::workload {
+
+std::string dining_philosophers(std::size_t n, bool left_handed) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n; ++i) os << "var fork" << i << ";\n";
+  for (std::size_t i = 0; i < n; ++i) os << "var meals" << i << ";\n";
+  os << "fun main() {\n  cobegin\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t first = i;
+    std::size_t second = (i + 1) % n;
+    if (left_handed && i == n - 1) std::swap(first, second);
+    if (i > 0) os << "  ||\n";
+    os << "    {\n";
+    os << "      lock(fork" << first << ");\n";
+    os << "      lock(fork" << second << ");\n";
+    os << "      meals" << i << " = meals" << i << " + 1;\n";
+    os << "      unlock(fork" << second << ");\n";
+    os << "      unlock(fork" << first << ");\n";
+    os << "    }\n";
+  }
+  os << "  coend;\n}\n";
+  return os.str();
+}
+
+}  // namespace copar::workload

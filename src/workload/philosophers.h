@@ -1,0 +1,19 @@
+// Dining philosophers generator — the paper's §2.2 scaling claim (after
+// [Val88]): full interleaving exploration grows exponentially in n, the
+// stubborn-set exploration polynomially.
+//
+// Each fork is its own global lock variable (so the static conflict classes
+// expose the neighbor-only locality); each philosopher is one cobegin
+// branch picking up fork i then fork (i+1) mod n. With `left_handed`,
+// philosopher n-1 picks its forks in the opposite order, which removes the
+// circular-wait deadlock.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace copar::workload {
+
+std::string dining_philosophers(std::size_t n, bool left_handed = false);
+
+}  // namespace copar::workload

@@ -1,0 +1,107 @@
+#include "src/workload/random_programs.h"
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+namespace copar::workload {
+
+namespace {
+
+class Gen {
+ public:
+  Gen(std::uint64_t seed, const RandomOptions& opts) : rng_(seed), opts_(opts) {}
+
+  std::string run() {
+    for (std::size_t i = 0; i < opts_.num_globals; ++i) {
+      os_ << "var g" << i << ";\n";
+    }
+    if (opts_.use_locks) os_ << "var lk0;\nvar lk1;\n";
+    if (opts_.use_pointers) os_ << "var arr;\n";
+    if (opts_.use_calls) {
+      // A couple of helper functions with modest side effects.
+      os_ << "fun h0(a) { g0 = g0 + a; return g0; }\n";
+      os_ << "fun h1(a) { if (a > 0) { g1 = a; } return a + 1; }\n";
+    }
+    os_ << "fun main() {\n";
+    if (opts_.use_pointers) os_ << "  arr = alloc(3);\n";
+    stmt_seq(1, pick(1, 2), /*in_branch=*/false);
+    if (opts_.use_doall && chance(60)) {
+      const int lo = pick(0, 1);
+      const int hi = lo + pick(0, 2);
+      os_ << "  doall (dx = " << lo << " .. " << hi << ") {\n";
+      if (opts_.use_pointers && chance(50)) {
+        os_ << "    arr[dx % 3] = dx + " << pick(0, 4) << ";\n";
+      }
+      os_ << "    " << global() << " = " << global() << " + dx;\n";
+      os_ << "  }\n";
+    }
+    os_ << "  cobegin\n";
+    for (std::size_t b = 0; b < opts_.num_branches; ++b) {
+      if (b > 0) os_ << "  ||\n";
+      os_ << "  {\n";
+      if (opts_.use_locks && chance(40)) {
+        const int lk = pick(0, 1);
+        os_ << "    lock(lk" << lk << ");\n";
+        stmt_seq(2, pick(1, static_cast<int>(opts_.max_branch_stmts)), true);
+        os_ << "    unlock(lk" << lk << ");\n";
+      } else {
+        stmt_seq(2, pick(1, static_cast<int>(opts_.max_branch_stmts)), true);
+      }
+      os_ << "  }\n";
+    }
+    os_ << "  coend;\n";
+    stmt_seq(1, pick(0, 2), false);
+    os_ << "}\n";
+    return os_.str();
+  }
+
+ private:
+  int pick(int lo, int hi) { return std::uniform_int_distribution<int>(lo, hi)(rng_); }
+  bool chance(int percent) { return pick(1, 100) <= percent; }
+
+  std::string global() { return "g" + std::to_string(pick(0, static_cast<int>(opts_.num_globals) - 1)); }
+
+  std::string expr(int depth) {
+    if (depth <= 0 || chance(40)) {
+      if (chance(50)) return std::to_string(pick(-3, 9));
+      if (opts_.use_pointers && chance(20)) return "arr[" + std::to_string(pick(0, 2)) + "]";
+      return global();
+    }
+    static const char* ops[] = {" + ", " - ", " * ", " < ", " == "};
+    return "(" + expr(depth - 1) + ops[pick(0, 4)] + expr(depth - 1) + ")";
+  }
+
+  void stmt(int indent, bool in_branch) {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const int kind = pick(0, 9);
+    if (kind <= 4) {
+      os_ << pad << global() << " = " << expr(2) << ";\n";
+    } else if (kind <= 6 && opts_.use_pointers) {
+      os_ << pad << "arr[" << pick(0, 2) << "] = " << expr(1) << ";\n";
+    } else if (kind == 7) {
+      os_ << pad << "if (" << expr(1) << ") { " << global() << " = " << expr(1) << "; }\n";
+    } else if (kind == 8 && opts_.use_calls) {
+      os_ << pad << global() << " = h" << pick(0, 1) << "(" << expr(1) << ");\n";
+    } else {
+      os_ << pad << "skip;\n";
+    }
+    (void)in_branch;
+  }
+
+  void stmt_seq(int indent, int count, bool in_branch) {
+    for (int i = 0; i < count; ++i) stmt(indent, in_branch);
+  }
+
+  std::mt19937_64 rng_;
+  RandomOptions opts_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string random_program(std::uint64_t seed, const RandomOptions& options) {
+  return Gen(seed, options).run();
+}
+
+}  // namespace copar::workload

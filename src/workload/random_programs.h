@@ -1,0 +1,31 @@
+// Seeded random-program generator for property-based testing.
+//
+// Generated programs always terminate (no loops; locks acquired and
+// released within one branch, though cross-branch lock-order deadlocks may
+// occur and are a desired behavior to preserve), so the full exploration is
+// a usable oracle: the property tests check that stubborn sets, virtual
+// coarsening, and their combination reproduce exactly the full
+// exploration's result configurations, and that the abstract analyses
+// over-approximate the concrete facts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace copar::workload {
+
+struct RandomOptions {
+  std::size_t num_globals = 4;
+  std::size_t num_branches = 2;     // cobegin width
+  std::size_t max_branch_stmts = 4;
+  bool use_locks = true;
+  bool use_pointers = true;
+  bool use_calls = true;
+  /// Occasionally wrap part of main in a small doall (index range <= 3).
+  bool use_doall = false;
+};
+
+/// Deterministic in `seed`.
+std::string random_program(std::uint64_t seed, const RandomOptions& options = {});
+
+}  // namespace copar::workload

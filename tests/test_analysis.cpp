@@ -1,0 +1,224 @@
+// Client-analysis tests (§5): side effects, dependences, MHP, lifetimes,
+// anomalies — on the paper's own examples where possible.
+#include <gtest/gtest.h>
+
+#include "src/analysis/anomaly.h"
+#include "src/analysis/common.h"
+#include "src/analysis/depend.h"
+#include "src/analysis/lifetime.h"
+#include "src/analysis/mhp.h"
+#include "src/analysis/sideeffect.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+
+namespace copar::analysis {
+namespace {
+
+std::vector<std::unique_ptr<CompiledProgram>>& keep_alive() {
+  static std::vector<std::unique_ptr<CompiledProgram>> v;
+  return v;
+}
+
+const CompiledProgram& compiled(std::string_view src) {
+  keep_alive().push_back(compile(src));
+  return *keep_alive().back();
+}
+
+absem::AbsResult<absdom::FlatInt> abs_run(const CompiledProgram& p) {
+  return absem::AbsExplorer<absdom::FlatInt>(*p.lowered, absem::AbsOptions{}).run();
+}
+
+TEST(SideEffect, PureFunctionDetected) {
+  const auto& p = compiled(R"(
+    var g;
+    fun pure_add(a, b) { var t; t = a + b; return t; }
+    fun impure() { g = 1; }
+    fun main() { var r; r = pure_add(1, 2); impure(); }
+  )");
+  const SideEffects fx = analyze_side_effects(*p.lowered);
+  EXPECT_TRUE(fx.is_pure(p.module->find_function("pure_add")->index()));
+  EXPECT_FALSE(fx.is_pure(p.module->find_function("impure")->index()));
+}
+
+TEST(SideEffect, Example15FunctionsHaveExpectedEffects) {
+  const auto& p = compiled(workload::example15_calls());
+  const SideEffects fx = analyze_side_effects(*p.lowered);
+  const auto slot_a = global_slot(*p.lowered, "A");
+  const auto slot_b = global_slot(*p.lowered, "B");
+  ASSERT_TRUE(slot_a && slot_b);
+  const auto& f1 = fx.of(*p.lowered, "f1");
+  EXPECT_TRUE(f1.writes.contains(absem::AbsLoc::global(*slot_a)));
+  EXPECT_FALSE(f1.reads.contains(absem::AbsLoc::global(*slot_b)));
+  const auto& f2 = fx.of(*p.lowered, "f2");
+  EXPECT_TRUE(f2.reads.contains(absem::AbsLoc::global(*slot_b)));
+}
+
+TEST(SideEffect, IndependenceOfExample15Pairs) {
+  const auto& p = compiled(workload::example15_calls());
+  const SideEffects fx = analyze_side_effects(*p.lowered);
+  const auto id = [&](const char* n) { return p.module->find_function(n)->index(); };
+  EXPECT_TRUE(fx.independent(id("f1"), id("f2")));
+  EXPECT_TRUE(fx.independent(id("f1"), id("f3")));
+  EXPECT_FALSE(fx.independent(id("f1"), id("f4")));  // A
+  EXPECT_FALSE(fx.independent(id("f2"), id("f3")));  // B
+}
+
+TEST(SideEffect, ThreadEffectsIncludedTransitively) {
+  const auto& p = compiled(R"(
+    var g;
+    fun spawner() { cobegin { g = 1; } || skip; coend; }
+    fun main() { spawner(); }
+  )");
+  const SideEffects fx = analyze_side_effects(*p.lowered);
+  const auto slot = global_slot(*p.lowered, "g");
+  EXPECT_TRUE(fx.of(*p.lowered, "spawner").writes.contains(absem::AbsLoc::global(*slot)));
+}
+
+TEST(Depend, ConcreteAndAbstractAgreeOnSimpleRace) {
+  const auto& p = compiled(R"(
+    var x;
+    fun main() { cobegin { sW: x = 1; } || { sR: x = x + 1; } coend; }
+  )");
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  const auto concrete = dependences_from(explore::explore(*p.lowered, opts));
+  const auto abstract = dependences_from(abs_run(p));
+  const auto sw = labeled_stmt(*p.lowered, "sW");
+  const auto sr = labeled_stmt(*p.lowered, "sR");
+  ASSERT_TRUE(sw && sr);
+  EXPECT_TRUE(concrete.conflicting(*sw, *sr));
+  EXPECT_TRUE(abstract.conflicting(*sw, *sr));
+  // Kinds: sW writes x, sR reads and writes it.
+  EXPECT_TRUE(concrete.has(*sw, *sr, DepKind::Flow));
+  EXPECT_TRUE(concrete.has(*sw, *sr, DepKind::Output));
+  EXPECT_TRUE(abstract.has(*sw, *sr, DepKind::Flow));
+}
+
+TEST(Depend, NoDependenceBetweenDisjointThreads) {
+  const auto& p = compiled(R"(
+    var x; var y;
+    fun main() { cobegin { sX: x = 1; } || { sY: y = 2; } coend; }
+  )");
+  const auto abstract = dependences_from(abs_run(p));
+  const auto sx = labeled_stmt(*p.lowered, "sX");
+  const auto sy = labeled_stmt(*p.lowered, "sY");
+  EXPECT_FALSE(abstract.conflicting(*sx, *sy));
+}
+
+TEST(Depend, SequentialDependencesSeeThroughCalls) {
+  const auto& p = compiled(workload::example15_calls());
+  const auto abs = abs_run(p);
+  std::vector<std::uint32_t> ordered;
+  for (const char* l : {"s1", "s2", "s3", "s4"}) {
+    ordered.push_back(*labeled_stmt(*p.lowered, l));
+  }
+  const auto deps = sequential_dependences(ordered, abs);
+  const auto s = [&](int i) { return ordered[static_cast<std::size_t>(i - 1)]; };
+  EXPECT_TRUE(deps.conflicting(s(1), s(4)));
+  EXPECT_TRUE(deps.conflicting(s(2), s(3)));
+  EXPECT_FALSE(deps.conflicting(s(1), s(2)));
+  EXPECT_FALSE(deps.conflicting(s(1), s(3)));
+  EXPECT_FALSE(deps.conflicting(s(2), s(4)));
+  EXPECT_FALSE(deps.conflicting(s(3), s(4)));
+}
+
+TEST(Mhp, LabeledQueries) {
+  const auto& p = compiled(R"(
+    var x; var y;
+    fun main() {
+      sBefore: x = 5;
+      cobegin { sA: x = 1; } || { sB: y = 2; } coend;
+      sAfter: y = x;
+    }
+  )");
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  const Mhp concrete = mhp_from(explore::explore(*p.lowered, opts));
+  EXPECT_TRUE(concrete.parallel(*p.lowered, "sA", "sB"));
+  EXPECT_FALSE(concrete.parallel(*p.lowered, "sBefore", "sA"));
+  EXPECT_FALSE(concrete.parallel(*p.lowered, "sAfter", "sA"));
+
+  const Mhp abstract = mhp_from(abs_run(p));
+  EXPECT_TRUE(abstract.parallel(*p.lowered, "sA", "sB"));
+  EXPECT_FALSE(abstract.parallel(*p.lowered, "sBefore", "sA"));
+  EXPECT_FALSE(abstract.parallel(*p.lowered, "sAfter", "sA"));
+}
+
+TEST(Lifetime, PlacementExampleFacts) {
+  const auto& p = compiled(workload::placement_b1_b2());
+  const Lifetimes lt = analyze_lifetimes(*p.lowered);
+  const SiteLifetime* b1 = lt.site(*p.lowered, "sB1");
+  const SiteLifetime* b2 = lt.site(*p.lowered, "sB2");
+  ASSERT_NE(b1, nullptr);
+  ASSERT_NE(b2, nullptr);
+  EXPECT_TRUE(b1->shared_across_threads);
+  EXPECT_FALSE(b2->shared_across_threads);
+}
+
+TEST(Lifetime, EscapeDetection) {
+  const auto& p = compiled(R"(
+    var keep;
+    fun maker() {
+      var tmp;
+      sLocal: tmp = alloc(1);
+      *tmp = 1;
+      sKept: keep = alloc(1);
+      *keep = 2;
+    }
+    fun main() { maker(); }
+  )");
+  const Lifetimes lt = analyze_lifetimes(*p.lowered);
+  const SiteLifetime* local = lt.site(*p.lowered, "sLocal");
+  const SiteLifetime* kept = lt.site(*p.lowered, "sKept");
+  ASSERT_NE(local, nullptr);
+  ASSERT_NE(kept, nullptr);
+  EXPECT_FALSE(local->escapes_creating_function);
+  EXPECT_TRUE(kept->escapes_creating_function);
+  EXPECT_TRUE(kept->live_at_program_exit);
+  EXPECT_FALSE(local->live_at_program_exit);
+}
+
+TEST(Anomaly, RaceFoundWithoutLocks) {
+  const auto& p = compiled(R"(
+    var x;
+    fun main() { cobegin { x = 1; } || { x = 2; } coend; }
+  )");
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  const Anomalies a = anomalies_from(explore::explore(*p.lowered, opts));
+  EXPECT_TRUE(a.any());
+  EXPECT_TRUE(a.all.begin()->write_write);
+}
+
+TEST(Anomaly, LockedWritesNotCoEnabled) {
+  const auto& p = compiled(R"(
+    var m; var x;
+    fun main() {
+      cobegin
+        { lock(m); sW1: x = 1; unlock(m); }
+      ||
+        { lock(m); sW2: x = 2; unlock(m); }
+      coend;
+    }
+  )");
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  const Mhp mhp = mhp_from(explore::explore(*p.lowered, opts));
+  EXPECT_FALSE(mhp.parallel(*p.lowered, "sW1", "sW2"));
+}
+
+TEST(Common, DescribeHelpers) {
+  const auto& p = compiled(R"(
+    var counter;
+    fun main() { sInc: counter = counter + 1; }
+  )");
+  const auto slot = global_slot(*p.lowered, "counter");
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(describe_loc(*p.lowered, absem::AbsLoc::global(*slot)), "global counter");
+  EXPECT_EQ(describe_stmt(*p.lowered, *labeled_stmt(*p.lowered, "sInc")), "sInc");
+  EXPECT_FALSE(global_slot(*p.lowered, "missing").has_value());
+  EXPECT_FALSE(labeled_stmt(*p.lowered, "missing").has_value());
+}
+
+}  // namespace
+}  // namespace copar::analysis

@@ -1,0 +1,144 @@
+// k-limited abstract procedure (call) strings: the context-sensitivity knob
+// of the abstract semantics. k = 0 merges all call sites of a function
+// (0-CFA); k >= 1 keeps distinct call sites' return flows apart.
+#include <gtest/gtest.h>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/analysis/common.h"
+#include "src/sem/program.h"
+
+namespace copar::absem {
+namespace {
+
+using absdom::FlatInt;
+
+std::vector<std::unique_ptr<CompiledProgram>>& keep_alive() {
+  static std::vector<std::unique_ptr<CompiledProgram>> v;
+  return v;
+}
+
+const CompiledProgram& compiled(std::string_view src) {
+  keep_alive().push_back(compile(src));
+  return *keep_alive().back();
+}
+
+AbsResult<FlatInt> run_k(const CompiledProgram& p, std::size_t k) {
+  AbsOptions opts;
+  opts.call_string_k = k;
+  return AbsExplorer<FlatInt>(*p.lowered, opts).run();
+}
+
+/// The classic context-sensitivity example: an identity function called
+/// from two sites with different constants.
+const char* kTwoSites = R"(
+  var a; var b;
+  fun id(x) { return x; }
+  fun main() {
+    s1: a = id(1);
+    s2: b = id(2);
+    sQ: assert(a == 1);
+    sR: assert(b == 2);
+  }
+)";
+
+TEST(CallStrings, ZeroCfaMergesCallSites) {
+  const auto& p = compiled(kTwoSites);
+  const auto r = run_k(p, 0);
+  // Both call sites' arguments join in id's frame: the returned value is ⊤
+  // at both destinations, so neither assert discharges.
+  EXPECT_EQ(r.may_fail_asserts.size(), 2u);
+}
+
+TEST(CallStrings, K1SeparatesCallSites) {
+  const auto& p = compiled(kTwoSites);
+  const auto r = run_k(p, 1);
+  // With one call-string element, id's analysis runs per site: a = 1 and
+  // b = 2 are recovered exactly.
+  EXPECT_TRUE(r.may_fail_asserts.empty()) << r.may_fail_asserts.size();
+}
+
+TEST(CallStrings, K1CostsMoreStates) {
+  const auto& p = compiled(kTwoSites);
+  const auto r0 = run_k(p, 0);
+  const auto r1 = run_k(p, 1);
+  EXPECT_GE(r1.num_states, r0.num_states);  // precision is paid in states
+}
+
+TEST(CallStrings, NestedCallsNeedDepth) {
+  const auto& p = compiled(R"(
+    var a; var b;
+    fun inner(x) { return x; }
+    fun outer(y) { var t; t = inner(y); return t; }
+    fun main() {
+      a = outer(1);
+      b = outer(2);
+      sQ: assert(a == 1);
+      sR: assert(b == 2);
+    }
+  )");
+  // k = 1 distinguishes inner's callers (one site in outer) but merges
+  // outer's two contexts at that shared site — the values still mix.
+  const auto r1 = run_k(p, 1);
+  EXPECT_FALSE(r1.may_fail_asserts.empty());
+  // k = 2 tracks [main-site, outer-site] pairs: exact.
+  const auto r2 = run_k(p, 2);
+  EXPECT_TRUE(r2.may_fail_asserts.empty());
+}
+
+TEST(CallStrings, RecursionStaysFinite) {
+  const auto& p = compiled(R"(
+    var r;
+    fun down(n) {
+      var t;
+      if (n <= 0) { return 0; }
+      t = down(n - 1);
+      return t;
+    }
+    fun main() { r = down(100); }
+  )");
+  for (std::size_t k : {0u, 1u, 2u, 3u}) {
+    const auto r = run_k(p, k);
+    EXPECT_FALSE(r.truncated) << "k=" << k;
+    EXPECT_GT(r.num_states, 0u);
+  }
+}
+
+TEST(CallStrings, ThreadsInheritCallContext) {
+  const auto& p = compiled(R"(
+    var a;
+    fun spawner(v) {
+      cobegin { a = v; } || skip; coend;
+      return 0;
+    }
+    fun main() {
+      var t;
+      t = spawner(7);
+      sQ: assert(a == 7);
+    }
+  )");
+  const auto r = run_k(p, 1);
+  EXPECT_TRUE(r.may_fail_asserts.empty());
+}
+
+TEST(CallStrings, MhpUnaffectedBySensitivity) {
+  // Context sensitivity refines values, not concurrency: the MHP relation
+  // at k = 1 must still cover the k = 0 relation's concrete content (here:
+  // both are supersets of the concrete pairs; we check k=1 ⊇ concrete via
+  // the standard program).
+  const auto& p = compiled(R"(
+    var x; var y;
+    fun touch(v) { x = v; }
+    fun main() {
+      cobegin { sA: touch(1); } || { sB: y = x; } coend;
+    }
+  )");
+  const auto r1 = run_k(p, 1);
+  const auto sa = analysis::labeled_stmt(*p.lowered, "sA");
+  const auto sb = analysis::labeled_stmt(*p.lowered, "sB");
+  ASSERT_TRUE(sa && sb);
+  EXPECT_TRUE(r1.mhp.contains({std::min(*sa, *sb), std::max(*sa, *sb)}));
+}
+
+}  // namespace
+}  // namespace copar::absem

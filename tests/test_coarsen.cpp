@@ -1,0 +1,140 @@
+// Virtual coarsening (Definition 4 / Observation 5): combining actions with
+// at most one critical reference must preserve result configurations while
+// shrinking the explored space further.
+#include <gtest/gtest.h>
+
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+
+namespace copar::explore {
+namespace {
+
+struct Results {
+  ExploreResult full;
+  ExploreResult coarse;
+  ExploreResult stubborn_coarse;
+};
+
+Results run_all(std::string_view src) {
+  static std::vector<std::unique_ptr<CompiledProgram>> alive;
+  alive.push_back(compile(src));
+  const sem::LoweredProgram& prog = *alive.back()->lowered;
+  ExploreOptions full_opts;
+  ExploreOptions coarse_opts;
+  coarse_opts.coarsen = true;
+  ExploreOptions both_opts;
+  both_opts.coarsen = true;
+  both_opts.reduction = Reduction::Stubborn;
+  return Results{explore(prog, full_opts), explore(prog, coarse_opts),
+                 explore(prog, both_opts)};
+}
+
+void expect_same_terminals(const ExploreResult& a, const ExploreResult& b) {
+  EXPECT_EQ(a.terminal_keys(), b.terminal_keys());
+  EXPECT_EQ(a.deadlock_found, b.deadlock_found);
+  EXPECT_EQ(a.violations, b.violations);
+}
+
+TEST(Coarsen, LocalRunsCollapse) {
+  const Results r = run_all(R"(
+    var x; var a;
+    fun main() {
+      var t1; var t2;
+      cobegin
+        { t1 = 1; t1 = t1 + 1; t1 = t1 * 2; x = t1; }
+      ||
+        { t2 = 5; a = x; t2 = t2 + 1; }
+      coend;
+    }
+  )");
+  expect_same_terminals(r.full, r.coarse);
+  expect_same_terminals(r.full, r.stubborn_coarse);
+  EXPECT_LT(r.coarse.num_configs, r.full.num_configs);
+  EXPECT_LE(r.stubborn_coarse.num_configs, r.coarse.num_configs);
+  EXPECT_GT(r.coarse.stats.get("coarsened_micro_actions"), 0u);
+}
+
+TEST(Coarsen, RacingOutcomesPreserved) {
+  const Results r = run_all(R"(
+    var x;
+    fun main() {
+      var t1; var t2;
+      cobegin
+        { t1 = x; x = t1 + 1; }
+      ||
+        { t2 = x; x = t2 + 1; }
+      coend;
+    }
+  )");
+  expect_same_terminals(r.full, r.coarse);
+  EXPECT_EQ(r.coarse.terminal_int_values("x"), (std::set<std::int64_t>{1, 2}));
+}
+
+TEST(Coarsen, SharedLocalsAreCritical) {
+  // t is a local of main but both branches access it: it must be treated as
+  // critical, so the interleavings over t survive coarsening.
+  const Results r = run_all(R"(
+    var r1;
+    fun main() {
+      var t;
+      cobegin { t = 1; } || { t = 2; } coend;
+      r1 = t;
+    }
+  )");
+  expect_same_terminals(r.full, r.coarse);
+  EXPECT_EQ(r.coarse.terminal_int_values("r1"), (std::set<std::int64_t>{1, 2}));
+}
+
+TEST(Coarsen, SequentialProgramCollapsesToFewSteps) {
+  const Results r = run_all(R"(
+    var x;
+    fun main() { x = 1; x = 2; x = 3; x = 4; x = 5; }
+  )");
+  // No concurrency at all: nothing is critical, the whole program is a
+  // handful of macro steps.
+  expect_same_terminals(r.full, r.coarse);
+  EXPECT_LE(r.coarse.num_configs, 3u);
+}
+
+TEST(Coarsen, LockedSectionsPreserved) {
+  const Results r = run_all(R"(
+    var m; var x;
+    fun main() {
+      var t1; var t2;
+      cobegin
+        { lock(m); t1 = x; x = t1 + 1; unlock(m); }
+      ||
+        { lock(m); t2 = x; x = t2 + 1; unlock(m); }
+      coend;
+    }
+  )");
+  expect_same_terminals(r.full, r.coarse);
+  expect_same_terminals(r.full, r.stubborn_coarse);
+  EXPECT_EQ(r.stubborn_coarse.terminal_int_values("x"), (std::set<std::int64_t>{2}));
+}
+
+TEST(Coarsen, AssertOutcomesPreserved) {
+  const Results r = run_all(R"(
+    var x;
+    fun main() {
+      cobegin { x = 1; } || { sA: assert(x == 1); } coend;
+    }
+  )");
+  expect_same_terminals(r.full, r.coarse);
+  EXPECT_EQ(r.coarse.violations.size(), 1u);
+}
+
+TEST(Coarsen, CallsInsideBranchesPreserved) {
+  const Results r = run_all(R"(
+    var x; var a;
+    fun bump() { var u; u = 3; x = x + u; }
+    fun main() {
+      cobegin { bump(); } || { a = x; } coend;
+    }
+  )");
+  expect_same_terminals(r.full, r.coarse);
+  EXPECT_EQ(r.coarse.terminal_int_values("a"), (std::set<std::int64_t>{0, 3}));
+}
+
+}  // namespace
+}  // namespace copar::explore

@@ -1,0 +1,177 @@
+// Parallel-safe dead-store detection: the analysis must find genuinely dead
+// stores AND refuse the one the paper's opening example warns about — a
+// store only a sibling thread observes.
+#include <gtest/gtest.h>
+
+#include "src/analysis/common.h"
+#include "src/analysis/deadstore.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+
+namespace copar::analysis {
+namespace {
+
+std::vector<std::unique_ptr<CompiledProgram>>& keep_alive() {
+  static std::vector<std::unique_ptr<CompiledProgram>> v;
+  return v;
+}
+
+const CompiledProgram& compiled(std::string_view src) {
+  keep_alive().push_back(compile(src));
+  return *keep_alive().back();
+}
+
+std::uint32_t sid(const CompiledProgram& p, std::string_view label) {
+  auto id = labeled_stmt(*p.lowered, label);
+  EXPECT_TRUE(id.has_value()) << "no label " << label;
+  return id.value_or(0);
+}
+
+TEST(DeadStore, OverwrittenLocalDetected) {
+  const auto& p = compiled(R"(
+    var r;
+    fun main() {
+      var t;
+      sDead: t = 1;
+      t = 2;
+      r = t;
+    }
+  )");
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_TRUE(ds.is_dead(sid(p, "sDead")));
+}
+
+TEST(DeadStore, NeverReadLocalDetected) {
+  const auto& p = compiled(R"(
+    var r;
+    fun main() {
+      var scratch;
+      sDead: scratch = 42;
+      r = 1;
+    }
+  )");
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_TRUE(ds.is_dead(sid(p, "sDead")));
+}
+
+TEST(DeadStore, ReadLaterIsLive) {
+  const auto& p = compiled(R"(
+    var r;
+    fun main() {
+      var t;
+      sLive: t = 1;
+      r = t + 1;
+    }
+  )");
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_FALSE(ds.is_dead(sid(p, "sLive")));
+}
+
+TEST(DeadStore, OverwrittenGlobalDetected) {
+  const auto& p = compiled(R"(
+    var x;
+    fun main() {
+      sDead: x = 1;
+      x = 2;
+    }
+  )");
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_TRUE(ds.is_dead(sid(p, "sDead")));
+}
+
+TEST(DeadStore, FinalGlobalStoreIsLive) {
+  // Observable at termination: never dead.
+  const auto& p = compiled(R"(
+    var x;
+    fun main() { sLast: x = 2; }
+  )");
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_FALSE(ds.is_dead(sid(p, "sLast")));
+}
+
+TEST(DeadStore, BusyWaitFlagMustSurvive) {
+  // THE paper example: the setter thread never reads s, so a sequential
+  // analysis calls `s = 1` dead — removing it makes the sibling spin
+  // forever. The parallel-safe analysis keeps it.
+  const auto& p = compiled(workload::busy_wait_flag());
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_FALSE(ds.is_dead(sid(p, "sSet")));
+}
+
+TEST(DeadStore, SiblingReadLocalMustSurvive) {
+  // Same shape with a shared *local* of main.
+  const auto& p = compiled(R"(
+    var r;
+    fun main() {
+      var flag;
+      cobegin
+        { sSet: flag = 1; }
+      ||
+        { while (flag == 0) { skip; } r = 1; }
+      coend;
+    }
+  )");
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_FALSE(ds.is_dead(sid(p, "sSet")));
+}
+
+TEST(DeadStore, AddressTakenLocalNeverReported) {
+  const auto& p = compiled(R"(
+    var r;
+    fun main() {
+      var t; var q;
+      q = &t;
+      sPtr: t = 5;   // read back through *q: not dead
+      r = *q;
+    }
+  )");
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_FALSE(ds.is_dead(sid(p, "sPtr")));
+}
+
+TEST(DeadStore, ValuePassedToCalleeIsLive) {
+  const auto& p = compiled(R"(
+    var r;
+    fun use(a) { r = a; }
+    fun main() {
+      var t;
+      sLive: t = 3;
+      use(t);
+    }
+  )");
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_FALSE(ds.is_dead(sid(p, "sLive")));
+}
+
+TEST(DeadStore, BranchMergeKeepsConditionallyReadStore) {
+  const auto& p = compiled(R"(
+    var r; var c;
+    fun main() {
+      var t;
+      sMaybe: t = 1;
+      if (c > 0) { r = t; }
+      t = 2;
+      r = r + t;
+    }
+  )");
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_FALSE(ds.is_dead(sid(p, "sMaybe")));  // read on the true edge
+}
+
+TEST(DeadStore, LoopCarriedStoreIsLive) {
+  const auto& p = compiled(R"(
+    var r;
+    fun main() {
+      var acc; var i;
+      sInit: acc = 0;
+      i = 0;
+      while (i < 3) { acc = acc + i; i = i + 1; }
+      r = acc;
+    }
+  )");
+  const DeadStores ds = find_dead_stores(*p.lowered);
+  EXPECT_FALSE(ds.is_dead(sid(p, "sInit")));
+}
+
+}  // namespace
+}  // namespace copar::analysis

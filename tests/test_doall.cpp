@@ -1,0 +1,232 @@
+// Tests for the doall construct: dynamic fan-out with per-instance index
+// frames, across every layer — parser, concrete semantics, reductions,
+// abstract folding (where doall is exactly the clan use case).
+#include <gtest/gtest.h>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/sem/program.h"
+#include "tests/testutil.h"
+
+namespace copar {
+namespace {
+
+using testutil::global_int;
+using testutil::run_deterministic;
+
+TEST(DoAll, ParsesAndPrints) {
+  auto m = lang::parse_program(R"(
+    var s;
+    fun main() { doall (i = 0 .. 3) { s = s + i; } }
+  )");
+  const std::string printed = lang::print(*m);
+  EXPECT_NE(printed.find("doall (i = 0 .. 3)"), std::string::npos);
+  // Round trip.
+  auto m2 = lang::parse_program(printed);
+  EXPECT_EQ(lang::print(*m2), printed);
+}
+
+TEST(DoAll, ReturnInsideBodyRejected) {
+  DiagnosticEngine diags;
+  (void)lang::parse_program("fun main() { doall (i = 0 .. 1) { return; } }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(DoAll, IndexVisibleOnlyInBody) {
+  DiagnosticEngine diags;
+  (void)lang::parse_program(R"(
+    var s;
+    fun main() { doall (i = 0 .. 1) { skip; } s = i; }
+  )", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(DoAll, EachInstanceGetsItsIndex) {
+  auto p = compile(R"(
+    var a;
+    fun main() {
+      a = alloc(4);
+      doall (i = 0 .. 3) { a[i] = i * 10; }
+      sQ: skip;
+    }
+  )");
+  const sem::Configuration cfg = run_deterministic(*p->lowered);
+  ASSERT_TRUE(cfg.all_done());
+  // Read the array out of the terminal store.
+  const auto pa = cfg.global_value("a");
+  ASSERT_TRUE(pa.has_value() && pa->is_ptr());
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cfg.store.read(pa->ptr_obj(), i), sem::Value::integer(10 * i));
+  }
+}
+
+TEST(DoAll, EmptyRangeForksNothing) {
+  auto p = compile(R"(
+    var r;
+    fun main() { doall (i = 5 .. 2) { r = 99; } r = r + 1; }
+  )");
+  const sem::Configuration cfg = run_deterministic(*p->lowered);
+  EXPECT_EQ(global_int(cfg, "r"), 1);
+}
+
+TEST(DoAll, DynamicBoundsFromVariables) {
+  auto p = compile(R"(
+    var n = 3; var s;
+    fun main() {
+      doall (i = 1 .. n) { s = s + i; }
+    }
+  )");
+  explore::ExploreOptions opts;
+  const auto r = explore::explore(*p->lowered, opts);
+  // All interleavings of s = s + i race; under some schedule updates are
+  // lost, so several terminal values exist — but 6 (all applied) is there.
+  auto values = r.terminal_int_values("s");
+  EXPECT_TRUE(values.contains(6));
+}
+
+TEST(DoAll, RacesAreExploredAcrossInstances) {
+  auto p = compile(R"(
+    var x;
+    fun main() { doall (i = 1 .. 2) { x = i; } }
+  )");
+  const auto r = explore::explore(*p->lowered, {});
+  EXPECT_EQ(r.terminal_int_values("x"), (std::set<std::int64_t>{1, 2}));
+}
+
+TEST(DoAll, IndependentInstancesViaIndexing) {
+  auto p = compile(R"(
+    var a; var ok;
+    fun main() {
+      a = alloc(3);
+      doall (i = 0 .. 2) { a[i] = i + 1; }
+      ok = a[0] + a[1] + a[2];
+    }
+  )");
+  const auto r = explore::explore(*p->lowered, {});
+  EXPECT_EQ(r.terminal_int_values("ok"), (std::set<std::int64_t>{6}));
+}
+
+TEST(DoAll, StubbornAndCoarsenPreserveResults) {
+  for (const char* src : {
+           R"(var x; fun main() { doall (i = 1 .. 3) { x = x + i; } })",
+           R"(var a; fun main() { a = alloc(3); doall (i = 0 .. 2) { a[i] = i; } })",
+           R"(var m; var x;
+              fun main() { doall (i = 1 .. 2) { lock(m); x = x + i; unlock(m); } })",
+       }) {
+    auto p = compile(src);
+    const auto full = explore::explore(*p->lowered, {});
+    explore::ExploreOptions stub;
+    stub.reduction = explore::Reduction::Stubborn;
+    stub.coarsen = true;
+    const auto reduced = explore::explore(*p->lowered, stub);
+    EXPECT_EQ(full.terminal_keys(), reduced.terminal_keys()) << src;
+    EXPECT_EQ(full.deadlock_found, reduced.deadlock_found) << src;
+  }
+}
+
+TEST(DoAll, NestedInsideCobegin) {
+  auto p = compile(R"(
+    var s; var y;
+    fun main() {
+      cobegin
+        { doall (i = 1 .. 2) { s = s + i; } }
+      ||
+        { y = 1; }
+      coend;
+    }
+  )");
+  const auto r = explore::explore(*p->lowered, {});
+  EXPECT_FALSE(r.deadlock_found);
+  EXPECT_TRUE(r.terminal_int_values("s").contains(3));
+  EXPECT_EQ(r.terminal_int_values("y"), (std::set<std::int64_t>{1}));
+}
+
+TEST(DoAll, BodySeesEnclosingLocalsThroughStaticLink) {
+  auto p = compile(R"(
+    var r;
+    fun main() {
+      var base = 100;
+      doall (i = 1 .. 1) { r = base + i; }
+    }
+  )");
+  const sem::Configuration cfg = run_deterministic(*p->lowered);
+  EXPECT_EQ(global_int(cfg, "r"), 101);
+}
+
+TEST(DoAll, AbstractTerminatesWithUnknownBounds) {
+  // n is top abstractly: the clan (ω) point folds any number of instances.
+  auto p = compile(R"(
+    var n; var s;
+    fun main() {
+      n = 5;
+      doall (i = 1 .. n) { s = s + i; }
+      sEnd: skip;
+    }
+  )");
+  for (const auto folding : {absem::Folding::Tree, absem::Folding::Clan}) {
+    absem::AbsOptions opts;
+    opts.folding = folding;
+    absem::AbsExplorer<absdom::FlatInt> engine(*p->lowered, opts);
+    const auto r = engine.run();
+    EXPECT_FALSE(r.truncated);
+    EXPECT_GT(r.num_states, 0u);
+  }
+}
+
+TEST(DoAll, AbstractMhpSeesSelfParallelism) {
+  auto p = compile(R"(
+    var x;
+    fun main() { doall (i = 1 .. 2) { sW: x = i; } }
+  )");
+  absem::AbsExplorer<absdom::FlatInt> engine(*p->lowered, {});
+  const auto abs = engine.run();
+  const lang::Stmt* sw = p->module->find_labeled("sW");
+  ASSERT_NE(sw, nullptr);
+  // The ω point makes the body statement parallel with itself — McDowell's
+  // "not necessary to know exactly how many tasks".
+  EXPECT_TRUE(abs.mhp.contains({sw->id(), sw->id()}));
+}
+
+TEST(DoAll, AbstractMhpOverapproximatesConcrete) {
+  auto p = compile(R"(
+    var x; var y;
+    fun main() {
+      doall (i = 1 .. 2) { sA: x = x + i; }
+      sB: y = x;
+    }
+  )");
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  const auto concrete = explore::explore(*p->lowered, opts);
+  absem::AbsExplorer<absdom::FlatInt> engine(*p->lowered, {});
+  const auto abs = engine.run();
+  for (const auto& [pair, facts] : concrete.pairs) {
+    if (facts.co_enabled) {
+      EXPECT_TRUE(abs.mhp.contains(pair))
+          << "lost (" << pair.first << "," << pair.second << ")";
+    }
+  }
+  // sB follows the join: never parallel with the body.
+  const auto sa = p->module->find_labeled("sA")->id();
+  const auto sb = p->module->find_labeled("sB")->id();
+  EXPECT_FALSE(abs.mhp.contains({std::min(sa, sb), std::max(sa, sb)}));
+}
+
+TEST(DoAll, CanonicalKeysMergeSymmetricInstances) {
+  // Two instances doing symmetric independent work: interleavings converge.
+  auto p = compile(R"(
+    var a;
+    fun main() {
+      a = alloc(2);
+      doall (i = 0 .. 1) { a[i] = 7; }
+    }
+  )");
+  const auto full = explore::explore(*p->lowered, {});
+  EXPECT_EQ(full.terminals.size(), 1u);
+}
+
+}  // namespace
+}  // namespace copar

@@ -1,0 +1,281 @@
+// Exploration-engine tests, including the paper's Example 1 / Figure 2
+// (the Shasha–Snir program: which outcome vectors are legal under
+// sequential consistency).
+#include <gtest/gtest.h>
+
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+
+namespace copar::explore {
+namespace {
+
+ExploreResult run(std::string_view src, ExploreOptions opts, const CompiledProgram*& keep) {
+  static std::vector<std::unique_ptr<CompiledProgram>> alive;
+  alive.push_back(compile(src));
+  keep = alive.back().get();
+  return explore(*alive.back()->lowered, opts);
+}
+
+TEST(Explore, SequentialProgramHasLinearSpace) {
+  const CompiledProgram* p = nullptr;
+  const ExploreResult r = run("var x; fun main() { x = 1; x = 2; x = 3; }", {}, p);
+  EXPECT_EQ(r.num_configs, 5u);  // init + 3 assigns + return-from-main
+  EXPECT_EQ(r.terminals.size(), 1u);
+  EXPECT_FALSE(r.deadlock_found);
+}
+
+TEST(Explore, TwoIndependentThreads) {
+  const CompiledProgram* p = nullptr;
+  const ExploreResult r = run(R"(
+    var x; var y;
+    fun main() { cobegin { x = 1; } || { y = 2; } coend; }
+  )", {}, p);
+  // One terminal outcome; diamond-shaped interior.
+  EXPECT_EQ(r.terminals.size(), 1u);
+  const auto& terminal = r.terminals.begin()->second.config;
+  EXPECT_EQ(terminal.global_value("x")->as_int(), 1);
+  EXPECT_EQ(terminal.global_value("y")->as_int(), 2);
+}
+
+TEST(Explore, RacingWritesYieldBothOutcomes) {
+  const CompiledProgram* p = nullptr;
+  const ExploreResult r = run(R"(
+    var x;
+    fun main() { cobegin { x = 1; } || { x = 2; } coend; }
+  )", {}, p);
+  EXPECT_EQ(r.terminal_int_values("x"), (std::set<std::int64_t>{1, 2}));
+}
+
+// Example 1 / Figure 2: the Shasha–Snir program. Under sequential
+// consistency, after `cobegin {x=1; a=y;} || {y=1; b=x;} coend`, the
+// outcome (a,b) = (0,0) is impossible; the other three combinations are all
+// reachable. A compiler analysis must reproduce exactly this set.
+TEST(Explore, Fig2ShashaSnirOutcomes) {
+  const CompiledProgram* p = nullptr;
+  const ExploreResult r = run(R"(
+    var x; var y; var a; var b;
+    fun main() {
+      cobegin
+        { s1: x = 1; s2: a = y; }
+      ||
+        { s3: y = 1; s4: b = x; }
+      coend;
+    }
+  )", {}, p);
+  std::set<std::pair<std::int64_t, std::int64_t>> outcomes;
+  for (const auto& [key, t] : r.terminals) {
+    outcomes.emplace(t.config.global_value("a")->as_int(),
+                     t.config.global_value("b")->as_int());
+  }
+  const std::set<std::pair<std::int64_t, std::int64_t>> expected = {{0, 1}, {1, 0}, {1, 1}};
+  EXPECT_EQ(outcomes, expected);  // (0,0) must NOT be reachable
+}
+
+TEST(Explore, DeadlockIsATerminal) {
+  const CompiledProgram* p = nullptr;
+  const ExploreResult r = run(R"(
+    var m1; var m2;
+    fun main() {
+      cobegin
+        { lock(m1); lock(m2); unlock(m2); unlock(m1); }
+      ||
+        { lock(m2); lock(m1); unlock(m1); unlock(m2); }
+      coend;
+    }
+  )", {}, p);
+  EXPECT_TRUE(r.deadlock_found);
+  bool saw_deadlock = false;
+  bool saw_completion = false;
+  for (const auto& [key, t] : r.terminals) {
+    saw_deadlock = saw_deadlock || t.deadlock;
+    saw_completion = saw_completion || !t.deadlock;
+  }
+  EXPECT_TRUE(saw_deadlock);
+  EXPECT_TRUE(saw_completion);
+}
+
+TEST(Explore, LocksPreventTheRace) {
+  const CompiledProgram* p = nullptr;
+  const ExploreResult r = run(R"(
+    var m; var x;
+    fun main() {
+      var t1; var t2;
+      cobegin
+        { lock(m); t1 = x; x = t1 + 1; unlock(m); }
+      ||
+        { lock(m); t2 = x; x = t2 + 1; unlock(m); }
+      coend;
+    }
+  )", {}, p);
+  // With mutual exclusion the lost-update outcome x==1 is impossible.
+  EXPECT_EQ(r.terminal_int_values("x"), (std::set<std::int64_t>{2}));
+  EXPECT_FALSE(r.deadlock_found);
+}
+
+TEST(Explore, WithoutLocksLostUpdateHappens) {
+  const CompiledProgram* p = nullptr;
+  const ExploreResult r = run(R"(
+    var x;
+    fun main() {
+      var t1; var t2;
+      cobegin
+        { t1 = x; x = t1 + 1; }
+      ||
+        { t2 = x; x = t2 + 1; }
+      coend;
+    }
+  )", {}, p);
+  EXPECT_EQ(r.terminal_int_values("x"), (std::set<std::int64_t>{1, 2}));
+}
+
+TEST(Explore, AssertViolationsAggregated) {
+  const CompiledProgram* p = nullptr;
+  const ExploreResult r = run(R"(
+    var x;
+    fun main() {
+      cobegin { x = 1; } || { sA: assert(x == 1); } coend;
+    }
+  )", {}, p);
+  // The assertion races with the write: it fails on some path.
+  EXPECT_EQ(r.violations.size(), 1u);
+}
+
+TEST(Explore, BusyWaitLoopConverges) {
+  // The state space is finite (spin re-visits the same configuration), so
+  // exploration terminates; the spin exits once the flag is set.
+  const CompiledProgram* p = nullptr;
+  const ExploreResult r = run(R"(
+    var flag; var r;
+    fun main() {
+      cobegin
+        { while (flag == 0) { skip; } r = 1; }
+      ||
+        { flag = 1; }
+      coend;
+    }
+  )", {}, p);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.terminal_int_values("r"), (std::set<std::int64_t>{1}));
+}
+
+TEST(Explore, MaxConfigsTruncates) {
+  const CompiledProgram* p = nullptr;
+  ExploreOptions opts;
+  opts.max_configs = 3;
+  const ExploreResult r = run(R"(
+    var x; var y;
+    fun main() { cobegin { x = 1; x = 2; } || { y = 1; y = 2; } coend; }
+  )", opts, p);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.num_configs, 3u);
+}
+
+TEST(Explore, GraphRecordsEdges) {
+  const CompiledProgram* p = nullptr;
+  ExploreOptions opts;
+  opts.record_graph = true;
+  const ExploreResult r = run(R"(
+    var x; var y;
+    fun main() { cobegin { x = 1; } || { y = 2; } coend; }
+  )", opts, p);
+  EXPECT_EQ(r.graph.num_nodes, r.num_configs);
+  EXPECT_EQ(r.graph.edges.size(), r.num_transitions);
+  for (const auto& e : r.graph.edges) {
+    EXPECT_LT(e.from, r.num_configs);
+    EXPECT_LT(e.to, r.num_configs);
+  }
+}
+
+TEST(Explore, DotExportWellFormed) {
+  const CompiledProgram* p = nullptr;
+  ExploreOptions opts;
+  opts.record_graph = true;
+  const ExploreResult r = run(R"(
+    var m1; var m2;
+    fun main() {
+      cobegin
+        { lock(m1); sX: lock(m2); unlock(m2); unlock(m1); }
+      ||
+        { lock(m2); lock(m1); unlock(m1); unlock(m2); }
+      coend;
+    }
+  )", opts, p);
+  const std::string dot = to_dot(r.graph, *p->lowered);
+  EXPECT_NE(dot.find("digraph configurations"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);      // terminals
+  EXPECT_NE(dot.find("fillcolor=\"#cc3333\""), std::string::npos);  // deadlock
+  EXPECT_NE(dot.find("sX"), std::string::npos);                // edge label
+  // As many terminal node markers as terminal configurations.
+  EXPECT_EQ(r.graph.terminal_nodes.size(), r.terminals.size());
+  EXPECT_FALSE(r.graph.deadlock_nodes.empty());
+}
+
+TEST(Explore, PairFactsDetectConflicts) {
+  const CompiledProgram* p = nullptr;
+  ExploreOptions opts;
+  opts.record_pairs = true;
+  const ExploreResult r = run(R"(
+    var x; var y;
+    fun main() {
+      cobegin { sW: x = 1; } || { sR: y = x; } coend;
+    }
+  )", opts, p);
+  const lang::Stmt* sw = p->module->find_labeled("sW");
+  const lang::Stmt* sr = p->module->find_labeled("sR");
+  ASSERT_NE(sw, nullptr);
+  ASSERT_NE(sr, nullptr);
+  const std::uint32_t lo = std::min(sw->id(), sr->id());
+  const std::uint32_t hi = std::max(sw->id(), sr->id());
+  auto it = r.pairs.find({lo, hi});
+  ASSERT_NE(it, r.pairs.end());
+  EXPECT_TRUE(it->second.co_enabled);
+  // One writes x, the other reads it.
+  EXPECT_TRUE(it->second.w1_r2 || it->second.r1_w2);
+  EXPECT_FALSE(it->second.w1_w2);
+}
+
+TEST(Explore, AccessLogAttributesStmtAndProc) {
+  const CompiledProgram* p = nullptr;
+  ExploreOptions opts;
+  opts.record_accesses = true;
+  const ExploreResult r = run(R"(
+    var g;
+    fun writer() { sW: g = 1; }
+    fun main() { writer(); }
+  )", opts, p);
+  const lang::Stmt* sw = p->module->find_labeled("sW");
+  ASSERT_NE(sw, nullptr);
+  auto it = r.accesses.by_stmt.find(sw->id());
+  ASSERT_NE(it, r.accesses.by_stmt.end());
+  EXPECT_EQ(it->second.writes.size(), 1u);
+  EXPECT_EQ(it->second.writes.begin()->kind, sem::ObjKind::Globals);
+  // Side effect visible on writer and transitively on main.
+  const std::uint32_t writer_proc = p->module->find_function("writer")->index();
+  const std::uint32_t main_proc = p->lowered->entry_proc();
+  EXPECT_TRUE(r.accesses.by_proc.contains(writer_proc));
+  EXPECT_TRUE(r.accesses.by_proc.contains(main_proc));
+  EXPECT_FALSE(r.accesses.by_proc.at(main_proc).writes.empty());
+}
+
+TEST(Explore, SiteInfoTracksThreads) {
+  const CompiledProgram* p = nullptr;
+  ExploreOptions opts;
+  opts.record_accesses = true;
+  const ExploreResult r = run(R"(
+    var p1;
+    fun main() {
+      cobegin { sAlloc: p1 = alloc(1); *p1 = 5; } || { skip; } coend;
+    }
+  )", opts, p);
+  const lang::Stmt* sa = p->module->find_labeled("sAlloc");
+  ASSERT_NE(sa, nullptr);
+  auto it = r.accesses.sites.find(sa->id());
+  ASSERT_NE(it, r.accesses.sites.end());
+  // `allocated` counts explored firings of the alloc action (the action is
+  // reached from several interleavings), so it is at least one.
+  EXPECT_GE(it->second.allocated, 1u);
+  EXPECT_EQ(it->second.creator_threads.size(), 1u);
+}
+
+}  // namespace
+}  // namespace copar::explore

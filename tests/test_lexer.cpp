@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/lexer.h"
+
+namespace copar::lang {
+namespace {
+
+std::vector<Token> lex(std::string_view src, DiagnosticEngine& diags, Interner& in) {
+  Lexer lexer(src, in, diags);
+  return lexer.lex_all();
+}
+
+std::vector<Tok> kinds(std::string_view src) {
+  DiagnosticEngine diags;
+  Interner in;
+  std::vector<Tok> out;
+  for (const Token& t : lex(src, diags, in)) out.push_back(t.kind);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  EXPECT_EQ(kinds(""), (std::vector<Tok>{Tok::Eof}));
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  EXPECT_EQ(kinds("cobegin coend x"),
+            (std::vector<Tok>{Tok::KwCobegin, Tok::KwCoend, Tok::Ident, Tok::Eof}));
+}
+
+TEST(Lexer, IntegerLiterals) {
+  DiagnosticEngine diags;
+  Interner in;
+  auto toks = lex("0 42 123456789", diags, in);
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].int_value, 0);
+  EXPECT_EQ(toks[1].int_value, 42);
+  EXPECT_EQ(toks[2].int_value, 123456789);
+}
+
+TEST(Lexer, IntegerOverflowReported) {
+  DiagnosticEngine diags;
+  Interner in;
+  lex("99999999999999999999999999", diags, in);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, TwoCharOperators) {
+  EXPECT_EQ(kinds("== != <= >= ||"),
+            (std::vector<Tok>{Tok::EqEq, Tok::NotEq, Tok::Le, Tok::Ge, Tok::BarBar, Tok::Eof}));
+}
+
+TEST(Lexer, SingleCharOperators) {
+  EXPECT_EQ(kinds("+ - * / % & = < > : ; ,"),
+            (std::vector<Tok>{Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash, Tok::Percent,
+                              Tok::Amp, Tok::Assign, Tok::Lt, Tok::Gt, Tok::Colon, Tok::Semi,
+                              Tok::Comma, Tok::Eof}));
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  EXPECT_EQ(kinds("x // comment to end\ny"),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Eof}));
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  EXPECT_EQ(kinds("x /* multi \n line */ y"),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Eof}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentReported) {
+  DiagnosticEngine diags;
+  Interner in;
+  lex("x /* never closed", diags, in);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  DiagnosticEngine diags;
+  Interner in;
+  auto toks = lex("a\n  b", diags, in);
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+TEST(Lexer, StrayCharactersReportedAndSkipped) {
+  DiagnosticEngine diags;
+  Interner in;
+  auto toks = lex("a @ b", diags, in);
+  EXPECT_TRUE(diags.has_errors());
+  ASSERT_EQ(toks.size(), 3u);  // a, b, eof
+}
+
+TEST(Lexer, SingleBarAndAmpAmpRejected) {
+  DiagnosticEngine diags;
+  Interner in;
+  lex("a | b && c", diags, in);
+  EXPECT_EQ(diags.error_count(), 2u);
+}
+
+TEST(Lexer, IdentifiersMayContainDigitsAndUnderscores) {
+  DiagnosticEngine diags;
+  Interner in;
+  auto toks = lex("my_var2", diags, in);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(in.spelling(toks[0].ident), "my_var2");
+}
+
+}  // namespace
+}  // namespace copar::lang

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "src/sem/program.h"
+
+namespace copar::sem {
+namespace {
+
+TEST(Lower, MainRequired) {
+  EXPECT_THROW(compile("var x;"), Error);
+}
+
+TEST(Lower, MainMustTakeNoParams) {
+  EXPECT_THROW(compile("fun main(a) { skip; }"), Error);
+}
+
+TEST(Lower, StraightLineBody) {
+  auto p = compile("var x; fun main() { x = 1; x = 2; }");
+  const Proc& main_proc = p->lowered->proc(p->lowered->entry_proc());
+  ASSERT_EQ(main_proc.code.size(), 3u);  // two assigns + halt
+  EXPECT_EQ(main_proc.code[0].op, Op::Assign);
+  EXPECT_EQ(main_proc.code[1].op, Op::Assign);
+  EXPECT_EQ(main_proc.code[2].op, Op::Halt);
+}
+
+TEST(Lower, DeclarationsLowerToNothing) {
+  auto p = compile("fun main() { var a; var b; skip; }");
+  const Proc& main_proc = p->lowered->proc(p->lowered->entry_proc());
+  EXPECT_EQ(main_proc.code.size(), 2u);  // skip + halt
+  // ...but they reserve frame slots (cell 0 + a + b).
+  EXPECT_EQ(main_proc.nslots, 3u);
+}
+
+TEST(Lower, IfElseBranchTargets) {
+  auto p = compile("var x; fun main() { if (x) { x = 1; } else { x = 2; } x = 3; }");
+  const Proc& m = p->lowered->proc(p->lowered->entry_proc());
+  // branch, then-assign, jump, else-assign, tail-assign, halt
+  ASSERT_EQ(m.code.size(), 6u);
+  EXPECT_EQ(m.code[0].op, Op::Branch);
+  EXPECT_EQ(m.code[0].t1, 1u);
+  EXPECT_EQ(m.code[0].t2, 3u);
+  EXPECT_EQ(m.code[2].op, Op::Jump);
+  EXPECT_EQ(m.code[2].t1, 4u);
+}
+
+TEST(Lower, WhileLoopShape) {
+  auto p = compile("var x; fun main() { while (x < 3) { x = x + 1; } }");
+  const Proc& m = p->lowered->proc(p->lowered->entry_proc());
+  // branch, body-assign, back-jump, halt
+  ASSERT_EQ(m.code.size(), 4u);
+  EXPECT_EQ(m.code[0].op, Op::Branch);
+  EXPECT_EQ(m.code[0].t1, 1u);
+  EXPECT_EQ(m.code[0].t2, 3u);
+  EXPECT_EQ(m.code[2].op, Op::Jump);
+  EXPECT_EQ(m.code[2].t1, 0u);
+}
+
+TEST(Lower, CobeginCreatesThreadProcs) {
+  auto p = compile(R"(
+    var x; var y;
+    fun main() { cobegin { x = 1; } || { y = 2; } coend; }
+  )");
+  const Proc& m = p->lowered->proc(p->lowered->entry_proc());
+  ASSERT_EQ(m.code.size(), 3u);  // fork, join, halt
+  EXPECT_EQ(m.code[0].op, Op::Fork);
+  EXPECT_EQ(m.code[1].op, Op::Join);
+  ASSERT_EQ(m.code[0].forks.size(), 2u);
+  for (std::uint32_t child : m.code[0].forks) {
+    const Proc& tp = p->lowered->proc(child);
+    EXPECT_TRUE(tp.is_thread);
+    EXPECT_EQ(tp.nslots, 0u);  // runs in the forker's frame
+    EXPECT_EQ(tp.owner_fn, p->lowered->entry_proc());
+    ASSERT_EQ(tp.code.size(), 2u);  // assign + halt
+    EXPECT_EQ(tp.code[0].op, Op::Assign);
+    EXPECT_EQ(tp.code[1].op, Op::Halt);
+  }
+}
+
+TEST(Lower, BranchLocalsGetSlotsInEnclosingFrame) {
+  auto p = compile(R"(
+    fun main() {
+      cobegin { var t; t = 1; } || { var u; u = 2; } coend;
+    }
+  )");
+  const Proc& m = p->lowered->proc(p->lowered->entry_proc());
+  EXPECT_EQ(m.nslots, 3u);  // link + t + u (distinct slots per branch)
+}
+
+TEST(Lower, GlobalSlotsIncludeFunctions) {
+  auto p = compile("var a; var b; fun f() { skip; } fun main() { f(); }");
+  // cell0 + a + b + f + main
+  EXPECT_EQ(p->lowered->nglobal_cells(), 5u);
+}
+
+TEST(Lower, VarlocsResolveGlobalsAndLocals) {
+  auto p = compile(R"(
+    var g;
+    fun main() { var l; l = g; }
+  )");
+  const Proc& m = p->lowered->proc(p->lowered->entry_proc());
+  const Instr& assign = m.code[0];
+  const VarLoc& lhs = p->lowered->varloc(assign.lhs->id());
+  EXPECT_FALSE(lhs.is_global);
+  EXPECT_EQ(lhs.hops, 0u);
+  const VarLoc& rhs = p->lowered->varloc(assign.rhs->id());
+  EXPECT_TRUE(rhs.is_global);
+}
+
+TEST(Lower, LambdaHopsCountLexicalLevels) {
+  auto p = compile(R"(
+    var g;
+    fun main() {
+      var x;
+      g = fun () { x = 1; };
+      g();
+    }
+  )");
+  // Find the lambda proc (unnamed function).
+  const Proc* lambda = nullptr;
+  for (const Proc& proc : p->lowered->procs()) {
+    if (proc.fun != nullptr && !proc.fun->name().valid()) lambda = &proc;
+  }
+  ASSERT_NE(lambda, nullptr);
+  EXPECT_EQ(lambda->lexical_parent, p->lowered->entry_proc());
+  const Instr& assign = lambda->code[0];
+  const VarLoc& lhs = p->lowered->varloc(assign.lhs->id());
+  EXPECT_FALSE(lhs.is_global);
+  EXPECT_EQ(lhs.hops, 1u);  // one static-link hop up to main's frame
+}
+
+TEST(Lower, NestedCobeginProcsChainOwnership) {
+  auto p = compile(R"(
+    var x;
+    fun main() {
+      cobegin {
+        cobegin { x = 1; } || { x = 2; } coend;
+      } || { x = 3; } coend;
+    }
+  )");
+  int thread_count = 0;
+  for (const Proc& proc : p->lowered->procs()) {
+    if (proc.is_thread) {
+      ++thread_count;
+      EXPECT_EQ(proc.owner_fn, p->lowered->entry_proc());
+    }
+  }
+  EXPECT_EQ(thread_count, 4);
+}
+
+TEST(Lower, DisassembleMentionsEveryProc) {
+  auto p = compile("var x; fun f() { x = 1; } fun main() { f(); }");
+  const std::string dis = p->lowered->disassemble();
+  EXPECT_NE(dis.find("'f'"), std::string::npos);
+  EXPECT_NE(dis.find("'main'"), std::string::npos);
+  EXPECT_NE(dis.find("halt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace copar::sem

@@ -1,0 +1,265 @@
+// Cross-cutting coverage: clan folding's trip-count independence, closures
+// shared between threads, debug renderers, and the exposed Petri stubborn
+// closure.
+#include <gtest/gtest.h>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+#include "src/petri/models.h"
+#include "src/petri/reach.h"
+#include "src/sem/program.h"
+
+namespace copar {
+namespace {
+
+std::vector<std::unique_ptr<CompiledProgram>>& keep_alive() {
+  static std::vector<std::unique_ptr<CompiledProgram>> v;
+  return v;
+}
+
+const CompiledProgram& compiled(std::string_view src) {
+  keep_alive().push_back(compile(src));
+  return *keep_alive().back();
+}
+
+std::string doall_src(int n) {
+  return R"(
+    var x; var n = )" + std::to_string(n) + R"(;
+    fun main() {
+      doall (i = 1 .. n) { x = x + i; }
+    }
+  )";
+}
+
+TEST(ClanFolding, StatesIndependentOfTripCount) {
+  // McDowell's point: the clan abstraction does not care how many instances
+  // run the same code. Concretely the state count grows with n; abstractly
+  // (Clan and even Tree, thanks to the ω point) it is constant.
+  std::uint64_t abs3 = 0;
+  std::uint64_t abs12 = 0;
+  std::uint64_t conc3 = 0;
+  std::uint64_t conc6 = 0;
+  {
+    const auto& p = compiled(doall_src(3));
+    absem::AbsOptions opts;
+    opts.folding = absem::Folding::Clan;
+    abs3 = absem::AbsExplorer<absdom::FlatInt>(*p.lowered, opts).run().num_states;
+    conc3 = explore::explore(*p.lowered, {}).num_configs;
+  }
+  {
+    const auto& p = compiled(doall_src(12));
+    absem::AbsOptions opts;
+    opts.folding = absem::Folding::Clan;
+    abs12 = absem::AbsExplorer<absdom::FlatInt>(*p.lowered, opts).run().num_states;
+  }
+  {
+    const auto& p = compiled(doall_src(6));
+    conc6 = explore::explore(*p.lowered, {}).num_configs;
+  }
+  EXPECT_EQ(abs3, abs12);     // trip-count independent
+  EXPECT_GT(conc6, 4 * conc3);  // concrete explodes
+}
+
+TEST(Closures, SharedBetweenThreads) {
+  // A closure created by main is invoked concurrently by both branches;
+  // the captured counter sees both increments under some interleaving.
+  const auto& p = compiled(R"(
+    var r;
+    fun main() {
+      var count = 0;
+      var bump = fun () { var t; t = count; count = t + 1; return 0; };
+      cobegin { var z1; z1 = bump(); } || { var z2; z2 = bump(); } coend;
+      r = count;
+    }
+  )");
+  const auto full = explore::explore(*p.lowered, {});
+  // Racy read-modify-write inside the closure: 1 (lost update) and 2.
+  EXPECT_EQ(full.terminal_int_values("r"), (std::set<std::int64_t>{1, 2}));
+  // Reductions preserve this.
+  explore::ExploreOptions stub;
+  stub.reduction = explore::Reduction::Stubborn;
+  stub.coarsen = true;
+  stub.sleep_sets = true;
+  const auto reduced = explore::explore(*p.lowered, stub);
+  EXPECT_EQ(reduced.terminal_keys(), full.terminal_keys());
+}
+
+TEST(Closures, LambdaInsideDoall) {
+  // Each doall instance builds a closure over its own index frame; the
+  // accumulating update is a single atomic action, so the sum of squares is
+  // deterministic across all interleavings.
+  const auto& p = compiled(R"(
+    var m; var total;
+    fun main() {
+      doall (i = 1 .. 3) {
+        var sq = fun () { return i * i; };
+        var v;
+        v = sq();
+        lock(m);
+        total = total + v;
+        unlock(m);
+      }
+      sEnd: assert(total == 14);
+    }
+  )");
+  const auto r = explore::explore(*p.lowered, {});
+  EXPECT_FALSE(r.deadlock_found);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.terminal_int_values("total"), (std::set<std::int64_t>{14}));
+}
+
+TEST(Debug, ConfigurationToStringMentionsProcesses) {
+  const auto& p = compiled(R"(
+    var x;
+    fun main() { cobegin { x = 1; } || { x = 2; } coend; }
+  )");
+  sem::Configuration cfg = sem::Configuration::initial(*p.lowered);
+  cfg = sem::apply_action(cfg, 0);  // fork
+  const std::string text = cfg.to_string();
+  EXPECT_NE(text.find("p0"), std::string::npos);
+  EXPECT_NE(text.find("p1"), std::string::npos);
+  EXPECT_NE(text.find("p2"), std::string::npos);
+  EXPECT_NE(text.find("globals"), std::string::npos);
+}
+
+TEST(Debug, DescribePointUsesLabels) {
+  const auto& p = compiled(R"(
+    var x;
+    fun main() { sHello: x = 1; }
+  )");
+  const std::string desc = p.lowered->describe_point(p.lowered->entry_proc(), 0);
+  EXPECT_NE(desc.find("main+0"), std::string::npos);
+  EXPECT_NE(desc.find("sHello"), std::string::npos);
+}
+
+TEST(Debug, DisassembleShowsDoall) {
+  const auto& p = compiled(R"(
+    var x;
+    fun main() { doall (i = 0 .. 2) { x = x + i; } }
+  )");
+  const std::string dis = p.lowered->disassemble();
+  EXPECT_NE(dis.find("forkrange"), std::string::npos);
+  EXPECT_NE(dis.find("$doall"), std::string::npos);
+}
+
+TEST(PetriApi, StubbornSetExposed) {
+  using namespace copar::petri;
+  const PetriNet net = independent_producers_net(3);
+  const std::vector<TransId> chosen = stubborn_set(net, net.initial_marking());
+  // Fully independent components: a singleton suffices.
+  EXPECT_EQ(chosen.size(), 1u);
+
+  // Fork/join: the only enabled transition is the fork itself.
+  const PetriNet fj = fork_join_net(4);
+  const auto fj_set = stubborn_set(fj, fj.initial_marking());
+  EXPECT_EQ(fj_set.size(), 1u);
+}
+
+TEST(Stats, ReductionCountersPopulated) {
+  const auto& p = compiled(R"(
+    var x; var y;
+    fun main() { cobegin { x = 1; x = 2; } || { y = 1; y = 2; } coend; }
+  )");
+  explore::ExploreOptions opts;
+  opts.reduction = explore::Reduction::Stubborn;
+  opts.sleep_sets = true;
+  const auto r = explore::explore(*p.lowered, opts);
+  EXPECT_GT(r.stats.get("stubborn_steps"), 0u);
+  EXPECT_EQ(r.stats.get("configs"), r.num_configs);
+  EXPECT_EQ(r.stats.get("transitions"), r.num_transitions);
+}
+
+}  // namespace
+}  // namespace copar
+
+// NOTE: appended edge-case coverage.
+#include "src/explore/witness.h"
+
+namespace copar {
+namespace {
+
+TEST(Canonical, CyclicHeapStructuresHashAndCollect) {
+  // A self-referential object and a 2-cycle: canonicalization must
+  // terminate, and cyclic *garbage* must not affect state identity.
+  const auto& p = compiled(R"(
+    var keep; var x;
+    fun main() {
+      var a = alloc(1);
+      var b = alloc(1);
+      *a = b;
+      *b = a;       // 2-cycle
+      keep = a;
+      sCut: keep = null;  // the cycle is now garbage
+      x = 1;
+    }
+  )");
+  const auto r = explore::explore(*p.lowered, {});
+  ASSERT_EQ(r.terminals.size(), 1u);
+
+  // A straight-line program with the same observable ending but no garbage
+  // cycle reaches the identical canonical terminal.
+  const auto& q = compiled(R"(
+    var keep; var x;
+    fun main() {
+      var a = alloc(1);
+      var b = alloc(1);
+      *a = b;
+      *b = a;
+      keep = a;
+      keep = null;
+      x = 1;
+    }
+  )");
+  const auto rq = explore::explore(*q.lowered, {});
+  EXPECT_EQ(r.terminal_keys(), rq.terminal_keys());
+}
+
+TEST(Witness, TruncationReturnsNothing) {
+  const auto& p = compiled(R"(
+    var x; var y;
+    fun main() { cobegin { x = 1; x = 2; } || { y = 1; y = 2; } coend; }
+  )");
+  explore::WitnessQuery q;
+  q.want_deadlock = true;       // none exists
+  q.explore.max_configs = 4;    // and we stop early anyway
+  EXPECT_FALSE(explore::find_witness(*p.lowered, q).has_value());
+}
+
+TEST(DoAllNesting, DoallInsideDoall) {
+  const auto& p = compiled(R"(
+    var m; var total;
+    fun main() {
+      doall (i = 0 .. 1) {
+        doall (j = 0 .. 1) {
+          lock(m);
+          total = total + (i * 2 + j);
+          unlock(m);
+        }
+      }
+    }
+  )");
+  const auto full = explore::explore(*p.lowered, {});
+  // 0+1+2+3 = 6, atomically accumulated under the lock: deterministic.
+  EXPECT_EQ(full.terminal_int_values("total"), (std::set<std::int64_t>{6}));
+  explore::ExploreOptions stub;
+  stub.reduction = explore::Reduction::Stubborn;
+  const auto reduced = explore::explore(*p.lowered, stub);
+  EXPECT_EQ(reduced.terminal_keys(), full.terminal_keys());
+}
+
+TEST(Faults, OutOfBoundsThroughDoallIndex) {
+  const auto& p = compiled(R"(
+    var a;
+    fun main() {
+      a = alloc(2);
+      doall (i = 0 .. 2) { sW: a[i] = i; }   // i = 2 is out of bounds
+    }
+  )");
+  const auto r = explore::explore(*p.lowered, {});
+  ASSERT_FALSE(r.faults.empty());
+  EXPECT_EQ(static_cast<sem::Fault>(r.faults.begin()->second), sem::Fault::OutOfBounds);
+}
+
+}  // namespace
+}  // namespace copar

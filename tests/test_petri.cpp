@@ -1,0 +1,185 @@
+// Petri-net substrate tests: firing rules, reachability, the stubborn-set
+// closure, and the [Val88] dining-philosophers scaling claim — plus a
+// property test over random conservative nets (stubborn sets preserve all
+// deadlocks).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/petri/models.h"
+#include "src/petri/reach.h"
+
+namespace copar::petri {
+namespace {
+
+TEST(PetriNet, FiringMovesTokens) {
+  PetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 0);
+  const TransId t = net.add_transition("t", {a}, {b});
+  ASSERT_TRUE(net.enabled(t, net.initial_marking()));
+  const Marking m = net.fire(t, net.initial_marking());
+  EXPECT_EQ(m[a], 0u);
+  EXPECT_EQ(m[b], 1u);
+  EXPECT_FALSE(net.enabled(t, m));
+}
+
+TEST(PetriNet, MultiplicityViaRepetition) {
+  PetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 0);
+  const TransId t = net.add_transition("needs2", {a, a}, {b});
+  EXPECT_FALSE(net.enabled(t, net.initial_marking()));
+  Marking m = net.initial_marking();
+  m[a] = 2;
+  EXPECT_TRUE(net.enabled(t, m));
+  const Marking m2 = net.fire(t, m);
+  EXPECT_EQ(m2[a], 0u);
+  EXPECT_EQ(m2[b], 1u);
+}
+
+TEST(PetriNet, ConsumersProducersIndexed) {
+  PetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 0);
+  const TransId t1 = net.add_transition("t1", {a}, {b});
+  const TransId t2 = net.add_transition("t2", {b}, {a});
+  EXPECT_EQ(net.consumers(a), (std::vector<TransId>{t1}));
+  EXPECT_EQ(net.producers(a), (std::vector<TransId>{t2}));
+}
+
+TEST(Reach, SequenceNet) {
+  // a -> b -> c: three markings, no branching.
+  PetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 0);
+  const PlaceId c = net.add_place("c", 0);
+  net.add_transition("t1", {a}, {b});
+  net.add_transition("t2", {b}, {c});
+  const ReachResult r = explore(net, {});
+  EXPECT_EQ(r.num_markings, 3u);
+  EXPECT_EQ(r.deadlocks.size(), 1u);
+}
+
+TEST(Reach, ForkJoinHasOneTerminal) {
+  const PetriNet net = fork_join_net(3);
+  const ReachResult r = explore(net, {});
+  EXPECT_EQ(r.deadlocks.size(), 1u);  // the end marking
+  // fork, 2^3 task subsets, join: 1 + 8 + 1
+  EXPECT_EQ(r.num_markings, 10u);
+}
+
+TEST(Reach, StubbornShrinksForkJoin) {
+  const PetriNet net = fork_join_net(6);
+  ReachOptions stub;
+  stub.stubborn = true;
+  const ReachResult rs = explore(net, stub);
+  const ReachResult rf = explore(net, {});
+  EXPECT_EQ(rf.deadlocks, rs.deadlocks);
+  EXPECT_LT(rs.num_markings, rf.num_markings);  // 2^6 interior collapses
+}
+
+TEST(Reach, IndependentProducersLinearVsExponential) {
+  for (std::size_t n : {2u, 3u, 4u}) {
+    const PetriNet net = independent_producers_net(n);
+    const ReachResult rf = explore(net, {});
+    ReachOptions stub;
+    stub.stubborn = true;
+    const ReachResult rs = explore(net, stub);
+    // full = 5^n; stubborn = 4n + 1.
+    EXPECT_EQ(rf.num_markings, static_cast<std::uint64_t>(std::pow(5.0, double(n))));
+    EXPECT_EQ(rs.num_markings, 4 * n + 1);
+    EXPECT_EQ(rf.deadlocks, rs.deadlocks);
+  }
+}
+
+TEST(Reach, PhilosophersDeadlockPreservedAndQuadratic) {
+  // The paper's §2.2 citation of [Val88]: "the state space for n dining
+  // philosophers is reduced from exponential to quadratic in n".
+  std::vector<std::uint64_t> full_counts;
+  for (std::size_t n = 2; n <= 8; ++n) {
+    const PetriNet net = dining_philosophers_net(n);
+    ReachOptions stub;
+    stub.stubborn = true;
+    stub.cycle_proviso = false;  // deadlock preservation needs no proviso
+    const ReachResult rs = explore(net, stub);
+    EXPECT_EQ(rs.deadlocks.size(), 1u) << "n=" << n;  // circular wait found
+    if (n >= 4) {
+      // Exactly quadratic: 2n^2 - 2n + 2.
+      EXPECT_EQ(rs.num_markings, 2 * n * n - 2 * n + 2) << "n=" << n;
+    }
+    if (n <= 6) {
+      const ReachResult rf = explore(net, {});
+      full_counts.push_back(rf.num_markings);
+      EXPECT_EQ(rf.deadlocks, rs.deadlocks) << "n=" << n;
+    }
+  }
+  // Full growth is exponential (ratio well above 2 per extra philosopher).
+  for (std::size_t i = 1; i < full_counts.size(); ++i) {
+    EXPECT_GT(full_counts[i], 2 * full_counts[i - 1]);
+  }
+}
+
+TEST(Reach, CycleProvisoKeepsFullReachabilityOnCyclicNets) {
+  // With the proviso, the reduced exploration of a cyclic net still visits
+  // every marking class needed for terminal analysis; on the (deadlocking)
+  // philosophers net the deadlock remains reachable.
+  const PetriNet net = dining_philosophers_net(3);
+  ReachOptions stub;
+  stub.stubborn = true;
+  stub.cycle_proviso = true;
+  const ReachResult rs = explore(net, stub);
+  EXPECT_EQ(rs.deadlocks.size(), 1u);
+}
+
+TEST(Reach, TruncationFlag) {
+  const PetriNet net = dining_philosophers_net(5);
+  ReachOptions opts;
+  opts.max_markings = 10;
+  const ReachResult r = explore(net, opts);
+  EXPECT_TRUE(r.truncated);
+}
+
+// Property: on random conservative nets (|pre| == |post| keeps the total
+// token count constant, hence a finite state space), stubborn-set
+// exploration preserves the exact set of dead markings.
+class RandomNets : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNets, StubbornPreservesDeadlocks) {
+  std::mt19937_64 rng(GetParam());
+  auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+  PetriNet net;
+  const int nplaces = pick(3, 7);
+  for (int p = 0; p < nplaces; ++p) {
+    net.add_place("p" + std::to_string(p), static_cast<std::uint32_t>(pick(0, 2)));
+  }
+  const int ntrans = pick(3, 8);
+  for (int t = 0; t < ntrans; ++t) {
+    const int arity = pick(1, 2);
+    std::vector<PlaceId> pre;
+    std::vector<PlaceId> post;
+    for (int k = 0; k < arity; ++k) {
+      pre.push_back(static_cast<PlaceId>(pick(0, nplaces - 1)));
+      post.push_back(static_cast<PlaceId>(pick(0, nplaces - 1)));
+    }
+    net.add_transition("t" + std::to_string(t), std::move(pre), std::move(post));
+  }
+
+  const ReachResult rf = explore(net, {});
+  ASSERT_FALSE(rf.truncated);
+  for (const bool proviso : {false, true}) {
+    ReachOptions stub;
+    stub.stubborn = true;
+    stub.cycle_proviso = proviso;
+    const ReachResult rs = explore(net, stub);
+    EXPECT_EQ(rf.deadlocks, rs.deadlocks) << "proviso=" << proviso;
+    EXPECT_LE(rs.num_markings, rf.num_markings);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNets, ::testing::Range<std::uint64_t>(1, 60));
+
+}  // namespace
+}  // namespace copar::petri

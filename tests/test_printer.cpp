@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace copar::lang {
+namespace {
+
+/// print(parse(print(parse(src)))) == print(parse(src)) — printing reaches a
+/// fixpoint after one round trip.
+void roundtrip(std::string_view src) {
+  DiagnosticEngine d1;
+  auto m1 = parse_program(src, d1);
+  ASSERT_FALSE(d1.has_errors()) << d1.to_string();
+  const std::string printed = print(*m1);
+
+  DiagnosticEngine d2;
+  auto m2 = parse_program(printed, d2);
+  ASSERT_FALSE(d2.has_errors()) << "reparse failed:\n" << d2.to_string() << "\nsource:\n"
+                                << printed;
+  EXPECT_EQ(print(*m2), printed);
+}
+
+TEST(Printer, RoundTripGlobals) { roundtrip("var a; var b = 1 + 2 * 3;"); }
+
+TEST(Printer, RoundTripFunctions) {
+  roundtrip("fun f(a, b) { return a + b; } fun main() { skip; }");
+}
+
+TEST(Printer, RoundTripControlFlow) {
+  roundtrip(R"(
+    var x;
+    fun main() {
+      if (x > 0) { x = 1; } else { x = 2; }
+      while (x < 10) { x = x + 1; }
+    }
+  )");
+}
+
+TEST(Printer, RoundTripCobegin) {
+  roundtrip(R"(
+    var x; var y;
+    fun main() {
+      cobegin { x = 1; } || { y = 2; } coend;
+    }
+  )");
+}
+
+TEST(Printer, RoundTripPointers) {
+  roundtrip(R"(
+    var p; var x;
+    fun main() {
+      p = alloc(2);
+      *p = 1;
+      p[1] = 2;
+      x = *p + p[1];
+      p = &x;
+    }
+  )");
+}
+
+TEST(Printer, RoundTripLabelsAndLocks) {
+  roundtrip(R"(
+    var m; var x;
+    fun main() {
+      s1: lock(m);
+      s2: x = 1;
+      s3: unlock(m);
+      assert(x == 1);
+    }
+  )");
+}
+
+TEST(Printer, RoundTripLambdas) {
+  roundtrip(R"(
+    var g;
+    fun main() {
+      var k;
+      g = fun (a) { return a + 1; };
+      k = g(1);
+    }
+  )");
+}
+
+TEST(Printer, RoundTripCallsAndReturns) {
+  roundtrip(R"(
+    var x;
+    fun f(a) { return a; }
+    fun main() { x = f(3); f(4); return; }
+  )");
+}
+
+TEST(Printer, ExprPrintIsFullyParenthesized) {
+  DiagnosticEngine d;
+  auto m = parse_program("var x; fun main() { x = 1 + 2 * 3; }", d);
+  ASSERT_FALSE(d.has_errors());
+  const auto& assign = stmt_cast<AssignStmt>(*m->find_function("main")->body().stmts()[0]);
+  EXPECT_EQ(print_expr(*m, assign.rhs()), "(1 + (2 * 3))");
+}
+
+TEST(Printer, LabelsArePrinted) {
+  DiagnosticEngine d;
+  auto m = parse_program("var x; fun main() { s9: x = 1; }", d);
+  ASSERT_FALSE(d.has_errors());
+  EXPECT_NE(print(*m).find("s9: "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace copar::lang

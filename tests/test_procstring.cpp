@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "src/sem/procstring.h"
+
+namespace copar::sem {
+namespace {
+
+TEST(ProcString, EmptyByDefault) {
+  ProcString s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.to_string(), "ε");
+}
+
+TEST(ProcString, AppendKeepsNetNormalForm) {
+  ProcString s;
+  s = s.append(ProcString::call_sym(3));
+  s = s.append(ProcString::call_sym(4));
+  EXPECT_EQ(s.size(), 2u);
+  s = s.append(ProcString::ret_sym(4));  // cancels the call of 4
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.to_string(), "c3");
+}
+
+TEST(ProcString, ForkJoinCancel) {
+  ProcString s;
+  s = s.append(ProcString::fork_sym(10, 1));
+  s = s.append(ProcString::join_sym(10, 1));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ProcString, ForkJoinOfDifferentBranchDoesNotCancel) {
+  ProcString s;
+  s = s.append(ProcString::fork_sym(10, 1));
+  s = s.append(ProcString::join_sym(10, 2));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(ProcString, NetBetweenSharedPrefix) {
+  ProcString a;
+  a = a.append(ProcString::call_sym(1)).append(ProcString::call_sym(2));
+  ProcString b;
+  b = b.append(ProcString::call_sym(1)).append(ProcString::call_sym(3));
+  const ProcString net = ProcString::net_between(a, b);
+  // From inside c2 (under c1) to inside c3 (under c1): exit 2, enter 3.
+  ASSERT_EQ(net.size(), 2u);
+  EXPECT_EQ(net.syms()[0].kind, PSymKind::Ret);
+  EXPECT_EQ(net.syms()[0].id, 2u);
+  EXPECT_EQ(net.syms()[1].kind, PSymKind::Call);
+  EXPECT_EQ(net.syms()[1].id, 3u);
+}
+
+TEST(ProcString, NetBetweenIdenticalIsEmpty) {
+  ProcString a;
+  a = a.append(ProcString::call_sym(7));
+  EXPECT_TRUE(ProcString::net_between(a, a).empty());
+}
+
+TEST(ProcString, DescendsOnly) {
+  ProcString a;  // birth point
+  ProcString b = a.append(ProcString::call_sym(1)).append(ProcString::fork_sym(5, 0));
+  EXPECT_TRUE(ProcString::net_between(a, b).descends_only());
+  // Moving up (a ret appears in the net) is not descending.
+  EXPECT_FALSE(ProcString::net_between(b, a).descends_only());
+}
+
+TEST(ProcString, CrossesThread) {
+  ProcString a;
+  ProcString b = a.append(ProcString::fork_sym(5, 0));
+  EXPECT_TRUE(ProcString::net_between(a, b).crosses_thread());
+  ProcString c = a.append(ProcString::call_sym(1));
+  EXPECT_FALSE(ProcString::net_between(a, c).crosses_thread());
+}
+
+TEST(ProcString, IsPrefixOf) {
+  ProcString a;
+  ProcString b = a.append(ProcString::call_sym(1));
+  ProcString c = b.append(ProcString::fork_sym(2, 0));
+  EXPECT_TRUE(a.is_prefix_of(b));
+  EXPECT_TRUE(b.is_prefix_of(c));
+  EXPECT_TRUE(b.is_prefix_of(b));
+  EXPECT_FALSE(c.is_prefix_of(b));
+}
+
+TEST(ProcString, KLimiting) {
+  ProcString s;
+  for (std::uint32_t i = 0; i < 10; ++i) s = s.append(ProcString::call_sym(i));
+  const ProcString k = s.k_limited(3);
+  ASSERT_EQ(k.size(), 3u);
+  EXPECT_EQ(k.syms()[0].id, 7u);
+  EXPECT_EQ(k.syms()[2].id, 9u);
+  EXPECT_EQ(s.k_limited(100), s);
+}
+
+TEST(ProcString, HashAndEquality) {
+  ProcString a;
+  a = a.append(ProcString::call_sym(1));
+  ProcString b;
+  b = b.append(ProcString::call_sym(1));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b = b.append(ProcString::call_sym(2));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace copar::sem

@@ -1,0 +1,230 @@
+// Property-based tests over generated random programs.
+//
+// The full exploration is the oracle:
+//   P1. stubborn-set exploration preserves the exact set of result
+//       configurations, deadlocks, violations, and faults;
+//   P2. virtual coarsening preserves them too;
+//   P3. the combination preserves them;
+//   P4. abstract MHP over-approximates concrete co-enabledness;
+//   P5. abstract per-proc side effects over-approximate the concrete
+//       access log (modulo the heap-offset folding of abstract locations).
+#include <gtest/gtest.h>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/sem/program.h"
+#include "src/workload/random_programs.h"
+
+namespace copar {
+namespace {
+
+absem::AbsLoc abs_of(const explore::LocKey& key) {
+  switch (key.kind) {
+    case sem::ObjKind::Globals: return absem::AbsLoc::global(key.off);
+    case sem::ObjKind::Frame: return absem::AbsLoc::frame(key.site, key.off);
+    case sem::ObjKind::Heap: return absem::AbsLoc::heap(key.site);
+  }
+  return absem::AbsLoc::global(0);
+}
+
+class RandomPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPrograms, ReductionsPreserveResults) {
+  const std::string src = workload::random_program(GetParam());
+  SCOPED_TRACE(src);
+  auto prog = compile(src);
+
+  explore::ExploreOptions full_opts;
+  full_opts.max_configs = 300000;
+  const auto full = explore::explore(*prog->lowered, full_opts);
+  ASSERT_FALSE(full.truncated) << "oracle run truncated; shrink the generator";
+
+  for (const bool coarsen : {false, true}) {
+    for (const auto reduction : {explore::Reduction::Full, explore::Reduction::Stubborn}) {
+      if (reduction == explore::Reduction::Full && !coarsen) continue;  // oracle itself
+      explore::ExploreOptions opts;
+      opts.reduction = reduction;
+      opts.coarsen = coarsen;
+      opts.max_configs = 300000;
+      const auto r = explore::explore(*prog->lowered, opts);
+      SCOPED_TRACE(std::string("reduction=") +
+                   (reduction == explore::Reduction::Stubborn ? "stubborn" : "full") +
+                   " coarsen=" + (coarsen ? "yes" : "no"));
+      EXPECT_EQ(r.terminal_keys(), full.terminal_keys());
+      EXPECT_EQ(r.deadlock_found, full.deadlock_found);
+      EXPECT_EQ(r.violations, full.violations);
+      EXPECT_EQ(r.faults, full.faults);
+      EXPECT_LE(r.num_configs, full.num_configs);
+    }
+  }
+}
+
+TEST_P(RandomPrograms, SleepSetsPreserveResults) {
+  const std::string src = workload::random_program(GetParam());
+  SCOPED_TRACE(src);
+  auto prog = compile(src);
+
+  explore::ExploreOptions full_opts;
+  full_opts.max_configs = 300000;
+  const auto full = explore::explore(*prog->lowered, full_opts);
+  ASSERT_FALSE(full.truncated);
+
+  for (const auto reduction : {explore::Reduction::Full, explore::Reduction::Stubborn}) {
+    explore::ExploreOptions opts;
+    opts.reduction = reduction;
+    opts.sleep_sets = true;
+    opts.max_configs = 300000;
+    const auto r = explore::explore(*prog->lowered, opts);
+    SCOPED_TRACE(reduction == explore::Reduction::Stubborn ? "stubborn+sleep" : "full+sleep");
+    EXPECT_EQ(r.terminal_keys(), full.terminal_keys());
+    EXPECT_EQ(r.deadlock_found, full.deadlock_found);
+    EXPECT_EQ(r.violations, full.violations);
+    EXPECT_EQ(r.faults, full.faults);
+    // Sleep sets prune transitions, never states beyond the other
+    // reductions; edges must not exceed the full run's.
+    EXPECT_LE(r.num_transitions, full.num_transitions);
+  }
+}
+
+TEST_P(RandomPrograms, PrinterRoundTripsGeneratedPrograms) {
+  const std::string src = workload::random_program(GetParam());
+  SCOPED_TRACE(src);
+  auto m1 = lang::parse_program(src);
+  const std::string printed = lang::print(*m1);
+  auto m2 = lang::parse_program(printed);
+  EXPECT_EQ(lang::print(*m2), printed);
+}
+
+TEST_P(RandomPrograms, AbstractMhpOverapproximatesConcrete) {
+  const std::string src = workload::random_program(GetParam());
+  SCOPED_TRACE(src);
+  auto prog = compile(src);
+
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  opts.max_configs = 300000;
+  const auto concrete = explore::explore(*prog->lowered, opts);
+  ASSERT_FALSE(concrete.truncated);
+
+  absem::AbsExplorer<absdom::FlatInt> engine(*prog->lowered, absem::AbsOptions{});
+  const auto abs = engine.run();
+  ASSERT_FALSE(abs.truncated);
+
+  for (const auto& [pair, facts] : concrete.pairs) {
+    if (!facts.co_enabled) continue;
+    EXPECT_TRUE(abs.mhp.contains(pair))
+        << "lost concrete MHP pair (" << pair.first << "," << pair.second << ")";
+  }
+}
+
+TEST_P(RandomPrograms, AbstractEffectsCoverConcreteAccesses) {
+  const std::string src = workload::random_program(GetParam());
+  SCOPED_TRACE(src);
+  auto prog = compile(src);
+
+  explore::ExploreOptions opts;
+  opts.record_accesses = true;
+  opts.max_configs = 300000;
+  const auto concrete = explore::explore(*prog->lowered, opts);
+  ASSERT_FALSE(concrete.truncated);
+
+  absem::AbsExplorer<absdom::FlatInt> engine(*prog->lowered, absem::AbsOptions{});
+  const auto abs = engine.run();
+
+  for (const auto& [proc, sets] : concrete.accesses.by_proc) {
+    auto [abs_reads, abs_writes] = abs.effects_of(proc);
+    for (const explore::LocKey& key : sets.reads) {
+      const absem::AbsLoc loc = abs_of(key);
+      if (loc.kind == absem::AbsLoc::Kind::Frame && loc.b == 0) continue;  // static links
+      EXPECT_TRUE(abs_reads.contains(loc))
+          << "proc " << prog->lowered->proc(proc).name << " concrete read of "
+          << loc.to_string() << " missing abstractly";
+    }
+    for (const explore::LocKey& key : sets.writes) {
+      const absem::AbsLoc loc = abs_of(key);
+      if (loc.kind == absem::AbsLoc::Kind::Frame && loc.b == 0) continue;
+      EXPECT_TRUE(abs_writes.contains(loc))
+          << "proc " << prog->lowered->proc(proc).name << " concrete write of "
+          << loc.to_string() << " missing abstractly";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// A second corpus with three branches and heavier pointer use.
+class WideRandomPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WideRandomPrograms, ReductionsPreserveResults) {
+  workload::RandomOptions gen;
+  gen.num_branches = 3;
+  gen.max_branch_stmts = 3;
+  const std::string src = workload::random_program(GetParam(), gen);
+  SCOPED_TRACE(src);
+  auto prog = compile(src);
+
+  explore::ExploreOptions full_opts;
+  full_opts.max_configs = 500000;
+  const auto full = explore::explore(*prog->lowered, full_opts);
+  ASSERT_FALSE(full.truncated);
+
+  explore::ExploreOptions stub_opts;
+  stub_opts.reduction = explore::Reduction::Stubborn;
+  stub_opts.coarsen = true;
+  stub_opts.max_configs = 500000;
+  const auto r = explore::explore(*prog->lowered, stub_opts);
+  EXPECT_EQ(r.terminal_keys(), full.terminal_keys());
+  EXPECT_EQ(r.deadlock_found, full.deadlock_found);
+  EXPECT_EQ(r.violations, full.violations);
+  EXPECT_EQ(r.faults, full.faults);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WideRandomPrograms,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+// A third corpus with doall in the mix.
+class DoallRandomPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DoallRandomPrograms, ReductionsPreserveResultsAndAbstractCovers) {
+  workload::RandomOptions gen;
+  gen.use_doall = true;
+  gen.max_branch_stmts = 3;
+  const std::string src = workload::random_program(GetParam(), gen);
+  SCOPED_TRACE(src);
+  auto prog = compile(src);
+
+  explore::ExploreOptions full_opts;
+  full_opts.record_pairs = true;
+  full_opts.max_configs = 500000;
+  const auto full = explore::explore(*prog->lowered, full_opts);
+  ASSERT_FALSE(full.truncated);
+
+  explore::ExploreOptions stub_opts;
+  stub_opts.reduction = explore::Reduction::Stubborn;
+  stub_opts.coarsen = true;
+  stub_opts.max_configs = 500000;
+  const auto r = explore::explore(*prog->lowered, stub_opts);
+  EXPECT_EQ(r.terminal_keys(), full.terminal_keys());
+  EXPECT_EQ(r.deadlock_found, full.deadlock_found);
+  EXPECT_EQ(r.violations, full.violations);
+  EXPECT_EQ(r.faults, full.faults);
+
+  absem::AbsExplorer<absdom::FlatInt> engine(*prog->lowered, absem::AbsOptions{});
+  const auto abs = engine.run();
+  ASSERT_FALSE(abs.truncated);
+  for (const auto& [pair, facts] : full.pairs) {
+    if (!facts.co_enabled) continue;
+    EXPECT_TRUE(abs.mhp.contains(pair))
+        << "lost concrete MHP pair (" << pair.first << "," << pair.second << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DoallRandomPrograms,
+                         ::testing::Range<std::uint64_t>(200, 225));
+
+}  // namespace
+}  // namespace copar

@@ -1,0 +1,207 @@
+// Branch-condition refinement tests: the abstract semantics narrows values
+// along branch edges (dead-branch pruning, loop-exit facts) — and stays
+// sound in concurrent code (refinement asserts only what the atomic branch
+// read guarantees at that instant).
+#include <gtest/gtest.h>
+
+#include "src/absdom/cmpop.h"
+#include "src/absdom/flat.h"
+#include "src/absdom/interval.h"
+#include "src/absdom/sign.h"
+#include "src/absem/absexplore.h"
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+
+namespace copar {
+namespace {
+
+using absdom::CmpOp;
+using absdom::FlatInt;
+using absdom::Interval;
+using absdom::Sign;
+
+TEST(RefineCmp, IntervalClampsBounds) {
+  const Interval v = Interval::range(0, 100);
+  EXPECT_EQ(Interval::refine_cmp(v, CmpOp::Lt, Interval::constant(10), true),
+            Interval::range(0, 9));
+  EXPECT_EQ(Interval::refine_cmp(v, CmpOp::Lt, Interval::constant(10), false),
+            Interval::range(10, 100));
+  EXPECT_EQ(Interval::refine_cmp(v, CmpOp::Ge, Interval::constant(50), true),
+            Interval::range(50, 100));
+  EXPECT_EQ(Interval::refine_cmp(v, CmpOp::Eq, Interval::constant(7), true),
+            Interval::constant(7));
+  EXPECT_TRUE(
+      Interval::refine_cmp(v, CmpOp::Gt, Interval::constant(100), true).is_bottom());
+}
+
+TEST(RefineCmp, IntervalNeAtEndpoints) {
+  const Interval v = Interval::range(0, 5);
+  EXPECT_EQ(Interval::refine_cmp(v, CmpOp::Ne, Interval::constant(0), true),
+            Interval::range(1, 5));
+  EXPECT_EQ(Interval::refine_cmp(v, CmpOp::Ne, Interval::constant(5), true),
+            Interval::range(0, 4));
+  // Interior constants cannot split an interval.
+  EXPECT_EQ(Interval::refine_cmp(v, CmpOp::Ne, Interval::constant(3), true), v);
+}
+
+TEST(RefineCmp, FlatEqualityPins) {
+  EXPECT_EQ(FlatInt::refine_cmp(FlatInt::top(), CmpOp::Eq, FlatInt::constant(4), true),
+            FlatInt::constant(4));
+  // Failing x != 4 also pins x to 4.
+  EXPECT_EQ(FlatInt::refine_cmp(FlatInt::top(), CmpOp::Ne, FlatInt::constant(4), false),
+            FlatInt::constant(4));
+  // Contradictory constant comparison: infeasible.
+  EXPECT_TRUE(FlatInt::refine_cmp(FlatInt::constant(3), CmpOp::Eq, FlatInt::constant(4), true)
+                  .is_bottom());
+}
+
+TEST(RefineCmp, SignAgainstZero) {
+  EXPECT_EQ(Sign::refine_cmp(Sign::top(), CmpOp::Lt, Sign::constant(0), true),
+            Sign::constant(-1));
+  EXPECT_EQ(Sign::refine_cmp(Sign::top(), CmpOp::Ge, Sign::constant(0), true),
+            Sign::from_bits(Sign::kZero | Sign::kPos));
+  EXPECT_EQ(Sign::refine_cmp(Sign::top(), CmpOp::Ne, Sign::constant(0), false),
+            Sign::constant(0));
+}
+
+TEST(RefineCmp, SoundnessBruteForce) {
+  // For every small interval and op: every concrete value consistent with
+  // the outcome must survive refinement.
+  const CmpOp ops[] = {CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne};
+  for (CmpOp op : ops) {
+    for (std::int64_t lo = -2; lo <= 2; ++lo) {
+      for (std::int64_t hi = lo; hi <= 2; ++hi) {
+        for (std::int64_t c = -2; c <= 2; ++c) {
+          for (bool want : {true, false}) {
+            const Interval refined =
+                Interval::refine_cmp(Interval::range(lo, hi), op, Interval::constant(c), want);
+            for (std::int64_t x = lo; x <= hi; ++x) {
+              if (absdom::eval_cmp(op, x, c) == want) {
+                EXPECT_FALSE(refined.is_bottom());
+                EXPECT_TRUE(refined.lo() <= x && x <= refined.hi())
+                    << "op=" << static_cast<int>(op) << " x=" << x << " c=" << c
+                    << " want=" << want;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- end-to-end: refinement inside the abstract explorer -------------------
+
+std::vector<std::unique_ptr<CompiledProgram>>& keep_alive() {
+  static std::vector<std::unique_ptr<CompiledProgram>> v;
+  return v;
+}
+
+const CompiledProgram& compiled(std::string_view src) {
+  keep_alive().push_back(compile(src));
+  return *keep_alive().back();
+}
+
+TEST(RefineBranch, IntervalProvesLoopExitBound) {
+  const auto& p = compiled(R"(
+    var i;
+    fun main() {
+      i = 0;
+      while (i < 10) { i = i + 1; }
+      sA: assert(i >= 10);
+      sB: assert(i >= 0);
+    }
+  )");
+  absem::AbsExplorer<Interval> engine(*p.lowered, {});
+  const auto r = engine.run();
+  // Both asserts provable: the exit edge refines i to [10, +inf].
+  EXPECT_TRUE(r.may_fail_asserts.empty());
+}
+
+TEST(RefineBranch, FlatEqualityEnablesConstantPropagation) {
+  const auto& p = compiled(R"(
+    var x; var y;
+    fun main() {
+      cobegin { x = 1; } || { x = 2; } coend;
+      if (x == 1) { sT: assert(x == 1); y = x + 1; }
+      sQ: skip;
+    }
+  )");
+  absem::AbsExplorer<FlatInt> engine(*p.lowered, {});
+  const auto r = engine.run();
+  // The true edge pins x to 1: the assert discharges (the flat lattice
+  // cannot represent "≠ 1", so only the equality side refines).
+  EXPECT_TRUE(r.may_fail_asserts.empty());
+  // ... and arithmetic after the refinement sees the constant: y = 2 on
+  // that path.
+  bool saw_y2 = false;
+  for (const auto& [point, store] : r.point_stores) {
+    for (const auto& [loc, v] : store.entries()) {
+      if (v.num.as_constant() == 2) saw_y2 = true;
+    }
+  }
+  EXPECT_TRUE(saw_y2);
+}
+
+TEST(RefineBranch, DeadBranchPruned) {
+  const auto& p = compiled(R"(
+    var i;
+    fun main() {
+      i = 0;
+      while (i < 3) { i = i + 1; }
+      if (i < 3) { sDead: i = 99; }
+    }
+  )");
+  absem::AbsExplorer<Interval> engine(*p.lowered, {});
+  const auto r = engine.run();
+  const lang::Stmt* dead = p.module->find_labeled("sDead");
+  ASSERT_NE(dead, nullptr);
+  for (const auto& [point, store] : r.point_stores) {
+    const auto& instr = p.lowered->proc(point.first).code[point.second];
+    EXPECT_NE(instr.stmt, dead) << "infeasible branch was explored";
+  }
+}
+
+TEST(RefineBranch, ConcurrentWriterStillCovered) {
+  // Refinement must not lose behaviors: a sibling writes x after the branch
+  // read; the assert after the join can still fail and must be reported.
+  const auto& p = compiled(R"(
+    var x; var seen;
+    fun main() {
+      cobegin
+        { if (x == 0) { seen = 1; } }
+      ||
+        { x = 5; }
+      coend;
+      sQ: assert(x == 0);
+    }
+  )");
+  absem::AbsExplorer<FlatInt> engine(*p.lowered, {});
+  const auto r = engine.run();
+  EXPECT_TRUE(r.may_fail_asserts.contains(p.module->find_labeled("sQ")->id()));
+}
+
+TEST(RefineBranch, AgreesWithConcreteOutcomes) {
+  // Refinement is an abstract-only device: concrete and abstract must agree
+  // on reachability of the labeled statements.
+  const auto& p = compiled(R"(
+    var x; var hit1; var hit2;
+    fun main() {
+      cobegin { x = 1; } || { skip; } coend;
+      if (x == 1) { s1: hit1 = 1; } else { s2: hit2 = 1; }
+    }
+  )");
+  const auto concrete = explore::explore(*p.lowered, {});
+  EXPECT_EQ(concrete.terminal_int_values("hit1"), (std::set<std::int64_t>{1}));
+  EXPECT_EQ(concrete.terminal_int_values("hit2"), (std::set<std::int64_t>{0}));
+  absem::AbsExplorer<FlatInt> engine(*p.lowered, {});
+  const auto abs = engine.run();
+  const lang::Stmt* s2 = p.module->find_labeled("s2");
+  for (const auto& [point, store] : abs.point_stores) {
+    const auto& instr = p.lowered->proc(point.first).code[point.second];
+    EXPECT_NE(instr.stmt, s2) << "abstractly reached a concretely dead branch";
+  }
+}
+
+}  // namespace
+}  // namespace copar

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+
+namespace copar::lang {
+namespace {
+
+void ok(std::string_view src) {
+  DiagnosticEngine diags;
+  (void)parse_program(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+}
+
+void bad(std::string_view src, std::string_view needle) {
+  DiagnosticEngine diags;
+  (void)parse_program(src, diags);
+  ASSERT_TRUE(diags.has_errors()) << "expected resolve error for: " << src;
+  EXPECT_NE(diags.to_string().find(needle), std::string::npos)
+      << "diagnostics were:\n" << diags.to_string();
+}
+
+TEST(Resolver, UndeclaredVariableRejected) {
+  bad("fun main() { x = 1; }", "undeclared");
+}
+
+TEST(Resolver, GlobalsVisibleInFunctions) {
+  ok("var x; fun main() { x = 1; }");
+}
+
+TEST(Resolver, ParamsVisible) { ok("fun f(a) { return a; } fun main() { f(1); }"); }
+
+TEST(Resolver, LocalsScopedToBlock) {
+  bad("fun main() { { var t; t = 1; } t = 2; }", "undeclared");
+}
+
+TEST(Resolver, DuplicateInSameScopeRejected) {
+  bad("fun main() { var t; var t; }", "duplicate");
+}
+
+TEST(Resolver, ShadowingAcrossScopesAllowed) {
+  ok("var t; fun main() { var t; { var t; t = 1; } t = 2; }");
+}
+
+TEST(Resolver, FunctionsVisibleBeforeDeclaration) {
+  ok("fun main() { g(); } fun g() { skip; }");
+}
+
+TEST(Resolver, MutualRecursionAllowed) {
+  ok(R"(
+    fun even(n) { if (n == 0) { return 1; } odd(n - 1); return 0; }
+    fun odd(n) { if (n == 0) { return 0; } even(n - 1); return 1; }
+    fun main() { even(4); }
+  )");
+}
+
+TEST(Resolver, ReturnInsideCobeginRejected) {
+  bad("fun main() { cobegin { return; } || skip; coend; }", "cobegin");
+}
+
+TEST(Resolver, ReturnInsideLambdaInsideCobeginAllowed) {
+  ok(R"(
+    var f;
+    fun main() {
+      cobegin { f = fun () { return 1; }; f(); } || skip; coend;
+    }
+  )");
+}
+
+TEST(Resolver, CobeginBranchSeesEnclosingLocals) {
+  ok(R"(
+    fun main() {
+      var t;
+      cobegin { t = 1; } || { t = 2; } coend;
+    }
+  )");
+}
+
+TEST(Resolver, BranchLocalNotVisibleOutside) {
+  bad(R"(
+    fun main() {
+      cobegin { var t; t = 1; } || skip; coend;
+      t = 2;
+    }
+  )", "undeclared");
+}
+
+TEST(Resolver, LambdaCapturesEnclosingScope) {
+  ok(R"(
+    var g;
+    fun main() {
+      var x;
+      g = fun () { x = x + 1; };
+      g();
+    }
+  )");
+}
+
+TEST(Resolver, DuplicateLabelRejected) {
+  bad("var x; fun main() { s1: x = 1; s1: x = 2; }", "duplicate statement label");
+}
+
+TEST(Resolver, DuplicateGlobalRejected) { bad("var x; var x;", "duplicate"); }
+
+}  // namespace
+}  // namespace copar::lang

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/sem/store.h"
+#include "src/sem/value.h"
+
+namespace copar::sem {
+namespace {
+
+TEST(Value, IntRoundTrip) {
+  const Value v = Value::integer(-42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), -42);
+  EXPECT_TRUE(Value::integer(1).truthy());
+  EXPECT_FALSE(Value::integer(0).truthy());
+}
+
+TEST(Value, PointerRoundTrip) {
+  const Value v = Value::pointer(7, 3);
+  EXPECT_TRUE(v.is_ptr());
+  EXPECT_EQ(v.ptr_obj(), 7u);
+  EXPECT_EQ(v.ptr_off(), 3u);
+  EXPECT_TRUE(v.truthy());
+}
+
+TEST(Value, ClosureRoundTrip) {
+  const Value v = Value::closure(5, kNoObj);
+  EXPECT_TRUE(v.is_closure());
+  EXPECT_EQ(v.closure_proc(), 5u);
+  EXPECT_EQ(v.closure_env(), kNoObj);
+}
+
+TEST(Value, NullIsFalsy) {
+  EXPECT_FALSE(Value::null().truthy());
+  EXPECT_TRUE(Value::null().is_null());
+}
+
+TEST(Value, EqualityAndHash) {
+  EXPECT_EQ(Value::integer(3), Value::integer(3));
+  EXPECT_NE(Value::integer(3), Value::integer(4));
+  EXPECT_NE(Value::integer(0), Value::null());
+  EXPECT_NE(Value::pointer(1, 0), Value::pointer(1, 1));
+  EXPECT_EQ(Value::pointer(1, 0).hash(), Value::pointer(1, 0).hash());
+}
+
+TEST(Store, AllocateAndAccess) {
+  Store s;
+  const ObjId a = s.allocate(ObjKind::Heap, 11, 0, ProcString(), 3);
+  EXPECT_EQ(s.num_objects(), 1u);
+  EXPECT_EQ(s.read(a, 0), Value::integer(0));
+  s.write(a, 2, Value::integer(9));
+  EXPECT_EQ(s.read(a, 2), Value::integer(9));
+}
+
+TEST(Store, BoundsChecking) {
+  Store s;
+  const ObjId a = s.allocate(ObjKind::Heap, 1, 0, ProcString(), 2);
+  EXPECT_TRUE(s.in_bounds(a, 1));
+  EXPECT_FALSE(s.in_bounds(a, 2));
+  EXPECT_FALSE(s.in_bounds(a + 1, 0));
+  EXPECT_THROW((void)s.read(a, 5), Error);
+}
+
+TEST(Store, DenseLocationIds) {
+  Store s;
+  const ObjId a = s.allocate(ObjKind::Heap, 1, 0, ProcString(), 2);
+  const ObjId b = s.allocate(ObjKind::Heap, 2, 0, ProcString(), 3);
+  EXPECT_EQ(s.loc_id(a, 0), 0u);
+  EXPECT_EQ(s.loc_id(a, 1), 1u);
+  EXPECT_EQ(s.loc_id(b, 0), 2u);
+  EXPECT_EQ(s.num_locations(), 5u);
+}
+
+TEST(Store, LocateInvertsLocId) {
+  Store s;
+  const ObjId a = s.allocate(ObjKind::Heap, 1, 0, ProcString(), 2);
+  const ObjId b = s.allocate(ObjKind::Heap, 2, 0, ProcString(), 4);
+  for (ObjId obj : {a, b}) {
+    for (std::uint32_t off = 0; off < s.object(obj).cells.size(); ++off) {
+      const auto [o2, f2] = s.locate(s.loc_id(obj, off));
+      EXPECT_EQ(o2, obj);
+      EXPECT_EQ(f2, off);
+    }
+  }
+}
+
+TEST(Store, LocateSkipsZeroCellObjects) {
+  Store s;
+  const ObjId a = s.allocate(ObjKind::Heap, 1, 0, ProcString(), 1);
+  (void)s.allocate(ObjKind::Heap, 2, 0, ProcString(), 0);  // zero cells
+  const ObjId c = s.allocate(ObjKind::Heap, 3, 0, ProcString(), 1);
+  EXPECT_EQ(s.locate(0).first, a);
+  EXPECT_EQ(s.locate(1).first, c);
+}
+
+TEST(Store, BirthdateStored) {
+  Store s;
+  ProcString birth;
+  birth = birth.append(ProcString::call_sym(4));
+  const ObjId a = s.allocate(ObjKind::Heap, 1, 2, birth, 1);
+  EXPECT_EQ(s.object(a).birth, birth);
+  EXPECT_EQ(s.object(a).creator, 2u);
+}
+
+}  // namespace
+}  // namespace copar::sem

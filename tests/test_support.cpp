@@ -1,0 +1,149 @@
+// Unit tests for the support kernel: interner, bitset, hashing, stats,
+// diagnostics.
+#include <gtest/gtest.h>
+
+#include "src/support/bitset.h"
+#include "src/support/diagnostics.h"
+#include "src/support/hash.h"
+#include "src/support/interner.h"
+#include "src/support/stats.h"
+
+namespace copar {
+namespace {
+
+TEST(Interner, InternReturnsSameSymbolForSameSpelling) {
+  Interner in;
+  const Symbol a = in.intern("hello");
+  const Symbol b = in.intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(Interner, DistinctSpellingsGetDistinctSymbols) {
+  Interner in;
+  EXPECT_NE(in.intern("a"), in.intern("b"));
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Interner, SpellingRoundTrips) {
+  Interner in;
+  const Symbol s = in.intern("cobegin_branch_3");
+  EXPECT_EQ(in.spelling(s), "cobegin_branch_3");
+}
+
+TEST(Interner, SurvivesRehashing) {
+  Interner in;
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 1000; ++i) syms.push_back(in.intern("sym" + std::to_string(i)));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(in.spelling(syms[static_cast<std::size_t>(i)]), "sym" + std::to_string(i));
+    EXPECT_EQ(in.intern("sym" + std::to_string(i)), syms[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Interner, DefaultSymbolIsInvalid) {
+  const Symbol s;
+  EXPECT_FALSE(s.valid());
+}
+
+TEST(Bitset, SetTestReset) {
+  DynamicBitset b;
+  EXPECT_FALSE(b.test(5));
+  b.set(5);
+  EXPECT_TRUE(b.test(5));
+  b.reset(5);
+  EXPECT_FALSE(b.test(5));
+}
+
+TEST(Bitset, GrowsOnDemand) {
+  DynamicBitset b;
+  b.set(1000);
+  EXPECT_TRUE(b.test(1000));
+  EXPECT_FALSE(b.test(999));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Bitset, IntersectsAcrossDifferentSizes) {
+  DynamicBitset a;
+  DynamicBitset b;
+  a.set(3);
+  b.set(3);
+  b.set(500);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  a.reset(3);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(Bitset, UnionAndIntersection) {
+  DynamicBitset a;
+  DynamicBitset b;
+  a.set(1);
+  a.set(64);
+  b.set(64);
+  b.set(200);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(64));
+}
+
+TEST(Bitset, EqualityIgnoresTrailingZeros) {
+  DynamicBitset a;
+  DynamicBitset b;
+  a.set(2);
+  b.set(2);
+  b.set(700);
+  b.reset(700);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Bitset, ForEachVisitsAscending) {
+  DynamicBitset b;
+  b.set(7);
+  b.set(130);
+  b.set(64);
+  EXPECT_EQ(b.bits(), (std::vector<std::size_t>{7, 64, 130}));
+}
+
+TEST(Hash, MixChangesValue) {
+  EXPECT_NE(hash_mix(1), hash_mix(2));
+  EXPECT_NE(hash_combine(0, 1), hash_combine(1, 0));
+}
+
+TEST(Hash, BytesDiffer) {
+  EXPECT_NE(hash_bytes("abc"), hash_bytes("abd"));
+  EXPECT_EQ(hash_bytes("abc"), hash_bytes("abc"));
+}
+
+TEST(Stats, AddAndGet) {
+  StatRegistry s;
+  EXPECT_EQ(s.get("x"), 0u);
+  s.add("x");
+  s.add("x", 4);
+  EXPECT_EQ(s.get("x"), 5u);
+  s.set("x", 2);
+  EXPECT_EQ(s.get("x"), 2u);
+}
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine d;
+  d.warning(SourceLoc{1, 1}, "w");
+  EXPECT_FALSE(d.has_errors());
+  d.error(SourceLoc{2, 3}, "e");
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.error_count(), 1u);
+  EXPECT_NE(d.to_string().find("2:3: error: e"), std::string::npos);
+}
+
+TEST(Diagnostics, RequireThrows) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "boom"), Error);
+}
+
+}  // namespace
+}  // namespace copar

@@ -1,0 +1,157 @@
+// Workload generators: the paper examples compile and behave as described,
+// dining philosophers deadlocks exactly when all are right-handed, and the
+// random generator is deterministic.
+#include <gtest/gtest.h>
+
+#include "src/analysis/common.h"
+#include "src/analysis/mhp.h"
+#include "src/explore/explorer.h"
+#include "src/explore/witness.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+#include "src/workload/philosophers.h"
+#include "src/workload/random_programs.h"
+
+namespace copar::workload {
+namespace {
+
+explore::ExploreResult run(std::string_view src, explore::Reduction red,
+                           std::unique_ptr<CompiledProgram>& keep) {
+  keep = compile(src);
+  explore::ExploreOptions opts;
+  opts.reduction = red;
+  return explore::explore(*keep->lowered, opts);
+}
+
+TEST(Workload, AllPaperExamplesCompile) {
+  for (const std::string& src :
+       {fig2_shasha_snir(), fig3_two_threads(), fig5_locality(), example8_pointers(),
+        example15_calls(), placement_b1_b2(), busy_wait_flag(), producer_consumer()}) {
+    EXPECT_NO_THROW({ auto p = compile(src); }) << src;
+  }
+}
+
+TEST(Workload, ProducerConsumerDeliversTheItem) {
+  std::unique_ptr<CompiledProgram> keep;
+  const auto r = run(producer_consumer(), explore::Reduction::Full, keep);
+  EXPECT_FALSE(r.deadlock_found);
+  EXPECT_EQ(r.terminal_int_values("got"), (std::set<std::int64_t>{42}));
+}
+
+TEST(Workload, Example8TerminatesWithCopiedValue) {
+  std::unique_ptr<CompiledProgram> keep;
+  const auto r = run(example8_pointers(), explore::Reduction::Full, keep);
+  ASSERT_EQ(r.terminals.size(), 1u);
+  const auto& cfg = r.terminals.begin()->second.config;
+  // *x == *y == 10 at the end; x and y hold pointers.
+  EXPECT_TRUE(cfg.global_value("x")->is_ptr());
+  EXPECT_TRUE(cfg.global_value("y")->is_ptr());
+}
+
+TEST(Workload, Fig5Reproduces13Configurations) {
+  // The paper's Figure 5 claim: stubborn sets reduce the space to 13
+  // configurations while producing exactly the same result-configurations.
+  std::unique_ptr<CompiledProgram> keep1;
+  std::unique_ptr<CompiledProgram> keep2;
+  const auto full = run(fig5_locality(), explore::Reduction::Full, keep1);
+  const auto stub = run(fig5_locality(), explore::Reduction::Stubborn, keep2);
+  EXPECT_EQ(full.num_configs, 16u);
+  EXPECT_EQ(stub.num_configs, 13u);
+  EXPECT_EQ(full.terminal_keys(), stub.terminal_keys());
+}
+
+TEST(Philosophers, RightHandedDeadlocks) {
+  for (std::size_t n : {2u, 3u}) {
+    std::unique_ptr<CompiledProgram> keep;
+    const auto r = run(dining_philosophers(n), explore::Reduction::Full, keep);
+    EXPECT_TRUE(r.deadlock_found) << "n=" << n;
+  }
+}
+
+TEST(Philosophers, LeftHandedVariantIsDeadlockFree) {
+  for (std::size_t n : {2u, 3u}) {
+    std::unique_ptr<CompiledProgram> keep;
+    const auto r = run(dining_philosophers(n, /*left_handed=*/true),
+                       explore::Reduction::Full, keep);
+    EXPECT_FALSE(r.deadlock_found) << "n=" << n;
+    // Every completion terminal has each philosopher eating exactly once.
+    for (const auto& [key, t] : r.terminals) {
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(t.config.global_value("meals" + std::to_string(i))->as_int(), 1);
+      }
+    }
+  }
+}
+
+TEST(Philosophers, StubbornPreservesTerminalsAndShrinksSpace) {
+  for (const bool left : {false, true}) {
+    std::unique_ptr<CompiledProgram> keep1;
+    std::unique_ptr<CompiledProgram> keep2;
+    const auto full = run(dining_philosophers(3, left), explore::Reduction::Full, keep1);
+    const auto stub = run(dining_philosophers(3, left), explore::Reduction::Stubborn, keep2);
+    EXPECT_EQ(full.terminal_keys(), stub.terminal_keys());
+    EXPECT_EQ(full.deadlock_found, stub.deadlock_found);
+    EXPECT_LT(stub.num_configs, full.num_configs);
+  }
+}
+
+TEST(Peterson, MutualExclusionVerified) {
+  // The paper's motivating program class: shared-variable mutual exclusion.
+  // Full exploration proves the critical-section assertion can never fail.
+  std::unique_ptr<CompiledProgram> keep;
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  keep = compile(peterson_mutex());
+  const auto r = explore::explore(*keep->lowered, opts);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_TRUE(r.violations.empty()) << "mutual exclusion violated!";
+  EXPECT_FALSE(r.deadlock_found);
+  // Both threads complete on some path.
+  EXPECT_TRUE(r.terminal_int_values("done0").contains(1));
+  EXPECT_TRUE(r.terminal_int_values("done1").contains(1));
+  // The two critical sections are never co-enabled.
+  const analysis::Mhp mhp = analysis::mhp_from(r);
+  EXPECT_FALSE(mhp.parallel(*keep->lowered, "sCS0", "sCS1"));
+}
+
+TEST(Peterson, BrokenProtocolViolatesExclusion) {
+  std::unique_ptr<CompiledProgram> keep;
+  const auto r = run(peterson_broken(), explore::Reduction::Full, keep);
+  EXPECT_FALSE(r.violations.empty());  // both threads meet in the CS
+}
+
+TEST(Peterson, StubbornPreservesTheProof) {
+  std::unique_ptr<CompiledProgram> keep1;
+  std::unique_ptr<CompiledProgram> keep2;
+  const auto full = run(peterson_mutex(), explore::Reduction::Full, keep1);
+  const auto stub = run(peterson_mutex(), explore::Reduction::Stubborn, keep2);
+  EXPECT_EQ(full.terminal_keys(), stub.terminal_keys());
+  EXPECT_TRUE(stub.violations.empty());
+  EXPECT_EQ(full.violations, stub.violations);
+}
+
+TEST(Peterson, WitnessForBrokenProtocol) {
+  auto keep = compile(peterson_broken());
+  explore::WitnessQuery q;
+  const auto cs0 = analysis::labeled_stmt(*keep->lowered, "sCS0");
+  ASSERT_TRUE(cs0.has_value());
+  q.want_violation = *cs0;
+  const auto w = explore::find_witness(*keep->lowered, q);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->terminal.violations.contains(*cs0));
+}
+
+TEST(RandomGen, DeterministicInSeed) {
+  EXPECT_EQ(random_program(7), random_program(7));
+  EXPECT_NE(random_program(7), random_program(8));
+}
+
+TEST(RandomGen, ProducesCompilablePrograms) {
+  for (std::uint64_t seed = 500; seed < 530; ++seed) {
+    const std::string src = random_program(seed);
+    EXPECT_NO_THROW({ auto p = compile(src); }) << "seed " << seed << ":\n" << src;
+  }
+}
+
+}  // namespace
+}  // namespace copar::workload

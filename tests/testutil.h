@@ -1,0 +1,53 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "src/sem/config.h"
+#include "src/sem/program.h"
+#include "src/sem/step.h"
+
+namespace copar::testutil {
+
+/// Runs a configuration to completion by always firing the lowest enabled
+/// pid (a deterministic schedule). Fails the test on non-termination.
+inline sem::Configuration run_deterministic(const sem::LoweredProgram& program,
+                                            int max_steps = 100000) {
+  sem::Configuration cfg = sem::Configuration::initial(program);
+  for (int i = 0; i < max_steps; ++i) {
+    bool fired = false;
+    for (sem::Pid pid = 0; pid < cfg.processes.size() && !fired; ++pid) {
+      if (!cfg.processes[pid].live()) continue;
+      const sem::ActionInfo info = sem::action_info(cfg, pid);
+      if (info.exists && info.enabled) {
+        cfg = sem::apply_action(cfg, pid);
+        fired = true;
+      }
+    }
+    if (!fired) return cfg;  // terminal (done or deadlock)
+  }
+  ADD_FAILURE() << "run_deterministic: did not terminate";
+  return cfg;
+}
+
+/// Compile + run under the deterministic schedule.
+inline sem::Configuration run_source(std::string_view source, const CompiledProgram*& out_prog,
+                                     int max_steps = 100000) {
+  static std::vector<std::unique_ptr<CompiledProgram>> keep_alive;
+  keep_alive.push_back(compile(source));
+  out_prog = keep_alive.back().get();
+  return run_deterministic(*keep_alive.back()->lowered, max_steps);
+}
+
+/// Value of global `name` as int; fails the test if absent or non-int.
+inline std::int64_t global_int(const sem::Configuration& cfg, std::string_view name) {
+  auto v = cfg.global_value(name);
+  EXPECT_TRUE(v.has_value()) << "no global named " << name;
+  if (!v.has_value()) return INT64_MIN;
+  EXPECT_TRUE(v->is_int()) << name << " holds " << v->to_string();
+  return v->is_int() ? v->as_int() : INT64_MIN;
+}
+
+}  // namespace copar::testutil

@@ -1,0 +1,269 @@
+// copar-cli — command-line driver for the framework.
+//
+//   copar-cli run <file.cop>                 run all interleavings, print outcomes
+//   copar-cli explore <file.cop> [--stubborn] [--coarsen]
+//                                            state-space statistics
+//   copar-cli analyze <file.cop>             §5 analyses + §7 applications report
+//   copar-cli abstract <file.cop> [--clan]   abstract exploration summary
+//   copar-cli witness <file.cop> [--deadlock | --violation L | --fault L]
+//                                            print a schedule exhibiting the fact
+//   copar-cli parallelize <file.cop> --labels s1,s2,s3,s4
+//                                            schedule the labeled statements into
+//                                            parallel chains, print the rewritten
+//                                            program, and verify equivalence
+//   copar-cli graph <file.cop> [--stubborn] [--coarsen]
+//                                            Graphviz dot of the configuration graph
+//   copar-cli disasm <file.cop>              lowered atomic-action code
+//   copar-cli fmt <file.cop>                 pretty-print the parsed program
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/absdom/flat.h"
+#include "src/absem/absexplore.h"
+#include "src/analysis/anomaly.h"
+#include "src/analysis/common.h"
+#include "src/analysis/deadstore.h"
+#include "src/analysis/depend.h"
+#include "src/analysis/lifetime.h"
+#include "src/analysis/mhp.h"
+#include "src/analysis/sideeffect.h"
+#include "src/apps/parallelize.h"
+#include "src/apps/placement.h"
+#include "src/apps/transform.h"
+#include "src/explore/witness.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/sem/program.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: copar-cli "
+               "<run|explore|analyze|abstract|witness|parallelize|graph|disasm|fmt> "
+               "<file.cop> [options]\n";
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw copar::Error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool has_flag(const std::vector<std::string>& args, std::string_view flag) {
+  for (const std::string& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+std::string flag_value(const std::vector<std::string>& args, std::string_view flag) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return {};
+}
+
+int cmd_run(const copar::CompiledProgram& p) {
+  using namespace copar;
+  const auto r = explore::explore(*p.lowered, {});
+  std::cout << "configurations: " << r.num_configs << ", transitions: " << r.num_transitions
+            << '\n';
+  std::cout << "terminal configurations: " << r.terminals.size()
+            << (r.deadlock_found ? " (deadlock reachable!)" : "") << '\n';
+  if (!r.violations.empty()) {
+    std::cout << "assertion violations:";
+    for (auto v : r.violations) std::cout << ' ' << analysis::describe_stmt(*p.lowered, v);
+    std::cout << '\n';
+  }
+  if (!r.faults.empty()) {
+    std::cout << "runtime faults:";
+    for (const auto& [stmt, kind] : r.faults) {
+      std::cout << ' ' << analysis::describe_stmt(*p.lowered, stmt) << '('
+                << sem::fault_name(static_cast<sem::Fault>(kind)) << ')';
+    }
+    std::cout << '\n';
+  }
+  std::cout << "global outcomes per terminal:\n";
+  int idx = 0;
+  for (const auto& [key, t] : r.terminals) {
+    std::cout << "  #" << ++idx << (t.deadlock ? " [deadlock]" : "") << ':';
+    for (const sem::GlobalSlot& g : p.lowered->globals()) {
+      if (g.fun != nullptr) continue;
+      const auto v = t.config.store.read(0, g.slot);
+      std::cout << ' ' << p.lowered->module().interner().spelling(g.name) << '='
+                << v.to_string();
+    }
+    std::cout << '\n';
+  }
+  return r.deadlock_found || !r.violations.empty() || !r.faults.empty() ? 1 : 0;
+}
+
+int cmd_explore(const copar::CompiledProgram& p, const std::vector<std::string>& args) {
+  using namespace copar;
+  explore::ExploreOptions opts;
+  if (has_flag(args, "--stubborn")) opts.reduction = explore::Reduction::Stubborn;
+  if (has_flag(args, "--coarsen")) opts.coarsen = true;
+  const auto r = explore::explore(*p.lowered, opts);
+  std::cout << r.stats.to_string();
+  if (r.truncated) std::cout << "TRUNCATED at " << opts.max_configs << " configurations\n";
+  return 0;
+}
+
+int cmd_analyze(const copar::CompiledProgram& p) {
+  using namespace copar;
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  opts.record_accesses = true;
+  opts.record_lifetimes = true;
+  const auto concrete = explore::explore(*p.lowered, opts);
+
+  absem::AbsExplorer<absdom::FlatInt> engine(*p.lowered, {});
+  const auto abs = engine.run();
+
+  std::cout << "== side effects (§5.1) ==\n"
+            << analysis::side_effects_from(*p.lowered, abs).report(*p.lowered);
+  std::cout << "\n== may-happen-in-parallel ==\n"
+            << analysis::mhp_from(concrete).report(*p.lowered);
+  std::cout << "\n== dependences (§5.2) ==\n"
+            << analysis::dependences_from(concrete).report(*p.lowered);
+  std::cout << "\n== access anomalies ==\n"
+            << analysis::anomalies_from(concrete).report(*p.lowered);
+  const analysis::DeadStores dead = analysis::find_dead_stores(*p.lowered);
+  if (!dead.stores.empty()) {
+    std::cout << "\n== dead stores (parallel-safe) ==\n" << dead.report(*p.lowered);
+  }
+  const auto lifetimes = analysis::lifetimes_from(concrete);
+  if (!lifetimes.sites.empty()) {
+    std::cout << "\n== lifetimes (§5.3) ==\n" << lifetimes.report(*p.lowered);
+    std::cout << "\n== placement (§7) ==\n"
+              << apps::place_objects(lifetimes).report(*p.lowered);
+  }
+  return 0;
+}
+
+int cmd_abstract(const copar::CompiledProgram& p, const std::vector<std::string>& args) {
+  using namespace copar;
+  absem::AbsOptions opts;
+  if (has_flag(args, "--clan")) opts.folding = absem::Folding::Clan;
+  absem::AbsExplorer<absdom::FlatInt> engine(*p.lowered, opts);
+  const auto r = engine.run();
+  std::cout << "abstract states: " << r.num_states << '\n';
+  std::cout << "MHP pairs: " << r.mhp.size() << '\n';
+  if (!r.may_fail_asserts.empty()) {
+    std::cout << "asserts that may fail:";
+    for (auto s : r.may_fail_asserts) std::cout << ' ' << analysis::describe_stmt(*p.lowered, s);
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_witness(const copar::CompiledProgram& p, const std::vector<std::string>& args) {
+  using namespace copar;
+  explore::WitnessQuery q;
+  if (has_flag(args, "--deadlock")) q.want_deadlock = true;
+  if (const std::string label = flag_value(args, "--violation"); !label.empty()) {
+    const auto id = analysis::labeled_stmt(*p.lowered, label);
+    if (!id.has_value()) {
+      std::cerr << "no statement labeled '" << label << "'\n";
+      return 2;
+    }
+    q.want_violation = *id;
+  }
+  if (const std::string label = flag_value(args, "--fault"); !label.empty()) {
+    const auto id = analysis::labeled_stmt(*p.lowered, label);
+    if (!id.has_value()) {
+      std::cerr << "no statement labeled '" << label << "'\n";
+      return 2;
+    }
+    q.want_fault = *id;
+  }
+  const auto w = explore::find_witness(*p.lowered, q);
+  if (!w.has_value()) {
+    std::cout << "no matching terminal configuration is reachable\n";
+    return 1;
+  }
+  std::cout << w->to_string(*p.lowered);
+  return 0;
+}
+
+int cmd_graph(const copar::CompiledProgram& p, const std::vector<std::string>& args) {
+  using namespace copar;
+  explore::ExploreOptions opts;
+  opts.record_graph = true;
+  if (has_flag(args, "--stubborn")) opts.reduction = explore::Reduction::Stubborn;
+  if (has_flag(args, "--coarsen")) opts.coarsen = true;
+  const auto r = explore::explore(*p.lowered, opts);
+  std::cout << to_dot(r.graph, *p.lowered);
+  return 0;
+}
+
+int cmd_parallelize(const copar::CompiledProgram& p, const std::string& source,
+                    const std::vector<std::string>& args) {
+  using namespace copar;
+  const std::string labels_csv = flag_value(args, "--labels");
+  if (labels_csv.empty()) {
+    std::cerr << "parallelize requires --labels s1,s2,...\n";
+    return 2;
+  }
+  std::vector<std::string> labels;
+  std::stringstream ss(labels_csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) labels.push_back(item);
+  }
+  absem::AbsExplorer<absdom::FlatInt> engine(*p.lowered, {});
+  const auto abs = engine.run();
+  const apps::ParallelSchedule sched = apps::parallelize_labeled(*p.lowered, abs, labels);
+  std::cout << "== schedule ==\n" << sched.report(*p.lowered) << '\n';
+  if (sched.chains.size() < 2) {
+    std::cout << "no parallelism available (dependences form one chain)\n";
+    return 0;
+  }
+  const std::string transformed = apps::rewrite_as_parallel_chains(*p.lowered, sched);
+  std::cout << "== transformed program ==\n" << transformed << '\n';
+  const bool ok = apps::observably_equivalent(source, transformed);
+  std::cout << "== equivalence check (full exploration of both) ==\n"
+            << (ok ? "EQUIVALENT: same observable outcomes\n"
+                   : "NOT EQUIVALENT — transformation rejected\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  std::vector<std::string> args(argv + 3, argv + argc);
+
+  try {
+    const std::string source = slurp(path);
+    if (cmd == "fmt") {
+      auto module = copar::lang::parse_program(source);
+      std::cout << copar::lang::print(*module);
+      return 0;
+    }
+    auto program = copar::compile(source);
+    if (cmd == "run") return cmd_run(*program);
+    if (cmd == "explore") return cmd_explore(*program, args);
+    if (cmd == "analyze") return cmd_analyze(*program);
+    if (cmd == "abstract") return cmd_abstract(*program, args);
+    if (cmd == "witness") return cmd_witness(*program, args);
+    if (cmd == "parallelize") return cmd_parallelize(*program, source, args);
+    if (cmd == "graph") return cmd_graph(*program, args);
+    if (cmd == "disasm") {
+      std::cout << program->lowered->disassemble();
+      return 0;
+    }
+    return usage();
+  } catch (const copar::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
