@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coarsening.dir/bench_coarsening.cpp.o"
+  "CMakeFiles/bench_coarsening.dir/bench_coarsening.cpp.o.d"
+  "bench_coarsening"
+  "bench_coarsening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domains.dir/bench_domains.cpp.o"
+  "CMakeFiles/bench_domains.dir/bench_domains.cpp.o.d"
+  "bench_domains"
+  "bench_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example15.dir/bench_example15.cpp.o"
+  "CMakeFiles/bench_example15.dir/bench_example15.cpp.o.d"
+  "bench_example15"
+  "bench_example15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

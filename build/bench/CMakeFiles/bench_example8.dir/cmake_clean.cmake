@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example8.dir/bench_example8.cpp.o"
+  "CMakeFiles/bench_example8.dir/bench_example8.cpp.o.d"
+  "bench_example8"
+  "bench_example8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_interleavings.dir/bench_fig2_interleavings.cpp.o"
+  "CMakeFiles/bench_fig2_interleavings.dir/bench_fig2_interleavings.cpp.o.d"
+  "bench_fig2_interleavings"
+  "bench_fig2_interleavings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_interleavings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_folding.dir/bench_fig3_folding.cpp.o"
+  "CMakeFiles/bench_fig3_folding.dir/bench_fig3_folding.cpp.o.d"
+  "bench_fig3_folding"
+  "bench_fig3_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_stubborn.dir/bench_fig5_stubborn.cpp.o"
+  "CMakeFiles/bench_fig5_stubborn.dir/bench_fig5_stubborn.cpp.o.d"
+  "bench_fig5_stubborn"
+  "bench_fig5_stubborn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_stubborn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_folding_ablation.dir/bench_folding_ablation.cpp.o"
+  "CMakeFiles/bench_folding_ablation.dir/bench_folding_ablation.cpp.o.d"
+  "bench_folding_ablation"
+  "bench_folding_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_folding_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

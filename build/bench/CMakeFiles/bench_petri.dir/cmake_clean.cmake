@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_petri.dir/bench_petri.cpp.o"
+  "CMakeFiles/bench_petri.dir/bench_petri.cpp.o.d"
+  "bench_petri"
+  "bench_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

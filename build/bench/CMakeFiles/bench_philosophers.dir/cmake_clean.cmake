@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_philosophers.dir/bench_philosophers.cpp.o"
+  "CMakeFiles/bench_philosophers.dir/bench_philosophers.cpp.o.d"
+  "bench_philosophers"
+  "bench_philosophers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_philosophers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doall_array.dir/doall_array.cpp.o"
+  "CMakeFiles/doall_array.dir/doall_array.cpp.o.d"
+  "doall_array"
+  "doall_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doall_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_placement.dir/memory_placement.cpp.o"
+  "CMakeFiles/memory_placement.dir/memory_placement.cpp.o.d"
+  "memory_placement"
+  "memory_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

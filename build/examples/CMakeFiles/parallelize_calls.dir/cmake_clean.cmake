@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelize_calls.dir/parallelize_calls.cpp.o"
+  "CMakeFiles/parallelize_calls.dir/parallelize_calls.cpp.o.d"
+  "parallelize_calls"
+  "parallelize_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelize_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

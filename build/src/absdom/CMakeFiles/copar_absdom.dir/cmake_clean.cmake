@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar_absdom.dir/galois.cpp.o"
+  "CMakeFiles/copar_absdom.dir/galois.cpp.o.d"
+  "libcopar_absdom.a"
+  "libcopar_absdom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar_absdom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

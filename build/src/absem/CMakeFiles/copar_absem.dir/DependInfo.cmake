@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/absem/absexplore.cpp" "src/absem/CMakeFiles/copar_absem.dir/absexplore.cpp.o" "gcc" "src/absem/CMakeFiles/copar_absem.dir/absexplore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/absdom/CMakeFiles/copar_absdom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/copar_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/copar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/copar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar_absem.dir/absexplore.cpp.o"
+  "CMakeFiles/copar_absem.dir/absexplore.cpp.o.d"
+  "libcopar_absem.a"
+  "libcopar_absem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar_absem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/anomaly.cpp" "src/analysis/CMakeFiles/copar_analysis.dir/anomaly.cpp.o" "gcc" "src/analysis/CMakeFiles/copar_analysis.dir/anomaly.cpp.o.d"
+  "/root/repo/src/analysis/common.cpp" "src/analysis/CMakeFiles/copar_analysis.dir/common.cpp.o" "gcc" "src/analysis/CMakeFiles/copar_analysis.dir/common.cpp.o.d"
+  "/root/repo/src/analysis/deadstore.cpp" "src/analysis/CMakeFiles/copar_analysis.dir/deadstore.cpp.o" "gcc" "src/analysis/CMakeFiles/copar_analysis.dir/deadstore.cpp.o.d"
+  "/root/repo/src/analysis/depend.cpp" "src/analysis/CMakeFiles/copar_analysis.dir/depend.cpp.o" "gcc" "src/analysis/CMakeFiles/copar_analysis.dir/depend.cpp.o.d"
+  "/root/repo/src/analysis/lifetime.cpp" "src/analysis/CMakeFiles/copar_analysis.dir/lifetime.cpp.o" "gcc" "src/analysis/CMakeFiles/copar_analysis.dir/lifetime.cpp.o.d"
+  "/root/repo/src/analysis/mhp.cpp" "src/analysis/CMakeFiles/copar_analysis.dir/mhp.cpp.o" "gcc" "src/analysis/CMakeFiles/copar_analysis.dir/mhp.cpp.o.d"
+  "/root/repo/src/analysis/sideeffect.cpp" "src/analysis/CMakeFiles/copar_analysis.dir/sideeffect.cpp.o" "gcc" "src/analysis/CMakeFiles/copar_analysis.dir/sideeffect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/absem/CMakeFiles/copar_absem.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/copar_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/absdom/CMakeFiles/copar_absdom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/copar_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/copar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/copar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

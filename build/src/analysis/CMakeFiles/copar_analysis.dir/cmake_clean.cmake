@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar_analysis.dir/anomaly.cpp.o"
+  "CMakeFiles/copar_analysis.dir/anomaly.cpp.o.d"
+  "CMakeFiles/copar_analysis.dir/common.cpp.o"
+  "CMakeFiles/copar_analysis.dir/common.cpp.o.d"
+  "CMakeFiles/copar_analysis.dir/deadstore.cpp.o"
+  "CMakeFiles/copar_analysis.dir/deadstore.cpp.o.d"
+  "CMakeFiles/copar_analysis.dir/depend.cpp.o"
+  "CMakeFiles/copar_analysis.dir/depend.cpp.o.d"
+  "CMakeFiles/copar_analysis.dir/lifetime.cpp.o"
+  "CMakeFiles/copar_analysis.dir/lifetime.cpp.o.d"
+  "CMakeFiles/copar_analysis.dir/mhp.cpp.o"
+  "CMakeFiles/copar_analysis.dir/mhp.cpp.o.d"
+  "CMakeFiles/copar_analysis.dir/sideeffect.cpp.o"
+  "CMakeFiles/copar_analysis.dir/sideeffect.cpp.o.d"
+  "libcopar_analysis.a"
+  "libcopar_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

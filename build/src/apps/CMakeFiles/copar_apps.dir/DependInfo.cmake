@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/constprop.cpp" "src/apps/CMakeFiles/copar_apps.dir/constprop.cpp.o" "gcc" "src/apps/CMakeFiles/copar_apps.dir/constprop.cpp.o.d"
+  "/root/repo/src/apps/dealloc.cpp" "src/apps/CMakeFiles/copar_apps.dir/dealloc.cpp.o" "gcc" "src/apps/CMakeFiles/copar_apps.dir/dealloc.cpp.o.d"
+  "/root/repo/src/apps/parallelize.cpp" "src/apps/CMakeFiles/copar_apps.dir/parallelize.cpp.o" "gcc" "src/apps/CMakeFiles/copar_apps.dir/parallelize.cpp.o.d"
+  "/root/repo/src/apps/placement.cpp" "src/apps/CMakeFiles/copar_apps.dir/placement.cpp.o" "gcc" "src/apps/CMakeFiles/copar_apps.dir/placement.cpp.o.d"
+  "/root/repo/src/apps/shasha_snir.cpp" "src/apps/CMakeFiles/copar_apps.dir/shasha_snir.cpp.o" "gcc" "src/apps/CMakeFiles/copar_apps.dir/shasha_snir.cpp.o.d"
+  "/root/repo/src/apps/transform.cpp" "src/apps/CMakeFiles/copar_apps.dir/transform.cpp.o" "gcc" "src/apps/CMakeFiles/copar_apps.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/copar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/absem/CMakeFiles/copar_absem.dir/DependInfo.cmake"
+  "/root/repo/build/src/absdom/CMakeFiles/copar_absdom.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/copar_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/copar_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/copar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/copar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar_apps.dir/constprop.cpp.o"
+  "CMakeFiles/copar_apps.dir/constprop.cpp.o.d"
+  "CMakeFiles/copar_apps.dir/dealloc.cpp.o"
+  "CMakeFiles/copar_apps.dir/dealloc.cpp.o.d"
+  "CMakeFiles/copar_apps.dir/parallelize.cpp.o"
+  "CMakeFiles/copar_apps.dir/parallelize.cpp.o.d"
+  "CMakeFiles/copar_apps.dir/placement.cpp.o"
+  "CMakeFiles/copar_apps.dir/placement.cpp.o.d"
+  "CMakeFiles/copar_apps.dir/shasha_snir.cpp.o"
+  "CMakeFiles/copar_apps.dir/shasha_snir.cpp.o.d"
+  "CMakeFiles/copar_apps.dir/transform.cpp.o"
+  "CMakeFiles/copar_apps.dir/transform.cpp.o.d"
+  "libcopar_apps.a"
+  "libcopar_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/explorer.cpp" "src/explore/CMakeFiles/copar_explore.dir/explorer.cpp.o" "gcc" "src/explore/CMakeFiles/copar_explore.dir/explorer.cpp.o.d"
+  "/root/repo/src/explore/staticinfo.cpp" "src/explore/CMakeFiles/copar_explore.dir/staticinfo.cpp.o" "gcc" "src/explore/CMakeFiles/copar_explore.dir/staticinfo.cpp.o.d"
+  "/root/repo/src/explore/stubborn.cpp" "src/explore/CMakeFiles/copar_explore.dir/stubborn.cpp.o" "gcc" "src/explore/CMakeFiles/copar_explore.dir/stubborn.cpp.o.d"
+  "/root/repo/src/explore/witness.cpp" "src/explore/CMakeFiles/copar_explore.dir/witness.cpp.o" "gcc" "src/explore/CMakeFiles/copar_explore.dir/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sem/CMakeFiles/copar_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/copar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/copar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

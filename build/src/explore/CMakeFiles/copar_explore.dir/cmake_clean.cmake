@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar_explore.dir/explorer.cpp.o"
+  "CMakeFiles/copar_explore.dir/explorer.cpp.o.d"
+  "CMakeFiles/copar_explore.dir/staticinfo.cpp.o"
+  "CMakeFiles/copar_explore.dir/staticinfo.cpp.o.d"
+  "CMakeFiles/copar_explore.dir/stubborn.cpp.o"
+  "CMakeFiles/copar_explore.dir/stubborn.cpp.o.d"
+  "CMakeFiles/copar_explore.dir/witness.cpp.o"
+  "CMakeFiles/copar_explore.dir/witness.cpp.o.d"
+  "libcopar_explore.a"
+  "libcopar_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar_lang.dir/ast.cpp.o"
+  "CMakeFiles/copar_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/copar_lang.dir/lexer.cpp.o"
+  "CMakeFiles/copar_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/copar_lang.dir/parser.cpp.o"
+  "CMakeFiles/copar_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/copar_lang.dir/printer.cpp.o"
+  "CMakeFiles/copar_lang.dir/printer.cpp.o.d"
+  "CMakeFiles/copar_lang.dir/resolver.cpp.o"
+  "CMakeFiles/copar_lang.dir/resolver.cpp.o.d"
+  "CMakeFiles/copar_lang.dir/token.cpp.o"
+  "CMakeFiles/copar_lang.dir/token.cpp.o.d"
+  "libcopar_lang.a"
+  "libcopar_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/petri/models.cpp" "src/petri/CMakeFiles/copar_petri.dir/models.cpp.o" "gcc" "src/petri/CMakeFiles/copar_petri.dir/models.cpp.o.d"
+  "/root/repo/src/petri/net.cpp" "src/petri/CMakeFiles/copar_petri.dir/net.cpp.o" "gcc" "src/petri/CMakeFiles/copar_petri.dir/net.cpp.o.d"
+  "/root/repo/src/petri/reach.cpp" "src/petri/CMakeFiles/copar_petri.dir/reach.cpp.o" "gcc" "src/petri/CMakeFiles/copar_petri.dir/reach.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/copar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar_petri.dir/models.cpp.o"
+  "CMakeFiles/copar_petri.dir/models.cpp.o.d"
+  "CMakeFiles/copar_petri.dir/net.cpp.o"
+  "CMakeFiles/copar_petri.dir/net.cpp.o.d"
+  "CMakeFiles/copar_petri.dir/reach.cpp.o"
+  "CMakeFiles/copar_petri.dir/reach.cpp.o.d"
+  "libcopar_petri.a"
+  "libcopar_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

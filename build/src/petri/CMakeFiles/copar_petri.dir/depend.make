@@ -1,0 +1,2 @@
+# Empty dependencies file for copar_petri.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sem/config.cpp" "src/sem/CMakeFiles/copar_sem.dir/config.cpp.o" "gcc" "src/sem/CMakeFiles/copar_sem.dir/config.cpp.o.d"
+  "/root/repo/src/sem/eval.cpp" "src/sem/CMakeFiles/copar_sem.dir/eval.cpp.o" "gcc" "src/sem/CMakeFiles/copar_sem.dir/eval.cpp.o.d"
+  "/root/repo/src/sem/lower.cpp" "src/sem/CMakeFiles/copar_sem.dir/lower.cpp.o" "gcc" "src/sem/CMakeFiles/copar_sem.dir/lower.cpp.o.d"
+  "/root/repo/src/sem/procstring.cpp" "src/sem/CMakeFiles/copar_sem.dir/procstring.cpp.o" "gcc" "src/sem/CMakeFiles/copar_sem.dir/procstring.cpp.o.d"
+  "/root/repo/src/sem/program.cpp" "src/sem/CMakeFiles/copar_sem.dir/program.cpp.o" "gcc" "src/sem/CMakeFiles/copar_sem.dir/program.cpp.o.d"
+  "/root/repo/src/sem/step.cpp" "src/sem/CMakeFiles/copar_sem.dir/step.cpp.o" "gcc" "src/sem/CMakeFiles/copar_sem.dir/step.cpp.o.d"
+  "/root/repo/src/sem/store.cpp" "src/sem/CMakeFiles/copar_sem.dir/store.cpp.o" "gcc" "src/sem/CMakeFiles/copar_sem.dir/store.cpp.o.d"
+  "/root/repo/src/sem/value.cpp" "src/sem/CMakeFiles/copar_sem.dir/value.cpp.o" "gcc" "src/sem/CMakeFiles/copar_sem.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/copar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/copar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

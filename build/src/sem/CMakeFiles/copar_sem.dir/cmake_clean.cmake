@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar_sem.dir/config.cpp.o"
+  "CMakeFiles/copar_sem.dir/config.cpp.o.d"
+  "CMakeFiles/copar_sem.dir/eval.cpp.o"
+  "CMakeFiles/copar_sem.dir/eval.cpp.o.d"
+  "CMakeFiles/copar_sem.dir/lower.cpp.o"
+  "CMakeFiles/copar_sem.dir/lower.cpp.o.d"
+  "CMakeFiles/copar_sem.dir/procstring.cpp.o"
+  "CMakeFiles/copar_sem.dir/procstring.cpp.o.d"
+  "CMakeFiles/copar_sem.dir/program.cpp.o"
+  "CMakeFiles/copar_sem.dir/program.cpp.o.d"
+  "CMakeFiles/copar_sem.dir/step.cpp.o"
+  "CMakeFiles/copar_sem.dir/step.cpp.o.d"
+  "CMakeFiles/copar_sem.dir/store.cpp.o"
+  "CMakeFiles/copar_sem.dir/store.cpp.o.d"
+  "CMakeFiles/copar_sem.dir/value.cpp.o"
+  "CMakeFiles/copar_sem.dir/value.cpp.o.d"
+  "libcopar_sem.a"
+  "libcopar_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar_support.dir/bitset.cpp.o"
+  "CMakeFiles/copar_support.dir/bitset.cpp.o.d"
+  "CMakeFiles/copar_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/copar_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/copar_support.dir/interner.cpp.o"
+  "CMakeFiles/copar_support.dir/interner.cpp.o.d"
+  "CMakeFiles/copar_support.dir/stats.cpp.o"
+  "CMakeFiles/copar_support.dir/stats.cpp.o.d"
+  "libcopar_support.a"
+  "libcopar_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

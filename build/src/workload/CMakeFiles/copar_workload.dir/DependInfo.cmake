@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/paper_examples.cpp" "src/workload/CMakeFiles/copar_workload.dir/paper_examples.cpp.o" "gcc" "src/workload/CMakeFiles/copar_workload.dir/paper_examples.cpp.o.d"
+  "/root/repo/src/workload/philosophers.cpp" "src/workload/CMakeFiles/copar_workload.dir/philosophers.cpp.o" "gcc" "src/workload/CMakeFiles/copar_workload.dir/philosophers.cpp.o.d"
+  "/root/repo/src/workload/random_programs.cpp" "src/workload/CMakeFiles/copar_workload.dir/random_programs.cpp.o" "gcc" "src/workload/CMakeFiles/copar_workload.dir/random_programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/copar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar_workload.dir/paper_examples.cpp.o"
+  "CMakeFiles/copar_workload.dir/paper_examples.cpp.o.d"
+  "CMakeFiles/copar_workload.dir/philosophers.cpp.o"
+  "CMakeFiles/copar_workload.dir/philosophers.cpp.o.d"
+  "CMakeFiles/copar_workload.dir/random_programs.cpp.o"
+  "CMakeFiles/copar_workload.dir/random_programs.cpp.o.d"
+  "libcopar_workload.a"
+  "libcopar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcopar_workload.a"
+)

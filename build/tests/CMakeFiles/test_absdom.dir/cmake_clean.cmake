@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_absdom.dir/test_absdom.cpp.o"
+  "CMakeFiles/test_absdom.dir/test_absdom.cpp.o.d"
+  "test_absdom"
+  "test_absdom.pdb"
+  "test_absdom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_absdom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

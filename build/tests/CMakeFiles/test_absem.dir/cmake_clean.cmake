@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_absem.dir/test_absem.cpp.o"
+  "CMakeFiles/test_absem.dir/test_absem.cpp.o.d"
+  "CMakeFiles/test_absem.dir/test_callstrings.cpp.o"
+  "CMakeFiles/test_absem.dir/test_callstrings.cpp.o.d"
+  "CMakeFiles/test_absem.dir/test_refine.cpp.o"
+  "CMakeFiles/test_absem.dir/test_refine.cpp.o.d"
+  "test_absem"
+  "test_absem.pdb"
+  "test_absem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_absem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explore.dir/test_coarsen.cpp.o"
+  "CMakeFiles/test_explore.dir/test_coarsen.cpp.o.d"
+  "CMakeFiles/test_explore.dir/test_explore_basic.cpp.o"
+  "CMakeFiles/test_explore.dir/test_explore_basic.cpp.o.d"
+  "CMakeFiles/test_explore.dir/test_stubborn.cpp.o"
+  "CMakeFiles/test_explore.dir/test_stubborn.cpp.o.d"
+  "CMakeFiles/test_explore.dir/test_witness.cpp.o"
+  "CMakeFiles/test_explore.dir/test_witness.cpp.o.d"
+  "test_explore"
+  "test_explore.pdb"
+  "test_explore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

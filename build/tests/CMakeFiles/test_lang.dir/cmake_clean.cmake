@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang.dir/test_lexer.cpp.o"
+  "CMakeFiles/test_lang.dir/test_lexer.cpp.o.d"
+  "CMakeFiles/test_lang.dir/test_parser.cpp.o"
+  "CMakeFiles/test_lang.dir/test_parser.cpp.o.d"
+  "CMakeFiles/test_lang.dir/test_printer.cpp.o"
+  "CMakeFiles/test_lang.dir/test_printer.cpp.o.d"
+  "CMakeFiles/test_lang.dir/test_resolver.cpp.o"
+  "CMakeFiles/test_lang.dir/test_resolver.cpp.o.d"
+  "test_lang"
+  "test_lang.pdb"
+  "test_lang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/test_misc.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/test_misc.dir/test_misc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/copar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/copar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/copar_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/absem/CMakeFiles/copar_absem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/copar_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/copar_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/absdom/CMakeFiles/copar_absdom.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/copar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/copar_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/copar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

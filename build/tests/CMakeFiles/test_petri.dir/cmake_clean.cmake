@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_petri.dir/test_petri.cpp.o"
+  "CMakeFiles/test_petri.dir/test_petri.cpp.o.d"
+  "test_petri"
+  "test_petri.pdb"
+  "test_petri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

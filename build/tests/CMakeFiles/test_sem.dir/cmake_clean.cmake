@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sem.dir/test_doall.cpp.o"
+  "CMakeFiles/test_sem.dir/test_doall.cpp.o.d"
+  "CMakeFiles/test_sem.dir/test_eval.cpp.o"
+  "CMakeFiles/test_sem.dir/test_eval.cpp.o.d"
+  "CMakeFiles/test_sem.dir/test_lower.cpp.o"
+  "CMakeFiles/test_sem.dir/test_lower.cpp.o.d"
+  "CMakeFiles/test_sem.dir/test_procstring.cpp.o"
+  "CMakeFiles/test_sem.dir/test_procstring.cpp.o.d"
+  "CMakeFiles/test_sem.dir/test_step.cpp.o"
+  "CMakeFiles/test_sem.dir/test_step.cpp.o.d"
+  "CMakeFiles/test_sem.dir/test_store_value.cpp.o"
+  "CMakeFiles/test_sem.dir/test_store_value.cpp.o.d"
+  "test_sem"
+  "test_sem.pdb"
+  "test_sem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copar-cli.dir/copar_cli.cpp.o"
+  "CMakeFiles/copar-cli.dir/copar_cli.cpp.o.d"
+  "copar-cli"
+  "copar-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copar-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
