@@ -5,6 +5,8 @@
 // wait flag program, with counters for the facts the paper derives.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/absdom/flat.h"
 #include "src/absem/absexplore.h"
 #include "src/analysis/anomaly.h"
@@ -74,4 +76,4 @@ BENCHMARK(BM_Analyses_BusyWaitConstProp);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

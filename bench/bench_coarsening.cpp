@@ -7,6 +7,8 @@
 // benefits ("accesses to shared variables do not occur frequently").
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include <sstream>
 
 #include "src/explore/explorer.h"
@@ -69,4 +71,4 @@ BENCHMARK(BM_Coarsen_StubbornPlusCoarsen)->DenseRange(2, 3)->Unit(benchmark::kMi
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

@@ -7,6 +7,8 @@
 // the loop-bound assertion can be discharged (no may-fail report).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/absdom/flat.h"
 #include "src/absdom/interval.h"
 #include "src/absdom/sign.h"
@@ -96,7 +98,7 @@ BENCHMARK(BM_DomainParallel_Sign);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()
 
 // Context-sensitivity ablation: abstract procedure strings at k = 0/1/2 on
 // a two-call-site identity function — precision (discharged asserts) vs

@@ -6,6 +6,8 @@
 // structure; timing covers the abstract exploration + scheduling pipeline.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/absdom/flat.h"
 #include "src/absem/absexplore.h"
 #include "src/analysis/common.h"
@@ -72,4 +74,4 @@ BENCHMARK(BM_Example15_DelaysWhenConcurrent);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

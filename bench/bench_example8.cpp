@@ -6,6 +6,8 @@
 // s2 -> s4 (the *y write feeding the *x = *y read) is found.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/absdom/flat.h"
 #include "src/absem/absexplore.h"
 #include "src/analysis/common.h"
@@ -49,4 +51,4 @@ BENCHMARK(BM_Example8_AbstractAnalysis);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

@@ -6,6 +6,8 @@
 // (configurations); time per exploration is google-benchmark's.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/explore/explorer.h"
 #include "src/sem/program.h"
 #include "src/workload/paper_examples.h"
@@ -57,4 +59,4 @@ BENCHMARK(BM_Fig2_StubbornExploration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

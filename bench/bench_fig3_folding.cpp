@@ -7,6 +7,8 @@
 // level keeps.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/absdom/flat.h"
 #include "src/absem/absexplore.h"
 #include "src/explore/explorer.h"
@@ -75,4 +77,4 @@ BENCHMARK(BM_Fig3_McDowellFolding);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

@@ -6,6 +6,8 @@
 // 13, results_preserved = 1.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/explore/explorer.h"
 #include "src/sem/program.h"
 #include "src/workload/paper_examples.h"
@@ -36,4 +38,4 @@ BENCHMARK(BM_Fig5);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

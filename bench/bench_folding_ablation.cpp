@@ -8,6 +8,8 @@
 // test suite; here we measure the cost side of the trade.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include <sstream>
 
 #include "src/absdom/flat.h"
@@ -70,4 +72,4 @@ BENCHMARK(BM_Ablation_McDowell)->DenseRange(2, 5)->Unit(benchmark::kMillisecond)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

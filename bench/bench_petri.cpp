@@ -8,6 +8,8 @@
 // deadlock is found by both.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/petri/models.h"
 #include "src/petri/reach.h"
 
@@ -57,4 +59,4 @@ BENCHMARK(BM_PetriProducers)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

@@ -6,6 +6,8 @@
 // across n; the crossover in wall-clock time follows the state counts.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/explore/explorer.h"
 #include "src/sem/program.h"
 #include "src/workload/philosophers.h"
@@ -58,4 +60,4 @@ BENCHMARK(BM_Philosophers_StubbornSleep)->DenseRange(2, 7)->Unit(benchmark::kMil
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

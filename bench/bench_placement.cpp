@@ -5,6 +5,8 @@
 // allocated locally". Counters: b1_shared = 1, b2_local = 1.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include "src/analysis/lifetime.h"
 #include "src/apps/dealloc.h"
 #include "src/apps/placement.h"
@@ -55,4 +57,4 @@ BENCHMARK(BM_Placement_DeallocLists);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

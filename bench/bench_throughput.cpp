@@ -4,6 +4,8 @@
 // state-count benches.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
+
 #include <vector>
 
 #include "src/absdom/flat.h"
@@ -93,4 +95,4 @@ BENCHMARK(BM_Throughput_AbstractAnalysis)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+COPAR_BENCH_MAIN()

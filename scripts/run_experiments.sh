@@ -1,7 +1,22 @@
 #!/usr/bin/env bash
-# Regenerates every experiment in EXPERIMENTS.md: runs the full test suite
-# and each benchmark binary, collecting outputs under results/.
-set -u
+# Regenerates every experiment in EXPERIMENTS.md: runs the full test suite,
+# each benchmark binary, and a copar-cli smoke pass over the samples,
+# collecting human-readable output AND machine-readable JSON under results/.
+#
+#   scripts/run_experiments.sh [build-dir] [out-dir]
+#
+# Per benchmark binary bench_X:
+#   results/bench_X.txt             console output (google-benchmark table)
+#   results/bench_X.json            copar telemetry report (runs, counters,
+#                                   per-phase ms, memory)
+#   results/bench_X.gbench.json     google-benchmark's own JSON
+# Per CLI sample S:
+#   results/cli_explore_S.json      `copar-cli explore --json` document
+#
+# A crashing benchmark or CLI invocation aborts the script with a non-zero
+# exit; nothing is swallowed.
+set -euo pipefail
+
 BUILD="${1:-build}"
 OUT="${2:-results}"
 mkdir -p "$OUT"
@@ -14,7 +29,30 @@ for b in "$BUILD"/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name=$(basename "$b")
   echo "-- $name"
-  "$b" --benchmark_min_time=0.05 2>/dev/null | tee "$OUT/$name.txt" | grep -E '^BM_' || true
+  if ! "$b" --benchmark_min_time=0.05 --benchmark_color=false \
+      --benchmark_out="$OUT/$name.gbench.json" --benchmark_out_format=json \
+      --copar_json="$OUT/$name.json" > "$OUT/$name.txt"; then
+    echo "!! $name failed (exit $?) — see $OUT/$name.txt" >&2
+    exit 1
+  fi
+  grep -E '^BM_' "$OUT/$name.txt" || echo "   (no BM_ lines in $OUT/$name.txt)"
 done
+
+CLI="$BUILD/tools/copar-cli"
+if [ -x "$CLI" ]; then
+  echo "== cli json reports =="
+  for sample in samples/*.cop; do
+    name=$(basename "$sample" .cop)
+    echo "-- explore $name"
+    # Exit 3 means truncated — still a valid report, keep it but warn.
+    rc=0
+    "$CLI" explore "$sample" --stubborn --json > "$OUT/cli_explore_$name.json" || rc=$?
+    if [ "$rc" -ne 0 ] && [ "$rc" -ne 3 ]; then
+      echo "!! copar-cli explore $sample failed (exit $rc)" >&2
+      exit 1
+    fi
+    [ "$rc" -eq 3 ] && echo "   (truncated)"
+  done
+fi
 
 echo "outputs in $OUT/"

@@ -8,6 +8,7 @@
 #include "src/sem/step.h"
 #include "src/support/diagnostics.h"
 #include "src/support/hash.h"
+#include "src/support/telemetry.h"
 
 namespace copar::absem {
 
@@ -394,6 +395,10 @@ void AbsExplorer<N>::enqueue(AbsControl ctrl, Store store) {
 
 template <NumDomain N>
 AbsResult<N> AbsExplorer<N>::run() {
+  StatRegistry::Counter evaluations = result_.stats.counter("abs_state_evaluations");
+  StatRegistry::Counter requeues = result_.stats.counter("abs_global_requeues");
+  telemetry::Telemetry& tel = telemetry::Telemetry::global();
+  telemetry::ScopedPhase phase_folding(telemetry::Phase::Folding);
   // Initial store: globals (function slots + initializers, left to right).
   Store store;
   for (const sem::GlobalSlot& g : prog_.globals()) {
@@ -418,7 +423,8 @@ AbsResult<N> AbsExplorer<N>::run() {
     queued_.erase(ctrl);
     const Store snapshot = states_.at(ctrl);  // copy: transfer only reads it
     transfer(ctrl, snapshot);
-    result_.stats.add("abs_state_evaluations");
+    evaluations.add();
+    tel.maybe_progress(states_.size(), 0, work_.size());
     if (conts_grew_) {
       // A new call edge can retroactively give earlier Returns successors:
       // re-evaluate everything (monotone, hence terminating).
@@ -426,13 +432,28 @@ AbsResult<N> AbsExplorer<N>::run() {
       for (const auto& [c, s] : states_) {
         if (queued_.insert(c).second) work_.push_back(c);
       }
-      result_.stats.add("abs_global_requeues");
+      requeues.add();
     }
   }
 
   result_.num_states = states_.size();
   result_.stats.set("abs_states", states_.size());
   result_.stats.set("abs_mhp_pairs", result_.mhp.size());
+  if (tel.metrics_enabled()) {
+    // Byte estimate of the folded state table: per-state control points
+    // plus abstract store bindings.
+    std::uint64_t store_entries = 0;
+    std::uint64_t control_points = 0;
+    for (const auto& [ctrl, st] : states_) {
+      control_points += ctrl.size();
+      store_entries += st.entries().size();
+    }
+    result_.stats.set_gauge("abs_control_points", control_points);
+    result_.stats.set_gauge(
+        "abs_store_bytes",
+        store_entries * (sizeof(AbsLoc) + sizeof(Value) + 2 * sizeof(void*)));
+    result_.stats.set_gauge("peak_rss_bytes", telemetry::peak_rss_bytes());
+  }
   return std::move(result_);
 }
 

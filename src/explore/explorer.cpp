@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/explore/stubborn.h"
+#include "src/support/telemetry.h"
 
 namespace copar::explore {
 
@@ -204,7 +205,7 @@ Configuration Explorer::step(const Configuration& cfg, Pid pid, ExploreResult& r
     Configuration succ2 = sem::apply_action(succ, pid);
     if (next.kind == ActionKind::Return) record_return_lifetime(succ, pid, succ2, result);
     succ = std::move(succ2);
-    result.stats.add("coarsened_micro_actions");
+    hot_.coarsened_micro_actions.add();
   }
   return succ;
 }
@@ -218,10 +219,14 @@ std::vector<Pid> Explorer::choose_expansion(const Configuration& cfg,
   }
   if (options_.reduction == Reduction::Full || enabled.size() <= 1) return enabled;
 
-  const StubbornChoice choice = stubborn_set(cfg, infos, static_info_);
-  result.stats.add("stubborn_steps");
-  if (choice.expand.size() == 1) result.stats.add("stubborn_singletons");
-  if (!choice.is_full) result.stats.add("stubborn_reduced_steps");
+  (void)result;  // counters live in hot_, pre-resolved against result.stats
+  const StubbornChoice choice = [&] {
+    telemetry::ScopedPhase phase(telemetry::Phase::Stubborn);
+    return stubborn_set(cfg, infos, static_info_);
+  }();
+  hot_.stubborn_steps.add();
+  if (choice.expand.size() == 1) hot_.stubborn_singletons.add();
+  if (!choice.is_full) hot_.stubborn_reduced_steps.add();
   return choice.expand;
 }
 
@@ -238,6 +243,17 @@ struct Explorer::StackEntry {
 
 ExploreResult Explorer::run() {
   ExploreResult result;
+  hot_ = HotCounters{
+      result.stats.counter("coarsened_micro_actions"),
+      result.stats.counter("stubborn_steps"),
+      result.stats.counter("stubborn_singletons"),
+      result.stats.counter("stubborn_reduced_steps"),
+      result.stats.counter("sleep_suppressed_transitions"),
+      result.stats.counter("proviso_full_expansions"),
+      result.stats.counter("sleep_reexplorations"),
+  };
+  telemetry::Telemetry& tel = telemetry::Telemetry::global();
+  telemetry::ScopedPhase phase_expansion(telemetry::Phase::Expansion);
   std::unordered_map<std::string, std::uint32_t> visited;
   std::vector<std::uint16_t> on_stack;  // count: sleep re-exploration can stack an id twice
   std::vector<StackEntry> stack;
@@ -288,7 +304,7 @@ ExploreResult Explorer::run() {
       cfg_store.push_back(entry.cfg);
       std::erase_if(entry.expand, [&](Pid p) {
         const bool sleeping = sleep.contains(p);
-        if (sleeping) result.stats.add("sleep_suppressed_transitions");
+        if (sleeping) hot_.sleep_suppressed_transitions.add();
         return sleeping;
       });
       entry.sleep = std::move(sleep);
@@ -300,7 +316,11 @@ ExploreResult Explorer::run() {
   };
 
   Configuration init = Configuration::initial(program_);
-  const std::string init_key = init.canonical_key();
+  std::string init_key;
+  {
+    telemetry::ScopedPhase phase_canon(telemetry::Phase::Canonicalize);
+    init_key = init.canonical_key();
+  }
   register_config(std::move(init), init_key, {});
 
   while (!stack.empty()) {
@@ -340,7 +360,12 @@ ExploreResult Explorer::run() {
 
     Configuration succ = step(top.cfg, pid, result);
     result.num_transitions += 1;
-    const std::string key = succ.canonical_key();
+    tel.maybe_progress(result.num_configs, result.num_transitions, stack.size());
+    std::string key;
+    {
+      telemetry::ScopedPhase phase_canon(telemetry::Phase::Canonicalize);
+      key = succ.canonical_key();
+    }
 
     std::uint32_t to_id;
     if (auto it = visited.find(key); it != visited.end()) {
@@ -358,7 +383,7 @@ ExploreResult Explorer::run() {
           for (const ActionInfo& info : sem::all_action_infos(cur.cfg)) {
             if (info.enabled) cur.expand.push_back(info.pid);
           }
-          result.stats.add("proviso_full_expansions");
+          hot_.proviso_full_expansions.add();
         }
       }
       // Sleep revisit rule: transitions sleeping on the first visit but
@@ -385,7 +410,7 @@ ExploreResult Explorer::run() {
           if (!redo.expand.empty()) {
             on_stack[to_id] += 1;
             stack.push_back(std::move(redo));
-            result.stats.add("sleep_reexplorations");
+            hot_.sleep_reexplorations.add();
           }
         }
       }
@@ -406,6 +431,18 @@ ExploreResult Explorer::run() {
   result.stats.set("transitions", result.num_transitions);
   result.stats.set("terminals", result.terminals.size());
   result.stats.set("deadlocks", result.deadlock_found ? 1 : 0);
+
+  if (tel.metrics_enabled()) {
+    // Byte estimate of the dedup structure: canonical-key storage plus the
+    // hash-node overhead (key object, id, bucket pointer).
+    std::uint64_t visited_bytes = 0;
+    for (const auto& [key, id] : visited) {
+      visited_bytes += key.capacity() + sizeof(key) + sizeof(id) + 2 * sizeof(void*);
+    }
+    result.stats.set_gauge("visited_bytes", visited_bytes);
+    result.stats.set_gauge("visited_configs", visited.size());
+    result.stats.set_gauge("peak_rss_bytes", telemetry::peak_rss_bytes());
+  }
   return result;
 }
 

@@ -141,9 +141,26 @@ class Explorer {
                                                        const std::vector<sem::ActionInfo>& infos,
                                                        ExploreResult& result) const;
 
+  /// Hot-loop counters, pre-resolved once per run() so the per-step path
+  /// pays an increment instead of a string map lookup. Handles are lazy:
+  /// a counter that never fires stays absent from the result's stats,
+  /// keeping StatRegistry::to_string() output identical to the eager API.
+  struct HotCounters {
+    StatRegistry::Counter coarsened_micro_actions;
+    StatRegistry::Counter stubborn_steps;
+    StatRegistry::Counter stubborn_singletons;
+    StatRegistry::Counter stubborn_reduced_steps;
+    StatRegistry::Counter sleep_suppressed_transitions;
+    StatRegistry::Counter proviso_full_expansions;
+    StatRegistry::Counter sleep_reexplorations;
+  };
+
   const sem::LoweredProgram& program_;
   ExploreOptions options_;
   StaticInfo static_info_;
+  /// Bound to the current run()'s ExploreResult; mutable because
+  /// choose_expansion is logically const but counts its decisions.
+  mutable HotCounters hot_;
 };
 
 /// Convenience one-shot wrapper.

@@ -1,0 +1,36 @@
+// Machine-readable exploration report (the `copar-cli --json` document).
+//
+// One JSON object per invocation: the options that produced the run, every
+// StatRegistry counter and gauge, per-phase milliseconds from the global
+// telemetry, memory estimates, and the result summary (terminals,
+// deadlocks, violations, faults). Benchmarks and scripts parse this
+// instead of scraping free-form stdout.
+#pragma once
+
+#include <string_view>
+
+#include "src/explore/explorer.h"
+#include "src/support/json.h"
+
+namespace copar::explore {
+
+/// Writes the full report object for an exploration. When `prog` is
+/// non-null, a per-terminal "outcomes" array with the final global values
+/// is included (the `run` command's outcome list, machine-readable).
+void write_json_report(support::JsonWriter& w, std::string_view command, std::string_view file,
+                       const ExploreResult& r, const ExploreOptions& o,
+                       const sem::LoweredProgram* prog = nullptr);
+
+}  // namespace copar::explore
+
+namespace copar::telemetry {
+
+/// Writes `{"parse": 0.12, ...}` — accumulated self-milliseconds of every
+/// phase that ran, from the global telemetry instance. Callers emit the
+/// surrounding key.
+void write_phases_ms(support::JsonWriter& w);
+
+/// Writes `{"<name>": <count>, ...}` — completed scopes per phase that ran.
+void write_phase_counts(support::JsonWriter& w);
+
+}  // namespace copar::telemetry

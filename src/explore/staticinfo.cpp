@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "src/support/telemetry.h"
+
 namespace copar::explore {
 
 namespace {
@@ -15,6 +17,7 @@ using sem::Proc;
 constexpr std::uint32_t kLinksClass = 0;
 
 StaticInfo::StaticInfo(const sem::LoweredProgram& program) : program_(&program) {
+  telemetry::ScopedPhase phase(telemetry::Phase::StaticInfo);
   build_classes();
   collect_address_taken();
   build_direct_sets();

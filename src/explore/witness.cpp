@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/explore/stubborn.h"
+#include "src/support/telemetry.h"
 
 namespace copar::explore {
 
@@ -60,6 +61,7 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
 
   auto push = [&](Configuration cfg, std::uint32_t parent, WitnessStep via)
       -> std::optional<std::uint32_t> {
+    telemetry::ScopedPhase phase_canon(telemetry::Phase::Canonicalize);
     std::string key = cfg.canonical_key();
     auto it = visited.find(key);
     if (it != visited.end()) return std::nullopt;
@@ -81,11 +83,14 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
     return w;
   };
 
+  telemetry::ScopedPhase phase_expansion(telemetry::Phase::Expansion);
   (void)push(Configuration::initial(prog), 0xffffffffu, WitnessStep{});
 
   while (!work.empty()) {
     const std::uint32_t id = work.front();
     work.pop_front();
+    telemetry::Telemetry::global().maybe_progress(nodes.size(), nodes.size() - work.size(),
+                                                 work.size());
     if (nodes.size() > query.explore.max_configs) return std::nullopt;
 
     // Snapshot — nodes may reallocate during expansion.
@@ -104,7 +109,10 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
       // NOTE: no cycle proviso here — BFS has no stack. Fall back to full
       // expansion when the reduced choice would revisit only known states,
       // which keeps the search complete on cyclic spaces.
-      const StubbornChoice choice = stubborn_set(cfg, infos, static_info);
+      const StubbornChoice choice = [&] {
+        telemetry::ScopedPhase phase_stub(telemetry::Phase::Stubborn);
+        return stubborn_set(cfg, infos, static_info);
+      }();
       bool all_known = true;
       for (Pid pid : choice.expand) {
         Configuration succ = sem::apply_action(cfg, pid);

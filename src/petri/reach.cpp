@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/support/hash.h"
+#include "src/support/telemetry.h"
 
 namespace copar::petri {
 
@@ -90,6 +91,9 @@ std::vector<TransId> stubborn_set(const PetriNet& net, const Marking& m) {
 
 ReachResult explore(const PetriNet& net, const ReachOptions& options) {
   ReachResult result;
+  StatRegistry::Counter proviso_full = result.stats.counter("proviso_full_expansions");
+  telemetry::Telemetry& tel = telemetry::Telemetry::global();
+  telemetry::ScopedPhase phase_expansion(telemetry::Phase::Expansion);
   std::unordered_map<Marking, std::uint32_t, MarkingHash> visited;
   std::vector<char> on_stack;
 
@@ -114,8 +118,13 @@ ReachResult explore(const PetriNet& net, const ReachOptions& options) {
     const auto id = static_cast<std::uint32_t>(visited.size());
     on_stack.push_back(0);
     result.num_markings += 1;
-    std::vector<TransId> expand =
-        options.stubborn ? stubborn_set(net, m) : all_enabled(m);
+    std::vector<TransId> expand;
+    if (options.stubborn) {
+      telemetry::ScopedPhase phase_stub(telemetry::Phase::Stubborn);
+      expand = stubborn_set(net, m);
+    } else {
+      expand = all_enabled(m);
+    }
     visited.emplace(m, id);
     if (expand.empty()) {
       result.deadlocks.insert(std::move(m));
@@ -142,6 +151,7 @@ ReachResult explore(const PetriNet& net, const ReachOptions& options) {
     const TransId t = top.expand[top.next++];
     Marking succ = net.fire(t, top.m);
     result.num_edges += 1;
+    tel.maybe_progress(result.num_markings, result.num_edges, stack.size());
     if (auto it = visited.find(succ); it != visited.end()) {
       // Stack proviso: a reduced expansion closing a cycle re-expands fully.
       if (options.stubborn && options.cycle_proviso && on_stack[it->second] != 0) {
@@ -150,7 +160,7 @@ ReachResult explore(const PetriNet& net, const ReachOptions& options) {
           cur.expanded_full = true;
           cur.expand = all_enabled(cur.m);
           cur.next = 0;
-          result.stats.add("proviso_full_expansions");
+          proviso_full.add();
         }
       }
       continue;

@@ -1,13 +1,20 @@
 #include "src/sem/program.h"
 
 #include "src/lang/parser.h"
+#include "src/support/telemetry.h"
 
 namespace copar {
 
 std::unique_ptr<CompiledProgram> compile(std::string_view source) {
   auto out = std::make_unique<CompiledProgram>();
-  out->module = lang::parse_program(source);
-  out->lowered = sem::lower(*out->module);
+  {
+    telemetry::ScopedPhase phase(telemetry::Phase::Parse);
+    out->module = lang::parse_program(source);
+  }
+  {
+    telemetry::ScopedPhase phase(telemetry::Phase::Lower);
+    out->lowered = sem::lower(*out->module);
+  }
   return out;
 }
 

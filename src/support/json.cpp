@@ -1,0 +1,107 @@
+#include "src/support/json.h"
+
+#include <cstdio>
+
+namespace copar::support {
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": <value> — no comma, key() already separated
+  }
+  if (scopes_.empty()) return;
+  if (!scopes_.back().first) os_ << ',';
+  scopes_.back().first = false;
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  scopes_.push_back(Scope{false, true});
+}
+
+void JsonWriter::end_object() {
+  scopes_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  scopes_.push_back(Scope{true, true});
+}
+
+void JsonWriter::end_array() {
+  scopes_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  separate();
+  write_escaped(os_, name);
+  os_ << ": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separate();
+  write_escaped(os_, s);
+}
+
+void JsonWriter::value(bool b) {
+  separate();
+  os_ << (b ? "true" : "false");
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os_ << buf;
+}
+
+void JsonWriter::value_fixed(double v) {
+  separate();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  os_ << buf;
+}
+
+void JsonWriter::null() {
+  separate();
+  os_ << "null";
+}
+
+void JsonWriter::write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace copar::support

@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer for machine-readable reports.
+//
+// No DOM, no allocation beyond the scope stack: callers emit a document in
+// order and the writer inserts commas and escapes strings. Used by the
+// telemetry layer (`--json` reports, Chrome trace files) so the framework
+// needs no external JSON dependency.
+//
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.key("configs"); w.value(std::uint64_t{19});
+//   w.key("phases");  w.begin_object(); ... w.end_object();
+//   w.end_object();
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace copar::support {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Member name inside an object; must be followed by exactly one value
+  /// (or container).
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);
+  /// Fixed-point with 3 decimals — for timestamps, where %g's 6 significant
+  /// digits would destroy sub-millisecond resolution on large values.
+  void value_fixed(double v);
+  void null();
+
+  /// Writes a JSON string literal (quoted, escaped).
+  static void write_escaped(std::ostream& os, std::string_view s);
+
+ private:
+  /// Comma/newline handling before a value or key at the current nesting.
+  void separate();
+
+  std::ostream& os_;
+  struct Scope {
+    bool array = false;
+    bool first = true;
+  };
+  std::vector<Scope> scopes_;
+  bool pending_key_ = false;
+};
+
+}  // namespace copar::support

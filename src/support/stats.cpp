@@ -13,6 +13,19 @@ std::uint64_t StatRegistry::get(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+void StatRegistry::set_gauge(const std::string& name, std::uint64_t value) {
+  gauges_[name] = value;
+}
+
+std::uint64_t StatRegistry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+void StatRegistry::add_time_ns(const std::string& name, std::uint64_t ns) {
+  times_ns_[name] += ns;
+}
+
 std::string StatRegistry::to_string() const {
   std::ostringstream os;
   for (const auto& [name, value] : counters_) os << name << '=' << value << '\n';

@@ -1,8 +1,18 @@
-// Named counters for exploration/analysis statistics.
+// Named counters, gauges, and timings for exploration/analysis statistics.
 //
 // The paper's evaluation metric is state counts (configurations generated,
 // transitions fired, interleavings pruned); StatRegistry gives every engine
-// a uniform way to expose them to tests and benchmarks.
+// a uniform way to expose them to tests, benchmarks, and the `--json`
+// report. Three kinds:
+//
+//   * counters — monotonically accumulated event counts (`add`/`set`).
+//     Hot loops should pre-resolve a Counter handle once per run instead
+//     of paying a string map lookup per step.
+//   * gauges   — point-in-time measurements (bytes resident, visited-set
+//     size estimates). Reported separately; never mixed into to_string()
+//     so existing text output stays stable.
+//   * timings  — accumulated nanoseconds per named activity (usually
+//     copied from the telemetry phase timers at report time).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +23,38 @@ namespace copar {
 
 class StatRegistry {
  public:
+  /// Pre-resolved handle for a hot-loop counter. The counter is *not*
+  /// materialized in the registry until the first add(), so a handle that
+  /// never fires leaves to_string() output unchanged (exactly as if
+  /// add(name) was never called).
+  ///
+  /// A handle borrows the registry: it must not outlive it and is
+  /// invalidated by clear(). The name must outlive the handle too (engines
+  /// pass string literals), so resolving a handle allocates nothing.
+  class Counter {
+   public:
+    Counter() = default;
+
+    void add(std::uint64_t delta = 1) {
+      if (slot_ == nullptr) {
+        if (reg_ == nullptr) return;  // default-constructed handle: no-op
+        slot_ = &reg_->counters_[name_];
+      }
+      *slot_ += delta;
+    }
+
+   private:
+    friend class StatRegistry;
+    Counter(StatRegistry* reg, const char* name) : reg_(reg), name_(name) {}
+
+    StatRegistry* reg_ = nullptr;
+    const char* name_ = "";
+    std::uint64_t* slot_ = nullptr;
+  };
+
+  /// Interns `name` into a handle (lazy: no counter appears until it fires).
+  [[nodiscard]] Counter counter(const char* name) { return Counter(this, name); }
+
   /// Adds `delta` to counter `name`, creating it at zero on first use.
   void add(const std::string& name, std::uint64_t delta = 1);
 
@@ -24,13 +66,37 @@ class StatRegistry {
 
   [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const noexcept { return counters_; }
 
-  /// "name=value" lines, sorted by name.
+  /// Sets gauge `name` (point-in-time measurement) to `value`.
+  void set_gauge(const std::string& name, std::uint64_t value);
+
+  /// Current gauge value (0 if never set).
+  [[nodiscard]] std::uint64_t gauge(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& gauges() const noexcept {
+    return gauges_;
+  }
+
+  /// Accumulates `ns` nanoseconds into timing `name`.
+  void add_time_ns(const std::string& name, std::uint64_t ns);
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& times_ns() const noexcept {
+    return times_ns_;
+  }
+
+  /// "name=value" lines, sorted by name — counters only (gauges and
+  /// timings are report-only kinds, so this output is stable).
   [[nodiscard]] std::string to_string() const;
 
-  void clear() { counters_.clear(); }
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+    times_ns_.clear();
+  }
 
  private:
   std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::uint64_t> gauges_;
+  std::map<std::string, std::uint64_t> times_ns_;
 };
 
 }  // namespace copar

@@ -1,0 +1,234 @@
+#include "src/support/telemetry.h"
+
+#include <sys/resource.h>
+#include <time.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "src/support/json.h"
+
+namespace copar::telemetry {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::Parse: return "parse";
+    case Phase::Lower: return "lower";
+    case Phase::StaticInfo: return "static_info";
+    case Phase::Expansion: return "expansion";
+    case Phase::Stubborn: return "stubborn";
+    case Phase::Canonicalize: return "canonicalize";
+    case Phase::Folding: return "folding";
+    case Phase::Analysis: return "analysis";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t peak_rss_bytes() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024ull;
+}
+
+Telemetry& Telemetry::global() {
+  static Telemetry instance;
+  return instance;
+}
+
+void Telemetry::enable_trace(std::size_t capacity) {
+  trace_on_ = capacity > 0;
+  ring_capacity_ = capacity;
+  ring_.clear();
+  ring_.reserve(capacity < 4096 ? capacity : 4096);
+  ring_head_ = 0;
+  total_events_ = 0;
+}
+
+void Telemetry::enable_progress(double interval_s) {
+  progress_on_ = interval_s > 0;
+  progress_interval_ns_ = static_cast<std::uint64_t>(interval_s * 1e9);
+  progress_start_ns_ = 0;
+}
+
+void Telemetry::reset() {
+  stack_.clear();
+  for (auto& t : totals_ns_) t = 0;
+  for (auto& c : counts_) c = 0;
+  ring_.clear();
+  ring_head_ = 0;
+  total_events_ = 0;
+  progress_start_ns_ = 0;
+  progress_last_ns_ = 0;
+  progress_last_configs_ = 0;
+}
+
+void Telemetry::enter(Phase p) {
+  const std::uint64_t now = clock_();
+  if (!stack_.empty()) {
+    // Suspend the enclosing scope: bank its elapsed self-time.
+    Open& top = stack_.back();
+    totals_ns_[static_cast<std::size_t>(top.phase)] += now - top.resume_ns;
+  }
+  stack_.push_back(Open{p, now, now});
+}
+
+void Telemetry::leave(Phase p) {
+  const std::uint64_t now = clock_();
+  if (stack_.empty() || stack_.back().phase != p) return;  // mismatched: drop
+  const Open top = stack_.back();
+  stack_.pop_back();
+  totals_ns_[static_cast<std::size_t>(p)] += now - top.resume_ns;
+  counts_[static_cast<std::size_t>(p)] += 1;
+  if (!stack_.empty()) stack_.back().resume_ns = now;
+  if (trace_on_) {
+    push_event(TraceEvent{top.start_ns, now - top.start_ns, phase_name(p), 'X', 0});
+  }
+}
+
+void Telemetry::push_event(const TraceEvent& e) {
+  total_events_ += 1;
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(e);
+    return;
+  }
+  if (ring_capacity_ == 0) return;
+  ring_[ring_head_] = e;
+  ring_head_ = (ring_head_ + 1) % ring_capacity_;
+}
+
+void Telemetry::record_complete(const char* name, std::uint64_t start_ns,
+                                std::uint64_t dur_ns) {
+  if (!trace_on_) return;
+  push_event(TraceEvent{start_ns, dur_ns, name, 'X', 0});
+}
+
+void Telemetry::record_counter(const char* name, std::uint64_t value) {
+  if (!trace_on_) return;
+  push_event(TraceEvent{clock_(), 0, name, 'C', value});
+}
+
+void Telemetry::record_instant(const char* name) {
+  if (!trace_on_) return;
+  push_event(TraceEvent{clock_(), 0, name, 'i', 0});
+}
+
+std::vector<TraceEvent> Telemetry::trace_events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < ring_capacity_) {
+    out = ring_;  // never wrapped: already oldest-first
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+void Telemetry::write_trace_json(std::ostream& os) const {
+  support::JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  // Process metadata so the timeline has a readable track name.
+  w.begin_object();
+  w.key("name");
+  w.value("process_name");
+  w.key("ph");
+  w.value("M");
+  w.key("pid");
+  w.value(std::uint64_t{1});
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value("copar");
+  w.end_object();
+  w.end_object();
+  const std::vector<TraceEvent> events = trace_events();
+  // Rebase timestamps to the earliest event so the values stay small
+  // enough for full sub-microsecond precision in the JSON text.
+  std::uint64_t base_ns = UINT64_MAX;
+  for (const TraceEvent& e : events) base_ns = e.ts_ns < base_ns ? e.ts_ns : base_ns;
+  if (base_ns == UINT64_MAX) base_ns = 0;
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("cat");
+    w.value("copar");
+    w.key("ph");
+    w.value(std::string_view(&e.ph, 1));
+    w.key("ts");
+    w.value_fixed(static_cast<double>(e.ts_ns - base_ns) / 1000.0);  // microseconds
+    if (e.ph == 'X') {
+      w.key("dur");
+      w.value_fixed(static_cast<double>(e.dur_ns) / 1000.0);
+    }
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(std::uint64_t{1});
+    if (e.ph == 'C') {
+      w.key("args");
+      w.begin_object();
+      w.key("value");
+      w.value(e.value);
+      w.end_object();
+    } else if (e.ph == 'i') {
+      w.key("s");
+      w.value("g");  // global-scope instant
+    }
+    w.end_object();
+  }
+  w.end_array();
+  if (trace_dropped() > 0) {
+    w.key("copar_dropped_events");
+    w.value(trace_dropped());
+  }
+  w.end_object();
+  os << '\n';
+}
+
+bool Telemetry::write_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_trace_json(out);
+  return static_cast<bool>(out);
+}
+
+void Telemetry::progress_slow(std::uint64_t configs, std::uint64_t transitions,
+                              std::size_t frontier) {
+  const std::uint64_t now = clock_();
+  if (progress_start_ns_ == 0) {
+    progress_start_ns_ = now;
+    progress_last_ns_ = now;
+    progress_last_configs_ = configs;
+    return;
+  }
+  if (now - progress_last_ns_ < progress_interval_ns_) return;
+  const double dt = static_cast<double>(now - progress_last_ns_) / 1e9;
+  const double rate = static_cast<double>(configs - progress_last_configs_) / dt;
+  const double elapsed = static_cast<double>(now - progress_start_ns_) / 1e9;
+  std::fprintf(stderr,
+               "[copar] t=%.1fs configs=%" PRIu64 " (%.0f/s) transitions=%" PRIu64
+               " frontier=%zu\n",
+               elapsed, configs, rate, transitions, frontier);
+  progress_last_ns_ = now;
+  progress_last_configs_ = configs;
+  record_counter("configs", configs);
+}
+
+}  // namespace copar::telemetry

@@ -1,0 +1,450 @@
+// Telemetry layer tests: phase-timer nesting, the trace ring buffer,
+// StatRegistry counter handles / gauges, the JSON writer, and a golden
+// check that the `--json` exploration report parses and agrees with the
+// text counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/explore/report.h"
+#include "src/sem/program.h"
+#include "src/support/json.h"
+#include "src/support/stats.h"
+#include "src/support/telemetry.h"
+#include "src/workload/paper_examples.h"
+
+namespace copar {
+namespace {
+
+using telemetry::Phase;
+using telemetry::Telemetry;
+
+// --- minimal JSON parser (validation only: the repo has no JSON reader) ---
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = members.find(key);
+    if (it == members.end()) {
+      static const JsonValue missing;
+      ADD_FAILURE() << "missing JSON key: " << key;
+      return missing;
+    }
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& why) {
+    if (ok_) {
+      ok_ = false;
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    pos_ = s_.size();  // stop consuming
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      fail("unexpected end");
+      return {};
+    }
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null_value();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    eat('{');
+    if (eat('}')) return v;
+    do {
+      skip_ws();
+      JsonValue key = string_value();
+      if (!eat(':')) fail("expected ':'");
+      v.members[key.str] = value();
+    } while (eat(','));
+    if (!eat('}')) fail("expected '}'");
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    eat('[');
+    if (eat(']')) return v;
+    do {
+      v.items.push_back(value());
+    } while (eat(','));
+    if (!eat(']')) fail("expected ']'");
+    return v;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    if (!eat('"')) {
+      fail("expected string");
+      return v;
+    }
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) break;
+        switch (s_[pos_]) {
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          case 'r': v.str += '\r'; break;
+          case 'u':
+            pos_ += 4;  // keep validation simple: skip the code point
+            v.str += '?';
+            break;
+          default: v.str += s_[pos_];
+        }
+      } else {
+        v.str += s_[pos_];
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) {
+      fail("unterminated string");
+    } else {
+      ++pos_;  // closing quote
+    }
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (s_.substr(pos_, 4) == "true") {
+      v.b = true;
+      pos_ += 4;
+    } else if (s_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null_value() {
+    JsonValue v;
+    if (s_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      fail("expected number");
+      return v;
+    }
+    v.num = std::stod(std::string(s_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+JsonValue parse_json_or_fail(const std::string& text) {
+  JsonParser p(text);
+  JsonValue v = p.parse();
+  EXPECT_TRUE(p.ok()) << p.error() << "\nin: " << text.substr(0, 400);
+  return v;
+}
+
+// --- fake clock for deterministic phase-timer tests --------------------
+
+std::uint64_t g_fake_now = 0;
+std::uint64_t fake_clock() { return g_fake_now; }
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Telemetry& t = Telemetry::global();
+    t.reset();
+    t.enable_metrics(true);
+    t.set_clock_for_test(&fake_clock);
+    g_fake_now = 0;
+  }
+  void TearDown() override {
+    Telemetry& t = Telemetry::global();
+    t.enable_metrics(false);
+    t.enable_trace(0);
+    t.set_clock_for_test(nullptr);
+    t.reset();
+  }
+};
+
+TEST_F(TelemetryTest, NestedPhasesAccountExclusiveTime) {
+  Telemetry& t = Telemetry::global();
+  g_fake_now = 100;
+  t.enter(Phase::Expansion);
+  g_fake_now = 150;
+  t.enter(Phase::Stubborn);  // suspends Expansion after 50ns of self time
+  g_fake_now = 250;
+  t.leave(Phase::Stubborn);  // 100ns
+  g_fake_now = 400;
+  t.leave(Phase::Expansion);  // +150ns of self time
+
+  EXPECT_EQ(t.phase_ns(Phase::Stubborn), 100u);
+  EXPECT_EQ(t.phase_ns(Phase::Expansion), 200u);
+  EXPECT_EQ(t.phase_count(Phase::Stubborn), 1u);
+  EXPECT_EQ(t.phase_count(Phase::Expansion), 1u);
+  // Exclusive accounting: self times sum to the instrumented wall time.
+  EXPECT_EQ(t.phase_ns(Phase::Stubborn) + t.phase_ns(Phase::Expansion), 300u);
+  EXPECT_EQ(t.phase_depth(), 0u);
+}
+
+TEST_F(TelemetryTest, ReentrantSamePhaseSumsToWallTime) {
+  Telemetry& t = Telemetry::global();
+  g_fake_now = 0;
+  t.enter(Phase::Canonicalize);
+  g_fake_now = 10;
+  t.enter(Phase::Canonicalize);
+  g_fake_now = 20;
+  t.leave(Phase::Canonicalize);
+  g_fake_now = 30;
+  t.leave(Phase::Canonicalize);
+  EXPECT_EQ(t.phase_ns(Phase::Canonicalize), 30u);
+  EXPECT_EQ(t.phase_count(Phase::Canonicalize), 2u);
+}
+
+TEST_F(TelemetryTest, MismatchedLeaveIsIgnored) {
+  Telemetry& t = Telemetry::global();
+  t.enter(Phase::Parse);
+  t.leave(Phase::Folding);  // wrong phase: dropped, Parse stays open
+  EXPECT_EQ(t.phase_depth(), 1u);
+  t.leave(Phase::Parse);
+  EXPECT_EQ(t.phase_depth(), 0u);
+  t.leave(Phase::Parse);  // empty stack: no crash
+  EXPECT_EQ(t.phase_count(Phase::Parse), 1u);
+}
+
+TEST_F(TelemetryTest, ScopedPhaseIsNoopWhenDisabled) {
+  Telemetry& t = Telemetry::global();
+  t.enable_metrics(false);
+  {
+    telemetry::ScopedPhase p(Phase::Parse);
+    g_fake_now = 1000;
+  }
+  EXPECT_EQ(t.phase_ns(Phase::Parse), 0u);
+  EXPECT_EQ(t.phase_count(Phase::Parse), 0u);
+}
+
+TEST_F(TelemetryTest, TraceRingKeepsNewestAndCountsDropped) {
+  Telemetry& t = Telemetry::global();
+  t.enable_trace(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    g_fake_now = i;
+    t.record_counter("configs", i);
+  }
+  EXPECT_EQ(t.trace_size(), 4u);
+  EXPECT_EQ(t.trace_dropped(), 2u);
+  const auto events = t.trace_events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest two (ts 1, 2) were overwritten; order is oldest-first.
+  EXPECT_EQ(events.front().ts_ns, 3u);
+  EXPECT_EQ(events.back().ts_ns, 6u);
+  EXPECT_EQ(events.back().value, 6u);
+}
+
+TEST_F(TelemetryTest, ScopedPhaseEmitsCompleteTraceEvent) {
+  Telemetry& t = Telemetry::global();
+  t.enable_trace(16);
+  g_fake_now = 1000;
+  {
+    telemetry::ScopedPhase p(Phase::Stubborn);
+    g_fake_now = 1500;
+  }
+  const auto events = t.trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "stubborn");
+  EXPECT_EQ(events[0].ph, 'X');
+  EXPECT_EQ(events[0].ts_ns, 1000u);
+  EXPECT_EQ(events[0].dur_ns, 500u);
+}
+
+TEST_F(TelemetryTest, TraceJsonParsesAndContainsEvents) {
+  Telemetry& t = Telemetry::global();
+  t.enable_trace(16);
+  g_fake_now = 100;
+  t.enter(Phase::Expansion);
+  g_fake_now = 300;
+  t.leave(Phase::Expansion);
+  t.record_counter("configs", 42);
+  t.record_instant("truncated");
+
+  std::ostringstream os;
+  t.write_trace_json(os);
+  const JsonValue doc = parse_json_or_fail(os.str());
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::Array);
+  // Metadata + complete + counter + instant.
+  ASSERT_EQ(events.items.size(), 4u);
+  EXPECT_EQ(events.items[1].at("name").str, "expansion");
+  EXPECT_EQ(events.items[1].at("ph").str, "X");
+  EXPECT_DOUBLE_EQ(events.items[1].at("dur").num, 0.2);  // 200ns = 0.2us
+  EXPECT_EQ(events.items[2].at("ph").str, "C");
+  EXPECT_DOUBLE_EQ(events.items[2].at("args").at("value").num, 42.0);
+}
+
+// --- StatRegistry: handles, gauges, timings ----------------------------
+
+TEST(StatHandles, LazyHandleMatchesEagerAddByteForByte) {
+  StatRegistry eager;
+  eager.add("stubborn_steps");
+  eager.add("stubborn_steps");
+  eager.set("configs", 7);
+
+  StatRegistry lazy;
+  StatRegistry::Counter steps = lazy.counter("stubborn_steps");
+  StatRegistry::Counter never = lazy.counter("proviso_full_expansions");
+  (void)never;  // resolved but never fired: must not materialize
+  steps.add();
+  steps.add();
+  lazy.set("configs", 7);
+
+  EXPECT_EQ(eager.to_string(), lazy.to_string());
+  EXPECT_EQ(lazy.to_string(), "configs=7\nstubborn_steps=2\n");
+  EXPECT_EQ(lazy.get("proviso_full_expansions"), 0u);
+}
+
+TEST(StatHandles, DefaultConstructedHandleIsNoop) {
+  StatRegistry::Counter c;
+  c.add();  // must not crash
+}
+
+TEST(StatHandles, GaugesAndTimingsStayOutOfToString) {
+  StatRegistry s;
+  s.add("configs", 3);
+  s.set_gauge("visited_bytes", 4096);
+  s.add_time_ns("expansion", 1'000'000);
+  EXPECT_EQ(s.to_string(), "configs=3\n");
+  EXPECT_EQ(s.gauge("visited_bytes"), 4096u);
+  EXPECT_EQ(s.gauge("absent"), 0u);
+  EXPECT_EQ(s.times_ns().at("expansion"), 1'000'000u);
+  s.clear();
+  EXPECT_TRUE(s.gauges().empty());
+  EXPECT_TRUE(s.times_ns().empty());
+}
+
+// --- JsonWriter --------------------------------------------------------
+
+TEST(JsonWriterTest, EscapesAndNests) {
+  std::ostringstream os;
+  support::JsonWriter w(os);
+  w.begin_object();
+  w.key("s");
+  w.value("a\"b\\c\nd\x01");
+  w.key("list");
+  w.begin_array();
+  w.value(std::uint64_t{1});
+  w.value(-2);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"s": "a\"b\\c\nd\u0001","list": [1,-2,true,null]})");
+  const JsonValue doc = parse_json_or_fail(os.str());
+  EXPECT_EQ(doc.at("list").items.size(), 4u);
+}
+
+// --- golden: the --json exploration report -----------------------------
+
+TEST(JsonReport, ExploreReportParsesAndMatchesTextCounters) {
+  Telemetry& t = Telemetry::global();
+  t.reset();
+  t.enable_metrics(true);
+
+  auto program = compile(workload::fig2_shasha_snir());
+  explore::ExploreOptions opts;
+  const auto r = explore::explore(*program->lowered, opts);
+
+  std::ostringstream os;
+  support::JsonWriter w(os);
+  explore::write_json_report(w, "explore", "fig2_shasha_snir.cop", r, opts);
+  const JsonValue doc = parse_json_or_fail(os.str());
+
+  // Counters in the JSON must match both the result and the text report.
+  EXPECT_EQ(doc.at("counters").at("configs").num, static_cast<double>(r.num_configs));
+  EXPECT_EQ(doc.at("counters").at("transitions").num, static_cast<double>(r.num_transitions));
+  const std::string text = r.stats.to_string();
+  EXPECT_NE(text.find("configs=" + std::to_string(r.num_configs) + "\n"), std::string::npos);
+  EXPECT_NE(text.find("transitions=" + std::to_string(r.num_transitions) + "\n"),
+            std::string::npos);
+
+  EXPECT_EQ(doc.at("command").str, "explore");
+  EXPECT_EQ(doc.at("options").at("reduction").str, "full");
+  EXPECT_EQ(doc.at("result").at("terminals").num, 3.0);  // paper: {(0,1),(1,0),(1,1)}
+  EXPECT_FALSE(doc.at("result").at("deadlock").b);
+  // Telemetry was enabled: phase timings and memory gauges must be there.
+  EXPECT_FALSE(doc.at("phases_ms").members.empty());
+  EXPECT_GT(doc.at("memory").at("peak_rss_bytes").num, 0.0);
+  EXPECT_GT(doc.at("gauges").at("visited_bytes").num, 0.0);
+
+  t.enable_metrics(false);
+  t.reset();
+}
+
+}  // namespace
+}  // namespace copar

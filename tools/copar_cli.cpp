@@ -1,8 +1,10 @@
 // copar-cli — command-line driver for the framework.
 //
 //   copar-cli run <file.cop>                 run all interleavings, print outcomes
-//   copar-cli explore <file.cop> [--stubborn] [--coarsen]
-//                                            state-space statistics
+//   copar-cli explore <file.cop> [--stubborn] [--coarsen] [--sleep]
+//                                [--max-configs N]
+//                                            state-space statistics; exits 3
+//                                            if the exploration was truncated
 //   copar-cli analyze <file.cop>             §5 analyses + §7 applications report
 //   copar-cli abstract <file.cop> [--clan]   abstract exploration summary
 //   copar-cli witness <file.cop> [--deadlock | --violation L | --fault L]
@@ -15,6 +17,16 @@
 //                                            Graphviz dot of the configuration graph
 //   copar-cli disasm <file.cop>              lowered atomic-action code
 //   copar-cli fmt <file.cop>                 pretty-print the parsed program
+//
+// Global observability flags (any command):
+//   --json               machine-readable report: one JSON document on stdout
+//                        (counters, per-phase milliseconds, memory gauges,
+//                        terminals, violations) for run/explore/analyze/abstract
+//   --trace <out.json>   record a Chrome trace_event timeline of the engine
+//                        phases; open in chrome://tracing or Perfetto
+//   --progress [secs]    stderr heartbeat every `secs` (default 2) seconds
+//                        with configs/sec and frontier depth
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -33,17 +45,21 @@
 #include "src/apps/parallelize.h"
 #include "src/apps/placement.h"
 #include "src/apps/transform.h"
+#include "src/explore/report.h"
 #include "src/explore/witness.h"
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
 #include "src/sem/program.h"
+#include "src/support/telemetry.h"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: copar-cli "
                "<run|explore|analyze|abstract|witness|parallelize|graph|disasm|fmt> "
-               "<file.cop> [options]\n";
+               "<file.cop> [options]\n"
+               "global options: --json  --trace <out.json>  --progress [seconds]\n"
+               "explore options: --stubborn --coarsen --sleep --max-configs N\n";
   return 2;
 }
 
@@ -69,9 +85,66 @@ std::string flag_value(const std::vector<std::string>& args, std::string_view fl
   return {};
 }
 
-int cmd_run(const copar::CompiledProgram& p) {
+/// Observability switches, stripped from the arg list before command
+/// dispatch so every command accepts them uniformly.
+struct GlobalOpts {
+  bool json = false;
+  std::string trace_path;
+  bool progress = false;
+  double progress_interval_s = 2.0;
+  bool missing_trace_path = false;  // `--trace` given as the last argument
+};
+
+GlobalOpts extract_global_opts(std::vector<std::string>& args) {
+  GlobalOpts g;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--json") {
+      g.json = true;
+    } else if (a == "--trace") {
+      if (i + 1 < args.size()) {
+        g.trace_path = args[++i];
+      } else {
+        g.missing_trace_path = true;
+      }
+    } else if (a == "--progress") {
+      g.progress = true;
+      // Optional numeric interval right after the flag.
+      if (i + 1 < args.size()) {
+        char* end = nullptr;
+        const double v = std::strtod(args[i + 1].c_str(), &end);
+        if (end != nullptr && *end == '\0' && v > 0) {
+          g.progress_interval_s = v;
+          ++i;
+        }
+      }
+    } else {
+      rest.push_back(a);
+    }
+  }
+  args = std::move(rest);
+  return g;
+}
+
+void apply_global_opts(const GlobalOpts& g) {
+  auto& tel = copar::telemetry::Telemetry::global();
+  if (g.json || !g.trace_path.empty()) tel.enable_metrics();
+  if (!g.trace_path.empty()) tel.enable_trace();
+  if (g.progress) tel.enable_progress(g.progress_interval_s);
+}
+
+int cmd_run(const copar::CompiledProgram& p, const std::string& path, const GlobalOpts& g) {
   using namespace copar;
-  const auto r = explore::explore(*p.lowered, {});
+  const explore::ExploreOptions opts;
+  const auto r = explore::explore(*p.lowered, opts);
+  const int rc = r.deadlock_found || !r.violations.empty() || !r.faults.empty() ? 1 : 0;
+  if (g.json) {
+    support::JsonWriter w(std::cout);
+    explore::write_json_report(w, "run", path, r, opts, p.lowered.get());
+    std::cout << '\n';
+    return rc;
+  }
   std::cout << "configurations: " << r.num_configs << ", transitions: " << r.num_transitions
             << '\n';
   std::cout << "terminal configurations: " << r.terminals.size()
@@ -93,29 +166,54 @@ int cmd_run(const copar::CompiledProgram& p) {
   int idx = 0;
   for (const auto& [key, t] : r.terminals) {
     std::cout << "  #" << ++idx << (t.deadlock ? " [deadlock]" : "") << ':';
-    for (const sem::GlobalSlot& g : p.lowered->globals()) {
-      if (g.fun != nullptr) continue;
-      const auto v = t.config.store.read(0, g.slot);
-      std::cout << ' ' << p.lowered->module().interner().spelling(g.name) << '='
+    for (const sem::GlobalSlot& gs : p.lowered->globals()) {
+      if (gs.fun != nullptr) continue;
+      const auto v = t.config.store.read(0, gs.slot);
+      std::cout << ' ' << p.lowered->module().interner().spelling(gs.name) << '='
                 << v.to_string();
     }
     std::cout << '\n';
   }
-  return r.deadlock_found || !r.violations.empty() || !r.faults.empty() ? 1 : 0;
+  return rc;
 }
 
-int cmd_explore(const copar::CompiledProgram& p, const std::vector<std::string>& args) {
+int cmd_explore(const copar::CompiledProgram& p, const std::string& path,
+                const std::vector<std::string>& args, const GlobalOpts& g) {
   using namespace copar;
   explore::ExploreOptions opts;
   if (has_flag(args, "--stubborn")) opts.reduction = explore::Reduction::Stubborn;
   if (has_flag(args, "--coarsen")) opts.coarsen = true;
+  if (has_flag(args, "--sleep")) opts.sleep_sets = true;
+  if (has_flag(args, "--max-configs") && flag_value(args, "--max-configs").empty()) {
+    std::cerr << "error: --max-configs expects a positive integer\n";
+    return 2;
+  }
+  if (const std::string v = flag_value(args, "--max-configs"); !v.empty()) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n == 0) {
+      std::cerr << "error: --max-configs expects a positive integer, got '" << v << "'\n";
+      return 2;
+    }
+    opts.max_configs = n;
+  }
   const auto r = explore::explore(*p.lowered, opts);
-  std::cout << r.stats.to_string();
-  if (r.truncated) std::cout << "TRUNCATED at " << opts.max_configs << " configurations\n";
+  if (g.json) {
+    support::JsonWriter w(std::cout);
+    explore::write_json_report(w, "explore", path, r, opts);
+    std::cout << '\n';
+  } else {
+    std::cout << r.stats.to_string();
+  }
+  if (r.truncated) {
+    std::cerr << "error: exploration truncated at " << opts.max_configs
+              << " configurations (counters are lower bounds; raise --max-configs)\n";
+    return 3;
+  }
   return 0;
 }
 
-int cmd_analyze(const copar::CompiledProgram& p) {
+int cmd_analyze(const copar::CompiledProgram& p, const std::string& path, const GlobalOpts& g) {
   using namespace copar;
   explore::ExploreOptions opts;
   opts.record_pairs = true;
@@ -126,19 +224,92 @@ int cmd_analyze(const copar::CompiledProgram& p) {
   absem::AbsExplorer<absdom::FlatInt> engine(*p.lowered, {});
   const auto abs = engine.run();
 
-  std::cout << "== side effects (§5.1) ==\n"
-            << analysis::side_effects_from(*p.lowered, abs).report(*p.lowered);
-  std::cout << "\n== may-happen-in-parallel ==\n"
-            << analysis::mhp_from(concrete).report(*p.lowered);
-  std::cout << "\n== dependences (§5.2) ==\n"
-            << analysis::dependences_from(concrete).report(*p.lowered);
-  std::cout << "\n== access anomalies ==\n"
-            << analysis::anomalies_from(concrete).report(*p.lowered);
+  telemetry::ScopedPhase phase_analysis(telemetry::Phase::Analysis);
+  const auto effects = analysis::side_effects_from(*p.lowered, abs);
+  const auto mhp = analysis::mhp_from(concrete);
+  const auto deps = analysis::dependences_from(concrete);
+  const auto anomalies = analysis::anomalies_from(concrete);
   const analysis::DeadStores dead = analysis::find_dead_stores(*p.lowered);
+  const auto lifetimes = analysis::lifetimes_from(concrete);
+
+  if (g.json) {
+    support::JsonWriter w(std::cout);
+    w.begin_object();
+    w.key("tool");
+    w.value("copar");
+    w.key("command");
+    w.value("analyze");
+    w.key("file");
+    w.value(path);
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, value] : concrete.stats.all()) {
+      w.key(name);
+      w.value(value);
+    }
+    for (const auto& [name, value] : abs.stats.all()) {
+      w.key(name);
+      w.value(value);
+    }
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, value] : concrete.stats.gauges()) {
+      w.key(name);
+      w.value(value);
+    }
+    w.end_object();
+    w.key("phases_ms");
+    telemetry::write_phases_ms(w);
+    w.key("phase_counts");
+    telemetry::write_phase_counts(w);
+    w.key("memory");
+    w.begin_object();
+    w.key("peak_rss_bytes");
+    w.value(telemetry::peak_rss_bytes());
+    w.end_object();
+    w.key("analyses");
+    w.begin_object();
+    w.key("mhp_pairs");
+    w.value(static_cast<std::uint64_t>(mhp.pairs.size()));
+    w.key("dependences");
+    w.value(static_cast<std::uint64_t>(deps.deps.size()));
+    w.key("anomalies");
+    w.value(static_cast<std::uint64_t>(anomalies.all.size()));
+    w.key("dead_stores");
+    w.value(static_cast<std::uint64_t>(dead.stores.size()));
+    w.key("lifetime_sites");
+    w.value(static_cast<std::uint64_t>(lifetimes.sites.size()));
+    w.end_object();
+    w.key("result");
+    w.begin_object();
+    w.key("configs");
+    w.value(concrete.num_configs);
+    w.key("transitions");
+    w.value(concrete.num_transitions);
+    w.key("terminals");
+    w.value(static_cast<std::uint64_t>(concrete.terminals.size()));
+    w.key("deadlock");
+    w.value(concrete.deadlock_found);
+    w.key("truncated");
+    w.value(concrete.truncated);
+    w.key("violations");
+    w.begin_array();
+    for (std::uint32_t v : concrete.violations) w.value(static_cast<std::uint64_t>(v));
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    std::cout << '\n';
+    return 0;
+  }
+
+  std::cout << "== side effects (§5.1) ==\n" << effects.report(*p.lowered);
+  std::cout << "\n== may-happen-in-parallel ==\n" << mhp.report(*p.lowered);
+  std::cout << "\n== dependences (§5.2) ==\n" << deps.report(*p.lowered);
+  std::cout << "\n== access anomalies ==\n" << anomalies.report(*p.lowered);
   if (!dead.stores.empty()) {
     std::cout << "\n== dead stores (parallel-safe) ==\n" << dead.report(*p.lowered);
   }
-  const auto lifetimes = analysis::lifetimes_from(concrete);
   if (!lifetimes.sites.empty()) {
     std::cout << "\n== lifetimes (§5.3) ==\n" << lifetimes.report(*p.lowered);
     std::cout << "\n== placement (§7) ==\n"
@@ -147,12 +318,69 @@ int cmd_analyze(const copar::CompiledProgram& p) {
   return 0;
 }
 
-int cmd_abstract(const copar::CompiledProgram& p, const std::vector<std::string>& args) {
+int cmd_abstract(const copar::CompiledProgram& p, const std::string& path,
+                 const std::vector<std::string>& args, const GlobalOpts& g) {
   using namespace copar;
   absem::AbsOptions opts;
   if (has_flag(args, "--clan")) opts.folding = absem::Folding::Clan;
   absem::AbsExplorer<absdom::FlatInt> engine(*p.lowered, opts);
   const auto r = engine.run();
+  if (g.json) {
+    support::JsonWriter w(std::cout);
+    w.begin_object();
+    w.key("tool");
+    w.value("copar");
+    w.key("command");
+    w.value("abstract");
+    w.key("file");
+    w.value(path);
+    w.key("options");
+    w.begin_object();
+    w.key("folding");
+    w.value(opts.folding == absem::Folding::Clan ? "clan" : "tree");
+    w.key("max_states");
+    w.value(opts.max_states);
+    w.end_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, value] : r.stats.all()) {
+      w.key(name);
+      w.value(value);
+    }
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, value] : r.stats.gauges()) {
+      w.key(name);
+      w.value(value);
+    }
+    w.end_object();
+    w.key("phases_ms");
+    telemetry::write_phases_ms(w);
+    w.key("phase_counts");
+    telemetry::write_phase_counts(w);
+    w.key("memory");
+    w.begin_object();
+    w.key("peak_rss_bytes");
+    w.value(telemetry::peak_rss_bytes());
+    w.end_object();
+    w.key("result");
+    w.begin_object();
+    w.key("abs_states");
+    w.value(r.num_states);
+    w.key("mhp_pairs");
+    w.value(static_cast<std::uint64_t>(r.mhp.size()));
+    w.key("truncated");
+    w.value(r.truncated);
+    w.key("may_fail_asserts");
+    w.begin_array();
+    for (std::uint32_t s : r.may_fail_asserts) w.value(static_cast<std::uint64_t>(s));
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    std::cout << '\n';
+    return 0;
+  }
   std::cout << "abstract states: " << r.num_states << '\n';
   std::cout << "MHP pairs: " << r.mhp.size() << '\n';
   if (!r.may_fail_asserts.empty()) {
@@ -234,6 +462,20 @@ int cmd_parallelize(const copar::CompiledProgram& p, const std::string& source,
   return ok ? 0 : 1;
 }
 
+/// Flushes the trace file (if requested) regardless of the exit path.
+int finish(const GlobalOpts& g, int rc) {
+  if (!g.trace_path.empty()) {
+    if (!copar::telemetry::Telemetry::global().write_trace_file(g.trace_path)) {
+      std::cerr << "error: cannot write trace to " << g.trace_path << '\n';
+      return rc == 0 ? 1 : rc;
+    }
+    std::cerr << "trace written to " << g.trace_path << " ("
+              << copar::telemetry::Telemetry::global().trace_size()
+              << " events); open in chrome://tracing or https://ui.perfetto.dev\n";
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -241,29 +483,45 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const std::string path = argv[2];
   std::vector<std::string> args(argv + 3, argv + argc);
+  const GlobalOpts global = extract_global_opts(args);
+  if (global.missing_trace_path) {
+    std::cerr << "error: --trace expects an output path\n";
+    return 2;
+  }
+  apply_global_opts(global);
 
   try {
     const std::string source = slurp(path);
     if (cmd == "fmt") {
       auto module = copar::lang::parse_program(source);
       std::cout << copar::lang::print(*module);
-      return 0;
+      return finish(global, 0);
     }
     auto program = copar::compile(source);
-    if (cmd == "run") return cmd_run(*program);
-    if (cmd == "explore") return cmd_explore(*program, args);
-    if (cmd == "analyze") return cmd_analyze(*program);
-    if (cmd == "abstract") return cmd_abstract(*program, args);
-    if (cmd == "witness") return cmd_witness(*program, args);
-    if (cmd == "parallelize") return cmd_parallelize(*program, source, args);
-    if (cmd == "graph") return cmd_graph(*program, args);
-    if (cmd == "disasm") {
+    int rc;
+    if (cmd == "run") {
+      rc = cmd_run(*program, path, global);
+    } else if (cmd == "explore") {
+      rc = cmd_explore(*program, path, args, global);
+    } else if (cmd == "analyze") {
+      rc = cmd_analyze(*program, path, global);
+    } else if (cmd == "abstract") {
+      rc = cmd_abstract(*program, path, args, global);
+    } else if (cmd == "witness") {
+      rc = cmd_witness(*program, args);
+    } else if (cmd == "parallelize") {
+      rc = cmd_parallelize(*program, source, args);
+    } else if (cmd == "graph") {
+      rc = cmd_graph(*program, args);
+    } else if (cmd == "disasm") {
       std::cout << program->lowered->disassemble();
-      return 0;
+      rc = 0;
+    } else {
+      return usage();
     }
-    return usage();
+    return finish(global, rc);
   } catch (const copar::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return finish(global, 1);
   }
 }
