@@ -41,6 +41,7 @@
 
 #include "src/absdom/map.h"
 #include "src/absem/absvalue.h"
+#include "src/sem/config.h"
 #include "src/sem/lower.h"
 #include "src/support/stats.h"
 
@@ -102,6 +103,20 @@ struct AbsResult {
   std::set<std::pair<std::uint32_t, std::uint32_t>> mhp;
   /// Assertions that may fail on some abstract path.
   std::set<std::uint32_t> may_fail_asserts;
+  /// Run-time errors possible on some abstract path: (stmt id, expr id,
+  /// sem::Fault as uint8). Sound over-approximation — a listed fault *may*
+  /// occur; absence means the abstract semantics proves it cannot.
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>> may_faults;
+  /// Join of the abstract allocation size per alloc statement id.
+  std::map<std::uint32_t, N> site_sizes;
+  /// Statement ids whose action was ever enabled in a reached abstract
+  /// state. Statements lowered to instructions but absent here are
+  /// unreachable under the abstract semantics.
+  std::set<std::uint32_t> reached_stmts;
+  /// Reads of never-written cells: (stmt id, expr id, location). Implicit
+  /// zero-initialization means these are "reads of the default 0", which
+  /// the uninitialized-read check reports for named variables.
+  std::set<std::tuple<std::uint32_t, std::uint32_t, AbsLoc>> uninit_reads;
   /// Direct abstract read/write sets per proc.
   std::map<std::uint32_t, std::set<AbsLoc>> reads_direct;
   std::map<std::uint32_t, std::set<AbsLoc>> writes_direct;
@@ -236,6 +251,25 @@ class AbsExplorer {
   std::set<std::uint32_t> merged_fns_;
   /// Call string of the point currently being transferred (null = empty).
   const std::vector<std::uint32_t>* cur_cstring_ = nullptr;
+  /// Statement and expression context of the action currently being
+  /// transferred, for fault attribution (kNoCtx = outside any action, e.g.
+  /// global initializers — faults there are not recorded).
+  static constexpr std::uint32_t kNoCtx = 0xffffffffu;
+  std::uint32_t cur_stmt_ = kNoCtx;
+  /// Fault/uninit recording gate: off for Lock/Unlock actions (their cell
+  /// traffic is synchronization, not data flow) and outside actions.
+  bool track_faults_ = false;
+
+  /// Records a may-fault at `expr` of the current action, if tracking.
+  void note_fault(sem::Fault f, std::uint32_t expr_id) {
+    if (track_faults_ && cur_stmt_ != kNoCtx) {
+      result_.may_faults.insert({cur_stmt_, expr_id, static_cast<std::uint8_t>(f)});
+    }
+  }
+
+  /// Records an OutOfBounds may-fault when `index` may fall outside an
+  /// indexed heap object's allocated size (joined per alloc site).
+  void check_bounds(const Value& base, const Value& index, const lang::Index& ix);
 
   std::map<AbsControl, Store> states_;
   std::deque<AbsControl> work_;

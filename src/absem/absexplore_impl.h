@@ -149,8 +149,15 @@ AbsValue<N> AbsExplorer<N>::eval(const Store& store, std::uint32_t proc, const l
       return Value::of_int(lang::expr_cast<lang::BoolLit>(e).value() ? 1 : 0);
     case ExprKind::NullLit:
       return Value::of_null();
-    case ExprKind::VarRef:
-      return read_loc(store, var_absloc(proc, e));
+    case ExprKind::VarRef: {
+      const AbsLoc loc = var_absloc(proc, e);
+      if (track_faults_ && cur_stmt_ != kNoCtx && store.get(loc).is_bottom()) {
+        // Bottom = never written on any path to here: the read observes the
+        // implicit zero-initialization.
+        result_.uninit_reads.insert({cur_stmt_, e.id(), loc});
+      }
+      return read_loc(store, loc);
+    }
     case ExprKind::Unary: {
       const auto& u = lang::expr_cast<lang::Unary>(e);
       const Value v = eval(store, proc, u.operand());
@@ -186,9 +193,11 @@ AbsValue<N> AbsExplorer<N>::eval(const Store& store, std::uint32_t proc, const l
           out.num = N::mul(l.num, r.num);
           return out;
         case BinOp::Div:
+          if (r.may_be_falsy()) note_fault(sem::Fault::DivByZero, b.rhs().id());
           out.num = N::div(l.num, r.num);
           return out;
         case BinOp::Mod:
+          if (r.may_be_falsy()) note_fault(sem::Fault::DivByZero, b.rhs().id());
           out.num = N::mod(l.num, r.num);
           return out;
         case BinOp::Eq:
@@ -258,18 +267,45 @@ std::set<AbsLoc> AbsExplorer<N>::lvalue_locs(const Store& store, std::uint32_t p
     case ExprKind::VarRef:
       return {var_absloc(proc, lv)};
     case ExprKind::Deref: {
-      const Value p = eval(store, proc, lang::expr_cast<lang::Deref>(lv).pointer());
+      const auto& d = lang::expr_cast<lang::Deref>(lv);
+      const Value p = eval(store, proc, d.pointer());
+      if (p.may_null) note_fault(sem::Fault::DerefNull, d.pointer().id());
       return {p.ptrs.elems().begin(), p.ptrs.elems().end()};
     }
     case ExprKind::Index: {
       const auto& ix = lang::expr_cast<lang::Index>(lv);
       const Value base = eval(store, proc, ix.base());
-      (void)eval(store, proc, ix.index());  // collect its reads
+      const Value index = eval(store, proc, ix.index());
+      if (base.may_null) note_fault(sem::Fault::DerefNull, ix.base().id());
+      check_bounds(base, index, ix);
       const auto spread = spread_frames(base.ptrs);
       return {spread.elems().begin(), spread.elems().end()};
     }
     default:
       throw Error("abstract lvalue_locs: not an lvalue");
+  }
+}
+
+template <NumDomain N>
+void AbsExplorer<N>::check_bounds(const Value& base, const Value& index,
+                                  const lang::Index& ix) {
+  if (!track_faults_ || cur_stmt_ == kNoCtx) return;
+  for (const AbsLoc& loc : base.ptrs.elems()) {
+    if (loc.kind != AbsLoc::Kind::Heap) continue;
+    const auto it = result_.site_sizes.find(loc.a);
+    if (it == result_.site_sizes.end()) continue;
+    const bool below =
+        N::cmp(index.num, N::constant(0),
+               +[](std::int64_t x, std::int64_t y) { return x < y; })
+            .may_be_truthy();
+    const bool above =
+        N::cmp(index.num, it->second,
+               +[](std::int64_t x, std::int64_t y) { return x >= y; })
+            .may_be_truthy();
+    if (below || above) {
+      note_fault(sem::Fault::OutOfBounds, ix.index().id());
+      return;
+    }
   }
 }
 
@@ -469,6 +505,7 @@ void AbsExplorer<N>::transfer(const AbsControl& ctrl, const Store& store) {
     const sem::Instr& instr = prog_.proc(p.proc).code[p.pc];
     const std::uint32_t stmt = instr.stmt != nullptr ? instr.stmt->id() : sem::kNoStmt;
     if (stmt != sem::kNoStmt) {
+      result_.reached_stmts.insert(stmt);
       if (p.omega) result_.mhp.insert({stmt, stmt});
       for (std::size_t j = i + 1; j < ctrl.size(); ++j) {
         const sem::Instr& other = prog_.proc(ctrl[j].proc).code[ctrl[j].pc];
@@ -491,6 +528,10 @@ void AbsExplorer<N>::transfer_point(const AbsControl& ctrl, const Store& store,
   cur_cstring_ = &point.cstring;
   cur_reads_.clear();
   cur_writes_.clear();
+  cur_stmt_ = instr.stmt != nullptr ? instr.stmt->id() : kNoCtx;
+  // Lock/unlock cell traffic is synchronization, not data flow: reading a
+  // free (zero) lock cell is not an uninitialized read.
+  track_faults_ = instr.op != sem::Op::Lock && instr.op != sem::Op::Unlock;
 
   // Builds the successor control states for this point making a move; an ω
   // point leaves a residual instance behind (count ≥ 2 means "one moves,
@@ -532,8 +573,15 @@ void AbsExplorer<N>::transfer_point(const AbsControl& ctrl, const Store& store,
     }
     case sem::Op::Alloc: {
       Store s = store;
-      (void)eval(s, point.proc, *instr.rhs);  // size (reads collected)
+      const Value size = eval(s, point.proc, *instr.rhs);
       require(instr.stmt != nullptr, "alloc without statement");
+      if (N::cmp(size.num, N::constant(0),
+                 +[](std::int64_t x, std::int64_t y) { return x < y; })
+              .may_be_truthy()) {
+        note_fault(sem::Fault::NegativeAlloc, instr.rhs->id());
+      }
+      auto [sit, fresh] = result_.site_sizes.emplace(instr.stmt->id(), size.num);
+      if (!fresh) sit->second = sit->second.join(size.num);
       const AbsLoc site = AbsLoc::heap(instr.stmt->id());
       s.join_at(site, Value::of_int(0));  // fresh cells are zero
       update(s, lvalue_locs(s, point.proc, *instr.lhs), Value::of_ptr(site));

@@ -1,6 +1,9 @@
 #include "src/analysis/anomaly.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
+#include <vector>
 
 #include "src/analysis/common.h"
 #include "src/analysis/depend.h"
@@ -8,10 +11,29 @@
 namespace copar::analysis {
 
 std::string Anomalies::report(const sem::LoweredProgram& prog) const {
+  // Stable output order: by source span, then kind, then statement ids —
+  // independent of internal set ordering, suitable for golden tests.
+  std::vector<const Anomaly*> order;
+  order.reserve(all.size());
+  for (const Anomaly& a : all) order.push_back(&a);
+  std::sort(order.begin(), order.end(), [&](const Anomaly* a, const Anomaly* b) {
+    return std::make_tuple(prog.stmt_span(a->stmt1), prog.stmt_span(a->stmt2), a->write_write,
+                           a->stmt1, a->stmt2) <
+           std::make_tuple(prog.stmt_span(b->stmt1), prog.stmt_span(b->stmt2), b->write_write,
+                           b->stmt1, b->stmt2);
+  });
   std::ostringstream os;
-  for (const Anomaly& a : all) {
-    os << (a.write_write ? "write/write race: " : "write/read race: ")
-       << describe_stmt(prog, a.stmt1) << " vs " << describe_stmt(prog, a.stmt2) << '\n';
+  for (const Anomaly* a : order) {
+    os << (a->write_write ? "write/write race: " : "write/read race: ")
+       << describe_stmt(prog, a->stmt1);
+    if (const SourceSpan sp = prog.stmt_span(a->stmt1); sp.valid()) {
+      os << " (" << to_string(sp.begin) << ')';
+    }
+    os << " vs " << describe_stmt(prog, a->stmt2);
+    if (const SourceSpan sp = prog.stmt_span(a->stmt2); sp.valid()) {
+      os << " (" << to_string(sp.begin) << ')';
+    }
+    os << '\n';
   }
   return os.str();
 }

@@ -1,6 +1,9 @@
 #include "src/analysis/mhp.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
+#include <vector>
 
 #include "src/analysis/common.h"
 
@@ -15,8 +18,17 @@ bool Mhp::parallel(const sem::LoweredProgram& prog, std::string_view l1,
 }
 
 std::string Mhp::report(const sem::LoweredProgram& prog) const {
+  // Stable output order: by source span, then statement ids (see
+  // Anomalies::report).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order(pairs.begin(), pairs.end());
+  std::sort(order.begin(), order.end(), [&](const auto& a, const auto& b) {
+    return std::make_tuple(prog.stmt_span(a.first), prog.stmt_span(a.second), a.first,
+                           a.second) < std::make_tuple(prog.stmt_span(b.first),
+                                                       prog.stmt_span(b.second), b.first,
+                                                       b.second);
+  });
   std::ostringstream os;
-  for (const auto& [s, t] : pairs) {
+  for (const auto& [s, t] : order) {
     os << describe_stmt(prog, s) << " || " << describe_stmt(prog, t) << '\n';
   }
   return os.str();

@@ -1,0 +1,337 @@
+#include "src/check/check.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/absdom/flat.h"
+#include "src/absdom/interval.h"
+#include "src/absem/absexplore.h"
+#include "src/analysis/anomaly.h"
+#include "src/analysis/common.h"
+#include "src/analysis/deadstore.h"
+#include "src/explore/explorer.h"
+#include "src/explore/witness.h"
+#include "src/sem/step.h"
+
+namespace copar::check {
+
+namespace {
+
+constexpr std::string_view kSuppressHint =
+    "suppress with `// copar-ignore(<code>)` on or above the line";
+
+constexpr std::array<RuleInfo, 17> kCatalog = {{
+    {"arity-mismatch", Severity::Error, "call with the wrong number of arguments",
+     "The callee's parameter list does not match the argument count on some path."},
+    {"assert-fail", Severity::Error, "assertion fails on some interleaving",
+     "The concrete exploration found a schedule under which the asserted condition is false."},
+    {"assert-may-fail", Severity::Warning, "assertion may fail (abstract)",
+     "The abstract semantics cannot prove the assertion; the concrete exploration was "
+     "truncated before confirming or refuting it."},
+    {"bad-deref", Severity::Error, "dereference of a non-pointer value",
+     "A `*p` or `p[i]` access where `p` holds an integer, boolean, or function."},
+    {"bounds", Severity::Error, "indexed access outside the allocated object",
+     "The index is negative or not below the allocation size on some path."},
+    {"dead-store", Severity::Warning, "stored value is never observed",
+     "No later read — in this thread or any concurrent one — can see the assigned value. "
+     "Sound for cobegin programs: stores other threads may observe are kept."},
+    {"deadlock", Severity::Error, "the program can deadlock",
+     "Some interleaving leaves live processes with no enabled action (e.g. a lock cycle)."},
+    {"div-zero", Severity::Error, "division by zero",
+     "The right operand of `/` or `%` can be zero on some path."},
+    {"negative-alloc", Severity::Error, "allocation with a negative size",
+     "The size expression of `alloc` can be negative on some path."},
+    {"not-a-function", Severity::Error, "call of a non-function value",
+     "The callee expression does not evaluate to a function on some path."},
+    {"null-deref", Severity::Error, "null pointer dereference",
+     "A `*p` or `p[i]` access where `p` can be null on some path."},
+    {"race", Severity::Error, "data race between concurrent statements",
+     "Two statements that may run in parallel access the same location, at least one "
+     "writing, with no synchronization ordering them."},
+    {"syntax", Severity::Error, "lexical, syntactic, or resolution error",
+     "The program does not parse or resolve; remaining checks did not run."},
+    {"type-error", Severity::Error, "operands have incompatible runtime types",
+     "An arithmetic or comparison operator meets a pointer/function operand it cannot "
+     "combine."},
+    {"uninit-read", Severity::Warning, "read of a variable before any write",
+     "The read observes the implicit zero initialization on some path. Initialize the "
+     "variable explicitly if the zero is intended."},
+    {"unlock-not-held", Severity::Error, "unlock of a lock that is not held",
+     "The unlocking process does not own the lock cell on some path."},
+    {"unreachable", Severity::Warning, "statement is unreachable",
+     "No abstract execution reaches this statement; it is dead code (or only reachable "
+     "from dead code)."},
+}};
+
+std::string_view fault_phrase(sem::Fault f) {
+  switch (f) {
+    case sem::Fault::DerefNull: return "null pointer dereference";
+    case sem::Fault::DerefNonPointer: return "dereference of a non-pointer value";
+    case sem::Fault::OutOfBounds: return "indexed access outside the allocated object";
+    case sem::Fault::TypeError: return "operands have incompatible runtime types";
+    case sem::Fault::DivByZero: return "division by zero";
+    case sem::Fault::NotAFunction: return "call of a non-function value";
+    case sem::Fault::ArityMismatch: return "call with the wrong number of arguments";
+    case sem::Fault::UnlockNotHeld: return "unlock of a lock that is not held";
+    case sem::Fault::NegativeAlloc: return "allocation with a negative size";
+  }
+  return "runtime fault";
+}
+
+/// True when the statement is pure synchronization: a race between two
+/// lock/unlock actions is contention on the lock cell, not a data race.
+bool is_sync_stmt(const sem::LoweredProgram& prog, std::uint32_t stmt_id) {
+  const lang::Stmt* s = prog.stmt(stmt_id);
+  return s != nullptr &&
+         (s->kind() == lang::StmtKind::Lock || s->kind() == lang::StmtKind::Unlock);
+}
+
+std::vector<DiagNote> witness_notes(const sem::LoweredProgram& prog,
+                                    const explore::Witness& w) {
+  std::vector<DiagNote> notes;
+  notes.push_back(DiagNote{{}, "witness interleaving (" + std::to_string(w.steps.size()) +
+                                   (w.steps.size() == 1 ? " step):" : " steps):")});
+  for (std::size_t i = 0; i < w.steps.size(); ++i) {
+    const explore::WitnessStep& s = w.steps[i];
+    std::ostringstream os;
+    os << "step " << i + 1 << ": p" << s.pid << ' ' << sem::action_kind_name(s.kind);
+    if (!s.point.empty()) os << " at " << s.point;
+    SourceSpan span;
+    if (s.stmt != sem::kNoStmt) span = prog.stmt_span(s.stmt);
+    notes.push_back(DiagNote{span, os.str()});
+  }
+  return notes;
+}
+
+Diagnostic make_finding(std::string_view code, Severity sev, SourceSpan span,
+                        std::string message) {
+  Diagnostic d;
+  d.code = std::string(code);
+  d.severity = sev;
+  d.span = span;
+  d.loc = span.begin;
+  d.message = std::move(message);
+  return d;
+}
+
+}  // namespace
+
+std::span<const RuleInfo> catalog() { return kCatalog; }
+
+const RuleInfo* find_rule(std::string_view code) {
+  const auto it = std::lower_bound(kCatalog.begin(), kCatalog.end(), code,
+                                   [](const RuleInfo& r, std::string_view c) { return r.id < c; });
+  return it != kCatalog.end() && it->id == code ? &*it : nullptr;
+}
+
+std::string_view fault_code(sem::Fault f) {
+  switch (f) {
+    case sem::Fault::DerefNull: return "null-deref";
+    case sem::Fault::DerefNonPointer: return "bad-deref";
+    case sem::Fault::OutOfBounds: return "bounds";
+    case sem::Fault::TypeError: return "type-error";
+    case sem::Fault::DivByZero: return "div-zero";
+    case sem::Fault::NotAFunction: return "not-a-function";
+    case sem::Fault::ArityMismatch: return "arity-mismatch";
+    case sem::Fault::UnlockNotHeld: return "unlock-not-held";
+    case sem::Fault::NegativeAlloc: return "negative-alloc";
+  }
+  return "fault";
+}
+
+CheckSummary run_checks(const CompiledProgram& cp, DiagnosticEngine& engine,
+                        const CheckOptions& opts) {
+  const sem::LoweredProgram& prog = *cp.lowered;
+  CheckSummary sum;
+
+  // Abstract pass (intervals): may-faults, uninitialized reads, assertion
+  // and reachability facts. Terminates on every program (widening).
+  absem::AbsOptions aopts;
+  aopts.max_states = opts.abs_max_states;
+  absem::AbsResult<absdom::Interval> abs =
+      absem::AbsExplorer<absdom::Interval>(prog, aopts).run();
+  sum.abstract_states = abs.num_states;
+
+  // Concrete pass: ground truth when it completes — copar programs are
+  // closed (no inputs), so an untruncated exploration covers every behavior.
+  explore::ExploreOptions eopts;
+  eopts.record_pairs = true;
+  eopts.max_configs = opts.max_configs;
+  const explore::ExploreResult conc = explore::explore(prog, eopts);
+  sum.concrete_configs = conc.num_configs;
+  sum.concrete_exhaustive = !conc.truncated;
+
+  std::size_t witness_budget = opts.witnesses ? opts.max_witnesses : 0;
+  auto try_witness = [&](explore::WitnessQuery q) -> std::optional<explore::Witness> {
+    if (witness_budget == 0) return std::nullopt;
+    --witness_budget;
+    q.explore.max_configs = opts.max_configs;
+    return explore::find_witness(prog, q);
+  };
+
+  // --- run-time faults ----------------------------------------------------
+  for (const auto& [stmt, fault_raw] : conc.faults) {
+    const auto fault = static_cast<sem::Fault>(fault_raw);
+    Diagnostic d = make_finding(fault_code(fault), Severity::Error, prog.stmt_span(stmt),
+                                std::string(fault_phrase(fault)) + " in " +
+                                    analysis::describe_stmt(prog, stmt));
+    explore::WitnessQuery q;
+    q.want_fault = stmt;
+    if (auto w = try_witness(std::move(q))) d.notes = witness_notes(prog, *w);
+    engine.report(std::move(d));
+  }
+  if (!sum.concrete_exhaustive) {
+    // The concrete space was truncated: surface the abstract may-faults it
+    // did not get to confirm. (When exhaustive, unconfirmed abstract
+    // alarms are refuted and dropped.)
+    std::set<std::pair<std::uint32_t, std::uint8_t>> seen;
+    for (const auto& [stmt, expr, fault_raw] : abs.may_faults) {
+      if (conc.faults.contains({stmt, fault_raw})) continue;
+      if (!seen.insert({stmt, fault_raw}).second) continue;
+      const auto fault = static_cast<sem::Fault>(fault_raw);
+      engine.report(make_finding(fault_code(fault), Severity::Warning, prog.stmt_span(stmt),
+                                 "possible " + std::string(fault_phrase(fault)) + " in " +
+                                     analysis::describe_stmt(prog, stmt)));
+    }
+  }
+
+  // --- data races ---------------------------------------------------------
+  analysis::Anomalies anomalies;
+  if (sum.concrete_exhaustive) {
+    anomalies = analysis::anomalies_from(conc);
+  } else {
+    // Fall back to the sound abstract anomaly candidates.
+    absem::AbsOptions fopts;
+    fopts.max_states = opts.abs_max_states;
+    const absem::AbsResult<absdom::FlatInt> flat =
+        absem::AbsExplorer<absdom::FlatInt>(prog, fopts).run();
+    anomalies = analysis::anomalies_from(flat);
+  }
+  for (const analysis::Anomaly& a : anomalies.all) {
+    if (is_sync_stmt(prog, a.stmt1) && is_sync_stmt(prog, a.stmt2)) continue;
+    std::ostringstream msg;
+    if (!sum.concrete_exhaustive) msg << "possible ";
+    msg << (a.write_write ? "write/write" : "write/read") << " data race between "
+        << analysis::describe_stmt(prog, a.stmt1) << " and "
+        << analysis::describe_stmt(prog, a.stmt2);
+    Diagnostic d = make_finding("race", Severity::Error, prog.stmt_span(a.stmt1), msg.str());
+    d.related_spans.push_back(prog.stmt_span(a.stmt2));
+    // Witness: a reachable state where both statements are simultaneously
+    // enabled (for a self-race, two enabled instances of the statement).
+    explore::WitnessQuery q;
+    const std::uint32_t s1 = a.stmt1;
+    const std::uint32_t s2 = a.stmt2;
+    q.reach_predicate = [s1, s2](const sem::Configuration& cfg) {
+      int n1 = 0;
+      int n2 = 0;
+      for (const sem::ActionInfo& info : sem::all_action_infos(cfg)) {
+        if (!info.enabled || info.stmt_id == sem::kNoStmt) continue;
+        if (info.stmt_id == s1) ++n1;
+        if (info.stmt_id == s2) ++n2;
+      }
+      return s1 == s2 ? n1 >= 2 : (n1 >= 1 && n2 >= 1);
+    };
+    if (auto w = try_witness(std::move(q))) {
+      d.notes = witness_notes(prog, *w);
+      d.notes.push_back(DiagNote{
+          prog.stmt_span(s2), "here " + analysis::describe_stmt(prog, s1) + " and " +
+                                  analysis::describe_stmt(prog, s2) +
+                                  " are both enabled; either may fire first"});
+    }
+    engine.report(std::move(d));
+  }
+
+  // --- deadlock -----------------------------------------------------------
+  if (conc.deadlock_found) {
+    // Anchor the finding at the statements the blocked processes sit on.
+    SourceSpan span;
+    std::vector<SourceSpan> related;
+    for (const auto& [key, term] : conc.terminals) {
+      if (!term.deadlock) continue;
+      for (const sem::ActionInfo& info : sem::all_action_infos(term.config)) {
+        if (info.stmt_id == sem::kNoStmt) continue;
+        const SourceSpan s = prog.stmt_span(info.stmt_id);
+        if (!span.valid()) {
+          span = s;
+        } else if (s.valid()) {
+          related.push_back(s);
+        }
+      }
+      break;
+    }
+    Diagnostic d = make_finding("deadlock", Severity::Error, span,
+                                "the program can deadlock: some interleaving blocks every "
+                                "live process");
+    d.related_spans = std::move(related);
+    explore::WitnessQuery q;
+    q.want_deadlock = true;
+    if (auto w = try_witness(std::move(q))) d.notes = witness_notes(prog, *w);
+    engine.report(std::move(d));
+  }
+
+  // --- assertions ---------------------------------------------------------
+  for (const std::uint32_t stmt : conc.violations) {
+    Diagnostic d = make_finding("assert-fail", Severity::Error, prog.stmt_span(stmt),
+                                "assertion fails on some interleaving: " +
+                                    analysis::describe_stmt(prog, stmt));
+    explore::WitnessQuery q;
+    q.want_violation = stmt;
+    if (auto w = try_witness(std::move(q))) d.notes = witness_notes(prog, *w);
+    engine.report(std::move(d));
+  }
+  if (!sum.concrete_exhaustive) {
+    for (const std::uint32_t stmt : abs.may_fail_asserts) {
+      if (conc.violations.contains(stmt)) continue;
+      engine.report(make_finding("assert-may-fail", Severity::Warning, prog.stmt_span(stmt),
+                                 "assertion may fail: " +
+                                     analysis::describe_stmt(prog, stmt)));
+    }
+  }
+
+  // --- uninitialized reads ------------------------------------------------
+  {
+    std::set<std::pair<std::uint32_t, std::string>> seen;
+    for (const auto& [stmt, expr, loc] : abs.uninit_reads) {
+      std::string what = analysis::describe_loc(prog, loc);
+      if (!seen.insert({stmt, what}).second) continue;
+      engine.report(make_finding("uninit-read", Severity::Warning, prog.stmt_span(stmt),
+                                 "read of " + what + " before any write (observes the "
+                                 "implicit 0) in " + analysis::describe_stmt(prog, stmt)));
+    }
+  }
+
+  // --- unreachable statements ---------------------------------------------
+  if (!abs.truncated) {
+    std::set<std::uint32_t> lowered_stmts;
+    for (const sem::Proc& p : prog.procs()) {
+      for (const sem::Instr& instr : p.code) {
+        if (instr.stmt != nullptr) lowered_stmts.insert(instr.stmt->id());
+      }
+    }
+    for (const std::uint32_t stmt : lowered_stmts) {
+      if (abs.reached_stmts.contains(stmt)) continue;
+      engine.report(make_finding("unreachable", Severity::Warning, prog.stmt_span(stmt),
+                                 "statement is unreachable: " +
+                                     analysis::describe_stmt(prog, stmt)));
+    }
+  }
+
+  // --- dead stores ----------------------------------------------------------
+  for (const std::uint32_t stmt : analysis::find_dead_stores(prog).stores) {
+    engine.report(make_finding("dead-store", Severity::Warning, prog.stmt_span(stmt),
+                               "stored value is never observed: " +
+                                   analysis::describe_stmt(prog, stmt)));
+  }
+
+  engine.sort_by_location();
+  return sum;
+}
+
+}  // namespace copar::check

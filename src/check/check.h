@@ -1,0 +1,68 @@
+// The static checker battery behind `copar-cli check`.
+//
+// Runs the framework's engines over a compiled program and turns their raw
+// facts into coded, source-located diagnostics:
+//
+//   * a concrete exploration (record_pairs) supplies ground truth when it
+//     completes: run-time faults, failing assertions, deadlocks, and the
+//     exact co-enabled conflicting pairs (data races);
+//   * an interval abstract interpretation supplies sound may-information:
+//     may-faults (division by zero, null dereference, out-of-bounds index,
+//     negative allocation), uninitialized reads, and statement
+//     reachability — used directly for the warnings-only checks and as the
+//     fallback when the concrete space is truncated;
+//   * the dead-store pass and (for races on truncated spaces) the flat
+//     abstract anomaly analysis are wrapped as-is.
+//
+// Findings that a completed concrete exploration refutes (an abstract
+// may-fault that never concretely fires) are dropped: the concrete space of
+// a closed program is exhaustive, so the abstract alarm is a false alarm.
+// Error-severity findings come with witness interleavings (explore/witness)
+// when the search budget allows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/sem/config.h"
+#include "src/sem/program.h"
+#include "src/support/diagnostics.h"
+
+namespace copar::check {
+
+struct CheckOptions {
+  /// Search for witness interleavings for error findings (bounded BFS).
+  bool witnesses = true;
+  /// At most this many witness searches per run (they re-explore).
+  std::size_t max_witnesses = 4;
+  /// Budgets for the concrete exploration and the abstract fixpoint.
+  std::uint64_t max_configs = 200000;
+  std::uint64_t abs_max_states = 200000;
+};
+
+struct CheckSummary {
+  /// The concrete exploration covered the full state space (no truncation):
+  /// error findings are definite, refuted abstract alarms were dropped.
+  bool concrete_exhaustive = false;
+  std::uint64_t concrete_configs = 0;
+  std::uint64_t abstract_states = 0;
+};
+
+/// Stable check-code metadata (sorted by id), the single source of truth
+/// for docs, SARIF rule tables, and `--list-checks`.
+std::span<const RuleInfo> catalog();
+
+/// The catalog entry for `code`; null if unknown.
+const RuleInfo* find_rule(std::string_view code);
+
+/// Diagnostic code for a concrete fault kind ("div-zero", "bounds", ...).
+std::string_view fault_code(sem::Fault f);
+
+/// Runs every check over `prog`, reporting findings into `engine` (which
+/// already carries per-code disables and suppression comments). Findings
+/// are sorted by location before returning.
+CheckSummary run_checks(const CompiledProgram& prog, DiagnosticEngine& engine,
+                        const CheckOptions& opts = {});
+
+}  // namespace copar::check

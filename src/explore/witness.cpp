@@ -29,6 +29,10 @@ std::string Witness::to_string(const sem::LoweredProgram& prog) const {
 namespace {
 
 bool matches(const WitnessQuery& q, const Configuration& cfg, bool deadlock) {
+  if (q.reach_predicate && !q.want_deadlock && q.want_violation == sem::kNoStmt &&
+      q.want_fault == sem::kNoStmt && !q.predicate) {
+    return false;  // purely a reachability query: only reach_predicate satisfies it
+  }
   if (q.want_deadlock && !deadlock) return false;
   if (q.want_violation != sem::kNoStmt || q.want_fault != sem::kNoStmt) {
     bool ok = false;
@@ -95,6 +99,7 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
 
     // Snapshot — nodes may reallocate during expansion.
     const Configuration cfg = nodes[id].cfg;
+    if (query.reach_predicate && query.reach_predicate(cfg)) return build(id);
     const std::vector<ActionInfo> infos = sem::all_action_infos(cfg);
     std::vector<Pid> expand;
     for (const ActionInfo& info : infos) {

@@ -42,6 +42,10 @@ struct WitnessQuery {
   std::uint32_t want_fault = sem::kNoStmt;
   /// Predicate on the terminal configuration (null: none). Applied last.
   std::function<bool(const sem::Configuration&)> predicate;
+  /// Predicate checked on *every* visited configuration, terminal or not
+  /// (null: none). Used for reachability witnesses, e.g. "a state where
+  /// both statements of a racing pair are simultaneously enabled".
+  std::function<bool(const sem::Configuration&)> reach_predicate;
 
   ExploreOptions explore;  // reduction etc.; record flags are ignored
 };

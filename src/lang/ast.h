@@ -65,12 +65,18 @@ class Expr {
 
   [[nodiscard]] ExprKind kind() const noexcept { return kind_; }
   [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+  /// Full source range; end is set by the parser once the node is complete.
+  [[nodiscard]] SourceSpan span() const noexcept {
+    return SourceSpan{loc_, end_.valid() ? end_ : loc_};
+  }
+  void set_end(SourceLoc end) noexcept { end_ = end; }
   /// Module-unique id; analyses key results off expression/statement ids.
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
 
  private:
   ExprKind kind_;
   SourceLoc loc_;
+  SourceLoc end_;
   std::uint32_t id_;
 };
 
@@ -214,6 +220,11 @@ class Stmt {
 
   [[nodiscard]] StmtKind kind() const noexcept { return kind_; }
   [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+  /// Full source range; end is set by the parser once the node is complete.
+  [[nodiscard]] SourceSpan span() const noexcept {
+    return SourceSpan{loc_, end_.valid() ? end_ : loc_};
+  }
+  void set_end(SourceLoc end) noexcept { end_ = end; }
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
 
   /// Optional `name:` label; invalid Symbol when absent.
@@ -223,6 +234,7 @@ class Stmt {
  private:
   StmtKind kind_;
   SourceLoc loc_;
+  SourceLoc end_;
   std::uint32_t id_;
   Symbol label_;
 };
@@ -481,11 +493,23 @@ class Module {
     return labels_;
   }
 
+  /// id -> statement index, populated by the resolver. Analyses report
+  /// results keyed by statement id; the checkers map those back to source
+  /// spans through here.
+  void register_stmt(const Stmt* stmt) {
+    if (stmt->id() >= stmt_by_id_.size()) stmt_by_id_.resize(stmt->id() + 1, nullptr);
+    stmt_by_id_[stmt->id()] = stmt;
+  }
+  [[nodiscard]] const Stmt* stmt_by_id(std::uint32_t id) const noexcept {
+    return id < stmt_by_id_.size() ? stmt_by_id_[id] : nullptr;
+  }
+
  private:
   std::unique_ptr<Interner> interner_;
   std::vector<GlobalDecl> globals_;
   std::vector<std::unique_ptr<FunDecl>> functions_;
   std::unordered_map<Symbol, const Stmt*> labels_;
+  std::vector<const Stmt*> stmt_by_id_;
   std::uint32_t next_id_ = 0;
 };
 

@@ -72,6 +72,16 @@ void Lexer::skip_trivia() {
 }
 
 Token Lexer::next() {
+  Token t = scan();
+  // scan() consumes nothing after producing its token (error paths recurse
+  // before returning), so the current position is one past the token's last
+  // character.
+  t.end = here();
+  if (!t.end.valid() || t.end < t.loc) t.end = t.loc;
+  return t;
+}
+
+Token Lexer::scan() {
   skip_trivia();
   Token t;
   t.loc = here();

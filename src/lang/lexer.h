@@ -20,7 +20,10 @@ class Lexer {
   std::vector<Token> lex_all();
 
  private:
+  /// Scans one token and stamps its end position.
   Token next();
+  /// Scans one token (end position filled in by next()).
+  Token scan();
   [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept;
   char advance() noexcept;
   [[nodiscard]] bool at_end() const noexcept { return pos_ >= source_.size(); }

@@ -20,6 +20,7 @@ const Token& Parser::peek(std::size_t ahead) const {
 const Token& Parser::advance() {
   const Token& t = tokens_[pos_];
   if (pos_ + 1 < tokens_.size()) ++pos_;
+  prev_end_ = t.end;
   return t;
 }
 
@@ -94,7 +95,7 @@ std::unique_ptr<Block> Parser::parse_block() {
   std::vector<StmtPtr> stmts;
   while (!peek().is(Tok::RBrace) && !peek().is(Tok::Eof)) parse_stmt(stmts);
   expect(Tok::RBrace, "to close block");
-  return std::make_unique<Block>(std::move(stmts), loc, id);
+  return finish(std::make_unique<Block>(std::move(stmts), loc, id));
 }
 
 void Parser::parse_stmt(std::vector<StmtPtr>& out) {
@@ -120,12 +121,15 @@ void Parser::parse_unlabeled(std::vector<StmtPtr>& out, Symbol label) {
       if (match(Tok::Assign)) {
         // `var x = rhs;` desugars to `var x; x = rhs;` so that alloc/call
         // initializers reuse the statement-level forms.
-        out.push_back(std::make_unique<VarDeclStmt>(name.ident, nullptr, loc, id));
+        auto decl = std::make_unique<VarDeclStmt>(name.ident, nullptr, loc, id);
+        decl->set_end(name.end);
+        out.push_back(std::move(decl));
         auto ref = std::make_unique<VarRef>(name.ident, loc, module_.next_id());
+        ref->set_end(name.end);
         parse_rhs_into(std::move(ref), loc, Symbol(), out);
       } else {
-        out.push_back(std::make_unique<VarDeclStmt>(name.ident, nullptr, loc, id));
         expect(Tok::Semi, "after variable declaration");
+        out.push_back(finish(std::make_unique<VarDeclStmt>(name.ident, nullptr, loc, id)));
       }
       break;
     }
@@ -137,8 +141,9 @@ void Parser::parse_unlabeled(std::vector<StmtPtr>& out, Symbol label) {
       StmtPtr then_stmt = parse_stmt_single();
       StmtPtr else_stmt;
       if (match(Tok::KwElse)) else_stmt = parse_stmt_single();
-      out.push_back(std::make_unique<IfStmt>(std::move(cond), std::move(then_stmt),
-                                             std::move(else_stmt), loc, module_.next_id()));
+      out.push_back(finish(std::make_unique<IfStmt>(std::move(cond), std::move(then_stmt),
+                                                    std::move(else_stmt), loc,
+                                                    module_.next_id())));
       break;
     }
     case Tok::KwWhile: {
@@ -147,8 +152,8 @@ void Parser::parse_unlabeled(std::vector<StmtPtr>& out, Symbol label) {
       auto cond = parse_expr();
       expect(Tok::RParen, "after condition");
       StmtPtr body = parse_stmt_single();
-      out.push_back(std::make_unique<WhileStmt>(std::move(cond), std::move(body), loc,
-                                                module_.next_id()));
+      out.push_back(finish(std::make_unique<WhileStmt>(std::move(cond), std::move(body), loc,
+                                                       module_.next_id())));
       break;
     }
     case Tok::KwCobegin: {
@@ -158,7 +163,8 @@ void Parser::parse_unlabeled(std::vector<StmtPtr>& out, Symbol label) {
       while (match(Tok::BarBar)) branches.push_back(parse_branch());
       expect(Tok::KwCoend, "to close cobegin");
       match(Tok::Semi);  // optional, paper figures omit it
-      out.push_back(std::make_unique<CobeginStmt>(std::move(branches), loc, module_.next_id()));
+      out.push_back(finish(std::make_unique<CobeginStmt>(std::move(branches), loc,
+                                                         module_.next_id())));
       break;
     }
     case Tok::KwDoall: {
@@ -172,8 +178,8 @@ void Parser::parse_unlabeled(std::vector<StmtPtr>& out, Symbol label) {
       auto hi = parse_expr();
       expect(Tok::RParen, "after doall range");
       StmtPtr body = parse_stmt_single();
-      out.push_back(std::make_unique<DoAllStmt>(var.ident, std::move(lo), std::move(hi),
-                                                std::move(body), loc, module_.next_id()));
+      out.push_back(finish(std::make_unique<DoAllStmt>(var.ident, std::move(lo), std::move(hi),
+                                                       std::move(body), loc, module_.next_id())));
       break;
     }
     case Tok::KwReturn: {
@@ -181,13 +187,13 @@ void Parser::parse_unlabeled(std::vector<StmtPtr>& out, Symbol label) {
       ExprPtr value;
       if (!peek().is(Tok::Semi)) value = parse_expr();
       expect(Tok::Semi, "after return");
-      out.push_back(std::make_unique<ReturnStmt>(std::move(value), loc, module_.next_id()));
+      out.push_back(finish(std::make_unique<ReturnStmt>(std::move(value), loc, module_.next_id())));
       break;
     }
     case Tok::KwSkip: {
       advance();
       expect(Tok::Semi, "after 'skip'");
-      out.push_back(std::make_unique<SkipStmt>(loc, module_.next_id()));
+      out.push_back(finish(std::make_unique<SkipStmt>(loc, module_.next_id())));
       break;
     }
     case Tok::KwLock: {
@@ -197,7 +203,7 @@ void Parser::parse_unlabeled(std::vector<StmtPtr>& out, Symbol label) {
       expect(Tok::RParen, "after lock target");
       expect(Tok::Semi, "after 'lock(...)'");
       if (!is_lvalue(*lv)) diags_.error(loc, "lock target must be an lvalue");
-      out.push_back(std::make_unique<LockStmt>(std::move(lv), loc, module_.next_id()));
+      out.push_back(finish(std::make_unique<LockStmt>(std::move(lv), loc, module_.next_id())));
       break;
     }
     case Tok::KwUnlock: {
@@ -207,7 +213,7 @@ void Parser::parse_unlabeled(std::vector<StmtPtr>& out, Symbol label) {
       expect(Tok::RParen, "after unlock target");
       expect(Tok::Semi, "after 'unlock(...)'");
       if (!is_lvalue(*lv)) diags_.error(loc, "unlock target must be an lvalue");
-      out.push_back(std::make_unique<UnlockStmt>(std::move(lv), loc, module_.next_id()));
+      out.push_back(finish(std::make_unique<UnlockStmt>(std::move(lv), loc, module_.next_id())));
       break;
     }
     case Tok::KwAssert: {
@@ -216,7 +222,7 @@ void Parser::parse_unlabeled(std::vector<StmtPtr>& out, Symbol label) {
       auto cond = parse_expr();
       expect(Tok::RParen, "after assertion");
       expect(Tok::Semi, "after 'assert(...)'");
-      out.push_back(std::make_unique<AssertStmt>(std::move(cond), loc, module_.next_id()));
+      out.push_back(finish(std::make_unique<AssertStmt>(std::move(cond), loc, module_.next_id())));
       break;
     }
     default:
@@ -239,8 +245,8 @@ StmtPtr Parser::parse_stmt_single() {
   std::vector<StmtPtr> stmts;
   parse_stmt(stmts);
   if (stmts.size() == 1) return std::move(stmts.front());
-  if (stmts.empty()) return std::make_unique<SkipStmt>(loc, module_.next_id());
-  return std::make_unique<Block>(std::move(stmts), loc, module_.next_id());
+  if (stmts.empty()) return finish(std::make_unique<SkipStmt>(loc, module_.next_id()));
+  return finish(std::make_unique<Block>(std::move(stmts), loc, module_.next_id()));
 }
 
 void Parser::parse_assign_or_call(std::vector<StmtPtr>& out, Symbol label) {
@@ -260,8 +266,8 @@ void Parser::parse_assign_or_call(std::vector<StmtPtr>& out, Symbol label) {
     auto args = parse_args();
     expect(Tok::RParen, "after call arguments");
     expect(Tok::Semi, "after call statement");
-    auto stmt = std::make_unique<CallStmt>(nullptr, std::move(lhs), std::move(args), loc,
-                                           module_.next_id());
+    auto stmt = finish(std::make_unique<CallStmt>(nullptr, std::move(lhs), std::move(args), loc,
+                                                  module_.next_id()));
     if (label.valid()) stmt->set_label(label);
     out.push_back(std::move(stmt));
     return;
@@ -278,7 +284,8 @@ void Parser::parse_rhs_into(ExprPtr lhs, SourceLoc loc, Symbol label, std::vecto
     auto size = parse_expr();
     expect(Tok::RParen, "after alloc size");
     expect(Tok::Semi, "after allocation");
-    stmt = std::make_unique<AllocStmt>(std::move(lhs), std::move(size), loc, module_.next_id());
+    stmt = finish(std::make_unique<AllocStmt>(std::move(lhs), std::move(size), loc,
+                                              module_.next_id()));
   } else {
     auto rhs = parse_expr();
     if (peek().is(Tok::LParen)) {
@@ -290,11 +297,12 @@ void Parser::parse_rhs_into(ExprPtr lhs, SourceLoc loc, Symbol label, std::vecto
       auto args = parse_args();
       expect(Tok::RParen, "after call arguments");
       expect(Tok::Semi, "after call statement");
-      stmt = std::make_unique<CallStmt>(std::move(lhs), std::move(rhs), std::move(args), loc,
-                                        module_.next_id());
+      stmt = finish(std::make_unique<CallStmt>(std::move(lhs), std::move(rhs), std::move(args),
+                                               loc, module_.next_id()));
     } else {
       expect(Tok::Semi, "after assignment");
-      stmt = std::make_unique<AssignStmt>(std::move(lhs), std::move(rhs), loc, module_.next_id());
+      stmt = finish(std::make_unique<AssignStmt>(std::move(lhs), std::move(rhs), loc,
+                                                 module_.next_id()));
     }
   }
   if (label.valid()) stmt->set_label(label);
@@ -317,8 +325,8 @@ ExprPtr Parser::parse_or() {
   while (peek().is(Tok::KwOr)) {
     const SourceLoc loc = advance().loc;
     auto rhs = parse_and();
-    lhs = std::make_unique<Binary>(BinOp::Or, std::move(lhs), std::move(rhs), loc,
-                                   module_.next_id());
+    lhs = finish(std::make_unique<Binary>(BinOp::Or, std::move(lhs), std::move(rhs), loc,
+                                          module_.next_id()));
   }
   return lhs;
 }
@@ -328,8 +336,8 @@ ExprPtr Parser::parse_and() {
   while (peek().is(Tok::KwAnd)) {
     const SourceLoc loc = advance().loc;
     auto rhs = parse_cmp();
-    lhs = std::make_unique<Binary>(BinOp::And, std::move(lhs), std::move(rhs), loc,
-                                   module_.next_id());
+    lhs = finish(std::make_unique<Binary>(BinOp::And, std::move(lhs), std::move(rhs), loc,
+                                          module_.next_id()));
   }
   return lhs;
 }
@@ -349,7 +357,8 @@ ExprPtr Parser::parse_cmp() {
     }
     const SourceLoc loc = advance().loc;
     auto rhs = parse_add();
-    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc, module_.next_id());
+    lhs = finish(std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc,
+                                          module_.next_id()));
   }
 }
 
@@ -366,7 +375,8 @@ ExprPtr Parser::parse_add() {
     }
     const SourceLoc loc = advance().loc;
     auto rhs = parse_mul();
-    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc, module_.next_id());
+    lhs = finish(std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc,
+                                          module_.next_id()));
   }
 }
 
@@ -385,25 +395,26 @@ ExprPtr Parser::parse_mul() {
     }
     const SourceLoc loc = advance().loc;
     auto rhs = parse_unary();
-    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc, module_.next_id());
+    lhs = finish(std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc,
+                                          module_.next_id()));
   }
 }
 
 ExprPtr Parser::parse_unary() {
   const SourceLoc loc = peek().loc;
   if (match(Tok::Minus)) {
-    return std::make_unique<Unary>(UnOp::Neg, parse_unary(), loc, module_.next_id());
+    return finish(std::make_unique<Unary>(UnOp::Neg, parse_unary(), loc, module_.next_id()));
   }
   if (match(Tok::KwNot)) {
-    return std::make_unique<Unary>(UnOp::Not, parse_unary(), loc, module_.next_id());
+    return finish(std::make_unique<Unary>(UnOp::Not, parse_unary(), loc, module_.next_id()));
   }
   if (match(Tok::Star)) {
-    return std::make_unique<Deref>(parse_unary(), loc, module_.next_id());
+    return finish(std::make_unique<Deref>(parse_unary(), loc, module_.next_id()));
   }
   if (match(Tok::Amp)) {
     auto lv = parse_unary();
     if (!is_lvalue(*lv)) diags_.error(loc, "'&' requires an lvalue operand");
-    return std::make_unique<AddrOf>(std::move(lv), loc, module_.next_id());
+    return finish(std::make_unique<AddrOf>(std::move(lv), loc, module_.next_id()));
   }
   return parse_postfix();
 }
@@ -414,7 +425,7 @@ ExprPtr Parser::parse_postfix() {
     const SourceLoc loc = advance().loc;
     auto idx = parse_expr();
     expect(Tok::RBracket, "after index");
-    e = std::make_unique<Index>(std::move(e), std::move(idx), loc, module_.next_id());
+    e = finish(std::make_unique<Index>(std::move(e), std::move(idx), loc, module_.next_id()));
   }
   return e;
 }
@@ -424,19 +435,19 @@ ExprPtr Parser::parse_primary() {
   switch (t.kind) {
     case Tok::Int:
       advance();
-      return std::make_unique<IntLit>(t.int_value, t.loc, module_.next_id());
+      return finish(std::make_unique<IntLit>(t.int_value, t.loc, module_.next_id()));
     case Tok::KwTrue:
       advance();
-      return std::make_unique<BoolLit>(true, t.loc, module_.next_id());
+      return finish(std::make_unique<BoolLit>(true, t.loc, module_.next_id()));
     case Tok::KwFalse:
       advance();
-      return std::make_unique<BoolLit>(false, t.loc, module_.next_id());
+      return finish(std::make_unique<BoolLit>(false, t.loc, module_.next_id()));
     case Tok::KwNull:
       advance();
-      return std::make_unique<NullLit>(t.loc, module_.next_id());
+      return finish(std::make_unique<NullLit>(t.loc, module_.next_id()));
     case Tok::Ident:
       advance();
-      return std::make_unique<VarRef>(t.ident, t.loc, module_.next_id());
+      return finish(std::make_unique<VarRef>(t.ident, t.loc, module_.next_id()));
     case Tok::LParen: {
       advance();
       auto e = parse_expr();
@@ -460,16 +471,16 @@ ExprPtr Parser::parse_primary() {
       FunDecl* decl = module_.add_function(std::make_unique<FunDecl>(
           Symbol(), std::move(params), std::move(body), t.loc,
           static_cast<std::uint32_t>(module_.functions().size())));
-      return std::make_unique<FunLit>(decl, t.loc, module_.next_id());
+      return finish(std::make_unique<FunLit>(decl, t.loc, module_.next_id()));
     }
     case Tok::KwAlloc:
       diags_.error(t.loc, "'alloc' may only appear as the whole right-hand side of an assignment");
       advance();
-      return std::make_unique<IntLit>(0, t.loc, module_.next_id());
+      return finish(std::make_unique<IntLit>(0, t.loc, module_.next_id()));
     default:
       diags_.error(t.loc, std::string("expected expression, found ") + std::string(tok_name(t.kind)));
       advance();
-      return std::make_unique<IntLit>(0, t.loc, module_.next_id());
+      return finish(std::make_unique<IntLit>(0, t.loc, module_.next_id()));
   }
 }
 

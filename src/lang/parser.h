@@ -76,11 +76,21 @@ class Parser {
   /// True if `e` may syntactically be a call target.
   static bool is_callable(const Expr& e);
 
+  /// Stamps `node`'s extent as ending at the last consumed token. Called
+  /// once a production has consumed everything belonging to the node.
+  template <typename T>
+  std::unique_ptr<T> finish(std::unique_ptr<T> node) {
+    node->set_end(prev_end_);
+    return node;
+  }
+
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
   Module& module_;
   DiagnosticEngine& diags_;
   int fun_depth_ = 0;
+  /// End position of the most recently consumed token.
+  SourceLoc prev_end_;
 };
 
 /// Convenience: lex + parse + resolve `source` into a fresh Module.

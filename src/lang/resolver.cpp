@@ -67,6 +67,7 @@ class Resolver {
   }
 
   void check_stmt(const Stmt& s) {
+    module_.register_stmt(&s);
     if (s.label().valid()) {
       if (module_.labels().contains(s.label())) {
         diags_.error(s.loc(), "duplicate statement label '" +

@@ -74,10 +74,12 @@ std::string_view tok_name(Tok t);
 struct Token {
   Tok kind = Tok::Eof;
   SourceLoc loc;
+  SourceLoc end;         // one past the last character of the token
   Symbol ident;          // for Tok::Ident
   std::int64_t int_value = 0;  // for Tok::Int
 
   [[nodiscard]] bool is(Tok t) const noexcept { return kind == t; }
+  [[nodiscard]] SourceSpan span() const noexcept { return SourceSpan{loc, end}; }
 };
 
 }  // namespace copar::lang

@@ -117,6 +117,18 @@ class LoweredProgram {
   /// Resolution of the VarRef (by expression id).
   [[nodiscard]] const VarLoc& varloc(std::uint32_t expr_id) const { return varlocs_.at(expr_id); }
 
+  /// The AST statement with the given module-unique id; null when the id is
+  /// out of range or names an expression. Checkers use this to map analysis
+  /// results (keyed by statement id) back to source spans.
+  [[nodiscard]] const lang::Stmt* stmt(std::uint32_t stmt_id) const {
+    return module_->stmt_by_id(stmt_id);
+  }
+  /// Source span of the statement with the given id (invalid when unknown).
+  [[nodiscard]] SourceSpan stmt_span(std::uint32_t stmt_id) const {
+    const lang::Stmt* s = stmt(stmt_id);
+    return s != nullptr ? s->span() : SourceSpan{};
+  }
+
   /// Human-readable control point, e.g. "main+3(s2)".
   [[nodiscard]] std::string describe_point(std::uint32_t proc, std::uint32_t pc) const;
 

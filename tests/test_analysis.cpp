@@ -220,5 +220,49 @@ TEST(Common, DescribeHelpers) {
   EXPECT_FALSE(labeled_stmt(*p.lowered, "missing").has_value());
 }
 
+// --- golden report output --------------------------------------------------
+// The reports are part of the tool surface (cmd_analyze prints them), so
+// their exact text and ordering are pinned: sorted by source span, then
+// statement ids — never by internal set order.
+
+TEST(AnomalyGolden, ReportIsByteStable) {
+  const auto& p = compiled(R"(var x; var y;
+fun main() {
+  cobegin
+    { s1: x = 1; s2: y = 1; }
+  ||
+    { s3: x = 2; s4: y = x; }
+  coend;
+})");
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  const Anomalies a = anomalies_from(explore::explore(*p.lowered, opts));
+  EXPECT_EQ(a.report(*p.lowered),
+            "write/write race: s1 (4:11) vs s3 (6:11)\n"
+            "write/read race: s1 (4:11) vs s4 (6:22)\n"
+            "write/write race: s2 (4:22) vs s4 (6:22)\n");
+}
+
+TEST(MhpGolden, ReportIsByteStable) {
+  // The cobegin is labeled because its join/halt actions carry the cobegin
+  // statement itself and show up as MHP partners of the branch bodies.
+  const auto& p = compiled(R"(var x; var y;
+fun main() {
+  sCo: cobegin
+    { s1: x = 1; }
+  ||
+    { s2: y = 2; }
+  coend;
+})");
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  const Mhp mhp = mhp_from(explore::explore(*p.lowered, opts));
+  EXPECT_EQ(mhp.report(*p.lowered),
+            "sCo || sCo\n"
+            "s1 || sCo\n"
+            "s1 || s2\n"
+            "s2 || sCo\n");
+}
+
 }  // namespace
 }  // namespace copar::analysis

@@ -1,0 +1,457 @@
+// The static checker battery (src/check) and the diagnostics subsystem it
+// reports through: codes, spans, suppression comments, per-code disabling,
+// and the three renderers (text / JSON / SARIF).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "src/check/check.h"
+#include "src/sem/program.h"
+#include "src/support/diagnostics.h"
+
+namespace copar {
+namespace {
+
+struct CheckRun {
+  std::unique_ptr<CompiledProgram> prog;
+  DiagnosticEngine engine;
+  check::CheckSummary summary;
+};
+
+CheckRun run(std::string_view source, const check::CheckOptions& opts = {},
+             const std::vector<std::string>& disabled = {}) {
+  CheckRun out;
+  for (const std::string& code : disabled) out.engine.disable_code(code);
+  out.engine.load_suppressions(source);
+  out.prog = compile(source);
+  out.summary = check::run_checks(*out.prog, out.engine, opts);
+  return out;
+}
+
+std::vector<std::string> codes(const DiagnosticEngine& engine) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : engine.all()) out.push_back(d.code);
+  return out;
+}
+
+bool has_code(const DiagnosticEngine& engine, std::string_view code) {
+  const auto cs = codes(engine);
+  return std::find(cs.begin(), cs.end(), code) != cs.end();
+}
+
+const Diagnostic* find_code(const DiagnosticEngine& engine, std::string_view code) {
+  for (const Diagnostic& d : engine.all()) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+// --- the catalog ----------------------------------------------------------
+
+TEST(CheckCatalog, SortedUniqueAndLookupWorks) {
+  const auto cat = check::catalog();
+  ASSERT_FALSE(cat.empty());
+  for (std::size_t i = 1; i < cat.size(); ++i) {
+    EXPECT_LT(cat[i - 1].id, cat[i].id) << "catalog must stay sorted for find_rule";
+  }
+  for (const RuleInfo& r : cat) {
+    const RuleInfo* found = check::find_rule(r.id);
+    ASSERT_NE(found, nullptr) << r.id;
+    EXPECT_EQ(found->id, r.id);
+    EXPECT_FALSE(r.summary.empty());
+    EXPECT_FALSE(r.help.empty());
+  }
+  EXPECT_EQ(check::find_rule("no-such-check"), nullptr);
+}
+
+TEST(CheckCatalog, EveryFaultKindHasACatalogEntry) {
+  for (const sem::Fault f :
+       {sem::Fault::DerefNull, sem::Fault::DerefNonPointer, sem::Fault::OutOfBounds,
+        sem::Fault::TypeError, sem::Fault::DivByZero, sem::Fault::NotAFunction,
+        sem::Fault::ArityMismatch, sem::Fault::UnlockNotHeld, sem::Fault::NegativeAlloc}) {
+    EXPECT_NE(check::find_rule(check::fault_code(f)), nullptr)
+        << static_cast<int>(f) << " -> " << check::fault_code(f);
+  }
+}
+
+// --- clean program: zero findings -----------------------------------------
+
+TEST(Check, CleanProgramHasNoFindings) {
+  const auto r = run(R"(
+    var count = 0;
+    var m = 0;
+    fun main() {
+      cobegin
+        { lock(m); count = count + 1; unlock(m); }
+      ||
+        { lock(m); count = count + 1; unlock(m); }
+      coend;
+      assert(count == 2);
+    }
+  )");
+  EXPECT_TRUE(r.summary.concrete_exhaustive);
+  EXPECT_TRUE(r.engine.all().empty()) << "unexpected: " << r.engine.to_string();
+  EXPECT_FALSE(r.engine.has_errors());
+}
+
+// --- races ----------------------------------------------------------------
+
+TEST(Check, RacyCounterReportsRaceWithSpansAndWitness) {
+  const auto r = run(R"(var count;
+fun main() {
+  cobegin
+    { count = count + 1; }
+  ||
+    { count = count + 1; }
+  coend;
+})");
+  const Diagnostic* race = find_code(r.engine, "race");
+  ASSERT_NE(race, nullptr) << r.engine.to_string();
+  EXPECT_EQ(race->severity, Severity::Error);
+  EXPECT_TRUE(r.engine.has_errors());
+  // Both halves carry real source spans (line 4 and line 6).
+  EXPECT_TRUE(race->span.valid());
+  ASSERT_FALSE(race->related_spans.empty());
+  EXPECT_TRUE(race->related_spans[0].valid());
+  EXPECT_NE(race->span.begin.line, race->related_spans[0].begin.line);
+  // And a witness interleaving rides along as notes.
+  ASSERT_FALSE(race->notes.empty());
+  EXPECT_NE(race->notes[0].message.find("witness"), std::string::npos);
+  EXPECT_GT(race->notes.size(), 1u);
+}
+
+TEST(Check, LockContentionIsNotARace) {
+  // Both threads lock the same cell: the lock/unlock pair conflicts on the
+  // lock cell, but that is synchronization, not a data race.
+  const auto r = run(R"(
+    var m; var a; var b;
+    fun main() {
+      cobegin
+        { lock(m); a = 1; unlock(m); }
+      ||
+        { lock(m); b = 1; unlock(m); }
+      coend;
+    }
+  )");
+  EXPECT_FALSE(has_code(r.engine, "race")) << r.engine.to_string();
+}
+
+TEST(Check, NoWitnessOptionSkipsWitnessSearch) {
+  check::CheckOptions opts;
+  opts.witnesses = false;
+  const auto r = run(R"(
+    var x;
+    fun main() {
+      cobegin { x = 1; } || { x = 2; } coend;
+    }
+  )",
+                     opts);
+  const Diagnostic* race = find_code(r.engine, "race");
+  ASSERT_NE(race, nullptr);
+  EXPECT_TRUE(race->notes.empty());
+}
+
+// --- assertions and deadlock ----------------------------------------------
+
+TEST(Check, FailingAssertIsAnError) {
+  const auto r = run(R"(
+    var x;
+    fun main() {
+      cobegin { x = 1; } || { x = 2; } coend;
+      assert(x == 1);
+    }
+  )");
+  const Diagnostic* d = find_code(r.engine, "assert-fail");
+  ASSERT_NE(d, nullptr) << r.engine.to_string();
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_TRUE(d->span.valid());
+}
+
+TEST(Check, DeadlockIsReportedWithWitness) {
+  const auto r = run(R"(
+    var m1; var m2;
+    fun main() {
+      cobegin
+        { lock(m1); lock(m2); unlock(m2); unlock(m1); }
+      ||
+        { lock(m2); lock(m1); unlock(m1); unlock(m2); }
+      coend;
+    }
+  )");
+  const Diagnostic* d = find_code(r.engine, "deadlock");
+  ASSERT_NE(d, nullptr) << r.engine.to_string();
+  EXPECT_EQ(d->severity, Severity::Error);
+  ASSERT_FALSE(d->notes.empty());
+}
+
+// --- run-time-error checks ------------------------------------------------
+
+TEST(Check, DivisionByZeroConcrete) {
+  const auto r = run(R"(
+    var x; var y;
+    fun main() { y = 10 / x; }
+  )");
+  const Diagnostic* d = find_code(r.engine, "div-zero");
+  ASSERT_NE(d, nullptr) << r.engine.to_string();
+  EXPECT_EQ(d->severity, Severity::Error);
+}
+
+TEST(Check, DivisionByNonZeroIntervalIsClean) {
+  const auto r = run(R"(
+    var x = 4; var y;
+    fun main() { y = 10 / x; }
+  )");
+  EXPECT_FALSE(has_code(r.engine, "div-zero")) << r.engine.to_string();
+}
+
+TEST(Check, NullDereferenceConcrete) {
+  const auto r = run(R"(
+    var p; var y;
+    fun main() { p = null; y = *p; }
+  )");
+  EXPECT_TRUE(has_code(r.engine, "null-deref")) << r.engine.to_string();
+  EXPECT_TRUE(r.engine.has_errors());
+}
+
+TEST(Check, OutOfBoundsIndexConcrete) {
+  const auto r = run(R"(
+    var a; var y;
+    fun main() {
+      a = alloc(2);
+      y = a[5];
+    }
+  )");
+  EXPECT_TRUE(has_code(r.engine, "bounds")) << r.engine.to_string();
+}
+
+TEST(Check, InBoundsIndexIsClean) {
+  const auto r = run(R"(
+    var a; var y;
+    fun main() {
+      a = alloc(2);
+      a[0] = 7;
+      y = a[1];
+    }
+  )");
+  EXPECT_FALSE(has_code(r.engine, "bounds")) << r.engine.to_string();
+}
+
+// --- flow checks ----------------------------------------------------------
+
+TEST(Check, UninitializedReadIsAWarning) {
+  const auto r = run(R"(
+    var x; var y;
+    fun main() { y = x + 1; }
+  )");
+  const Diagnostic* d = find_code(r.engine, "uninit-read");
+  ASSERT_NE(d, nullptr) << r.engine.to_string();
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_FALSE(r.engine.has_errors()) << "warnings must not flip the exit code";
+}
+
+TEST(Check, InitializedReadIsClean) {
+  const auto r = run(R"(
+    var x = 3; var y;
+    fun main() { y = x + 1; }
+  )");
+  EXPECT_FALSE(has_code(r.engine, "uninit-read")) << r.engine.to_string();
+}
+
+TEST(Check, UnreachableStatementIsAWarning) {
+  const auto r = run(R"(
+    var x;
+    fun main() {
+      if (1 == 2) { x = 99; }
+      x = 1;
+    }
+  )");
+  const Diagnostic* d = find_code(r.engine, "unreachable");
+  ASSERT_NE(d, nullptr) << r.engine.to_string();
+  EXPECT_EQ(d->severity, Severity::Warning);
+}
+
+TEST(Check, DeadStoreIsAWarning) {
+  // Local t is overwritten before any read; globals are exempt (observable
+  // at termination).
+  const auto r = run(R"(
+    var x;
+    fun main() {
+      var t;
+      t = 1;
+      t = 2;
+      x = t;
+    }
+  )");
+  EXPECT_TRUE(has_code(r.engine, "dead-store")) << r.engine.to_string();
+}
+
+// --- suppression comments and per-code disabling ---------------------------
+
+TEST(CheckSuppression, TrailingCommentSilencesExactlyThatFinding) {
+  // Same program twice: the annotated run loses exactly the div-zero
+  // finding; everything else (the uninit-read on x) survives.
+  const auto noisy = run(R"(var x; var y;
+fun main() {
+  y = 10 / x;
+})");
+  EXPECT_TRUE(has_code(noisy.engine, "div-zero"));
+  EXPECT_TRUE(has_code(noisy.engine, "uninit-read"));
+
+  const auto annotated = run(R"(var x; var y;
+fun main() {
+  y = 10 / x; // copar-ignore(div-zero)
+})");
+  EXPECT_FALSE(has_code(annotated.engine, "div-zero")) << annotated.engine.to_string();
+  EXPECT_TRUE(has_code(annotated.engine, "uninit-read"))
+      << "suppression must be per-code, not per-line-all";
+  EXPECT_EQ(annotated.engine.suppressed_count(), 1u);
+  EXPECT_FALSE(annotated.engine.has_errors());
+}
+
+TEST(CheckSuppression, OwnLineCommentGuardsTheNextLine) {
+  const auto r = run(R"(var x; var y;
+fun main() {
+  // copar-ignore(div-zero, uninit-read)
+  y = 10 / x;
+})");
+  EXPECT_FALSE(has_code(r.engine, "div-zero")) << r.engine.to_string();
+  EXPECT_FALSE(has_code(r.engine, "uninit-read"));
+  EXPECT_EQ(r.engine.suppressed_count(), 2u);
+}
+
+TEST(CheckSuppression, BareIgnoreSilencesEveryCodeOnTheLine) {
+  const auto r = run(R"(var x; var y;
+fun main() {
+  y = 10 / x; // copar-ignore
+})");
+  EXPECT_FALSE(has_code(r.engine, "div-zero"));
+  EXPECT_FALSE(has_code(r.engine, "uninit-read"));
+}
+
+TEST(CheckSuppression, CommentOnOtherLineDoesNotLeak) {
+  const auto r = run(R"(var x; var y; var z;
+fun main() {
+  // copar-ignore(div-zero)
+  z = 1;
+  y = 10 / x;
+})");
+  EXPECT_TRUE(has_code(r.engine, "div-zero"))
+      << "a guard on line 4 must not reach line 5";
+}
+
+TEST(CheckDisable, PerCodeDisableDropsOnlyThatCode) {
+  const auto r = run(R"(var x; var y;
+fun main() {
+  y = 10 / x;
+})",
+                     {}, {"div-zero"});
+  EXPECT_FALSE(has_code(r.engine, "div-zero"));
+  EXPECT_TRUE(has_code(r.engine, "uninit-read"));
+  EXPECT_EQ(r.engine.disabled_count(), 1u);
+}
+
+// --- renderers -------------------------------------------------------------
+
+TEST(CheckRender, TextRendererShowsSpanCaretsAndCode) {
+  const std::string source = R"(var count;
+fun main() {
+  cobegin
+    { count = count + 1; }
+  ||
+    { count = count + 1; }
+  coend;
+})";
+  auto r = run(source);
+  std::ostringstream os;
+  r.engine.render_text(os, source, "racy.cop");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("racy.cop:"), std::string::npos);
+  EXPECT_NE(text.find("[race]"), std::string::npos);
+  EXPECT_NE(text.find('^'), std::string::npos) << "caret underline missing:\n" << text;
+}
+
+TEST(CheckRender, JsonAndSarifAgreeOnFindings) {
+  auto r = run(R"(var x; var y;
+fun main() {
+  y = 10 / x;
+})");
+  ASSERT_FALSE(r.engine.all().empty());
+
+  std::ostringstream js;
+  r.engine.render_json(js, "t.cop");
+  const std::string json = js.str();
+  std::ostringstream ss;
+  r.engine.render_sarif(ss, "t.cop", check::catalog());
+  const std::string sarif = ss.str();
+
+  // Every finding code appears in both documents.
+  for (const Diagnostic& d : r.engine.all()) {
+    EXPECT_NE(json.find('"' + d.code + '"'), std::string::npos) << json;
+    EXPECT_NE(sarif.find("\"ruleId\": \"" + d.code + '"'), std::string::npos) << sarif;
+  }
+  // SARIF skeleton: schema, version, tool driver, rule metadata, region.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0"), std::string::npos);
+  EXPECT_NE(sarif.find("copar-check"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\""), std::string::npos);
+}
+
+TEST(CheckRender, SarifBalancedBracesSmoke) {
+  // Cheap structural sanity for the hand-rolled writer: every brace and
+  // bracket closes (string contents never contain unescaped braces).
+  auto r = run(R"(var x;
+fun main() {
+  cobegin { x = 1; } || { x = 2; } coend;
+})");
+  std::ostringstream ss;
+  r.engine.render_sarif(ss, "t.cop", check::catalog());
+  const std::string s = ss.str();
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (escaped) {
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = in_string;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0) << s;
+  EXPECT_FALSE(in_string);
+}
+
+// --- spans end-to-end ------------------------------------------------------
+
+TEST(CheckSpans, FindingsPointAtTheOffendingLine) {
+  const auto r = run("var x; var y;\nfun main() {\n  y = 10 / x;\n}\n");
+  const Diagnostic* d = find_code(r.engine, "div-zero");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.begin.line, 3u);
+  EXPECT_GT(d->span.begin.column, 0u);
+  EXPECT_GE(d->span.end, d->span.begin);
+}
+
+TEST(CheckSpans, FindingsAreSortedByLocation) {
+  const auto r = run(R"(var a; var b; var x; var y;
+fun main() {
+  y = 10 / a;
+  x = 10 / b;
+})");
+  const auto& all = r.engine.all();
+  ASSERT_GE(all.size(), 2u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].span, all[i].span) << "not sorted at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace copar

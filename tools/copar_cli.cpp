@@ -15,6 +15,12 @@
 //                                            program, and verify equivalence
 //   copar-cli graph <file.cop> [--stubborn] [--coarsen]
 //                                            Graphviz dot of the configuration graph
+//   copar-cli check <file.cop> [--sarif] [--disable c1,c2] [--no-witness]
+//                              [--max-configs N]
+//                                            static diagnostics (races, faults,
+//                                            uninitialized reads, dead code...);
+//                                            exits 1 on error-severity findings
+//   copar-cli check --list-checks            catalog of check codes
 //   copar-cli disasm <file.cop>              lowered atomic-action code
 //   copar-cli fmt <file.cop>                 pretty-print the parsed program
 //
@@ -43,6 +49,7 @@
 #include "src/analysis/mhp.h"
 #include "src/analysis/sideeffect.h"
 #include "src/apps/parallelize.h"
+#include "src/check/check.h"
 #include "src/apps/placement.h"
 #include "src/apps/transform.h"
 #include "src/explore/report.h"
@@ -56,10 +63,12 @@ namespace {
 
 int usage() {
   std::cerr << "usage: copar-cli "
-               "<run|explore|analyze|abstract|witness|parallelize|graph|disasm|fmt> "
+               "<run|explore|analyze|abstract|check|witness|parallelize|graph|disasm|fmt> "
                "<file.cop> [options]\n"
                "global options: --json  --trace <out.json>  --progress [seconds]\n"
-               "explore options: --stubborn --coarsen --sleep --max-configs N\n";
+               "explore options: --stubborn --coarsen --sleep --max-configs N\n"
+               "check options:   --sarif --disable <c1,c2,...> --no-witness "
+               "--max-configs N  (or: check --list-checks)\n";
   return 2;
 }
 
@@ -391,6 +400,84 @@ int cmd_abstract(const copar::CompiledProgram& p, const std::string& path,
   return 0;
 }
 
+int cmd_list_checks() {
+  using namespace copar;
+  for (const RuleInfo& r : check::catalog()) {
+    std::cout << r.id << " (" << severity_name(r.default_severity) << "): " << r.summary
+              << '\n';
+  }
+  return 0;
+}
+
+/// `copar-cli check` — the unified static diagnostics engine. Runs the whole
+/// battery (src/check) and renders findings as human text, JSON, or SARIF.
+/// Unlike the other commands it owns its front end, so syntax errors become
+/// ordinary findings instead of a bare exception message.
+int cmd_check(const std::string& path, const std::string& source,
+              const std::vector<std::string>& args, const GlobalOpts& g) {
+  using namespace copar;
+  const bool sarif = has_flag(args, "--sarif");
+  check::CheckOptions copts;
+  if (has_flag(args, "--no-witness")) copts.witnesses = false;
+  if (const std::string v = flag_value(args, "--max-configs"); !v.empty()) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n == 0) {
+      std::cerr << "error: --max-configs expects a positive integer, got '" << v << "'\n";
+      return 2;
+    }
+    copts.max_configs = n;
+  }
+
+  DiagnosticEngine engine;
+  if (const std::string csv = flag_value(args, "--disable"); !csv.empty()) {
+    std::stringstream ss(csv);
+    std::string code;
+    while (std::getline(ss, code, ',')) {
+      if (code.empty()) continue;
+      if (check::find_rule(code) == nullptr) {
+        std::cerr << "error: unknown check code '" << code
+                  << "' (see copar-cli check --list-checks)\n";
+        return 2;
+      }
+      engine.disable_code(code);
+    }
+  }
+  engine.load_suppressions(source);
+
+  // Front end: collect every syntax/resolution error as a "syntax" finding.
+  DiagnosticEngine front;
+  auto module = lang::parse_program(source, front);
+  check::CheckSummary sum;
+  if (front.has_errors()) {
+    for (const Diagnostic& d : front.all()) engine.report(d);
+  } else {
+    CompiledProgram prog;
+    prog.module = std::move(module);
+    prog.lowered = sem::lower(*prog.module);
+    sum = check::run_checks(prog, engine, copts);
+  }
+  engine.sort_by_location();
+
+  if (sarif) {
+    engine.render_sarif(std::cout, path, check::catalog());
+  } else if (g.json) {
+    engine.render_json(std::cout, path);
+  } else {
+    if (engine.all().empty()) {
+      std::cout << path << ": no findings\n";
+    } else {
+      engine.render_text(std::cout, source, path);
+    }
+    if (!front.has_errors() && !sum.concrete_exhaustive) {
+      std::cerr << "note: state space truncated at " << copts.max_configs
+                << " configurations; abstract may-findings included, raise --max-configs "
+                   "to confirm\n";
+    }
+  }
+  return engine.has_errors() ? 1 : 0;
+}
+
 int cmd_witness(const copar::CompiledProgram& p, const std::vector<std::string>& args) {
   using namespace copar;
   explore::WitnessQuery q;
@@ -490,8 +577,13 @@ int main(int argc, char** argv) {
   }
   apply_global_opts(global);
 
+  if (cmd == "check" && path == "--list-checks") return cmd_list_checks();
+
   try {
     const std::string source = slurp(path);
+    if (cmd == "check") {
+      return finish(global, cmd_check(path, source, args, global));
+    }
     if (cmd == "fmt") {
       auto module = copar::lang::parse_program(source);
       std::cout << copar::lang::print(*module);
