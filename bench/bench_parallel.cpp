@@ -1,0 +1,95 @@
+// Parallel frontier engine scaling and visited-set footprint.
+//
+// Two questions:
+//
+//   * Does the sharded-frontier engine scale with worker threads? Compare
+//     wall-clock across --threads {1,2,4} on the same workload (threads=1
+//     is the sequential DFS engine, the natural baseline). On a single-core
+//     host the parallel engine can only show its overhead; the speedup
+//     claim needs a multicore machine.
+//
+//   * How much dedup memory does the fingerprint table save over the exact
+//     string-keyed visited set? The `visited_bytes` counter reports both
+//     sides on identical explorations.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_support.h"
+
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+#include "src/workload/paper_examples.h"
+#include "src/workload/philosophers.h"
+
+namespace {
+
+void explore_threads(benchmark::State& state, copar::explore::Reduction reduction) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  auto program = copar::compile(copar::workload::dining_philosophers(n));
+  std::uint64_t configs = 0;
+  std::uint64_t terminals = 0;
+  for (auto _ : state) {
+    copar::explore::ExploreOptions opts;
+    opts.reduction = reduction;
+    opts.threads = threads;
+    opts.max_configs = 20'000'000;
+    const auto r = copar::explore::explore(*program->lowered, opts);
+    configs = r.num_configs;
+    terminals = r.terminals.size();
+    benchmark::DoNotOptimize(r.num_configs);
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+  state.counters["terminals"] = static_cast<double>(terminals);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+void BM_Parallel_Philosophers_Full(benchmark::State& state) {
+  explore_threads(state, copar::explore::Reduction::Full);
+}
+void BM_Parallel_Philosophers_Stubborn(benchmark::State& state) {
+  explore_threads(state, copar::explore::Reduction::Stubborn);
+}
+
+// Args: {philosophers n, worker threads}. threads=1 is the sequential
+// engine; the parallel rows show scaling (or, single-core, its overhead).
+BENCHMARK(BM_Parallel_Philosophers_Full)
+    ->Args({5, 1})
+    ->Args({5, 2})
+    ->Args({5, 4})
+    ->Args({6, 1})
+    ->Args({6, 2})
+    ->Args({6, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parallel_Philosophers_Stubborn)
+    ->Args({7, 1})
+    ->Args({7, 2})
+    ->Args({7, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Visited-set footprint: fingerprint table vs exact string keys on the
+// identical exploration (fig5 locality workload).
+void explore_fig5_memory(benchmark::State& state, bool exact_keys) {
+  auto program = copar::compile(copar::workload::fig5_locality());
+  std::uint64_t visited_bytes = 0;
+  std::uint64_t visited_configs = 0;
+  for (auto _ : state) {
+    copar::explore::ExploreOptions opts;
+    opts.exact_keys = exact_keys;
+    const auto r = copar::explore::explore(*program->lowered, opts);
+    visited_bytes = r.stats.gauge("visited_bytes");
+    visited_configs = r.stats.gauge("visited_configs");
+    benchmark::DoNotOptimize(r.num_configs);
+  }
+  state.counters["visited_bytes"] = static_cast<double>(visited_bytes);
+  state.counters["visited_configs"] = static_cast<double>(visited_configs);
+}
+
+void BM_VisitedSet_Fingerprint(benchmark::State& state) { explore_fig5_memory(state, false); }
+void BM_VisitedSet_ExactKeys(benchmark::State& state) { explore_fig5_memory(state, true); }
+
+BENCHMARK(BM_VisitedSet_Fingerprint)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VisitedSet_ExactKeys)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+COPAR_BENCH_MAIN()

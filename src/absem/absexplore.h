@@ -43,6 +43,7 @@
 #include "src/absem/absvalue.h"
 #include "src/sem/config.h"
 #include "src/sem/lower.h"
+#include "src/support/fingerprint.h"
 #include "src/support/stats.h"
 
 namespace copar::absem {
@@ -79,6 +80,27 @@ struct AbsPoint {
 };
 
 using AbsControl = std::vector<AbsPoint>;  // sorted, duplicates merged via ω
+
+/// 128-bit fingerprint of a (canonically sorted) control state, covering
+/// every identity field of every point. The worklist's queued-membership
+/// check keys on this instead of holding full AbsControl copies.
+inline support::Fingerprint control_fingerprint(const AbsControl& ctrl) {
+  support::Fp128Hasher h;
+  h.u32(static_cast<std::uint32_t>(ctrl.size()));
+  for (const AbsPoint& p : ctrl) {
+    h.u32(p.proc);
+    h.u32(p.pc);
+    h.u32(static_cast<std::uint32_t>(p.path.size()));
+    for (const AbsPathElem& e : p.path) {
+      h.u32(e.site);
+      h.u32(e.branch);
+    }
+    h.u32(static_cast<std::uint32_t>(p.cstring.size()));
+    for (std::uint32_t c : p.cstring) h.u32(c);
+    h.u8(p.omega ? 1 : 0);
+  }
+  return h.finalize();
+}
 
 template <NumDomain N>
 using AbsStore = absdom::MapLattice<AbsLoc, AbsValue<N>>;
@@ -273,7 +295,10 @@ class AbsExplorer {
 
   std::map<AbsControl, Store> states_;
   std::deque<AbsControl> work_;
-  std::set<AbsControl> queued_;
+  /// Fingerprints of the controls currently in work_ (erased on pop):
+  /// membership only, so the worklist does not hold a second copy of every
+  /// queued control state.
+  support::FingerprintTable queued_;
   std::map<std::uint32_t, std::set<Continuation>> conts_;  // proc -> call sites
   bool conts_grew_ = false;
 

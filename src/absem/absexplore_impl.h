@@ -426,7 +426,7 @@ void AbsExplorer<N>::enqueue(AbsControl ctrl, Store store) {
   } else {
     if (!absdom::widen_into(it->second, store)) return;  // no growth
   }
-  if (queued_.insert(ctrl).second) work_.push_back(std::move(ctrl));
+  if (queued_.insert(control_fingerprint(ctrl)).inserted) work_.push_back(std::move(ctrl));
 }
 
 template <NumDomain N>
@@ -456,7 +456,7 @@ AbsResult<N> AbsExplorer<N>::run() {
   while (!work_.empty()) {
     const AbsControl ctrl = work_.front();
     work_.pop_front();
-    queued_.erase(ctrl);
+    queued_.erase(control_fingerprint(ctrl));
     const Store snapshot = states_.at(ctrl);  // copy: transfer only reads it
     transfer(ctrl, snapshot);
     evaluations.add();
@@ -466,7 +466,7 @@ AbsResult<N> AbsExplorer<N>::run() {
       // re-evaluate everything (monotone, hence terminating).
       conts_grew_ = false;
       for (const auto& [c, s] : states_) {
-        if (queued_.insert(c).second) work_.push_back(c);
+        if (queued_.insert(control_fingerprint(c)).inserted) work_.push_back(c);
       }
       requeues.add();
     }

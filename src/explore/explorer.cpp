@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_map>
 
+#include "src/explore/parexplore.h"
 #include "src/explore/stubborn.h"
+#include "src/explore/visited.h"
 #include "src/support/telemetry.h"
 
 namespace copar::explore {
@@ -72,16 +73,21 @@ std::set<std::int64_t> ExploreResult::terminal_int_values(std::string_view name)
 Explorer::Explorer(const sem::LoweredProgram& program, ExploreOptions options)
     : program_(program), options_(options), static_info_(program) {}
 
-bool Explorer::action_is_critical(const Configuration& cfg, const ActionInfo& info) const {
+bool action_is_critical(const Configuration& cfg, const ActionInfo& info,
+                        const StaticInfo& static_info) {
   bool critical = false;
   info.reads.for_each([&](std::size_t loc) {
-    critical = critical || static_info_.is_critical(static_info_.class_of(cfg.store, loc));
+    critical = critical || static_info.is_critical(static_info.class_of(cfg.store, loc));
   });
   if (critical) return true;
   info.writes.for_each([&](std::size_t loc) {
-    critical = critical || static_info_.is_critical(static_info_.class_of(cfg.store, loc));
+    critical = critical || static_info.is_critical(static_info.class_of(cfg.store, loc));
   });
   return critical;
+}
+
+bool Explorer::action_is_critical(const Configuration& cfg, const ActionInfo& info) const {
+  return explore::action_is_critical(cfg, info, static_info_);
 }
 
 void Explorer::record_action(const Configuration& cfg, const ActionInfo& info,
@@ -193,7 +199,8 @@ Configuration Explorer::step(const Configuration& cfg, Pid pid, ExploreResult& r
   // actions are non-critical (Observation 5). A combined action thus holds
   // at most one critical reference — the first.
   std::set<std::pair<std::uint32_t, std::uint32_t>> seen_points;
-  for (int guard = 0; guard < 4096; ++guard) {
+  int guard = 0;
+  for (; guard < kCoarsenGuardMax; ++guard) {
     const sem::Process& p = succ.processes[pid];
     if (!p.live() || p.frames.empty()) break;
     ActionInfo next = sem::action_info(succ, pid);
@@ -206,6 +213,18 @@ Configuration Explorer::step(const Configuration& cfg, Pid pid, ExploreResult& r
     if (next.kind == ActionKind::Return) record_return_lifetime(succ, pid, succ2, result);
     succ = std::move(succ2);
     hot_.coarsened_micro_actions.add();
+  }
+  if (guard == kCoarsenGuardMax) {
+    // The cap exists to bound a combined step; reaching it means a
+    // "non-critical" straight-line run of unusual length (or a local loop
+    // the seen_points cycle check cannot fold). The step stays sound — the
+    // remaining actions become ordinary separate steps — but silence here
+    // could mask nontermination, so say it once and count every hit.
+    hot_.coarsen_guard_hits.add();
+    warn_once("coarsen-guard",
+              "virtual coarsening stopped after " + std::to_string(kCoarsenGuardMax) +
+                  " micro-actions in one combined step; a non-critical local code "
+                  "run is unusually long (see the coarsen_guard_hits counter)");
   }
   return succ;
 }
@@ -251,11 +270,16 @@ ExploreResult Explorer::run() {
       result.stats.counter("sleep_suppressed_transitions"),
       result.stats.counter("proviso_full_expansions"),
       result.stats.counter("sleep_reexplorations"),
+      result.stats.counter("truncated_transitions"),
+      result.stats.counter("coarsen_guard_hits"),
   };
   telemetry::Telemetry& tel = telemetry::Telemetry::global();
   telemetry::ScopedPhase phase_expansion(telemetry::Phase::Expansion);
-  std::unordered_map<std::string, std::uint32_t> visited;
-  std::vector<std::uint16_t> on_stack;  // count: sleep re-exploration can stack an id twice
+  VisitedSet visited(options_.exact_keys);
+  // Count, not flag: sleep re-exploration can stack an id twice — and in
+  // principle many times, so 16 bits could wrap and silently turn off the
+  // cycle proviso. 32 bits plus an overflow guard at the increments.
+  std::vector<std::uint32_t> on_stack;
   std::vector<StackEntry> stack;
 
   // sleep_sets mode: per-id stored sleep (for the revisit rule) and retained
@@ -263,12 +287,12 @@ ExploreResult Explorer::run() {
   std::vector<std::set<Pid>> sleep_store;
   std::vector<Configuration> cfg_store;
 
-  // Registers a configuration; returns its id. For new non-terminal
-  // configurations, pushes a stack entry.
-  auto register_config = [&](Configuration&& cfg, const std::string& key,
+  // Registers a freshly inserted configuration; returns its id. For new
+  // non-terminal configurations, pushes a stack entry. The VisitedSet hands
+  // out dense insertion-order ids, so `id` indexes the side arrays.
+  auto register_config = [&](Configuration&& cfg, std::uint32_t id,
                              std::set<Pid> sleep) -> std::uint32_t {
-    const auto id = static_cast<std::uint32_t>(visited.size());
-    visited.emplace(key, id);
+    require(id == on_stack.size(), "visited-set ids must be dense");
     on_stack.push_back(0);
     result.num_configs += 1;
 
@@ -290,7 +314,14 @@ ExploreResult Explorer::run() {
         sleep_store.emplace_back();
         cfg_store.push_back(cfg);
       }
-      result.terminals.emplace(key, TerminalInfo{std::move(cfg), deadlock});
+      // Terminals are few; materializing their full keys here is the only
+      // place fingerprint mode still serializes a canonical key.
+      std::string key;
+      {
+        telemetry::ScopedPhase phase_canon(telemetry::Phase::Canonicalize);
+        key = cfg.canonical_key();
+      }
+      result.terminals.emplace(std::move(key), TerminalInfo{std::move(cfg), deadlock});
       return id;
     }
     if (options_.record_pairs) record_pairs(infos, result);
@@ -311,17 +342,18 @@ ExploreResult Explorer::run() {
       if (entry.expand.empty()) return id;  // fully covered elsewhere
     }
     on_stack[id] += 1;
+    require(on_stack[id] != 0, "on_stack count overflow");
     stack.push_back(std::move(entry));
     return id;
   };
 
   Configuration init = Configuration::initial(program_);
-  std::string init_key;
+  VisitedSet::Probe init_probe;
   {
     telemetry::ScopedPhase phase_canon(telemetry::Phase::Canonicalize);
-    init_key = init.canonical_key();
+    init_probe = visited.insert(init);
   }
-  register_config(std::move(init), init_key, {});
+  register_config(std::move(init), init_probe.id, {});
 
   while (!stack.empty()) {
     StackEntry& top = stack.back();
@@ -361,15 +393,15 @@ ExploreResult Explorer::run() {
     Configuration succ = step(top.cfg, pid, result);
     result.num_transitions += 1;
     tel.maybe_progress(result.num_configs, result.num_transitions, stack.size());
-    std::string key;
+    VisitedSet::Probe probe;
     {
       telemetry::ScopedPhase phase_canon(telemetry::Phase::Canonicalize);
-      key = succ.canonical_key();
+      probe = visited.insert(succ);
     }
 
     std::uint32_t to_id;
-    if (auto it = visited.find(key); it != visited.end()) {
-      to_id = it->second;
+    if (!probe.inserted) {
+      to_id = probe.id;
       // Stack proviso (ignoring problem): a reduced expansion that closes a
       // cycle on the DFS stack re-expands the source state fully.
       if (options_.reduction == Reduction::Stubborn && options_.cycle_proviso &&
@@ -409,6 +441,7 @@ ExploreResult Explorer::run() {
           redo.sleep = std::move(narrowed);
           if (!redo.expand.empty()) {
             on_stack[to_id] += 1;
+            require(on_stack[to_id] != 0, "on_stack count overflow");
             stack.push_back(std::move(redo));
             hot_.sleep_reexplorations.add();
           }
@@ -416,10 +449,17 @@ ExploreResult Explorer::run() {
       }
     } else {
       if (result.num_configs >= options_.max_configs) {
+        // The transition was fired but its successor is dropped: take it
+        // back out of both the visited set and num_transitions so the
+        // invariant graph.edges.size() == num_transitions survives
+        // truncation, and account for the drop separately.
+        visited.erase(probe, succ);
+        result.num_transitions -= 1;
+        hot_.truncated_transitions.add();
         result.truncated = true;
         break;
       }
-      to_id = register_config(std::move(succ), key, std::move(succ_sleep));
+      to_id = register_config(std::move(succ), probe.id, std::move(succ_sleep));
     }
     if (options_.record_graph) {
       result.graph.edges.push_back(StateGraph::Edge{from_id, to_id, edge_stmt, edge_kind});
@@ -432,21 +472,20 @@ ExploreResult Explorer::run() {
   result.stats.set("terminals", result.terminals.size());
   result.stats.set("deadlocks", result.deadlock_found ? 1 : 0);
 
+  // Dedup-structure gauges are cheap to read off the VisitedSet, so they
+  // are published unconditionally (benchmarks compare them with metrics
+  // off); only the getrusage call stays behind the metrics switch.
+  result.stats.set_gauge("visited_bytes", visited.memory_bytes());
+  result.stats.set_gauge("visited_configs", visited.size());
+  result.stats.set_gauge("fingerprint_collisions", visited.collisions());
   if (tel.metrics_enabled()) {
-    // Byte estimate of the dedup structure: canonical-key storage plus the
-    // hash-node overhead (key object, id, bucket pointer).
-    std::uint64_t visited_bytes = 0;
-    for (const auto& [key, id] : visited) {
-      visited_bytes += key.capacity() + sizeof(key) + sizeof(id) + 2 * sizeof(void*);
-    }
-    result.stats.set_gauge("visited_bytes", visited_bytes);
-    result.stats.set_gauge("visited_configs", visited.size());
     result.stats.set_gauge("peak_rss_bytes", telemetry::peak_rss_bytes());
   }
   return result;
 }
 
 ExploreResult explore(const sem::LoweredProgram& program, const ExploreOptions& options) {
+  if (options.threads > 1) return parallel_explore(program, options);
   return Explorer(program, options).run();
 }
 

@@ -54,7 +54,25 @@ struct ExploreOptions {
   bool record_pairs = false;      // MHP / conflicting statement pairs
   bool record_lifetimes = false;  // per-site escape facts (implies extra work)
   bool cycle_proviso = true;      // stubborn only
+  /// Worker threads. 1 = the sequential DFS engine; >1 selects the parallel
+  /// frontier (BFS) engine in parexplore.cpp, which requires the recording
+  /// payloads and sleep sets to be off.
+  unsigned threads = 1;
+  /// Keep full canonical key strings in the visited set (pre-fingerprint
+  /// behavior) and count observed fingerprint collisions. Costs an order of
+  /// magnitude more dedup memory; see src/explore/visited.h.
+  bool exact_keys = false;
 };
+
+/// Virtual coarsening stops after this many micro-actions in one combined
+/// step; hitting it means a "non-critical" local loop ran away (see the
+/// coarsen_guard_hits counter and the one-time `coarsen-guard` warning).
+inline constexpr int kCoarsenGuardMax = 4096;
+
+/// True when `info`'s action touches a critical location class. Shared by
+/// the sequential and parallel engines' coarsening loops.
+[[nodiscard]] bool action_is_critical(const sem::Configuration& cfg, const sem::ActionInfo& info,
+                                      const StaticInfo& static_info);
 
 struct TerminalInfo {
   sem::Configuration config;
@@ -153,6 +171,8 @@ class Explorer {
     StatRegistry::Counter sleep_suppressed_transitions;
     StatRegistry::Counter proviso_full_expansions;
     StatRegistry::Counter sleep_reexplorations;
+    StatRegistry::Counter truncated_transitions;
+    StatRegistry::Counter coarsen_guard_hits;
   };
 
   const sem::LoweredProgram& program_;

@@ -1,0 +1,402 @@
+#include "src/explore/parexplore.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <unordered_set>
+
+#include "src/explore/stubborn.h"
+#include "src/support/telemetry.h"
+
+namespace copar::explore {
+
+using sem::ActionInfo;
+using sem::ActionKind;
+using sem::Configuration;
+using sem::Pid;
+
+namespace {
+
+constexpr std::size_t kNumShards = 64;  // power of two
+
+/// One stripe of the seen set. Shard selection uses the fingerprint's high
+/// bits, in-table probing its low bits, so striping does not bias probes.
+struct Shard {
+  std::mutex mu;
+  support::FingerprintTable table;
+  std::unordered_set<std::string> keys;  // exact-keys mode only
+  std::uint64_t collisions = 0;          // exact-keys mode only
+};
+
+class SharedSeen {
+ public:
+  explicit SharedSeen(bool exact) : exact_(exact) {}
+
+  /// True when `cfg` (with fingerprint `fp`) was not seen before.
+  bool insert(const Configuration& cfg, const support::Fingerprint& fp) {
+    // In exact mode the key is serialized outside the lock.
+    std::string key;
+    if (exact_) key = cfg.canonical_key();
+    Shard& shard = shards_[shard_of(fp)];
+    const std::scoped_lock lock(shard.mu);
+    const auto r = shard.table.insert(fp);
+    if (!exact_) return r.inserted;
+    const bool fresh = shard.keys.insert(std::move(key)).second;
+    if (fresh && !r.inserted) shard.collisions += 1;
+    return fresh;
+  }
+
+  /// Withdraws the entry `insert` just added (max_configs rollback).
+  void erase(const Configuration& cfg, const support::Fingerprint& fp) {
+    Shard& shard = shards_[shard_of(fp)];
+    const std::scoped_lock lock(shard.mu);
+    shard.table.erase(fp);
+    if (exact_) shard.keys.erase(cfg.canonical_key());
+  }
+
+  // The aggregate queries run after the workers have joined (no locking).
+  [[nodiscard]] std::uint64_t size() const {
+    std::uint64_t n = 0;
+    for (const Shard& s : shards_) n += exact_ ? s.keys.size() : s.table.size();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    std::uint64_t bytes = 0;
+    for (const Shard& s : shards_) {
+      bytes += s.table.memory_bytes();
+      for (const std::string& key : s.keys) {
+        bytes += key.capacity() + sizeof(key) + 2 * sizeof(void*);
+      }
+    }
+    return bytes;
+  }
+  [[nodiscard]] std::uint64_t collisions() const {
+    std::uint64_t n = 0;
+    for (const Shard& s : shards_) n += s.collisions;
+    return n;
+  }
+
+ private:
+  static std::size_t shard_of(const support::Fingerprint& fp) noexcept {
+    return static_cast<std::size_t>(fp.hi) & (kNumShards - 1);
+  }
+
+  bool exact_;
+  Shard shards_[kNumShards];
+};
+
+/// Global frontier queue with active-count termination: exploration is done
+/// when the queue is empty and no worker is mid-expansion (an active worker
+/// may still push).
+class Frontier {
+ public:
+  void push(Configuration&& cfg) {
+    {
+      const std::scoped_lock lock(mu_);
+      queue_.push_back(std::move(cfg));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until work is available (marking the caller active) or the
+  /// exploration has drained; nullopt means done.
+  std::optional<Configuration> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !queue_.empty() || active_ == 0; });
+    if (queue_.empty()) return std::nullopt;
+    Configuration cfg = std::move(queue_.front());
+    queue_.pop_front();
+    active_ += 1;
+    return cfg;
+  }
+
+  /// Marks the caller's expansion finished (pairs with a successful pop).
+  void done_one() {
+    bool drained = false;
+    {
+      const std::scoped_lock lock(mu_);
+      active_ -= 1;
+      drained = active_ == 0 && queue_.empty();
+    }
+    if (drained) cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Configuration> queue_;
+  std::size_t active_ = 0;
+};
+
+/// Worker-local accumulators, merged (summed / unioned) after the join.
+struct WorkerStats {
+  std::uint64_t transitions = 0;
+  std::uint64_t stubborn_steps = 0;
+  std::uint64_t stubborn_singletons = 0;
+  std::uint64_t stubborn_reduced_steps = 0;
+  std::uint64_t proviso_full_expansions = 0;
+  std::uint64_t coarsened_micro_actions = 0;
+  std::uint64_t coarsen_guard_hits = 0;
+  std::uint64_t truncated_transitions = 0;
+  std::uint64_t expansion_ns = 0;
+  std::uint64_t stubborn_ns = 0;
+  std::uint64_t canonicalize_ns = 0;
+  std::set<std::uint32_t> violations;
+  std::set<std::pair<std::uint32_t, std::uint8_t>> faults;
+};
+
+/// One (possibly coarsened) step — the recording-free counterpart of
+/// Explorer::step (the parallel engine forbids the recording payloads).
+Configuration par_step(const Configuration& cfg, Pid pid, const StaticInfo& static_info,
+                       bool coarsen, WorkerStats& ws) {
+  Configuration succ = sem::apply_action(cfg, pid);
+  if (!coarsen) return succ;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_points;
+  int guard = 0;
+  for (; guard < kCoarsenGuardMax; ++guard) {
+    const sem::Process& p = succ.processes[pid];
+    if (!p.live() || p.frames.empty()) break;
+    ActionInfo next = sem::action_info(succ, pid);
+    if (!next.exists || !next.enabled) break;
+    if (next.kind == ActionKind::Fork) break;
+    if (action_is_critical(succ, next, static_info)) break;
+    if (!seen_points.insert({next.proc, next.pc}).second) break;  // local cycle
+    succ = sem::apply_action(succ, pid);
+    ws.coarsened_micro_actions += 1;
+  }
+  if (guard == kCoarsenGuardMax) {
+    ws.coarsen_guard_hits += 1;
+    warn_once("coarsen-guard",
+              "virtual coarsening stopped after " + std::to_string(kCoarsenGuardMax) +
+                  " micro-actions in one combined step; a non-critical local code "
+                  "run is unusually long (see the coarsen_guard_hits counter)");
+  }
+  return succ;
+}
+
+}  // namespace
+
+ExploreResult parallel_explore(const sem::LoweredProgram& program,
+                               const ExploreOptions& options) {
+  require(options.threads > 1, "parallel_explore: threads must be > 1");
+  require(!options.record_graph && !options.record_accesses && !options.record_pairs &&
+              !options.record_lifetimes,
+          "parallel_explore: recording payloads require the sequential engine (threads=1)");
+  require(!options.sleep_sets,
+          "parallel_explore: sleep sets require the sequential engine (threads=1)");
+
+  const StaticInfo static_info(program);
+  const bool metrics = telemetry::Telemetry::global().metrics_enabled();
+
+  SharedSeen seen(options.exact_keys);
+  Frontier frontier;
+  std::atomic<std::uint64_t> num_configs{0};
+  std::atomic<bool> truncated{false};
+  std::atomic<bool> abort{false};
+
+  ExploreResult result;
+
+  // Shared result payloads, guarded by one mutex: touched once per distinct
+  // terminal, so contention is negligible.
+  std::mutex result_mu;
+  std::exception_ptr first_error;
+
+  // Admits a newly fired successor: inserts it into the seen set and, when
+  // admitted under max_configs, collects its violations/faults and enqueues
+  // it. Returns true when the successor was new (for the insertion
+  // proviso; a withdrawn over-cap successor reports new=false, which can
+  // only cause extra full expansions).
+  auto admit = [&](Configuration&& succ, WorkerStats& ws) -> bool {
+    support::Fingerprint fp;
+    if (metrics) {
+      const std::uint64_t t0 = telemetry::now_ns();
+      fp = succ.canonical_fingerprint();
+      ws.canonicalize_ns += telemetry::now_ns() - t0;
+    } else {
+      fp = succ.canonical_fingerprint();
+    }
+    if (!seen.insert(succ, fp)) return false;
+    const std::uint64_t n = num_configs.fetch_add(1) + 1;
+    if (n > options.max_configs) {
+      num_configs.fetch_sub(1);
+      seen.erase(succ, fp);
+      truncated.store(true);
+      // As in the sequential engine, the transition whose successor is
+      // dropped is uncounted.
+      ws.transitions -= 1;
+      ws.truncated_transitions += 1;
+      return false;
+    }
+    for (std::uint32_t v : succ.violations) ws.violations.insert(v);
+    for (const auto& f : succ.faults) ws.faults.insert(f);
+    frontier.push(std::move(succ));
+    return true;
+  };
+
+  auto expand = [&](const Configuration& cfg, WorkerStats& ws) {
+    const std::vector<ActionInfo> infos = sem::all_action_infos(cfg);
+    std::vector<Pid> enabled;
+    for (const ActionInfo& info : infos) {
+      if (info.enabled) enabled.push_back(info.pid);
+    }
+
+    if (enabled.empty()) {
+      // Terminal (completion or deadlock). Full keys are materialized only
+      // here — terminals are few.
+      const bool deadlock = cfg.num_live() > 0;
+      std::string key;
+      if (metrics) {
+        const std::uint64_t t0 = telemetry::now_ns();
+        key = cfg.canonical_key();
+        ws.canonicalize_ns += telemetry::now_ns() - t0;
+      } else {
+        key = cfg.canonical_key();
+      }
+      const std::scoped_lock lock(result_mu);
+      result.deadlock_found = result.deadlock_found || deadlock;
+      result.terminals.emplace(std::move(key), TerminalInfo{cfg, deadlock});
+      return;
+    }
+
+    std::vector<Pid> expansion = enabled;
+    bool reduced = false;
+    if (options.reduction == Reduction::Stubborn && enabled.size() > 1) {
+      StubbornChoice choice;
+      if (metrics) {
+        const std::uint64_t t0 = telemetry::now_ns();
+        choice = stubborn_set(cfg, infos, static_info);
+        ws.stubborn_ns += telemetry::now_ns() - t0;
+      } else {
+        choice = stubborn_set(cfg, infos, static_info);
+      }
+      ws.stubborn_steps += 1;
+      if (choice.expand.size() == 1) ws.stubborn_singletons += 1;
+      if (!choice.is_full) ws.stubborn_reduced_steps += 1;
+      reduced = !choice.is_full;
+      expansion = std::move(choice.expand);
+    }
+
+    bool all_new = true;
+    for (Pid pid : expansion) {
+      ws.transitions += 1;
+      if (!admit(par_step(cfg, pid, static_info, options.coarsen, ws), ws)) all_new = false;
+    }
+
+    // Insertion proviso (see header): a reduced expansion with an
+    // already-seen successor is re-expanded fully.
+    if (reduced && !all_new && options.cycle_proviso && !truncated.load()) {
+      ws.proviso_full_expansions += 1;
+      for (Pid pid : enabled) {
+        if (std::find(expansion.begin(), expansion.end(), pid) != expansion.end()) continue;
+        ws.transitions += 1;
+        admit(par_step(cfg, pid, static_info, options.coarsen, ws), ws);
+      }
+    }
+  };
+
+  std::vector<WorkerStats> worker_stats(options.threads);
+  auto worker = [&](unsigned index) {
+    WorkerStats& ws = worker_stats[index];
+    try {
+      while (auto cfg = frontier.pop()) {
+        if (!abort.load() && !truncated.load()) {
+          if (metrics) {
+            const std::uint64_t t0 = telemetry::now_ns();
+            expand(*cfg, ws);
+            ws.expansion_ns += telemetry::now_ns() - t0;
+          } else {
+            expand(*cfg, ws);
+          }
+        }
+        frontier.done_one();
+      }
+    } catch (...) {
+      {
+        const std::scoped_lock lock(result_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      abort.store(true);
+      frontier.done_one();
+    }
+  };
+
+  // Seed the frontier with the initial configuration.
+  {
+    Configuration init = Configuration::initial(program);
+    const support::Fingerprint fp = init.canonical_fingerprint();
+    seen.insert(init, fp);
+    num_configs.store(1);
+    WorkerStats& ws = worker_stats[0];
+    for (std::uint32_t v : init.violations) ws.violations.insert(v);
+    for (const auto& f : init.faults) ws.faults.insert(f);
+    frontier.push(std::move(init));
+  }
+
+  {
+    telemetry::ScopedPhase phase_expansion(telemetry::Phase::Expansion);
+    std::vector<std::thread> threads;
+    threads.reserve(options.threads);
+    for (unsigned i = 0; i < options.threads; ++i) threads.emplace_back(worker, i);
+    for (std::thread& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Deterministic merge: counter sums and set unions do not depend on
+  // which worker did what.
+  result.num_configs = num_configs.load();
+  result.truncated = truncated.load();
+  WorkerStats total;
+  for (unsigned i = 0; i < options.threads; ++i) {
+    const WorkerStats& ws = worker_stats[i];
+    result.num_transitions += ws.transitions;
+    total.stubborn_steps += ws.stubborn_steps;
+    total.stubborn_singletons += ws.stubborn_singletons;
+    total.stubborn_reduced_steps += ws.stubborn_reduced_steps;
+    total.proviso_full_expansions += ws.proviso_full_expansions;
+    total.coarsened_micro_actions += ws.coarsened_micro_actions;
+    total.coarsen_guard_hits += ws.coarsen_guard_hits;
+    total.truncated_transitions += ws.truncated_transitions;
+    for (std::uint32_t v : ws.violations) result.violations.insert(v);
+    for (const auto& f : ws.faults) result.faults.insert(f);
+    if (metrics) {
+      const std::string prefix = "worker" + std::to_string(i);
+      result.stats.add_time_ns(prefix + ".expansion", ws.expansion_ns);
+      result.stats.add_time_ns(prefix + ".stubborn", ws.stubborn_ns);
+      result.stats.add_time_ns(prefix + ".canonicalize", ws.canonicalize_ns);
+    }
+  }
+  // Lazy-counter parity with the sequential engine: a counter that never
+  // fired stays absent from to_string().
+  auto add_if = [&](const char* name, std::uint64_t v) {
+    if (v != 0) result.stats.add(name, v);
+  };
+  add_if("stubborn_steps", total.stubborn_steps);
+  add_if("stubborn_singletons", total.stubborn_singletons);
+  add_if("stubborn_reduced_steps", total.stubborn_reduced_steps);
+  add_if("proviso_full_expansions", total.proviso_full_expansions);
+  add_if("coarsened_micro_actions", total.coarsened_micro_actions);
+  add_if("coarsen_guard_hits", total.coarsen_guard_hits);
+  add_if("truncated_transitions", total.truncated_transitions);
+
+  result.graph.num_nodes = result.num_configs;
+  result.stats.set("configs", result.num_configs);
+  result.stats.set("transitions", result.num_transitions);
+  result.stats.set("terminals", result.terminals.size());
+  result.stats.set("deadlocks", result.deadlock_found ? 1 : 0);
+  result.stats.set_gauge("visited_bytes", seen.memory_bytes());
+  result.stats.set_gauge("visited_configs", seen.size());
+  result.stats.set_gauge("fingerprint_collisions", seen.collisions());
+  result.stats.set_gauge("threads", options.threads);
+  if (metrics) {
+    result.stats.set_gauge("peak_rss_bytes", telemetry::peak_rss_bytes());
+  }
+  return result;
+}
+
+}  // namespace copar::explore

@@ -1,0 +1,44 @@
+// Parallel frontier exploration (Reduction-compatible BFS).
+//
+// The sequential explorer is a DFS whose cycle proviso depends on the
+// search stack, which does not parallelize. This engine explores the same
+// configuration space breadth-first with worker threads:
+//
+//   * seen set — the canonical fingerprints, mutex-striped across 64
+//     shards (shard = high fingerprint bits, in-shard probing by the low
+//     bits), so insertions from different workers rarely contend;
+//   * frontier — one global queue of configurations with an active-worker
+//     count; a worker pops a configuration, expands it locally (stubborn
+//     set, virtual coarsening), and pushes newly seen successors;
+//   * ignoring problem — the stack proviso is replaced by an insertion
+//     proviso: a *reduced* expansion stands only if every fired successor
+//     was newly inserted; if any successor was already seen, the source is
+//     re-expanded fully. Order the cycle's states by expansion start; the
+//     last one fires an edge to an already-inserted state, so every cycle
+//     in the reduced graph contains a fully expanded state. Concurrent
+//     insertions by other workers only add full expansions — conservative,
+//     never unsound.
+//
+// Workers never touch the global telemetry instance (it is single-threaded
+// by contract); per-worker time is measured with local now_ns() deltas and
+// merged into the result's StatRegistry timings. Terminals, violations,
+// faults, and counters are merged deterministically (set unions and sums),
+// so the terminal-key set — the correctness contract shared with the
+// sequential engine — is independent of scheduling. Transition counts can
+// differ run to run (two workers may fire into the same configuration
+// before either insertion lands), but states and terminals cannot.
+//
+// Entered through explore() when ExploreOptions::threads > 1. The recording
+// payloads (graph, accesses, pairs, lifetimes) and sleep sets are
+// DFS-order-dependent and remain sequential-only.
+#pragma once
+
+#include "src/explore/explorer.h"
+
+namespace copar::explore {
+
+/// Requires options.threads > 1 and every record_* / sleep_sets option off.
+[[nodiscard]] ExploreResult parallel_explore(const sem::LoweredProgram& program,
+                                             const ExploreOptions& options);
+
+}  // namespace copar::explore

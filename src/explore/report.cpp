@@ -56,6 +56,10 @@ void write_json_report(support::JsonWriter& w, std::string_view command, std::st
   w.value(o.cycle_proviso);
   w.key("max_configs");
   w.value(o.max_configs);
+  w.key("threads");
+  w.value(static_cast<std::uint64_t>(o.threads));
+  w.key("exact_keys");
+  w.value(o.exact_keys);
   w.end_object();
 
   w.key("counters");
@@ -78,6 +82,19 @@ void write_json_report(support::JsonWriter& w, std::string_view command, std::st
   telemetry::write_phases_ms(w);
   w.key("phase_counts");
   telemetry::write_phase_counts(w);
+
+  // Engine-recorded timings (per-worker phase attribution from the
+  // parallel engine; the global phase timers above cannot see inside
+  // worker threads).
+  if (!r.stats.times_ns().empty()) {
+    w.key("timings_ms");
+    w.begin_object();
+    for (const auto& [name, ns] : r.stats.times_ns()) {
+      w.key(name);
+      w.value(static_cast<double>(ns) / 1e6);
+    }
+    w.end_object();
+  }
 
   w.key("memory");
   w.begin_object();

@@ -1,0 +1,40 @@
+#include "src/explore/visited.h"
+
+namespace copar::explore {
+
+VisitedSet::Probe VisitedSet::insert(const sem::Configuration& cfg) {
+  const support::Fingerprint fp = cfg.canonical_fingerprint();
+  if (!exact_) {
+    const auto r = table_.insert(fp);
+    return {fp, r.id, r.inserted};
+  }
+  // Exact mode: the string map is the id authority; the fingerprint table
+  // only detects collisions (new key, already-seen fingerprint).
+  const auto r = table_.insert(fp);
+  auto [it, fresh] = keys_.try_emplace(cfg.canonical_key(), next_id_);
+  if (fresh) {
+    next_id_ += 1;
+    if (!r.inserted) collisions_ += 1;
+  }
+  return {fp, it->second, fresh};
+}
+
+bool VisitedSet::contains(const sem::Configuration& cfg) const {
+  if (!exact_) return table_.contains(cfg.canonical_fingerprint());
+  return keys_.contains(cfg.canonical_key());
+}
+
+void VisitedSet::erase(const Probe& probe, const sem::Configuration& cfg) {
+  table_.erase(probe.fp);
+  if (exact_) keys_.erase(cfg.canonical_key());
+}
+
+std::uint64_t VisitedSet::memory_bytes() const {
+  std::uint64_t bytes = table_.memory_bytes();
+  for (const auto& [key, id] : keys_) {
+    bytes += key.capacity() + sizeof(key) + sizeof(id) + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace copar::explore

@@ -1,0 +1,65 @@
+// The explorers' dedup structure: fingerprints by default, exact keys on
+// request.
+//
+// In fingerprint mode (the default) a configuration costs ~20 bytes in an
+// open-addressing table of 128-bit canonical fingerprints. In exact-keys
+// mode (`--exact-keys`) the full canonical key strings are kept as before,
+// and the fingerprint table rides along as a cross-check: a configuration
+// whose key is new but whose fingerprint is already present is a real
+// observed hash collision, counted in `collisions()` (and surfaced as the
+// `fingerprint_collisions` gauge). Fingerprint mode cannot detect its own
+// collisions — that is exactly the trade — so collision-paranoid runs use
+// exact mode to measure whether the workload ever produces one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/sem/config.h"
+#include "src/support/fingerprint.h"
+
+namespace copar::explore {
+
+class VisitedSet {
+ public:
+  explicit VisitedSet(bool exact_keys) : exact_(exact_keys) {}
+
+  struct Probe {
+    support::Fingerprint fp;
+    std::uint32_t id = 0;
+    bool inserted = false;
+  };
+
+  /// Canonicalizes `cfg` and inserts it; ids are dense in insertion order
+  /// (0, 1, 2, ...) so callers can index side arrays by them.
+  Probe insert(const sem::Configuration& cfg);
+
+  [[nodiscard]] bool contains(const sem::Configuration& cfg) const;
+
+  /// Removes `cfg` again — only meaningful for the entry just inserted
+  /// (the explorer un-registers the configuration that hit max_configs).
+  void erase(const Probe& probe, const sem::Configuration& cfg);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return exact_ ? keys_.size() : table_.size();
+  }
+
+  /// Observed fingerprint collisions (exact mode only; 0 in fingerprint
+  /// mode, which cannot see them).
+  [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
+
+  /// Byte estimate of the dedup structure (drives the `visited_bytes`
+  /// gauge): table slots, plus key storage and hash-node overhead in exact
+  /// mode.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
+ private:
+  bool exact_;
+  support::FingerprintTable table_;
+  std::unordered_map<std::string, std::uint32_t> keys_;  // exact mode only
+  std::uint32_t next_id_ = 0;                            // exact mode only
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace copar::explore

@@ -2,9 +2,9 @@
 
 #include <deque>
 #include <sstream>
-#include <unordered_map>
 
 #include "src/explore/stubborn.h"
+#include "src/explore/visited.h"
 #include "src/support/telemetry.h"
 
 namespace copar::explore {
@@ -60,20 +60,18 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
     WitnessStep via;
   };
   std::vector<Node> nodes;
-  std::unordered_map<std::string, std::uint32_t> visited;
+  VisitedSet visited(query.explore.exact_keys);
   std::deque<std::uint32_t> work;  // BFS: shortest witnesses
 
   auto push = [&](Configuration cfg, std::uint32_t parent, WitnessStep via)
       -> std::optional<std::uint32_t> {
     telemetry::ScopedPhase phase_canon(telemetry::Phase::Canonicalize);
-    std::string key = cfg.canonical_key();
-    auto it = visited.find(key);
-    if (it != visited.end()) return std::nullopt;
-    const auto id = static_cast<std::uint32_t>(nodes.size());
-    visited.emplace(std::move(key), id);
+    const VisitedSet::Probe probe = visited.insert(cfg);
+    if (!probe.inserted) return std::nullopt;
+    require(probe.id == nodes.size(), "witness: visited-set ids must be dense");
     nodes.push_back(Node{std::move(cfg), parent, std::move(via)});
-    work.push_back(id);
-    return id;
+    work.push_back(probe.id);
+    return probe.id;
   };
 
   auto build = [&](std::uint32_t id) {
@@ -121,7 +119,7 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
       bool all_known = true;
       for (Pid pid : choice.expand) {
         Configuration succ = sem::apply_action(cfg, pid);
-        if (!visited.contains(succ.canonical_key())) all_known = false;
+        if (!visited.contains(succ)) all_known = false;
       }
       if (!all_known || choice.is_full) expand = choice.expand;
     }

@@ -92,30 +92,35 @@ class ByteSink {
   void u64(std::uint64_t v) {
     for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
   }
-  void pstring(const ProcString& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    for (const PSym& sym : s.syms()) {
-      u8(static_cast<std::uint8_t>(sym.kind));
-      u32(sym.id);
-      u32(sym.branch);
-    }
-  }
   [[nodiscard]] std::string take() { return std::move(out_); }
 
  private:
   std::string out_;
 };
 
-}  // namespace
+template <class Sink>
+void emit_pstring(Sink& sink, const ProcString& s) {
+  sink.u32(static_cast<std::uint32_t>(s.size()));
+  for (const PSym& sym : s.syms()) {
+    sink.u8(static_cast<std::uint8_t>(sym.kind));
+    sink.u32(sym.id);
+    sink.u32(sym.branch);
+  }
+}
 
-std::string Configuration::canonical_key() const {
+/// The one canonicalization traversal. Both canonical_key() (ByteSink) and
+/// canonical_fingerprint() (Fp128Hasher) feed their sink from this function,
+/// so the key bytes and the hashed bytes are the same stream by
+/// construction.
+template <class Sink>
+void serialize_canonical(const Configuration& cfg, Sink& sink) {
   // 1. Canonical order of live processes: lexicographic by fork path.
   std::vector<Pid> live;
-  for (Pid pid = 0; pid < processes.size(); ++pid) {
-    if (processes[pid].live()) live.push_back(pid);
+  for (Pid pid = 0; pid < cfg.processes.size(); ++pid) {
+    if (cfg.processes[pid].live()) live.push_back(pid);
   }
   std::sort(live.begin(), live.end(),
-            [&](Pid a, Pid b) { return processes[a].path < processes[b].path; });
+            [&](Pid a, Pid b) { return cfg.processes[a].path < cfg.processes[b].path; });
   std::unordered_map<Pid, std::uint32_t> canon_pid;
   for (std::uint32_t i = 0; i < live.size(); ++i) canon_pid.emplace(live[i], i);
 
@@ -130,13 +135,13 @@ std::string Configuration::canonical_key() const {
   };
   visit(0);  // globals frame
   for (Pid pid : live) {
-    for (const Frame& f : processes[pid].frames) {
+    for (const Frame& f : cfg.processes[pid].frames) {
       visit(f.frame_obj);
       if (f.has_ret_dst) visit(f.ret_obj);
     }
   }
   for (std::size_t i = 0; i < order.size(); ++i) {  // order grows during scan
-    const Object& o = store.object(order[i]);
+    const Object& o = cfg.store.object(order[i]);
     for (const Value& v : o.cells) {
       if (v.is_ptr()) visit(v.ptr_obj());
       if (v.is_closure()) visit(v.closure_env());
@@ -147,7 +152,7 @@ std::string Configuration::canonical_key() const {
     auto it = remap.find(obj);
     return it == remap.end() ? 0xffffffffu : it->second;
   };
-  auto emit_value = [&](ByteSink& sink, const Value& v) {
+  auto emit_value = [&](const Value& v) {
     sink.u8(static_cast<std::uint8_t>(v.kind()));
     switch (v.kind()) {
       case VKind::Int:
@@ -167,26 +172,25 @@ std::string Configuration::canonical_key() const {
   };
 
   // 3. Serialize.
-  ByteSink sink;
   sink.u32(static_cast<std::uint32_t>(order.size()));
   for (ObjId obj : order) {
-    const Object& o = store.object(obj);
+    const Object& o = cfg.store.object(obj);
     sink.u8(static_cast<std::uint8_t>(o.obj_kind));
     sink.u32(o.site);
-    sink.pstring(o.birth);
+    emit_pstring(sink, o.birth);
     sink.u32(static_cast<std::uint32_t>(o.cells.size()));
-    for (const Value& v : o.cells) emit_value(sink, v);
+    for (const Value& v : o.cells) emit_value(v);
   }
 
   sink.u32(static_cast<std::uint32_t>(live.size()));
   for (Pid pid : live) {
-    const Process& p = processes[pid];
+    const Process& p = cfg.processes[pid];
     sink.u32(static_cast<std::uint32_t>(p.path.size()));
     for (const PathElem& e : p.path) {
       sink.u32(e.site);
       sink.u32(e.branch);
     }
-    sink.pstring(p.pstr);
+    emit_pstring(sink, p.pstr);
     sink.u32(p.pending_children);
     sink.u32(static_cast<std::uint32_t>(p.frames.size()));
     for (const Frame& f : p.frames) {
@@ -203,7 +207,7 @@ std::string Configuration::canonical_key() const {
 
   // Lock table, sorted by canonical location.
   std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> locks;
-  for (const auto& [loc, owner] : lock_owners) {
+  for (const auto& [loc, owner] : cfg.lock_owners) {
     const std::uint32_t co = canon_obj(loc.first);
     if (co == 0xffffffffu) continue;  // unreachable cell: lock is inert
     auto it = canon_pid.find(owner);
@@ -218,14 +222,27 @@ std::string Configuration::canonical_key() const {
     sink.u32(owner);
   }
 
-  sink.u32(static_cast<std::uint32_t>(violations.size()));
-  for (std::uint32_t v : violations) sink.u32(v);
-  sink.u32(static_cast<std::uint32_t>(faults.size()));
-  for (const auto& [stmt, kind] : faults) {
+  sink.u32(static_cast<std::uint32_t>(cfg.violations.size()));
+  for (std::uint32_t v : cfg.violations) sink.u32(v);
+  sink.u32(static_cast<std::uint32_t>(cfg.faults.size()));
+  for (const auto& [stmt, kind] : cfg.faults) {
     sink.u32(stmt);
     sink.u8(kind);
   }
+}
+
+}  // namespace
+
+std::string Configuration::canonical_key() const {
+  ByteSink sink;
+  serialize_canonical(*this, sink);
   return sink.take();
+}
+
+support::Fingerprint Configuration::canonical_fingerprint() const {
+  support::Fp128Hasher sink;
+  serialize_canonical(*this, sink);
+  return sink.finalize();
 }
 
 std::vector<bool> reachable_objects(const Configuration& cfg) {

@@ -28,6 +28,7 @@
 #include "src/sem/procstring.h"
 #include "src/sem/store.h"
 #include "src/sem/value.h"
+#include "src/support/fingerprint.h"
 
 namespace copar::sem {
 
@@ -112,6 +113,12 @@ class Configuration {
   /// Deterministic serialization of the canonical form; equal strings <=>
   /// equivalent configurations. See file header for what it includes.
   [[nodiscard]] std::string canonical_key() const;
+
+  /// 128-bit hash of exactly the byte stream canonical_key() would produce
+  /// (the serialization traversal is shared, so the two cannot diverge),
+  /// without materializing it. Equal keys => equal fingerprints; the
+  /// converse fails only on a 2^-128-ish hash collision.
+  [[nodiscard]] support::Fingerprint canonical_fingerprint() const;
 
   /// Convenience for tests/benches: current value of global `name`.
   [[nodiscard]] std::optional<Value> global_value(std::string_view name) const;

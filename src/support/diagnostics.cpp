@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <iostream>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <tuple>
@@ -452,6 +454,17 @@ void DiagnosticEngine::clear() {
 
 void require(bool cond, std::string_view message) {
   if (!cond) throw Error(std::string(message));
+}
+
+bool warn_once(std::string_view code, const std::string& message) {
+  static std::mutex mu;
+  static std::set<std::string, std::less<>> seen;
+  {
+    const std::scoped_lock lock(mu);
+    if (!seen.emplace(code).second) return false;
+  }
+  std::cerr << "copar: warning (" << code << "): " << message << '\n';
+  return true;
 }
 
 }  // namespace copar

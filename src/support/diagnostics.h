@@ -167,4 +167,11 @@ class Error : public std::runtime_error {
 /// Throws copar::Error with the given message when `cond` is false.
 void require(bool cond, std::string_view message);
 
+/// Prints "copar: warning (<code>): <message>" to stderr the first time each
+/// `code` is seen in this process; later calls with the same code are
+/// dropped (a counter elsewhere should carry the repetition). Returns true
+/// when the message was printed. Thread-safe — engine hot loops may call it
+/// from workers.
+bool warn_once(std::string_view code, const std::string& message);
+
 }  // namespace copar

@@ -1,0 +1,79 @@
+#include "src/support/fingerprint.h"
+
+namespace copar::support {
+
+namespace {
+constexpr std::size_t kInitialCapacity = 64;  // power of two
+}
+
+FingerprintTable::Insert FingerprintTable::insert(const Fingerprint& fp) {
+  if (slots_.empty() || occupied_ * 10 >= slots_.size() * 7) grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(fp.lo) & mask;
+  std::size_t first_tomb = slots_.size();  // sentinel: none seen
+  for (;;) {
+    const Fingerprint& s = slots_[i];
+    if (is_empty(s)) {
+      const std::size_t at = first_tomb < slots_.size() ? first_tomb : i;
+      slots_[at] = fp;
+      ids_[at] = next_id_;
+      size_ += 1;
+      if (at == i) occupied_ += 1;  // reusing a tombstone keeps occupancy
+      return {next_id_++, true};
+    }
+    if (is_tomb(s)) {
+      if (first_tomb == slots_.size()) first_tomb = i;
+    } else if (s == fp) {
+      return {ids_[i], false};
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+bool FingerprintTable::contains(const Fingerprint& fp) const {
+  if (slots_.empty()) return false;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(fp.lo) & mask;
+  for (;;) {
+    const Fingerprint& s = slots_[i];
+    if (is_empty(s)) return false;
+    if (!is_tomb(s) && s == fp) return true;
+    i = (i + 1) & mask;
+  }
+}
+
+bool FingerprintTable::erase(const Fingerprint& fp) {
+  if (slots_.empty()) return false;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(fp.lo) & mask;
+  for (;;) {
+    Fingerprint& s = slots_[i];
+    if (is_empty(s)) return false;
+    if (!is_tomb(s) && s == fp) {
+      s = Fingerprint{0, 1};
+      size_ -= 1;
+      return true;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void FingerprintTable::grow() {
+  const std::size_t new_cap = slots_.empty() ? kInitialCapacity : slots_.size() * 2;
+  std::vector<Fingerprint> old_slots = std::move(slots_);
+  std::vector<std::uint32_t> old_ids = std::move(ids_);
+  slots_.assign(new_cap, Fingerprint{});
+  ids_.assign(new_cap, 0);
+  occupied_ = size_;  // rehash drops tombstones
+  const std::size_t mask = new_cap - 1;
+  for (std::size_t k = 0; k < old_slots.size(); ++k) {
+    const Fingerprint& s = old_slots[k];
+    if (is_empty(s) || is_tomb(s)) continue;
+    std::size_t i = static_cast<std::size_t>(s.lo) & mask;
+    while (!is_empty(slots_[i])) i = (i + 1) & mask;
+    slots_[i] = s;
+    ids_[i] = old_ids[k];
+  }
+}
+
+}  // namespace copar::support

@@ -1,0 +1,137 @@
+// 128-bit configuration fingerprints and the open-addressing table that
+// stores them.
+//
+// The exploration engines deduplicate configurations by canonical
+// serialization. Storing one full serialized key per distinct configuration
+// (hundreds of bytes each) makes memory — not reduction quality — the
+// practical bound on the explorable space. A fingerprint keeps 16 bytes per
+// configuration instead: the canonical byte stream is hashed *while it is
+// produced* (the same traversal that would build the key string feeds the
+// hasher, so key and fingerprint cannot diverge), and membership is tracked
+// in an open-addressing table of (fingerprint, id) pairs.
+//
+// The price is a 2^-128-ish chance of a collision silently merging two
+// distinct configurations. Engines expose an opt-out (`--exact-keys`) that
+// keeps full key strings and cross-checks them against the fingerprints,
+// counting observed collisions (`fingerprint_collisions`) for
+// collision-paranoid runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/support/hash.h"
+
+namespace copar::support {
+
+/// A 128-bit fingerprint. Never all-zero and never {0,1} (the hasher remaps
+/// those), so the table can use them as empty/tombstone slot markers.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Streaming 128-bit hasher with the same byte-sink interface as the
+/// canonical-key serializer (u8/u32/u64): two independent splitmix-based
+/// 64-bit lanes over the little-endian byte stream, finalized with the
+/// stream length. Same byte sequence <=> same fingerprint.
+class Fp128Hasher {
+ public:
+  void u8(std::uint8_t v) {
+    buf_ |= static_cast<std::uint64_t>(v) << (8 * nbuf_);
+    len_ += 1;
+    if (++nbuf_ == 8) {
+      word(buf_);
+      buf_ = 0;
+      nbuf_ = 0;
+    }
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+
+  [[nodiscard]] Fingerprint finalize() const {
+    std::uint64_t a = a_;
+    std::uint64_t b = b_;
+    if (nbuf_ > 0) {
+      a = hash_combine(a, buf_);
+      b = hash_combine(b, buf_ ^ kLaneTweak);
+    }
+    a = hash_combine(a, len_);
+    b = hash_combine(b, len_ ^ kLaneTweak);
+    Fingerprint fp{hash_mix(a), hash_mix(b)};
+    // Reserve hi == 0 for the table's empty/tombstone markers.
+    if (fp.hi == 0) fp.hi = 1;
+    return fp;
+  }
+
+ private:
+  static constexpr std::uint64_t kLaneTweak = 0x5851f42d4c957f2dULL;
+
+  void word(std::uint64_t w) {
+    a_ = hash_combine(a_, w);
+    b_ = hash_combine(b_, w ^ kLaneTweak);
+  }
+
+  std::uint64_t a_ = 0x243f6a8885a308d3ULL;  // pi fractional digits
+  std::uint64_t b_ = 0x13198a2e03707344ULL;
+  std::uint64_t buf_ = 0;
+  std::uint64_t len_ = 0;
+  int nbuf_ = 0;
+};
+
+/// Open-addressing (linear probing) hash table mapping fingerprints to
+/// dense ids in insertion order. ~20 bytes per slot (16-byte fingerprint +
+/// 4-byte id in parallel arrays), grown at 70% load — an order of magnitude
+/// below per-configuration key strings. Supports erase via tombstones
+/// (hi == 0, lo == 1) for engines that re-queue work items.
+class FingerprintTable {
+ public:
+  struct Insert {
+    std::uint32_t id = 0;
+    bool inserted = false;
+  };
+
+  /// Inserts `fp`, assigning the next dense id; returns the existing id
+  /// when already present.
+  Insert insert(const Fingerprint& fp);
+
+  [[nodiscard]] bool contains(const Fingerprint& fp) const;
+
+  /// Removes `fp` (tombstone). Returns true if it was present. Erased
+  /// entries free their slot for reuse but their id is not recycled.
+  bool erase(const Fingerprint& fp);
+
+  /// Live entries (inserts minus erases).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Bytes held by the table's slot arrays (the dedup-structure cost the
+  /// `visited_bytes` gauge reports in fingerprint mode).
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return slots_.capacity() * sizeof(Fingerprint) + ids_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  [[nodiscard]] static bool is_empty(const Fingerprint& fp) noexcept {
+    return fp.hi == 0 && fp.lo == 0;
+  }
+  [[nodiscard]] static bool is_tomb(const Fingerprint& fp) noexcept {
+    return fp.hi == 0 && fp.lo == 1;
+  }
+
+  void grow();
+
+  std::vector<Fingerprint> slots_;
+  std::vector<std::uint32_t> ids_;
+  std::size_t size_ = 0;      // live entries
+  std::size_t occupied_ = 0;  // live + tombstones (drives the load factor)
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace copar::support

@@ -244,8 +244,11 @@ fun main() {
 }
 
 TEST(MhpGolden, ReportIsByteStable) {
-  // The cobegin is labeled because its join/halt actions carry the cobegin
-  // statement itself and show up as MHP partners of the branch bodies.
+  // The cobegin is labeled to pin down that it does NOT appear in the
+  // report: a thread's halt folds into its preceding action (settle — the
+  // paper's coend consumes no transition of its own) and the parent's join
+  // only enables once every child has terminated, so the cobegin's own
+  // join/halt actions are never co-enabled with the branch bodies.
   const auto& p = compiled(R"(var x; var y;
 fun main() {
   sCo: cobegin
@@ -257,11 +260,7 @@ fun main() {
   explore::ExploreOptions opts;
   opts.record_pairs = true;
   const Mhp mhp = mhp_from(explore::explore(*p.lowered, opts));
-  EXPECT_EQ(mhp.report(*p.lowered),
-            "sCo || sCo\n"
-            "s1 || sCo\n"
-            "s1 || s2\n"
-            "s2 || sCo\n");
+  EXPECT_EQ(mhp.report(*p.lowered), "s1 || s2\n");
 }
 
 }  // namespace

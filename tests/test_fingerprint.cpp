@@ -1,0 +1,142 @@
+// Unit tests of the 128-bit streaming fingerprint and the open-addressing
+// fingerprint table, plus the key/fingerprint consistency contract on real
+// configurations.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+#include "src/support/fingerprint.h"
+#include "src/workload/paper_examples.h"
+
+namespace copar::support {
+namespace {
+
+Fingerprint fp_of_bytes(const std::string& bytes) {
+  Fp128Hasher h;
+  for (char c : bytes) h.u8(static_cast<std::uint8_t>(c));
+  return h.finalize();
+}
+
+TEST(Fp128Hasher, DeterministicAndLengthSensitive) {
+  EXPECT_EQ(fp_of_bytes("hello"), fp_of_bytes("hello"));
+  EXPECT_FALSE(fp_of_bytes("hello") == fp_of_bytes("hello!"));
+  // Trailing zero bytes must change the fingerprint (length is hashed).
+  EXPECT_FALSE(fp_of_bytes("abc") == fp_of_bytes(std::string("abc\0", 4)));
+  EXPECT_FALSE(fp_of_bytes("") == fp_of_bytes(std::string(1, '\0')));
+}
+
+TEST(Fp128Hasher, WidthHelpersMatchByteStream) {
+  // u32/u64 are defined as their little-endian byte sequences.
+  Fp128Hasher a;
+  a.u32(0x04030201u);
+  Fp128Hasher b;
+  for (std::uint8_t v : {1, 2, 3, 4}) b.u8(v);
+  EXPECT_EQ(a.finalize(), b.finalize());
+
+  Fp128Hasher c;
+  c.u64(0x0807060504030201ull);
+  Fp128Hasher d;
+  for (std::uint8_t v : {1, 2, 3, 4, 5, 6, 7, 8}) d.u8(v);
+  EXPECT_EQ(c.finalize(), d.finalize());
+}
+
+TEST(Fp128Hasher, NeverProducesReservedMarkers) {
+  // Exhaustive search is impossible; spot-check a pile of inputs for the
+  // structural guarantee hi != 0 (empty/tombstone markers are hi == 0).
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    Fp128Hasher h;
+    h.u32(i);
+    EXPECT_NE(h.finalize().hi, 0u);
+  }
+}
+
+TEST(FingerprintTable, InsertAssignsDenseIdsAndDedups) {
+  FingerprintTable t;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    Fp128Hasher h;
+    h.u32(i);
+    const auto r = t.insert(h.finalize());
+    EXPECT_TRUE(r.inserted);
+    EXPECT_EQ(r.id, i);
+  }
+  EXPECT_EQ(t.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    Fp128Hasher h;
+    h.u32(i);
+    const auto r = t.insert(h.finalize());
+    EXPECT_FALSE(r.inserted);
+    EXPECT_EQ(r.id, i);
+    EXPECT_TRUE(t.contains(h.finalize()));
+  }
+  EXPECT_EQ(t.size(), 100u);
+}
+
+TEST(FingerprintTable, EraseAndTombstoneReuse) {
+  FingerprintTable t;
+  std::vector<Fingerprint> fps;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    Fp128Hasher h;
+    h.u32(i);
+    fps.push_back(h.finalize());
+    t.insert(fps.back());
+  }
+  for (std::uint32_t i = 0; i < 200; i += 2) EXPECT_TRUE(t.erase(fps[i]));
+  EXPECT_EQ(t.size(), 100u);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(t.contains(fps[i]), i % 2 == 1) << i;
+  }
+  EXPECT_FALSE(t.erase(fps[0]));  // already gone
+  // Re-inserting erased fingerprints must work (tombstone reuse) and keep
+  // probing for survivors intact.
+  for (std::uint32_t i = 0; i < 200; i += 2) EXPECT_TRUE(t.insert(fps[i]).inserted);
+  EXPECT_EQ(t.size(), 200u);
+  for (const Fingerprint& fp : fps) EXPECT_TRUE(t.contains(fp));
+}
+
+TEST(FingerprintTable, SurvivesGrowthWithManyEntries) {
+  FingerprintTable t;
+  constexpr std::uint32_t kN = 5000;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    Fp128Hasher h;
+    h.u64(i * 0x9e3779b97f4a7c15ull);
+    ASSERT_TRUE(t.insert(h.finalize()).inserted);
+  }
+  EXPECT_EQ(t.size(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    Fp128Hasher h;
+    h.u64(i * 0x9e3779b97f4a7c15ull);
+    EXPECT_TRUE(t.contains(h.finalize()));
+  }
+  // ~20 bytes per slot at <= 70% load: far below a string-keyed map.
+  EXPECT_GT(t.memory_bytes(), kN * sizeof(Fingerprint));
+  EXPECT_LT(t.memory_bytes(), kN * 4 * (sizeof(Fingerprint) + sizeof(std::uint32_t)));
+}
+
+TEST(ConfigFingerprint, AgreesWithCanonicalKey) {
+  // Two configurations have equal fingerprints iff their canonical keys are
+  // equal — the serialization traversal is shared, so this checks the hash
+  // plumbing, not the canonicalization itself.
+  auto prog = compile(workload::fig2_shasha_snir());
+  explore::ExploreOptions opts;
+  const auto r = explore::explore(*prog->lowered, opts);
+
+  std::set<std::string> keys;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> fps;
+  for (const auto& [key, t] : r.terminals) {
+    EXPECT_EQ(t.config.canonical_key(), key);
+    const Fingerprint fp = t.config.canonical_fingerprint();
+    EXPECT_EQ(fp, t.config.canonical_fingerprint());  // stable
+    keys.insert(key);
+    fps.emplace(fp.hi, fp.lo);
+  }
+  // Distinct keys must give distinct fingerprints (no collisions among the
+  // handful of terminals here).
+  EXPECT_EQ(keys.size(), fps.size());
+}
+
+}  // namespace
+}  // namespace copar::support

@@ -2,9 +2,13 @@
 //
 //   copar-cli run <file.cop>                 run all interleavings, print outcomes
 //   copar-cli explore <file.cop> [--stubborn] [--coarsen] [--sleep]
-//                                [--max-configs N]
+//                                [--max-configs N] [--threads N] [--exact-keys]
 //                                            state-space statistics; exits 3
-//                                            if the exploration was truncated
+//                                            if the exploration was truncated.
+//                                            --threads N>1 uses the parallel
+//                                            frontier engine; --exact-keys
+//                                            keeps full canonical keys (and
+//                                            counts fingerprint collisions)
 //   copar-cli analyze <file.cop>             §5 analyses + §7 applications report
 //   copar-cli abstract <file.cop> [--clan]   abstract exploration summary
 //   copar-cli witness <file.cop> [--deadlock | --violation L | --fault L]
@@ -66,7 +70,8 @@ int usage() {
                "<run|explore|analyze|abstract|check|witness|parallelize|graph|disasm|fmt> "
                "<file.cop> [options]\n"
                "global options: --json  --trace <out.json>  --progress [seconds]\n"
-               "explore options: --stubborn --coarsen --sleep --max-configs N\n"
+               "explore options: --stubborn --coarsen --sleep --max-configs N "
+               "--threads N --exact-keys\n"
                "check options:   --sarif --disable <c1,c2,...> --no-witness "
                "--max-configs N  (or: check --list-checks)\n";
   return 2;
@@ -193,6 +198,7 @@ int cmd_explore(const copar::CompiledProgram& p, const std::string& path,
   if (has_flag(args, "--stubborn")) opts.reduction = explore::Reduction::Stubborn;
   if (has_flag(args, "--coarsen")) opts.coarsen = true;
   if (has_flag(args, "--sleep")) opts.sleep_sets = true;
+  if (has_flag(args, "--exact-keys")) opts.exact_keys = true;
   if (has_flag(args, "--max-configs") && flag_value(args, "--max-configs").empty()) {
     std::cerr << "error: --max-configs expects a positive integer\n";
     return 2;
@@ -205,6 +211,23 @@ int cmd_explore(const copar::CompiledProgram& p, const std::string& path,
       return 2;
     }
     opts.max_configs = n;
+  }
+  if (has_flag(args, "--threads") && flag_value(args, "--threads").empty()) {
+    std::cerr << "error: --threads expects a positive integer\n";
+    return 2;
+  }
+  if (const std::string v = flag_value(args, "--threads"); !v.empty()) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n == 0 || n > 1024) {
+      std::cerr << "error: --threads expects a positive integer, got '" << v << "'\n";
+      return 2;
+    }
+    opts.threads = static_cast<unsigned>(n);
+  }
+  if (opts.threads > 1 && opts.sleep_sets) {
+    std::cerr << "error: --sleep requires the sequential engine (drop --threads)\n";
+    return 2;
   }
   const auto r = explore::explore(*p.lowered, opts);
   if (g.json) {
