@@ -28,6 +28,11 @@ void explore_threads(benchmark::State& state, copar::explore::Reduction reductio
   auto program = copar::compile(copar::workload::dining_philosophers(n));
   std::uint64_t configs = 0;
   std::uint64_t terminals = 0;
+  std::uint64_t visited_bytes = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_misses = 0;
+  std::uint64_t contention = 0;
+  std::uint64_t total_configs = 0;
   for (auto _ : state) {
     copar::explore::ExploreOptions opts;
     opts.reduction = reduction;
@@ -36,11 +41,31 @@ void explore_threads(benchmark::State& state, copar::explore::Reduction reductio
     const auto r = copar::explore::explore(*program->lowered, opts);
     configs = r.num_configs;
     terminals = r.terminals.size();
+    total_configs += r.num_configs;
+    visited_bytes = r.stats.gauge("visited_bytes");
+    const auto& counters = r.stats.all();
+    const auto get = [&](const char* key) -> std::uint64_t {
+      const auto it = counters.find(key);
+      return it == counters.end() ? 0 : it->second;
+    };
+    steals = get("steals");
+    steal_misses = get("steal_misses");
+    contention = get("frontier_contention");
     benchmark::DoNotOptimize(r.num_configs);
   }
   state.counters["configs"] = static_cast<double>(configs);
   state.counters["terminals"] = static_cast<double>(terminals);
   state.counters["threads"] = static_cast<double>(threads);
+  state.counters["visited_bytes"] = static_cast<double>(visited_bytes);
+  // Normalized throughput: the headline number for the scaling record
+  // (speedup at T threads = configs_per_sec[T] / configs_per_sec[1]).
+  state.counters["configs_per_sec"] =
+      benchmark::Counter(static_cast<double>(total_configs), benchmark::Counter::kIsRate);
+  // Work-stealing health (last run): steals that moved items, empty-probe
+  // misses, and lock collisions on the per-worker deques.
+  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["steal_misses"] = static_cast<double>(steal_misses);
+  state.counters["frontier_contention"] = static_cast<double>(contention);
 }
 
 void BM_Parallel_Philosophers_Full(benchmark::State& state) {
@@ -52,6 +77,8 @@ void BM_Parallel_Philosophers_Stubborn(benchmark::State& state) {
 
 // Args: {philosophers n, worker threads}. threads=1 is the sequential
 // engine; the parallel rows show scaling (or, single-core, its overhead).
+// UseRealTime: the workers run on their own threads, so the bench thread's
+// CPU time says nothing — wall clock is the quantity scaling is about.
 BENCHMARK(BM_Parallel_Philosophers_Full)
     ->Args({5, 1})
     ->Args({5, 2})
@@ -59,11 +86,13 @@ BENCHMARK(BM_Parallel_Philosophers_Full)
     ->Args({6, 1})
     ->Args({6, 2})
     ->Args({6, 4})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Parallel_Philosophers_Stubborn)
     ->Args({7, 1})
     ->Args({7, 2})
     ->Args({7, 4})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 // Visited-set footprint: fingerprint table vs exact string keys on the

@@ -52,6 +52,8 @@ void BM_Throughput_FullExploration(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * sources.size()));
   state.counters["total_configs"] = static_cast<double>(total_configs);
+  state.counters["configs_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_configs * state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Throughput_FullExploration)->Unit(benchmark::kMillisecond);
 
@@ -72,6 +74,8 @@ void BM_Throughput_StubbornCoarsened(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * sources.size()));
   state.counters["total_configs"] = static_cast<double>(total_configs);
+  state.counters["configs_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_configs * state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Throughput_StubbornCoarsened)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Records the parallel-scaling perf trajectory: runs bench_parallel and
+# bench_throughput, then distills their google-benchmark JSON into the two
+# committed records at the repo root:
+#
+#   BENCH_parallel.json     per-{workload,threads} rows (configs/sec, steal
+#                           and contention counters, visited_bytes) plus a
+#                           speedup table normalized to the threads=1 row
+#   BENCH_throughput.json   whole-pipeline corpus throughput (items/sec,
+#                           configs/sec)
+#
+#   scripts/record_bench.sh [build-dir] [min-time]
+#
+# The records carry the host's CPU count so single-core runs are honest:
+# speedup on 1 CPU measures engine overhead, not scaling. CI re-runs this
+# on a multicore runner and asserts the speedup floor (see bench-smoke in
+# .github/workflows/ci.yml).
+set -euo pipefail
+
+BUILD="${1:-build}"
+MIN_TIME="${2:-0.2}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for b in bench_parallel bench_throughput; do
+  echo "-- $b"
+  "$BUILD/bench/$b" --benchmark_min_time="$MIN_TIME" --benchmark_color=false \
+    --benchmark_out="$TMP/$b.json" --benchmark_out_format=json >"$TMP/$b.txt"
+  grep -E '^BM_' "$TMP/$b.txt" || true
+done
+
+python3 - "$TMP" <<'EOF'
+import json, os, sys
+
+tmp = sys.argv[1]
+
+def load(name):
+    with open(os.path.join(tmp, name)) as f:
+        return json.load(f)
+
+def counters(row, keys):
+    return {k: row[k] for k in keys if k in row}
+
+# --- BENCH_parallel.json -------------------------------------------------
+doc = load("bench_parallel.json")
+ctx = doc["context"]
+rows = []
+for b in doc["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    row = {"name": b["name"], "real_time_ms": round(b["real_time"], 3)}
+    row.update(counters(b, [
+        "threads", "configs", "terminals", "configs_per_sec",
+        "steals", "steal_misses", "frontier_contention",
+        "visited_bytes", "visited_configs",
+    ]))
+    rows.append(row)
+
+# Speedup vs the threads=1 row of the same workload: the name is
+# BM_.../<n>/<threads>[/real_time]; strip the suffixes to group.
+def workload_of(name):
+    if name.endswith("/real_time"):
+        name = name[: -len("/real_time")]
+    return name.rsplit("/", 1)[0]
+
+base = {}
+for r in rows:
+    if r.get("threads") == 1 and "configs_per_sec" in r:
+        base[workload_of(r["name"])] = r["configs_per_sec"]
+speedup = {}
+for r in rows:
+    prefix = workload_of(r["name"])
+    if prefix in base and "configs_per_sec" in r and base[prefix] > 0:
+        r["speedup_vs_1thread"] = round(r["configs_per_sec"] / base[prefix], 3)
+        speedup.setdefault(prefix, {})[int(r["threads"])] = r["speedup_vs_1thread"]
+
+out = {
+    "date": ctx["date"],
+    "num_cpus": ctx["num_cpus"],
+    "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+    "note": ("speedup_vs_1thread is meaningful only when num_cpus >= threads; "
+             "on fewer CPUs it measures the parallel engine's overhead."),
+    "benchmarks": rows,
+    "speedup_vs_1thread": speedup,
+}
+with open("BENCH_parallel.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_parallel.json (%d rows, %d cpus)" % (len(rows), ctx["num_cpus"]))
+
+# --- BENCH_throughput.json -----------------------------------------------
+doc = load("bench_throughput.json")
+ctx = doc["context"]
+rows = []
+for b in doc["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    row = {"name": b["name"], "real_time_ms": round(b["real_time"], 3)}
+    row.update(counters(b, [
+        "items_per_second", "configs_per_sec", "total_configs", "total_abs_states",
+    ]))
+    rows.append(row)
+out = {"date": ctx["date"], "num_cpus": ctx["num_cpus"], "benchmarks": rows}
+with open("BENCH_throughput.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_throughput.json (%d rows)" % len(rows))
+EOF

@@ -41,6 +41,7 @@
 
 #include "src/absdom/map.h"
 #include "src/absem/absvalue.h"
+#include "src/explore/frontier.h"
 #include "src/sem/config.h"
 #include "src/sem/lower.h"
 #include "src/support/fingerprint.h"
@@ -294,11 +295,10 @@ class AbsExplorer {
   void check_bounds(const Value& base, const Value& index, const lang::Index& ix);
 
   std::map<AbsControl, Store> states_;
-  std::deque<AbsControl> work_;
-  /// Fingerprints of the controls currently in work_ (erased on pop):
-  /// membership only, so the worklist does not hold a second copy of every
-  /// queued control state.
-  support::FingerprintTable queued_;
+  /// Fixpoint worklist: FIFO with fingerprint-keyed queued-membership (a
+  /// control already waiting is not enqueued twice), shared with the
+  /// exploration engines (src/explore/frontier.h).
+  explore::UniqueFifo<AbsControl> work_;
   std::map<std::uint32_t, std::set<Continuation>> conts_;  // proc -> call sites
   bool conts_grew_ = false;
 

@@ -426,7 +426,8 @@ void AbsExplorer<N>::enqueue(AbsControl ctrl, Store store) {
   } else {
     if (!absdom::widen_into(it->second, store)) return;  // no growth
   }
-  if (queued_.insert(control_fingerprint(ctrl)).inserted) work_.push_back(std::move(ctrl));
+  const support::Fingerprint fp = control_fingerprint(ctrl);
+  (void)work_.push(std::move(ctrl), fp);
 }
 
 template <NumDomain N>
@@ -453,10 +454,8 @@ AbsResult<N> AbsExplorer<N>::run() {
                AbsPoint{prog_.entry_proc(), settle_pc(prog_.entry_proc(), 0), {}, {}, false});
   enqueue(std::move(init), std::move(store));
 
-  while (!work_.empty()) {
-    const AbsControl ctrl = work_.front();
-    work_.pop_front();
-    queued_.erase(control_fingerprint(ctrl));
+  while (const auto popped = work_.pop()) {
+    const AbsControl& ctrl = *popped;
     const Store snapshot = states_.at(ctrl);  // copy: transfer only reads it
     transfer(ctrl, snapshot);
     evaluations.add();
@@ -466,7 +465,7 @@ AbsResult<N> AbsExplorer<N>::run() {
       // re-evaluate everything (monotone, hence terminating).
       conts_grew_ = false;
       for (const auto& [c, s] : states_) {
-        if (queued_.insert(control_fingerprint(c)).inserted) work_.push_back(c);
+        (void)work_.push(c, control_fingerprint(c));
       }
       requeues.add();
     }

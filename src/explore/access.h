@@ -42,6 +42,8 @@ struct AccessSets {
     reads.insert(other.reads.begin(), other.reads.end());
     writes.insert(other.writes.begin(), other.writes.end());
   }
+
+  friend bool operator==(const AccessSets&, const AccessSets&) = default;
 };
 
 /// Per-allocation-site lifetime facts gathered during exploration.
@@ -59,6 +61,8 @@ struct SiteInfo {
   /// Objects allocated / still reachable at some terminal configuration.
   std::uint64_t allocated = 0;
   std::uint64_t live_at_exit = 0;
+
+  friend bool operator==(const SiteInfo&, const SiteInfo&) = default;
 };
 
 /// Everything the exploration records for the client analyses (§5).
@@ -66,6 +70,8 @@ struct AccessLog {
   std::map<std::uint32_t, AccessSets> by_stmt;  // statement id -> accesses
   std::map<std::uint32_t, AccessSets> by_proc;  // lowered proc id -> accesses
   std::map<std::uint32_t, SiteInfo> sites;      // alloc site stmt id -> facts
+
+  friend bool operator==(const AccessLog&, const AccessLog&) = default;
 };
 
 }  // namespace copar::explore

@@ -1,0 +1,73 @@
+// Shared pieces of the exploration core: the (possibly coarsened) step and
+// the recording of analysis payloads.
+//
+// Every engine — sequential DFS, the work-stealing parallel engine, the
+// witness search — fires transitions the same way: apply the process's next
+// action and, under virtual coarsening (Observation 5), keep running it
+// through following non-critical actions. core_step() is that one
+// implementation; the engines differ only in frontier policy (frontier.h),
+// proviso (proviso.h), and visited backend (visited.h).
+//
+// A Recorder accumulates the §5 analysis payloads (per-statement/function
+// access sets, MHP/conflict pairs, allocation-site lifetime facts) into
+// private buffers. The sequential engine owns one; the parallel engine owns
+// one per worker and merges them after the join — set unions and sums, so
+// the merged log is independent of which worker recorded what.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/explore/explorer.h"
+
+namespace copar::explore {
+
+/// Counters core_step accumulates; engines fold them into their stats at
+/// end-of-run (only when nonzero, preserving lazy-counter text output).
+struct StepCounters {
+  std::uint64_t coarsened_micro_actions = 0;
+  std::uint64_t coarsen_guard_hits = 0;
+};
+
+/// Accumulates the optional analysis payloads of one exploration (or one
+/// worker's share of it). A default-constructed Recorder records nothing
+/// and costs one branch per step.
+class Recorder {
+ public:
+  Recorder() = default;
+  explicit Recorder(const ExploreOptions& options)
+      : accesses_on_(options.record_accesses),
+        pairs_on_(options.record_pairs),
+        lifetimes_on_(options.record_lifetimes) {}
+
+  /// True when core_step must materialize ActionInfo for recording.
+  [[nodiscard]] bool wants_step_facts() const noexcept { return accesses_on_ || lifetimes_on_; }
+
+  void action(const sem::Configuration& cfg, const sem::ActionInfo& info);
+  void pairs(const std::vector<sem::ActionInfo>& infos);
+  void return_lifetime(const sem::Configuration& before, sem::Pid pid,
+                       const sem::Configuration& after);
+  void terminal_lifetimes(const sem::Configuration& cfg);
+
+  /// Folds this recorder's buffers into `result` (set unions, ORed flags,
+  /// summed counts) — commutative and associative across workers.
+  void merge_into(ExploreResult& result) const;
+
+ private:
+  bool accesses_on_ = false;
+  bool pairs_on_ = false;
+  bool lifetimes_on_ = false;
+  AccessLog accesses_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, PairFacts> pairs_;
+};
+
+/// One (possibly coarsened) step of process `pid` from `cfg` — the single
+/// step implementation behind every engine. Records fired actions and
+/// return lifetimes through `rec` when it wants them.
+[[nodiscard]] sem::Configuration core_step(const sem::Configuration& cfg, sem::Pid pid,
+                                           const StaticInfo& static_info, bool coarsen,
+                                           Recorder& rec, StepCounters& counters);
+
+}  // namespace copar::explore

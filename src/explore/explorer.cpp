@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/explore/core.h"
 #include "src/explore/parexplore.h"
+#include "src/explore/proviso.h"
 #include "src/explore/stubborn.h"
 #include "src/explore/visited.h"
 #include "src/support/telemetry.h"
@@ -14,45 +16,6 @@ using sem::ActionInfo;
 using sem::ActionKind;
 using sem::Configuration;
 using sem::Pid;
-
-namespace {
-
-/// Rendered fork path: the thread context of a process ("" = root line).
-std::string thread_context(const sem::Process& p) {
-  std::string out;
-  for (const sem::PathElem& e : p.path) {
-    if (!out.empty()) out += '/';
-    out += 's' + std::to_string(e.site) + 'b' + std::to_string(e.branch);
-  }
-  return out;
-}
-
-}  // namespace
-
-std::string LocKey::to_string() const {
-  switch (kind) {
-    case sem::ObjKind::Globals: return "g[" + std::to_string(off) + "]";
-    case sem::ObjKind::Frame:
-      return "f" + std::to_string(site) + "[" + std::to_string(off) + "]";
-    case sem::ObjKind::Heap:
-      return "h" + std::to_string(site) + "[" + std::to_string(off) + "]";
-  }
-  return "?";
-}
-
-LocKey loc_key(const sem::Store& store, std::size_t loc) {
-  const auto [obj, off] = store.locate(loc);
-  const sem::Object& o = store.object(obj);
-  LocKey key;
-  key.kind = o.obj_kind;
-  key.off = off;
-  switch (o.obj_kind) {
-    case sem::ObjKind::Globals: key.site = 0; break;
-    case sem::ObjKind::Frame:
-    case sem::ObjKind::Heap: key.site = o.site; break;
-  }
-  return key;
-}
 
 std::set<std::string> ExploreResult::terminal_keys() const {
   std::set<std::string> keys;
@@ -84,149 +47,6 @@ bool action_is_critical(const Configuration& cfg, const ActionInfo& info,
     critical = critical || static_info.is_critical(static_info.class_of(cfg.store, loc));
   });
   return critical;
-}
-
-bool Explorer::action_is_critical(const Configuration& cfg, const ActionInfo& info) const {
-  return explore::action_is_critical(cfg, info, static_info_);
-}
-
-void Explorer::record_action(const Configuration& cfg, const ActionInfo& info,
-                             ExploreResult& result) {
-  if (!options_.record_accesses) return;
-  const sem::Process& p = cfg.processes[info.pid];
-
-  AccessSets sets;
-  info.reads.for_each([&](std::size_t loc) { sets.reads.insert(loc_key(cfg.store, loc)); });
-  info.writes.for_each([&](std::size_t loc) { sets.writes.insert(loc_key(cfg.store, loc)); });
-
-  if (info.stmt_id != sem::kNoStmt) result.accesses.by_stmt[info.stmt_id].merge(sets);
-  for (std::size_t i = 0; i < p.frames.size(); ++i) {
-    AccessSets attributed = sets;
-    // A Return's write of the result cell belongs to the call site, not to
-    // the returning activation (a function is still "pure" if its value is
-    // stored by its caller).
-    if (info.kind == ActionKind::Return && i + 1 == p.frames.size()) attributed.writes.clear();
-    result.accesses.by_proc[p.frames[i].proc].merge(attributed);
-  }
-
-  const std::string ctx = thread_context(p);
-  auto touch_site = [&](const LocKey& key, bool /*write*/) {
-    if (key.kind != sem::ObjKind::Heap) return;
-    SiteInfo& site = result.accesses.sites[key.site];
-    site.accessor_threads.insert(ctx);
-  };
-  for (const LocKey& k : sets.reads) touch_site(k, false);
-  for (const LocKey& k : sets.writes) touch_site(k, true);
-
-  // Cross-process access detection needs the concrete objects.
-  auto other_process = [&](const DynamicBitset& locs) {
-    locs.for_each([&](std::size_t loc) {
-      const auto [obj, off] = cfg.store.locate(loc);
-      const sem::Object& o = cfg.store.object(obj);
-      if (o.obj_kind == sem::ObjKind::Heap && o.creator != info.pid) {
-        result.accesses.sites[o.site].accessed_by_other_process = true;
-      }
-    });
-  };
-  other_process(info.reads);
-  other_process(info.writes);
-
-  if (info.kind == ActionKind::Alloc && info.stmt_id != sem::kNoStmt) {
-    SiteInfo& site = result.accesses.sites[info.stmt_id];
-    site.creator_threads.insert(ctx);
-    site.allocated += 1;
-  }
-}
-
-void Explorer::record_pairs(const std::vector<ActionInfo>& infos, ExploreResult& result) {
-  for (std::size_t i = 0; i < infos.size(); ++i) {
-    for (std::size_t j = i + 1; j < infos.size(); ++j) {
-      const ActionInfo* a = &infos[i];
-      const ActionInfo* b = &infos[j];
-      if (!a->enabled || !b->enabled) continue;
-      if (a->stmt_id == sem::kNoStmt || b->stmt_id == sem::kNoStmt) continue;
-      if (a->stmt_id > b->stmt_id) std::swap(a, b);
-      PairFacts& facts = result.pairs[{a->stmt_id, b->stmt_id}];
-      facts.co_enabled = true;
-      facts.w1_r2 = facts.w1_r2 || a->writes.intersects(b->reads);
-      facts.w1_w2 = facts.w1_w2 || a->writes.intersects(b->writes);
-      facts.r1_w2 = facts.r1_w2 || a->reads.intersects(b->writes);
-    }
-  }
-}
-
-void Explorer::record_return_lifetime(const Configuration& before, Pid pid,
-                                      const Configuration& after, ExploreResult& result) {
-  if (!options_.record_lifetimes) return;
-  const sem::Process& p = before.processes[pid];
-  if (p.frames.empty()) return;
-  const sem::ProcString& activation_birth = before.store.object(p.top().frame_obj).birth;
-
-  const std::vector<bool> reachable = sem::reachable_objects(after);
-  for (sem::ObjId obj = 0; obj < after.store.num_objects(); ++obj) {
-    const sem::Object& o = after.store.object(obj);
-    if (o.obj_kind != sem::ObjKind::Heap) continue;
-    if (!activation_birth.is_prefix_of(o.birth)) continue;  // not born here
-    if (obj < reachable.size() && reachable[obj]) {
-      result.accesses.sites[o.site].escapes_creating_function = true;
-    }
-  }
-}
-
-void Explorer::record_terminal_lifetimes(const Configuration& cfg, ExploreResult& result) {
-  if (!options_.record_lifetimes) return;
-  const std::vector<bool> reachable = sem::reachable_objects(cfg);
-  for (sem::ObjId obj = 0; obj < cfg.store.num_objects(); ++obj) {
-    const sem::Object& o = cfg.store.object(obj);
-    if (o.obj_kind != sem::ObjKind::Heap) continue;
-    if (obj < reachable.size() && reachable[obj]) {
-      result.accesses.sites[o.site].live_at_exit += 1;
-    }
-  }
-}
-
-Configuration Explorer::step(const Configuration& cfg, Pid pid, ExploreResult& result) {
-  ActionInfo info = sem::action_info(cfg, pid);
-  require(info.exists && info.enabled, "step: action not fireable");
-  record_action(cfg, info, result);
-
-  Configuration succ = sem::apply_action(cfg, pid);
-  if (info.kind == ActionKind::Return) record_return_lifetime(cfg, pid, succ, result);
-
-  if (!options_.coarsen) return succ;
-
-  // Virtual coarsening: keep running this process while its following
-  // actions are non-critical (Observation 5). A combined action thus holds
-  // at most one critical reference — the first.
-  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_points;
-  int guard = 0;
-  for (; guard < kCoarsenGuardMax; ++guard) {
-    const sem::Process& p = succ.processes[pid];
-    if (!p.live() || p.frames.empty()) break;
-    ActionInfo next = sem::action_info(succ, pid);
-    if (!next.exists || !next.enabled) break;
-    if (next.kind == ActionKind::Fork) break;
-    if (action_is_critical(succ, next)) break;
-    if (!seen_points.insert({next.proc, next.pc}).second) break;  // local cycle
-    record_action(succ, next, result);
-    Configuration succ2 = sem::apply_action(succ, pid);
-    if (next.kind == ActionKind::Return) record_return_lifetime(succ, pid, succ2, result);
-    succ = std::move(succ2);
-    hot_.coarsened_micro_actions.add();
-  }
-  if (guard == kCoarsenGuardMax) {
-    // The cap exists to bound a combined step; reaching it means a
-    // "non-critical" straight-line run of unusual length (or a local loop
-    // the seen_points cycle check cannot fold). The step stays sound — the
-    // remaining actions become ordinary separate steps — but silence here
-    // could mask nontermination, so say it once and count every hit.
-    hot_.coarsen_guard_hits.add();
-    warn_once("coarsen-guard",
-              "virtual coarsening stopped after " + std::to_string(kCoarsenGuardMax) +
-                  " micro-actions in one combined step; a non-critical local code "
-                  "run is unusually long (see the coarsen_guard_hits counter)");
-  }
-  return succ;
 }
 
 std::vector<Pid> Explorer::choose_expansion(const Configuration& cfg,
@@ -263,7 +83,6 @@ struct Explorer::StackEntry {
 ExploreResult Explorer::run() {
   ExploreResult result;
   hot_ = HotCounters{
-      result.stats.counter("coarsened_micro_actions"),
       result.stats.counter("stubborn_steps"),
       result.stats.counter("stubborn_singletons"),
       result.stats.counter("stubborn_reduced_steps"),
@@ -271,15 +90,13 @@ ExploreResult Explorer::run() {
       result.stats.counter("proviso_full_expansions"),
       result.stats.counter("sleep_reexplorations"),
       result.stats.counter("truncated_transitions"),
-      result.stats.counter("coarsen_guard_hits"),
   };
   telemetry::Telemetry& tel = telemetry::Telemetry::global();
   telemetry::ScopedPhase phase_expansion(telemetry::Phase::Expansion);
   VisitedSet visited(options_.exact_keys);
-  // Count, not flag: sleep re-exploration can stack an id twice — and in
-  // principle many times, so 16 bits could wrap and silently turn off the
-  // cycle proviso. 32 bits plus an overflow guard at the increments.
-  std::vector<std::uint32_t> on_stack;
+  Recorder recorder(options_);
+  StepCounters step_counters;
+  DfsStackProviso proviso;
   std::vector<StackEntry> stack;
 
   // sleep_sets mode: per-id stored sleep (for the revisit rule) and retained
@@ -292,8 +109,8 @@ ExploreResult Explorer::run() {
   // out dense insertion-order ids, so `id` indexes the side arrays.
   auto register_config = [&](Configuration&& cfg, std::uint32_t id,
                              std::set<Pid> sleep) -> std::uint32_t {
-    require(id == on_stack.size(), "visited-set ids must be dense");
-    on_stack.push_back(0);
+    require(id == proviso.num_states(), "visited-set ids must be dense");
+    proviso.add_state();
     result.num_configs += 1;
 
     for (std::uint32_t v : cfg.violations) result.violations.insert(v);
@@ -305,7 +122,7 @@ ExploreResult Explorer::run() {
     if (!any_enabled) {
       const bool deadlock = cfg.num_live() > 0;
       result.deadlock_found = result.deadlock_found || deadlock;
-      record_terminal_lifetimes(cfg, result);
+      recorder.terminal_lifetimes(cfg);
       if (options_.record_graph) {
         result.graph.terminal_nodes.push_back(id);
         if (deadlock) result.graph.deadlock_nodes.push_back(id);
@@ -324,7 +141,7 @@ ExploreResult Explorer::run() {
       result.terminals.emplace(std::move(key), TerminalInfo{std::move(cfg), deadlock});
       return id;
     }
-    if (options_.record_pairs) record_pairs(infos, result);
+    recorder.pairs(infos);
 
     StackEntry entry;
     entry.cfg = std::move(cfg);
@@ -341,8 +158,7 @@ ExploreResult Explorer::run() {
       entry.sleep = std::move(sleep);
       if (entry.expand.empty()) return id;  // fully covered elsewhere
     }
-    on_stack[id] += 1;
-    require(on_stack[id] != 0, "on_stack count overflow");
+    proviso.enter(id);
     stack.push_back(std::move(entry));
     return id;
   };
@@ -358,7 +174,7 @@ ExploreResult Explorer::run() {
   while (!stack.empty()) {
     StackEntry& top = stack.back();
     if (top.next >= top.expand.size()) {
-      on_stack[top.id] -= 1;
+      proviso.leave(top.id);
       stack.pop_back();
       continue;
     }
@@ -390,7 +206,8 @@ ExploreResult Explorer::run() {
       for (std::size_t i = 0; i < fire_index; ++i) keep_if_independent(top.expand[i]);
     }
 
-    Configuration succ = step(top.cfg, pid, result);
+    Configuration succ =
+        core_step(top.cfg, pid, static_info_, options_.coarsen, recorder, step_counters);
     result.num_transitions += 1;
     tel.maybe_progress(result.num_configs, result.num_transitions, stack.size());
     VisitedSet::Probe probe;
@@ -405,7 +222,7 @@ ExploreResult Explorer::run() {
       // Stack proviso (ignoring problem): a reduced expansion that closes a
       // cycle on the DFS stack re-expands the source state fully.
       if (options_.reduction == Reduction::Stubborn && options_.cycle_proviso &&
-          on_stack[to_id] != 0) {
+          proviso.on_stack(to_id)) {
         StackEntry& cur = stack.back();
         if (!cur.expanded_full) {
           cur.expanded_full = true;
@@ -440,8 +257,7 @@ ExploreResult Explorer::run() {
           }
           redo.sleep = std::move(narrowed);
           if (!redo.expand.empty()) {
-            on_stack[to_id] += 1;
-            require(on_stack[to_id] != 0, "on_stack count overflow");
+            proviso.enter(to_id);
             stack.push_back(std::move(redo));
             hot_.sleep_reexplorations.add();
           }
@@ -466,11 +282,18 @@ ExploreResult Explorer::run() {
     }
   }
 
+  recorder.merge_into(result);
   result.graph.num_nodes = result.num_configs;
   result.stats.set("configs", result.num_configs);
   result.stats.set("transitions", result.num_transitions);
   result.stats.set("terminals", result.terminals.size());
   result.stats.set("deadlocks", result.deadlock_found ? 1 : 0);
+  if (step_counters.coarsened_micro_actions != 0) {
+    result.stats.add("coarsened_micro_actions", step_counters.coarsened_micro_actions);
+  }
+  if (step_counters.coarsen_guard_hits != 0) {
+    result.stats.add("coarsen_guard_hits", step_counters.coarsen_guard_hits);
+  }
 
   // Dedup-structure gauges are cheap to read off the VisitedSet, so they
   // are published unconditionally (benchmarks compare them with metrics

@@ -45,7 +45,10 @@ struct ExploreOptions {
   /// reduces fired transitions (edges), preserving all states reachable
   /// by non-pruned orders — result configurations in particular. Uses the
   /// classic re-exploration rule on revisits, which requires retaining
-  /// visited configurations (extra memory).
+  /// visited configurations (extra memory). Supported by both engines
+  /// (the parallel engine stores sleep masks with the visited set); the
+  /// one remaining exclusion is sleep_sets + record_graph + threads > 1
+  /// (see parallel_unsupported in parexplore.h).
   bool sleep_sets = false;
   /// Abort (result.truncated = true) after this many distinct configurations.
   std::uint64_t max_configs = 2'000'000;
@@ -54,9 +57,10 @@ struct ExploreOptions {
   bool record_pairs = false;      // MHP / conflicting statement pairs
   bool record_lifetimes = false;  // per-site escape facts (implies extra work)
   bool cycle_proviso = true;      // stubborn only
-  /// Worker threads. 1 = the sequential DFS engine; >1 selects the parallel
-  /// frontier (BFS) engine in parexplore.cpp, which requires the recording
-  /// payloads and sleep sets to be off.
+  /// Worker threads. 1 = the sequential DFS engine; >1 selects the
+  /// work-stealing engine in parexplore.cpp (see docs/PARALLEL.md). Both
+  /// engines support sleep sets and the recording payloads; the parallel
+  /// engine merges per-worker buffers deterministically after the join.
   unsigned threads = 1;
   /// Keep full canonical key strings in the visited set (pre-fingerprint
   /// behavior) and count observed fingerprint collisions. Costs an order of
@@ -86,6 +90,7 @@ struct PairFacts {
   bool w1_r2 = false;  // first writes a location second reads
   bool w1_w2 = false;
   bool r1_w2 = false;
+  friend bool operator==(const PairFacts&, const PairFacts&) = default;
 };
 
 struct StateGraph {
@@ -94,6 +99,8 @@ struct StateGraph {
     std::uint32_t to = 0;
     std::uint32_t stmt = sem::kNoStmt;
     sem::ActionKind kind = sem::ActionKind::None;
+    friend bool operator==(const Edge&, const Edge&) = default;
+    friend auto operator<=>(const Edge&, const Edge&) = default;
   };
   std::uint64_t num_nodes = 0;
   std::vector<Edge> edges;
@@ -142,19 +149,6 @@ class Explorer {
  private:
   struct StackEntry;
 
-  /// One (possibly coarsened) step of process `pid`.
-  sem::Configuration step(const sem::Configuration& cfg, sem::Pid pid, ExploreResult& result);
-
-  void record_action(const sem::Configuration& cfg, const sem::ActionInfo& info,
-                     ExploreResult& result);
-  void record_pairs(const std::vector<sem::ActionInfo>& infos, ExploreResult& result);
-  void record_return_lifetime(const sem::Configuration& before, sem::Pid pid,
-                              const sem::Configuration& after, ExploreResult& result);
-  void record_terminal_lifetimes(const sem::Configuration& cfg, ExploreResult& result);
-
-  [[nodiscard]] bool action_is_critical(const sem::Configuration& cfg,
-                                        const sem::ActionInfo& info) const;
-
   [[nodiscard]] std::vector<sem::Pid> choose_expansion(const sem::Configuration& cfg,
                                                        const std::vector<sem::ActionInfo>& infos,
                                                        ExploreResult& result) const;
@@ -164,7 +158,6 @@ class Explorer {
   /// a counter that never fires stays absent from the result's stats,
   /// keeping StatRegistry::to_string() output identical to the eager API.
   struct HotCounters {
-    StatRegistry::Counter coarsened_micro_actions;
     StatRegistry::Counter stubborn_steps;
     StatRegistry::Counter stubborn_singletons;
     StatRegistry::Counter stubborn_reduced_steps;
@@ -172,7 +165,6 @@ class Explorer {
     StatRegistry::Counter proviso_full_expansions;
     StatRegistry::Counter sleep_reexplorations;
     StatRegistry::Counter truncated_transitions;
-    StatRegistry::Counter coarsen_guard_hits;
   };
 
   const sem::LoweredProgram& program_;

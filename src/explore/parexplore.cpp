@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <deque>
 #include <exception>
 #include <mutex>
-#include <optional>
 #include <set>
+#include <string>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "src/explore/core.h"
+#include "src/explore/frontier.h"
+#include "src/explore/proviso.h"
 #include "src/explore/stubborn.h"
+#include "src/explore/visited.h"
 #include "src/support/telemetry.h"
 
 namespace copar::explore {
@@ -20,130 +24,44 @@ using sem::ActionInfo;
 using sem::ActionKind;
 using sem::Configuration;
 using sem::Pid;
+using support::Fingerprint;
 
 namespace {
 
-constexpr std::size_t kNumShards = 64;  // power of two
+/// Sleep masks are 64-bit pid bitmasks; processes with pid >= 64 simply
+/// never sleep (sound — sleep sets only prune).
+constexpr Pid kMaxSleepPid = 64;
 
-/// One stripe of the seen set. Shard selection uses the fingerprint's high
-/// bits, in-table probing its low bits, so striping does not bias probes.
-struct Shard {
-  std::mutex mu;
-  support::FingerprintTable table;
-  std::unordered_set<std::string> keys;  // exact-keys mode only
-  std::uint64_t collisions = 0;          // exact-keys mode only
+/// One unit of work: a configuration to expand. `sleep` is its sleep set
+/// (pid bitmask) in sleep-sets mode. `redo` != 0 marks a re-exploration
+/// item (sleep revisit rule): fire exactly the awakened pids in `redo`
+/// instead of a fresh expansion.
+struct WorkItem {
+  Configuration cfg;
+  Fingerprint fp;
+  std::uint64_t sleep = 0;
+  std::uint64_t redo = 0;
 };
 
-class SharedSeen {
- public:
-  explicit SharedSeen(bool exact) : exact_(exact) {}
-
-  /// True when `cfg` (with fingerprint `fp`) was not seen before.
-  bool insert(const Configuration& cfg, const support::Fingerprint& fp) {
-    // In exact mode the key is serialized outside the lock.
-    std::string key;
-    if (exact_) key = cfg.canonical_key();
-    Shard& shard = shards_[shard_of(fp)];
-    const std::scoped_lock lock(shard.mu);
-    const auto r = shard.table.insert(fp);
-    if (!exact_) return r.inserted;
-    const bool fresh = shard.keys.insert(std::move(key)).second;
-    if (fresh && !r.inserted) shard.collisions += 1;
-    return fresh;
-  }
-
-  /// Withdraws the entry `insert` just added (max_configs rollback).
-  void erase(const Configuration& cfg, const support::Fingerprint& fp) {
-    Shard& shard = shards_[shard_of(fp)];
-    const std::scoped_lock lock(shard.mu);
-    shard.table.erase(fp);
-    if (exact_) shard.keys.erase(cfg.canonical_key());
-  }
-
-  // The aggregate queries run after the workers have joined (no locking).
-  [[nodiscard]] std::uint64_t size() const {
-    std::uint64_t n = 0;
-    for (const Shard& s : shards_) n += exact_ ? s.keys.size() : s.table.size();
-    return n;
-  }
-  [[nodiscard]] std::uint64_t memory_bytes() const {
-    std::uint64_t bytes = 0;
-    for (const Shard& s : shards_) {
-      bytes += s.table.memory_bytes();
-      for (const std::string& key : s.keys) {
-        bytes += key.capacity() + sizeof(key) + 2 * sizeof(void*);
-      }
-    }
-    return bytes;
-  }
-  [[nodiscard]] std::uint64_t collisions() const {
-    std::uint64_t n = 0;
-    for (const Shard& s : shards_) n += s.collisions;
-    return n;
-  }
-
- private:
-  static std::size_t shard_of(const support::Fingerprint& fp) noexcept {
-    return static_cast<std::size_t>(fp.hi) & (kNumShards - 1);
-  }
-
-  bool exact_;
-  Shard shards_[kNumShards];
+/// An edge recorded by fingerprints; translated to dense node ids after the
+/// join (node ids are a post-join sort, see merge below).
+struct EdgeFp {
+  Fingerprint from;
+  Fingerprint to;
+  std::uint32_t stmt = sem::kNoStmt;
+  ActionKind kind = ActionKind::None;
 };
 
-/// Global frontier queue with active-count termination: exploration is done
-/// when the queue is empty and no worker is mid-expansion (an active worker
-/// may still push).
-class Frontier {
- public:
-  void push(Configuration&& cfg) {
-    {
-      const std::scoped_lock lock(mu_);
-      queue_.push_back(std::move(cfg));
-    }
-    cv_.notify_one();
-  }
-
-  /// Blocks until work is available (marking the caller active) or the
-  /// exploration has drained; nullopt means done.
-  std::optional<Configuration> pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return !queue_.empty() || active_ == 0; });
-    if (queue_.empty()) return std::nullopt;
-    Configuration cfg = std::move(queue_.front());
-    queue_.pop_front();
-    active_ += 1;
-    return cfg;
-  }
-
-  /// Marks the caller's expansion finished (pairs with a successful pop).
-  void done_one() {
-    bool drained = false;
-    {
-      const std::scoped_lock lock(mu_);
-      active_ -= 1;
-      drained = active_ == 0 && queue_.empty();
-    }
-    if (drained) cv_.notify_all();
-  }
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Configuration> queue_;
-  std::size_t active_ = 0;
-};
-
-/// Worker-local accumulators, merged (summed / unioned) after the join.
+/// Worker-local counters, merged (summed / unioned) after the join.
 struct WorkerStats {
   std::uint64_t transitions = 0;
   std::uint64_t stubborn_steps = 0;
   std::uint64_t stubborn_singletons = 0;
   std::uint64_t stubborn_reduced_steps = 0;
   std::uint64_t proviso_full_expansions = 0;
-  std::uint64_t coarsened_micro_actions = 0;
-  std::uint64_t coarsen_guard_hits = 0;
   std::uint64_t truncated_transitions = 0;
+  std::uint64_t sleep_suppressed_transitions = 0;
+  std::uint64_t sleep_reexplorations = 0;
   std::uint64_t expansion_ns = 0;
   std::uint64_t stubborn_ns = 0;
   std::uint64_t canonicalize_ns = 0;
@@ -151,51 +69,46 @@ struct WorkerStats {
   std::set<std::pair<std::uint32_t, std::uint8_t>> faults;
 };
 
-/// One (possibly coarsened) step — the recording-free counterpart of
-/// Explorer::step (the parallel engine forbids the recording payloads).
-Configuration par_step(const Configuration& cfg, Pid pid, const StaticInfo& static_info,
-                       bool coarsen, WorkerStats& ws) {
-  Configuration succ = sem::apply_action(cfg, pid);
-  if (!coarsen) return succ;
-  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_points;
-  int guard = 0;
-  for (; guard < kCoarsenGuardMax; ++guard) {
-    const sem::Process& p = succ.processes[pid];
-    if (!p.live() || p.frames.empty()) break;
-    ActionInfo next = sem::action_info(succ, pid);
-    if (!next.exists || !next.enabled) break;
-    if (next.kind == ActionKind::Fork) break;
-    if (action_is_critical(succ, next, static_info)) break;
-    if (!seen_points.insert({next.proc, next.pc}).second) break;  // local cycle
-    succ = sem::apply_action(succ, pid);
-    ws.coarsened_micro_actions += 1;
-  }
-  if (guard == kCoarsenGuardMax) {
-    ws.coarsen_guard_hits += 1;
-    warn_once("coarsen-guard",
-              "virtual coarsening stopped after " + std::to_string(kCoarsenGuardMax) +
-                  " micro-actions in one combined step; a non-critical local code "
-                  "run is unusually long (see the coarsen_guard_hits counter)");
-  }
-  return succ;
-}
+/// Everything one worker accumulates privately. The vectors feed the
+/// deterministic post-join merges.
+struct WorkerCtx {
+  WorkerStats stats;
+  StepCounters steps;
+  Recorder recorder;
+  std::vector<EdgeFp> edges;              // record_graph
+  std::vector<Fingerprint> node_fps;      // record_graph: admitted states
+  std::vector<Fingerprint> terminal_fps;  // record_graph
+  std::vector<Fingerprint> deadlock_fps;  // record_graph
+};
 
 }  // namespace
 
+std::optional<Diagnostic> parallel_unsupported(const ExploreOptions& options) {
+  if (options.threads > 1 && options.sleep_sets && options.record_graph) {
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.code = "par-unsupported";
+    d.message =
+        "--sleep together with --record-graph requires the sequential engine "
+        "(--threads 1): the reduced graph recorded under sleep sets depends on "
+        "exploration order";
+    return d;
+  }
+  return std::nullopt;
+}
+
 ExploreResult parallel_explore(const sem::LoweredProgram& program,
                                const ExploreOptions& options) {
+  if (const auto d = parallel_unsupported(options)) {
+    throw Error(d->code + ": " + d->message);
+  }
   require(options.threads > 1, "parallel_explore: threads must be > 1");
-  require(!options.record_graph && !options.record_accesses && !options.record_pairs &&
-              !options.record_lifetimes,
-          "parallel_explore: recording payloads require the sequential engine (threads=1)");
-  require(!options.sleep_sets,
-          "parallel_explore: sleep sets require the sequential engine (threads=1)");
 
   const StaticInfo static_info(program);
   const bool metrics = telemetry::Telemetry::global().metrics_enabled();
 
-  SharedSeen seen(options.exact_keys);
-  Frontier frontier;
+  ShardedVisitedSet seen(options.exact_keys, options.sleep_sets);
+  WorkStealingFrontier<WorkItem> frontier(options.threads);
   std::atomic<std::uint64_t> num_configs{0};
   std::atomic<bool> truncated{false};
   std::atomic<bool> abort{false};
@@ -207,39 +120,62 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
   std::mutex result_mu;
   std::exception_ptr first_error;
 
+  std::vector<WorkerCtx> ctxs(options.threads);
+  for (WorkerCtx& c : ctxs) c.recorder = Recorder(options);
+
+  struct Admit {
+    bool fresh = false;
+    bool dropped = false;  // over the max_configs cap; transition uncounted
+    Fingerprint fp;
+  };
+
   // Admits a newly fired successor: inserts it into the seen set and, when
   // admitted under max_configs, collects its violations/faults and enqueues
-  // it. Returns true when the successor was new (for the insertion
-  // proviso; a withdrawn over-cap successor reports new=false, which can
-  // only cause extra full expansions).
-  auto admit = [&](Configuration&& succ, WorkerStats& ws) -> bool {
-    support::Fingerprint fp;
+  // it. On a revisit in sleep-sets mode, applies the revisit rule: narrow
+  // the stored mask and enqueue a redo item for the awakened transitions.
+  // A withdrawn over-cap successor reports fresh=false, which can only
+  // cause extra full expansions in the proviso.
+  auto admit = [&](Configuration&& succ, std::uint64_t succ_sleep, unsigned widx) -> Admit {
+    WorkerCtx& ctx = ctxs[widx];
+    WorkerStats& ws = ctx.stats;
+    Admit a;
     if (metrics) {
       const std::uint64_t t0 = telemetry::now_ns();
-      fp = succ.canonical_fingerprint();
+      a.fp = succ.canonical_fingerprint();
       ws.canonicalize_ns += telemetry::now_ns() - t0;
     } else {
-      fp = succ.canonical_fingerprint();
+      a.fp = succ.canonical_fingerprint();
     }
-    if (!seen.insert(succ, fp)) return false;
+    if (!seen.insert(succ, a.fp, succ_sleep)) {
+      if (options.sleep_sets) {
+        const auto n = seen.narrow_sleep(a.fp, succ_sleep);
+        if (n.wake != 0) {
+          ws.sleep_reexplorations += 1;
+          frontier.push(widx, WorkItem{std::move(succ), a.fp, n.remaining, n.wake});
+        }
+      }
+      return a;
+    }
     const std::uint64_t n = num_configs.fetch_add(1) + 1;
     if (n > options.max_configs) {
       num_configs.fetch_sub(1);
-      seen.erase(succ, fp);
+      seen.erase(succ, a.fp);
       truncated.store(true);
-      // As in the sequential engine, the transition whose successor is
-      // dropped is uncounted.
-      ws.transitions -= 1;
-      ws.truncated_transitions += 1;
-      return false;
+      a.dropped = true;
+      return a;
     }
     for (std::uint32_t v : succ.violations) ws.violations.insert(v);
     for (const auto& f : succ.faults) ws.faults.insert(f);
-    frontier.push(std::move(succ));
-    return true;
+    if (options.record_graph) ctx.node_fps.push_back(a.fp);
+    frontier.push(widx, WorkItem{std::move(succ), a.fp, succ_sleep, 0});
+    a.fresh = true;
+    return a;
   };
 
-  auto expand = [&](const Configuration& cfg, WorkerStats& ws) {
+  auto expand = [&](WorkItem& item, unsigned widx) {
+    WorkerCtx& ctx = ctxs[widx];
+    WorkerStats& ws = ctx.stats;
+    const Configuration& cfg = item.cfg;
     const std::vector<ActionInfo> infos = sem::all_action_infos(cfg);
     std::vector<Pid> enabled;
     for (const ActionInfo& info : infos) {
@@ -247,9 +183,16 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
     }
 
     if (enabled.empty()) {
-      // Terminal (completion or deadlock). Full keys are materialized only
-      // here — terminals are few.
+      // Terminal (completion or deadlock). A redo item of a terminal has
+      // nothing to re-fire, and the terminal was recorded on first visit.
+      if (item.redo != 0) return;
       const bool deadlock = cfg.num_live() > 0;
+      ctx.recorder.terminal_lifetimes(cfg);
+      if (options.record_graph) {
+        ctx.terminal_fps.push_back(item.fp);
+        if (deadlock) ctx.deadlock_fps.push_back(item.fp);
+      }
+      // Full keys are materialized only here — terminals are few.
       std::string key;
       if (metrics) {
         const std::uint64_t t0 = telemetry::now_ns();
@@ -264,57 +207,110 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
       return;
     }
 
-    std::vector<Pid> expansion = enabled;
+    std::vector<Pid> expansion;
     bool reduced = false;
-    if (options.reduction == Reduction::Stubborn && enabled.size() > 1) {
-      StubbornChoice choice;
-      if (metrics) {
-        const std::uint64_t t0 = telemetry::now_ns();
-        choice = stubborn_set(cfg, infos, static_info);
-        ws.stubborn_ns += telemetry::now_ns() - t0;
-      } else {
-        choice = stubborn_set(cfg, infos, static_info);
+    if (item.redo != 0) {
+      // Sleep revisit redo: fire exactly the awakened transitions; the
+      // first visit already did pair recording and the stubborn choice.
+      for (const Pid pid : enabled) {
+        if (pid < kMaxSleepPid && ((item.redo >> pid) & 1) != 0) expansion.push_back(pid);
       }
-      ws.stubborn_steps += 1;
-      if (choice.expand.size() == 1) ws.stubborn_singletons += 1;
-      if (!choice.is_full) ws.stubborn_reduced_steps += 1;
-      reduced = !choice.is_full;
-      expansion = std::move(choice.expand);
+      if (expansion.empty()) return;
+    } else {
+      ctx.recorder.pairs(infos);
+      expansion = enabled;
+      if (options.reduction == Reduction::Stubborn && enabled.size() > 1) {
+        StubbornChoice choice;
+        if (metrics) {
+          const std::uint64_t t0 = telemetry::now_ns();
+          choice = stubborn_set(cfg, infos, static_info);
+          ws.stubborn_ns += telemetry::now_ns() - t0;
+        } else {
+          choice = stubborn_set(cfg, infos, static_info);
+        }
+        ws.stubborn_steps += 1;
+        if (choice.expand.size() == 1) ws.stubborn_singletons += 1;
+        if (!choice.is_full) ws.stubborn_reduced_steps += 1;
+        reduced = !choice.is_full;
+        expansion = std::move(choice.expand);
+      }
+      if (options.sleep_sets) {
+        std::erase_if(expansion, [&](Pid p) {
+          const bool sleeping = p < kMaxSleepPid && ((item.sleep >> p) & 1) != 0;
+          if (sleeping) ws.sleep_suppressed_transitions += 1;
+          return sleeping;
+        });
+        if (expansion.empty()) return;  // fully covered elsewhere
+      }
     }
 
-    bool all_new = true;
-    for (Pid pid : expansion) {
+    // Successor sleep set of the `idx`-th fired member of `expansion`:
+    // surviving (independent) entries of this item's sleep plus the
+    // earlier-fired siblings that are independent of the fired action.
+    auto succ_sleep_for = [&](const ActionInfo& fired, std::size_t idx) -> std::uint64_t {
+      std::uint64_t out = 0;
+      auto keep_if_independent = [&](Pid t) {
+        if (t >= kMaxSleepPid) return;
+        const ActionInfo other = sem::action_info(cfg, t);
+        if (!other.exists) return;
+        if (!actions_conflict(fired, other)) out |= std::uint64_t{1} << t;
+      };
+      for (Pid t = 0; t < kMaxSleepPid; ++t) {
+        if (((item.sleep >> t) & 1) != 0) keep_if_independent(t);
+      }
+      for (std::size_t i = 0; i < idx; ++i) keep_if_independent(expansion[i]);
+      return out;
+    };
+
+    // Fires one transition; returns true when its successor was newly
+    // inserted (feeds the insertion proviso). Indices past expansion.size()
+    // are proviso supplements and fire with an empty sleep set (the
+    // sequential engine likewise clears sleep on a full re-expansion).
+    std::size_t fire_seq = 0;
+    auto fire = [&](Pid pid) -> bool {
+      const std::size_t idx = fire_seq++;
+      ActionInfo fired;
+      if (options.record_graph || options.sleep_sets) fired = sem::action_info(cfg, pid);
+      std::uint64_t succ_sleep = 0;
+      if (options.sleep_sets && idx < expansion.size()) succ_sleep = succ_sleep_for(fired, idx);
       ws.transitions += 1;
-      if (!admit(par_step(cfg, pid, static_info, options.coarsen, ws), ws)) all_new = false;
-    }
-
-    // Insertion proviso (see header): a reduced expansion with an
-    // already-seen successor is re-expanded fully.
-    if (reduced && !all_new && options.cycle_proviso && !truncated.load()) {
-      ws.proviso_full_expansions += 1;
-      for (Pid pid : enabled) {
-        if (std::find(expansion.begin(), expansion.end(), pid) != expansion.end()) continue;
-        ws.transitions += 1;
-        admit(par_step(cfg, pid, static_info, options.coarsen, ws), ws);
+      Configuration succ =
+          core_step(cfg, pid, static_info, options.coarsen, ctx.recorder, ctx.steps);
+      const Admit a = admit(std::move(succ), succ_sleep, widx);
+      if (a.dropped) {
+        // As in the sequential engine, the transition whose successor is
+        // dropped is uncounted (keeps graph.edges.size() == num_transitions
+        // through truncation) and accounted separately.
+        ws.transitions -= 1;
+        ws.truncated_transitions += 1;
+        return false;
       }
+      if (options.record_graph) {
+        ctx.edges.push_back(EdgeFp{item.fp, a.fp, fired.stmt_id, fired.kind});
+      }
+      return a.fresh;
+    };
+
+    if (fire_with_insertion_proviso(enabled, expansion, reduced,
+                                    options.cycle_proviso && !truncated.load(), fire)) {
+      ws.proviso_full_expansions += 1;
     }
   };
 
-  std::vector<WorkerStats> worker_stats(options.threads);
   auto worker = [&](unsigned index) {
-    WorkerStats& ws = worker_stats[index];
+    WorkerStats& ws = ctxs[index].stats;
     try {
-      while (auto cfg = frontier.pop()) {
+      while (auto item = frontier.pop(index)) {
         if (!abort.load() && !truncated.load()) {
           if (metrics) {
             const std::uint64_t t0 = telemetry::now_ns();
-            expand(*cfg, ws);
+            expand(*item, index);
             ws.expansion_ns += telemetry::now_ns() - t0;
           } else {
-            expand(*cfg, ws);
+            expand(*item, index);
           }
         }
-        frontier.done_one();
+        frontier.done(index);
       }
     } catch (...) {
       {
@@ -322,20 +318,22 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
         if (!first_error) first_error = std::current_exception();
       }
       abort.store(true);
-      frontier.done_one();
+      frontier.done(index);
+      frontier.abort();
     }
   };
 
   // Seed the frontier with the initial configuration.
+  Fingerprint init_fp;
   {
     Configuration init = Configuration::initial(program);
-    const support::Fingerprint fp = init.canonical_fingerprint();
-    seen.insert(init, fp);
+    init_fp = init.canonical_fingerprint();
+    seen.insert(init, init_fp, 0);
     num_configs.store(1);
-    WorkerStats& ws = worker_stats[0];
+    WorkerStats& ws = ctxs[0].stats;
     for (std::uint32_t v : init.violations) ws.violations.insert(v);
     for (const auto& f : init.faults) ws.faults.insert(f);
-    frontier.push(std::move(init));
+    frontier.push(0, WorkItem{std::move(init), init_fp, 0, 0});
   }
 
   {
@@ -352,24 +350,49 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
   result.num_configs = num_configs.load();
   result.truncated = truncated.load();
   WorkerStats total;
+  StepCounters steps_total;
+  FrontierCounters frontier_total;
+  std::uint64_t busy_min_ns = 0;
+  std::uint64_t busy_max_ns = 0;
+  std::uint64_t busy_sum_ns = 0;
   for (unsigned i = 0; i < options.threads; ++i) {
-    const WorkerStats& ws = worker_stats[i];
+    const WorkerCtx& ctx = ctxs[i];
+    const WorkerStats& ws = ctx.stats;
     result.num_transitions += ws.transitions;
     total.stubborn_steps += ws.stubborn_steps;
     total.stubborn_singletons += ws.stubborn_singletons;
     total.stubborn_reduced_steps += ws.stubborn_reduced_steps;
     total.proviso_full_expansions += ws.proviso_full_expansions;
-    total.coarsened_micro_actions += ws.coarsened_micro_actions;
-    total.coarsen_guard_hits += ws.coarsen_guard_hits;
     total.truncated_transitions += ws.truncated_transitions;
+    total.sleep_suppressed_transitions += ws.sleep_suppressed_transitions;
+    total.sleep_reexplorations += ws.sleep_reexplorations;
+    steps_total.coarsened_micro_actions += ctx.steps.coarsened_micro_actions;
+    steps_total.coarsen_guard_hits += ctx.steps.coarsen_guard_hits;
     for (std::uint32_t v : ws.violations) result.violations.insert(v);
     for (const auto& f : ws.faults) result.faults.insert(f);
+    const FrontierCounters& fc = frontier.counters(i);
+    frontier_total.steals += fc.steals;
+    frontier_total.stolen_items += fc.stolen_items;
+    frontier_total.steal_misses += fc.steal_misses;
+    frontier_total.contention += fc.contention;
+    ctx.recorder.merge_into(result);
     if (metrics) {
       const std::string prefix = "worker" + std::to_string(i);
       result.stats.add_time_ns(prefix + ".expansion", ws.expansion_ns);
       result.stats.add_time_ns(prefix + ".stubborn", ws.stubborn_ns);
       result.stats.add_time_ns(prefix + ".canonicalize", ws.canonicalize_ns);
+      busy_min_ns = i == 0 ? ws.expansion_ns : std::min(busy_min_ns, ws.expansion_ns);
+      busy_max_ns = std::max(busy_max_ns, ws.expansion_ns);
+      busy_sum_ns += ws.expansion_ns;
     }
+  }
+  if (metrics) {
+    // Aggregates over the nondeterministic workerN.* keys: min/max expose
+    // imbalance, sum is total busy time (compare against wall clock for
+    // effective parallelism). Stable key names — golden tests pin them.
+    result.stats.add_time_ns("workers.min", busy_min_ns);
+    result.stats.add_time_ns("workers.max", busy_max_ns);
+    result.stats.add_time_ns("workers.sum", busy_sum_ns);
   }
   // Lazy-counter parity with the sequential engine: a counter that never
   // fired stays absent from to_string().
@@ -380,9 +403,52 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
   add_if("stubborn_singletons", total.stubborn_singletons);
   add_if("stubborn_reduced_steps", total.stubborn_reduced_steps);
   add_if("proviso_full_expansions", total.proviso_full_expansions);
-  add_if("coarsened_micro_actions", total.coarsened_micro_actions);
-  add_if("coarsen_guard_hits", total.coarsen_guard_hits);
+  add_if("coarsened_micro_actions", steps_total.coarsened_micro_actions);
+  add_if("coarsen_guard_hits", steps_total.coarsen_guard_hits);
   add_if("truncated_transitions", total.truncated_transitions);
+  add_if("sleep_suppressed_transitions", total.sleep_suppressed_transitions);
+  add_if("sleep_reexplorations", total.sleep_reexplorations);
+  // The steal counters are always present under threads > 1 (even at
+  // zero): they are the engine's health signals (see docs/PARALLEL.md).
+  result.stats.set("steals", frontier_total.steals);
+  result.stats.set("stolen_items", frontier_total.stolen_items);
+  result.stats.set("steal_misses", frontier_total.steal_misses);
+  result.stats.set("frontier_contention", frontier_total.contention);
+
+  if (options.record_graph) {
+    // Scheduling-independent node ids: the initial state is node 0, every
+    // other admitted state gets its rank in fingerprint order. Edges and
+    // terminal lists are translated and sorted, so two runs that admit the
+    // same state set produce byte-identical graphs (under Full reduction
+    // they always do; a reduced run's edge set can vary with proviso
+    // races, its node set cannot).
+    std::vector<Fingerprint> node_fps;
+    for (const WorkerCtx& ctx : ctxs) {
+      node_fps.insert(node_fps.end(), ctx.node_fps.begin(), ctx.node_fps.end());
+    }
+    std::sort(node_fps.begin(), node_fps.end());
+    std::unordered_map<Fingerprint, std::uint32_t, support::FingerprintHash> id_of;
+    id_of.reserve(node_fps.size() + 1);
+    id_of.emplace(init_fp, 0);
+    for (std::size_t i = 0; i < node_fps.size(); ++i) {
+      id_of.emplace(node_fps[i], static_cast<std::uint32_t>(i + 1));
+    }
+    for (const WorkerCtx& ctx : ctxs) {
+      for (const EdgeFp& e : ctx.edges) {
+        result.graph.edges.push_back(
+            StateGraph::Edge{id_of.at(e.from), id_of.at(e.to), e.stmt, e.kind});
+      }
+      for (const Fingerprint& fp : ctx.terminal_fps) {
+        result.graph.terminal_nodes.push_back(id_of.at(fp));
+      }
+      for (const Fingerprint& fp : ctx.deadlock_fps) {
+        result.graph.deadlock_nodes.push_back(id_of.at(fp));
+      }
+    }
+    std::sort(result.graph.edges.begin(), result.graph.edges.end());
+    std::sort(result.graph.terminal_nodes.begin(), result.graph.terminal_nodes.end());
+    std::sort(result.graph.deadlock_nodes.begin(), result.graph.deadlock_nodes.end());
+  }
 
   result.graph.num_nodes = result.num_configs;
   result.stats.set("configs", result.num_configs);

@@ -1,43 +1,64 @@
-// Parallel frontier exploration (Reduction-compatible BFS).
+// Work-stealing parallel exploration (see docs/PARALLEL.md).
 //
 // The sequential explorer is a DFS whose cycle proviso depends on the
 // search stack, which does not parallelize. This engine explores the same
-// configuration space breadth-first with worker threads:
+// configuration space with worker threads over the exploration core's
+// shared pieces (core.h / frontier.h / proviso.h / visited.h):
 //
-//   * seen set — the canonical fingerprints, mutex-striped across 64
-//     shards (shard = high fingerprint bits, in-shard probing by the low
-//     bits), so insertions from different workers rarely contend;
-//   * frontier — one global queue of configurations with an active-worker
-//     count; a worker pops a configuration, expands it locally (stubborn
-//     set, virtual coarsening), and pushes newly seen successors;
-//   * ignoring problem — the stack proviso is replaced by an insertion
-//     proviso: a *reduced* expansion stands only if every fired successor
-//     was newly inserted; if any successor was already seen, the source is
-//     re-expanded fully. Order the cycle's states by expansion start; the
-//     last one fires an edge to an already-inserted state, so every cycle
-//     in the reduced graph contains a fully expanded state. Concurrent
-//     insertions by other workers only add full expansions — conservative,
-//     never unsound.
+//   * seen set — ShardedVisitedSet: the canonical fingerprints, mutex-
+//     striped across 64 shards, plus the per-state stored-sleep masks in
+//     sleep-sets mode;
+//   * frontier — WorkStealingFrontier: per-worker deques, local LIFO
+//     push/pop, steal-half from a victim when dry, active-count + idle
+//     condvar termination;
+//   * ignoring problem — the stack proviso is replaced by the insertion
+//     proviso (fire_with_insertion_proviso in proviso.h): a *reduced*
+//     expansion stands only if every fired successor was newly inserted.
+//
+// Sleep sets parallelize through the visited set: each state's stored
+// sleep mask (a pid bitmask) lives next to its fingerprint, stored with
+// the insertion under the same shard lock. A revisit narrows the stored
+// mask atomically; transitions that slept on the first visit but are
+// awake on arrival are re-fired from a redo work item. Masks only ever
+// shrink, so the extra work is bounded by one bit-clear per state per
+// process.
+//
+// Recording payloads (accesses, pairs, lifetimes) accumulate in per-worker
+// Recorders and merge after the join — set unions and sums, independent of
+// which worker recorded what. A recorded state graph gets its node ids
+// post-join by sorting node fingerprints (initial state = 0), so the graph
+// is scheduling-independent under Full reduction. The one remaining
+// unsupported combination is sleep_sets + record_graph + threads > 1: the
+// *reduced* graph recorded under sleep sets depends on exploration order.
 //
 // Workers never touch the global telemetry instance (it is single-threaded
 // by contract); per-worker time is measured with local now_ns() deltas and
-// merged into the result's StatRegistry timings. Terminals, violations,
-// faults, and counters are merged deterministically (set unions and sums),
-// so the terminal-key set — the correctness contract shared with the
-// sequential engine — is independent of scheduling. Transition counts can
-// differ run to run (two workers may fire into the same configuration
-// before either insertion lands), but states and terminals cannot.
+// merged into the result's StatRegistry timings, alongside the aggregate
+// workers.{min,max,sum} keys. Terminals, violations, faults, and counters
+// are merged deterministically (set unions and sums), so the terminal-key
+// set — the correctness contract shared with the sequential engine — is
+// independent of scheduling. Transition counts can differ run to run (two
+// workers may fire into the same configuration before either insertion
+// lands), but states and terminals cannot.
 //
-// Entered through explore() when ExploreOptions::threads > 1. The recording
-// payloads (graph, accesses, pairs, lifetimes) and sleep sets are
-// DFS-order-dependent and remain sequential-only.
+// Entered through explore() when ExploreOptions::threads > 1.
 #pragma once
 
+#include <optional>
+
 #include "src/explore/explorer.h"
+#include "src/support/diagnostics.h"
 
 namespace copar::explore {
 
-/// Requires options.threads > 1 and every record_* / sleep_sets option off.
+/// The structured "this option set needs the sequential engine" check.
+/// Returns a Diagnostic (code "par-unsupported") when `options` requests
+/// threads > 1 together with a feature the parallel engine cannot provide;
+/// nullopt when the combination is supported. The CLI renders the
+/// diagnostic; parallel_explore throws it as an Error.
+[[nodiscard]] std::optional<Diagnostic> parallel_unsupported(const ExploreOptions& options);
+
+/// Requires options.threads > 1 and parallel_unsupported(options) empty.
 [[nodiscard]] ExploreResult parallel_explore(const sem::LoweredProgram& program,
                                              const ExploreOptions& options);
 

@@ -1,9 +1,18 @@
 #include "src/explore/visited.h"
 
+#include <utility>
+
 namespace copar::explore {
 
 VisitedSet::Probe VisitedSet::insert(const sem::Configuration& cfg) {
   const support::Fingerprint fp = cfg.canonical_fingerprint();
+  if (!exact_) return insert_prehashed(fp, nullptr);
+  std::string key = cfg.canonical_key();
+  return insert_prehashed(fp, &key);
+}
+
+VisitedSet::Probe VisitedSet::insert_prehashed(const support::Fingerprint& fp,
+                                               std::string* exact_key) {
   if (!exact_) {
     const auto r = table_.insert(fp);
     return {fp, r.id, r.inserted};
@@ -11,7 +20,7 @@ VisitedSet::Probe VisitedSet::insert(const sem::Configuration& cfg) {
   // Exact mode: the string map is the id authority; the fingerprint table
   // only detects collisions (new key, already-seen fingerprint).
   const auto r = table_.insert(fp);
-  auto [it, fresh] = keys_.try_emplace(cfg.canonical_key(), next_id_);
+  auto [it, fresh] = keys_.try_emplace(std::move(*exact_key), next_id_);
   if (fresh) {
     next_id_ += 1;
     if (!r.inserted) collisions_ += 1;
@@ -25,8 +34,17 @@ bool VisitedSet::contains(const sem::Configuration& cfg) const {
 }
 
 void VisitedSet::erase(const Probe& probe, const sem::Configuration& cfg) {
-  table_.erase(probe.fp);
-  if (exact_) keys_.erase(cfg.canonical_key());
+  if (!exact_) {
+    erase_prehashed(probe.fp, nullptr);
+    return;
+  }
+  const std::string key = cfg.canonical_key();
+  erase_prehashed(probe.fp, &key);
+}
+
+void VisitedSet::erase_prehashed(const support::Fingerprint& fp, const std::string* exact_key) {
+  table_.erase(fp);
+  if (exact_) keys_.erase(*exact_key);
 }
 
 std::uint64_t VisitedSet::memory_bytes() const {
@@ -35,6 +53,70 @@ std::uint64_t VisitedSet::memory_bytes() const {
     bytes += key.capacity() + sizeof(key) + sizeof(id) + 2 * sizeof(void*);
   }
   return bytes;
+}
+
+ShardedVisitedSet::ShardedVisitedSet(bool exact_keys, bool track_sleep)
+    : exact_(exact_keys), track_sleep_(track_sleep) {
+  shards_.reserve(kNumShards);
+  for (std::size_t i = 0; i < kNumShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(exact_keys));
+  }
+}
+
+bool ShardedVisitedSet::insert(const sem::Configuration& cfg, const support::Fingerprint& fp,
+                               std::uint64_t sleep) {
+  // In exact mode the key is serialized outside the lock.
+  std::string key;
+  if (exact_) key = cfg.canonical_key();
+  Shard& shard = *shards_[shard_of(fp)];
+  const std::scoped_lock lock(shard.mu);
+  const VisitedSet::Probe probe = shard.set.insert_prehashed(fp, exact_ ? &key : nullptr);
+  if (probe.inserted && track_sleep_) shard.sleep[fp] = sleep;
+  return probe.inserted;
+}
+
+void ShardedVisitedSet::erase(const sem::Configuration& cfg, const support::Fingerprint& fp) {
+  std::string key;
+  if (exact_) key = cfg.canonical_key();
+  Shard& shard = *shards_[shard_of(fp)];
+  const std::scoped_lock lock(shard.mu);
+  shard.set.erase_prehashed(fp, exact_ ? &key : nullptr);
+  if (track_sleep_) shard.sleep.erase(fp);
+}
+
+ShardedVisitedSet::SleepNarrow ShardedVisitedSet::narrow_sleep(const support::Fingerprint& fp,
+                                                               std::uint64_t arrival) {
+  Shard& shard = *shards_[shard_of(fp)];
+  const std::scoped_lock lock(shard.mu);
+  const auto it = shard.sleep.find(fp);
+  if (it == shard.sleep.end()) return {};  // entry withdrawn by a cap rollback
+  SleepNarrow out;
+  out.wake = it->second & ~arrival;
+  out.remaining = it->second & arrival;
+  it->second = out.remaining;
+  return out;
+}
+
+std::uint64_t ShardedVisitedSet::size() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->set.size();
+  return n;
+}
+
+std::uint64_t ShardedVisitedSet::memory_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& s : shards_) {
+    bytes += s->set.memory_bytes();
+    bytes += s->sleep.size() *
+             (sizeof(support::Fingerprint) + sizeof(std::uint64_t) + 2 * sizeof(void*));
+  }
+  return bytes;
+}
+
+std::uint64_t ShardedVisitedSet::collisions() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->set.collisions();
+  return n;
 }
 
 }  // namespace copar::explore

@@ -1,5 +1,6 @@
-// The explorers' dedup structure: fingerprints by default, exact keys on
-// request.
+// The exploration core's dedup backends: fingerprints by default, exact
+// keys on request; one sequential set and a mutex-striped wrapper for the
+// parallel engine.
 //
 // In fingerprint mode (the default) a configuration costs ~20 bytes in an
 // open-addressing table of 128-bit canonical fingerprints. In exact-keys
@@ -10,11 +11,21 @@
 // `fingerprint_collisions` gauge). Fingerprint mode cannot detect its own
 // collisions — that is exactly the trade — so collision-paranoid runs use
 // exact mode to measure whether the workload ever produces one.
+//
+// ShardedVisitedSet stripes 64 VisitedSets behind per-shard mutexes for the
+// work-stealing engine: shard selection uses the fingerprint's high bits,
+// in-table probing its low bits, so striping does not bias probes. It also
+// carries the engine's stored-sleep masks (sleep-sets mode): the mask is
+// stored atomically with the insertion and narrowed atomically on revisit,
+// so no worker can observe a state without its sleep entry.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/sem/config.h"
 #include "src/support/fingerprint.h"
@@ -35,11 +46,18 @@ class VisitedSet {
   /// (0, 1, 2, ...) so callers can index side arrays by them.
   Probe insert(const sem::Configuration& cfg);
 
+  /// Pre-canonicalized variant: `fp` was already computed by the caller;
+  /// `exact_key` must be non-null in exact-keys mode (serialized outside
+  /// any lock; consumed — moved into the key map when fresh) and is
+  /// ignored in fingerprint mode.
+  Probe insert_prehashed(const support::Fingerprint& fp, std::string* exact_key);
+
   [[nodiscard]] bool contains(const sem::Configuration& cfg) const;
 
   /// Removes `cfg` again — only meaningful for the entry just inserted
   /// (the explorer un-registers the configuration that hit max_configs).
   void erase(const Probe& probe, const sem::Configuration& cfg);
+  void erase_prehashed(const support::Fingerprint& fp, const std::string* exact_key);
 
   [[nodiscard]] std::size_t size() const noexcept {
     return exact_ ? keys_.size() : table_.size();
@@ -60,6 +78,58 @@ class VisitedSet {
   std::unordered_map<std::string, std::uint32_t> keys_;  // exact mode only
   std::uint32_t next_id_ = 0;                            // exact mode only
   std::uint64_t collisions_ = 0;
+};
+
+/// Thread-safe visited set for the parallel engine: 64 mutex-striped
+/// VisitedSets (one dedup implementation, locked per stripe), plus the
+/// per-state stored-sleep masks when sleep tracking is on.
+class ShardedVisitedSet {
+ public:
+  ShardedVisitedSet(bool exact_keys, bool track_sleep);
+
+  /// True when `cfg` (with fingerprint `fp`) was not seen before. When
+  /// fresh and sleep tracking is on, `sleep` is stored under the same
+  /// shard lock as the insertion.
+  bool insert(const sem::Configuration& cfg, const support::Fingerprint& fp,
+              std::uint64_t sleep = 0);
+
+  /// Withdraws the entry `insert` just added (max_configs rollback),
+  /// including its sleep mask.
+  void erase(const sem::Configuration& cfg, const support::Fingerprint& fp);
+
+  /// Sleep revisit rule (sequential engine's sleep_store narrowing, made
+  /// atomic per state): wake = stored & ~arrival are the transitions that
+  /// slept on the first visit but are awake now; the stored mask shrinks
+  /// to stored & arrival. Masks only ever shrink, so the total re-fired
+  /// work is bounded by one bit-clear per state per pid.
+  struct SleepNarrow {
+    std::uint64_t wake = 0;       // fire these again (empty: nothing to do)
+    std::uint64_t remaining = 0;  // the narrowed mask (the redo item's sleep)
+  };
+  SleepNarrow narrow_sleep(const support::Fingerprint& fp, std::uint64_t arrival);
+
+  // The aggregate queries run after the workers have joined (no locking).
+  [[nodiscard]] std::uint64_t size() const;
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+  [[nodiscard]] std::uint64_t collisions() const;
+
+ private:
+  static constexpr std::size_t kNumShards = 64;  // power of two
+
+  struct Shard {
+    explicit Shard(bool exact) : set(exact) {}
+    std::mutex mu;
+    VisitedSet set;
+    std::unordered_map<support::Fingerprint, std::uint64_t, support::FingerprintHash> sleep;
+  };
+
+  [[nodiscard]] static std::size_t shard_of(const support::Fingerprint& fp) noexcept {
+    return static_cast<std::size_t>(fp.hi) & (kNumShards - 1);
+  }
+
+  bool exact_;
+  bool track_sleep_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace copar::explore

@@ -1,8 +1,9 @@
 #include "src/explore/witness.h"
 
-#include <deque>
 #include <sstream>
 
+#include "src/explore/frontier.h"
+#include "src/explore/proviso.h"
 #include "src/explore/stubborn.h"
 #include "src/explore/visited.h"
 #include "src/support/telemetry.h"
@@ -61,7 +62,7 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
   };
   std::vector<Node> nodes;
   VisitedSet visited(query.explore.exact_keys);
-  std::deque<std::uint32_t> work;  // BFS: shortest witnesses
+  FifoFrontier<std::uint32_t> work;  // BFS: shortest witnesses
 
   auto push = [&](Configuration cfg, std::uint32_t parent, WitnessStep via)
       -> std::optional<std::uint32_t> {
@@ -70,7 +71,7 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
     if (!probe.inserted) return std::nullopt;
     require(probe.id == nodes.size(), "witness: visited-set ids must be dense");
     nodes.push_back(Node{std::move(cfg), parent, std::move(via)});
-    work.push_back(probe.id);
+    work.push(probe.id);
     return probe.id;
   };
 
@@ -88,9 +89,8 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
   telemetry::ScopedPhase phase_expansion(telemetry::Phase::Expansion);
   (void)push(Configuration::initial(prog), 0xffffffffu, WitnessStep{});
 
-  while (!work.empty()) {
-    const std::uint32_t id = work.front();
-    work.pop_front();
+  while (const auto popped = work.pop()) {
+    const std::uint32_t id = *popped;
     telemetry::Telemetry::global().maybe_progress(nodes.size(), nodes.size() - work.size(),
                                                  work.size());
     if (nodes.size() > query.explore.max_configs) return std::nullopt;
@@ -99,31 +99,26 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
     const Configuration cfg = nodes[id].cfg;
     if (query.reach_predicate && query.reach_predicate(cfg)) return build(id);
     const std::vector<ActionInfo> infos = sem::all_action_infos(cfg);
-    std::vector<Pid> expand;
+    std::vector<Pid> enabled;
     for (const ActionInfo& info : infos) {
-      if (info.enabled) expand.push_back(info.pid);
+      if (info.enabled) enabled.push_back(info.pid);
     }
-    if (expand.empty()) {
+    if (enabled.empty()) {
       const bool deadlock = cfg.num_live() > 0;
       if (matches(query, cfg, deadlock)) return build(id);
       continue;
     }
-    if (query.explore.reduction == Reduction::Stubborn && expand.size() > 1) {
-      // NOTE: no cycle proviso here — BFS has no stack. Fall back to full
-      // expansion when the reduced choice would revisit only known states,
-      // which keeps the search complete on cyclic spaces.
+    std::vector<Pid> expansion = enabled;
+    bool reduced = false;
+    if (query.explore.reduction == Reduction::Stubborn && enabled.size() > 1) {
       const StubbornChoice choice = [&] {
         telemetry::ScopedPhase phase_stub(telemetry::Phase::Stubborn);
         return stubborn_set(cfg, infos, static_info);
       }();
-      bool all_known = true;
-      for (Pid pid : choice.expand) {
-        Configuration succ = sem::apply_action(cfg, pid);
-        if (!visited.contains(succ)) all_known = false;
-      }
-      if (!all_known || choice.is_full) expand = choice.expand;
+      reduced = !choice.is_full;
+      expansion = choice.expand;
     }
-    for (Pid pid : expand) {
+    auto fire = [&](Pid pid) -> bool {
       const ActionInfo info = sem::action_info(cfg, pid);
       WitnessStep step;
       step.pid = pid;
@@ -131,8 +126,13 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
       step.kind = info.kind;
       step.point = prog.describe_point(info.proc, info.pc);
       Configuration succ = sem::apply_action(cfg, pid);
-      (void)push(std::move(succ), id, std::move(step));
-    }
+      return push(std::move(succ), id, std::move(step)).has_value();
+    };
+    // BFS has no stack, so the stack proviso cannot apply; the core's
+    // insertion proviso (shared with the parallel engine) keeps the
+    // reduced search complete on cyclic spaces.
+    (void)fire_with_insertion_proviso(enabled, expansion, reduced, /*cycle_proviso=*/true,
+                                      fire);
   }
   return std::nullopt;
 }

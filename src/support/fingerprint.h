@@ -28,10 +28,21 @@ namespace copar::support {
 
 /// A 128-bit fingerprint. Never all-zero and never {0,1} (the hasher remaps
 /// those), so the table can use them as empty/tombstone slot markers.
+/// Ordered (hi, lo) — the parallel engine sorts node fingerprints to assign
+/// scheduling-independent graph ids.
 struct Fingerprint {
   std::uint64_t hi = 0;
   std::uint64_t lo = 0;
   friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Hash functor for std::unordered_* keyed by Fingerprint. The fingerprint
+/// is already uniformly mixed, so folding the lanes is enough.
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
 };
 
 /// Streaming 128-bit hasher with the same byte-sink interface as the

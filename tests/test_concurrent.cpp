@@ -1,0 +1,147 @@
+// Thread-safety stress tests for the exploration core's concurrent pieces:
+// the sharded visited set (FingerprintTable growth/rehash under concurrent
+// insert) and the work-stealing frontier (steal/termination protocol).
+//
+// The suite name carries the ParExplore prefix so the CI ThreadSanitizer
+// job (`ctest -R 'ParExplore'`) picks these up; under TSan the data-race
+// detection is the point, the assertions are the sanity floor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/explore/frontier.h"
+#include "src/explore/visited.h"
+#include "src/sem/config.h"
+#include "src/sem/program.h"
+#include "src/support/fingerprint.h"
+#include "src/workload/paper_examples.h"
+
+namespace copar::explore {
+namespace {
+
+support::Fingerprint fp_of(std::uint64_t i) {
+  // Distinct, never the table's reserved empty/tombstone markers.
+  support::Fingerprint fp;
+  fp.hi = i * 0x9e3779b97f4a7c15ULL + 1;
+  fp.lo = i;
+  return fp;
+}
+
+TEST(ParExploreStress, ShardedVisitedSetConcurrentInsertGrowsTables) {
+  // 4 threads × 8k keys with heavy overlap: every in-shard FingerprintTable
+  // rehashes several times while other threads insert into it. Exactly one
+  // thread must win each key.
+  const auto prog = compile(workload::fig2_shasha_snir());
+  const sem::Configuration cfg = sem::Configuration::initial(*prog->lowered);
+
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kKeys = 8192;
+  ShardedVisitedSet seen(/*exact_keys=*/false, /*track_sleep=*/true);
+  std::atomic<std::uint64_t> fresh{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks the full key range from a different start, so
+      // most inserts race with another thread on the same shard.
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        const std::uint64_t k = (i + t * (kKeys / kThreads)) % kKeys;
+        if (seen.insert(cfg, fp_of(k), /*sleep=*/k)) fresh.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(fresh.load(), kKeys);
+  EXPECT_EQ(seen.size(), kKeys);
+  EXPECT_GT(seen.memory_bytes(), kKeys * 16);
+
+  // The stored sleep masks survived the rehashes and narrow atomically.
+  const auto n = seen.narrow_sleep(fp_of(7), /*arrival=*/0x1);
+  EXPECT_EQ(n.wake, 0x6u);
+  EXPECT_EQ(n.remaining, 0x1u);
+  const auto again = seen.narrow_sleep(fp_of(7), /*arrival=*/0);
+  EXPECT_EQ(again.wake, 0x1u);
+  EXPECT_EQ(again.remaining, 0u);
+}
+
+TEST(ParExploreStress, WorkStealingFrontierDrainsEverything) {
+  // A producer-consumer storm: every popped item < kFanoutLimit pushes two
+  // children. All items must be seen exactly once and the pool must
+  // terminate (no lost wakeups, no double-claims).
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kFanoutLimit = 2000;
+  WorkStealingFrontier<std::uint64_t> frontier(kThreads);
+  std::atomic<std::uint64_t> popped{0};
+  frontier.push(0, 1);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (auto item = frontier.pop(t)) {
+        popped.fetch_add(1);
+        const std::uint64_t v = *item;
+        if (v < kFanoutLimit) {
+          frontier.push(t, 2 * v);
+          frontier.push(t, 2 * v + 1);
+        }
+        frontier.done(t);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // The implicit binary tree rooted at 1 with internal nodes < kFanoutLimit:
+  // count it directly.
+  std::uint64_t expect = 0;
+  std::vector<std::uint64_t> stack{1};
+  while (!stack.empty()) {
+    const std::uint64_t v = stack.back();
+    stack.pop_back();
+    expect += 1;
+    if (v < kFanoutLimit) {
+      stack.push_back(2 * v);
+      stack.push_back(2 * v + 1);
+    }
+  }
+  EXPECT_EQ(popped.load(), expect);
+
+  std::uint64_t steals = 0;
+  std::uint64_t stolen = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    steals += frontier.counters(t).steals;
+    stolen += frontier.counters(t).stolen_items;
+  }
+  EXPECT_GE(stolen, steals);  // a steal moves at least one item
+}
+
+TEST(ParExploreStress, WorkStealingFrontierAbortWakesSleepers) {
+  // Workers blocked on an empty pool (one worker keeps the pool non-done by
+  // never finishing its item) must all return once abort() fires.
+  constexpr unsigned kThreads = 4;
+  WorkStealingFrontier<int> frontier(kThreads);
+  frontier.push(0, 42);
+
+  std::atomic<unsigned> exited{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (auto item = frontier.pop(t)) {
+        // Hold the only item active; everyone else blocks idle. Then abort.
+        frontier.abort();
+        frontier.done(t);
+      }
+      exited.fetch_add(1);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(exited.load(), kThreads);
+}
+
+}  // namespace
+}  // namespace copar::explore

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/explore/explorer.h"
+#include "src/explore/parexplore.h"
 #include "src/sem/program.h"
 #include "src/workload/paper_examples.h"
 #include "src/workload/philosophers.h"
@@ -37,25 +38,29 @@ TEST(ParExplore, MatrixMatchesSequentialOracle) {
 
     for (const Reduction reduction : {Reduction::Full, Reduction::Stubborn}) {
       for (const bool coarsen : {false, true}) {
-        for (const unsigned threads : {1u, 4u}) {
-          for (const bool exact_keys : {false, true}) {
-            SCOPED_TRACE((reduction == Reduction::Stubborn ? "stubborn" : "full") +
-                         std::string(coarsen ? " coarsen" : "") + " threads=" +
-                         std::to_string(threads) + (exact_keys ? " exact" : " fingerprint"));
-            ExploreOptions opts;
-            opts.reduction = reduction;
-            opts.coarsen = coarsen;
-            opts.threads = threads;
-            opts.exact_keys = exact_keys;
-            const ExploreResult r = explore(*prog->lowered, opts);
-            EXPECT_FALSE(r.truncated);
-            EXPECT_EQ(r.terminal_keys(), oracle.terminal_keys());
-            EXPECT_EQ(r.deadlock_found, oracle.deadlock_found);
-            EXPECT_EQ(r.violations, oracle.violations);
-            EXPECT_EQ(r.faults, oracle.faults);
-            // No fingerprint collisions on state spaces this small; in
-            // fingerprint mode the counter is structurally zero.
-            EXPECT_EQ(r.stats.gauge("fingerprint_collisions"), 0u);
+        for (const bool sleep : {false, true}) {
+          for (const unsigned threads : {1u, 4u}) {
+            for (const bool exact_keys : {false, true}) {
+              SCOPED_TRACE((reduction == Reduction::Stubborn ? "stubborn" : "full") +
+                           std::string(coarsen ? " coarsen" : "") +
+                           std::string(sleep ? " sleep" : "") + " threads=" +
+                           std::to_string(threads) + (exact_keys ? " exact" : " fingerprint"));
+              ExploreOptions opts;
+              opts.reduction = reduction;
+              opts.coarsen = coarsen;
+              opts.sleep_sets = sleep;
+              opts.threads = threads;
+              opts.exact_keys = exact_keys;
+              const ExploreResult r = explore(*prog->lowered, opts);
+              EXPECT_FALSE(r.truncated);
+              EXPECT_EQ(r.terminal_keys(), oracle.terminal_keys());
+              EXPECT_EQ(r.deadlock_found, oracle.deadlock_found);
+              EXPECT_EQ(r.violations, oracle.violations);
+              EXPECT_EQ(r.faults, oracle.faults);
+              // No fingerprint collisions on state spaces this small; in
+              // fingerprint mode the counter is structurally zero.
+              EXPECT_EQ(r.stats.gauge("fingerprint_collisions"), 0u);
+            }
           }
         }
       }
@@ -92,15 +97,120 @@ TEST(ParExplore, TruncationTerminatesAndIsReported) {
   EXPECT_GE(r.stats.get("truncated_transitions"), 1u);
 }
 
-TEST(ParExplore, RecordingPayloadsRequireSequentialEngine) {
+TEST(ParExplore, OnlySleepWithGraphRequiresSequentialEngine) {
+  // Everything else — graph, accesses, pairs, lifetimes, sleep — now runs
+  // under threads > 1; the one exclusion is sleep + record_graph, and it is
+  // a structured diagnostic, not a bare abort.
   const auto prog = compile(workload::fig2_shasha_snir());
   ExploreOptions opts;
   opts.threads = 2;
   opts.record_graph = true;
-  EXPECT_THROW(explore(*prog->lowered, opts), Error);
+  EXPECT_NO_THROW(explore(*prog->lowered, opts));
   opts.record_graph = false;
   opts.sleep_sets = true;
+  EXPECT_NO_THROW(explore(*prog->lowered, opts));
+
+  opts.record_graph = true;
+  const auto diag = parallel_unsupported(opts);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->code, "par-unsupported");
   EXPECT_THROW(explore(*prog->lowered, opts), Error);
+
+  opts.threads = 1;
+  EXPECT_FALSE(parallel_unsupported(opts).has_value());
+}
+
+TEST(ParExplore, RecordedPayloadsMatchSequentialUnderFull) {
+  // Under Full reduction every (state, pid) transition fires exactly once
+  // in either engine, so the merged per-worker recorders must reproduce the
+  // sequential access log and pair facts exactly.
+  for (const auto& src : {workload::fig2_shasha_snir(), workload::fig5_locality()}) {
+    const auto prog = compile(src);
+    ExploreOptions opts;
+    opts.record_accesses = true;
+    opts.record_pairs = true;
+    opts.record_lifetimes = true;
+    const ExploreResult seq = explore(*prog->lowered, opts);
+    opts.threads = 4;
+    const ExploreResult par = explore(*prog->lowered, opts);
+    EXPECT_EQ(par.accesses, seq.accesses);
+    EXPECT_EQ(par.pairs, seq.pairs);
+    EXPECT_EQ(par.terminal_keys(), seq.terminal_keys());
+  }
+}
+
+TEST(ParExplore, RecordedGraphIsSchedulingIndependentUnderFull) {
+  // Node ids are assigned by fingerprint order after the join, so two
+  // parallel runs must produce byte-identical graphs, and the graph must
+  // structurally match the sequential one (same node/edge/terminal counts;
+  // ids differ — the sequential engine numbers in DFS insertion order).
+  const auto prog = compile(workload::dining_philosophers(3));
+  ExploreOptions opts;
+  opts.record_graph = true;
+  const ExploreResult seq = explore(*prog->lowered, opts);
+  opts.threads = 4;
+  const ExploreResult a = explore(*prog->lowered, opts);
+  const ExploreResult b = explore(*prog->lowered, opts);
+  EXPECT_EQ(a.graph.edges, b.graph.edges);
+  EXPECT_EQ(a.graph.terminal_nodes, b.graph.terminal_nodes);
+  EXPECT_EQ(a.graph.deadlock_nodes, b.graph.deadlock_nodes);
+  EXPECT_EQ(a.graph.num_nodes, seq.graph.num_nodes);
+  EXPECT_EQ(a.graph.edges.size(), seq.graph.edges.size());
+  EXPECT_EQ(a.graph.edges.size(), a.num_transitions);
+  EXPECT_EQ(a.graph.terminal_nodes.size(), seq.graph.terminal_nodes.size());
+  EXPECT_EQ(a.graph.deadlock_nodes.size(), seq.graph.deadlock_nodes.size());
+  // Every edge endpoint is a valid node id.
+  for (const StateGraph::Edge& e : a.graph.edges) {
+    EXPECT_LT(e.from, a.graph.num_nodes);
+    EXPECT_LT(e.to, a.graph.num_nodes);
+  }
+}
+
+TEST(ParExplore, InsertionProvisoMatchesStackProvisoOnCyclicSample) {
+  // Peterson's algorithm has a cyclic state space (spin loops), the case
+  // the ignoring-problem provisos exist for. The DFS stack proviso
+  // (sequential), the insertion proviso (parallel), and the Full oracle
+  // must agree on the terminal-key set.
+  const auto prog = compile(workload::peterson_mutex());
+  ExploreOptions full;
+  const ExploreResult oracle = explore(*prog->lowered, full);
+  ExploreOptions seq;
+  seq.reduction = Reduction::Stubborn;
+  const ExploreResult stack = explore(*prog->lowered, seq);
+  ExploreOptions par = seq;
+  par.threads = 4;
+  const ExploreResult insertion = explore(*prog->lowered, par);
+  EXPECT_EQ(stack.terminal_keys(), oracle.terminal_keys());
+  EXPECT_EQ(insertion.terminal_keys(), oracle.terminal_keys());
+  EXPECT_EQ(insertion.deadlock_found, oracle.deadlock_found);
+}
+
+TEST(ParExplore, TruncationKeepsTransitionEdgeInvariantParallel) {
+  // The sequential invariant graph.edges.size() == num_transitions must
+  // survive truncation in the parallel engine too (dropped successors
+  // uncount their transition and skip their edge).
+  const auto prog = compile(workload::dining_philosophers(3));
+  ExploreOptions opts;
+  opts.threads = 4;
+  opts.record_graph = true;
+  opts.max_configs = 10;
+  const ExploreResult r = explore(*prog->lowered, opts);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_LE(r.num_configs, 10u);
+  EXPECT_EQ(r.graph.edges.size(), r.num_transitions);
+  EXPECT_GE(r.stats.get("truncated_transitions"), 1u);
+}
+
+TEST(ParExplore, StealCountersAlwaysPresent) {
+  const auto prog = compile(workload::fig2_shasha_snir());
+  ExploreOptions opts;
+  opts.threads = 4;
+  const ExploreResult r = explore(*prog->lowered, opts);
+  // Present even at zero — the engine's health signals.
+  EXPECT_TRUE(r.stats.all().contains("steals"));
+  EXPECT_TRUE(r.stats.all().contains("stolen_items"));
+  EXPECT_TRUE(r.stats.all().contains("steal_misses"));
+  EXPECT_TRUE(r.stats.all().contains("frontier_contention"));
 }
 
 // --- sequential bookkeeping regressions (the bugfixes in this PR) ---------

@@ -446,5 +446,46 @@ TEST(JsonReport, ExploreReportParsesAndMatchesTextCounters) {
   t.reset();
 }
 
+TEST(JsonReport, ParallelReportPinsWorkerAggregatesAndStealCounters) {
+  // The parallel engine's observability contract: per-worker timings come
+  // with the stable workers.{min,max,sum} aggregate keys (the workerN.*
+  // keys are nondeterministic in count only across engines, not runs), and
+  // the steal counters are always present in the counters section.
+  Telemetry& t = Telemetry::global();
+  t.reset();
+  t.enable_metrics(true);
+
+  auto program = compile(workload::fig2_shasha_snir());
+  explore::ExploreOptions opts;
+  opts.threads = 4;
+  const auto r = explore::explore(*program->lowered, opts);
+
+  const auto& times = r.stats.times_ns();
+  EXPECT_TRUE(times.contains("workers.min"));
+  EXPECT_TRUE(times.contains("workers.max"));
+  EXPECT_TRUE(times.contains("workers.sum"));
+  EXPECT_LE(times.at("workers.min"), times.at("workers.max"));
+  EXPECT_LE(times.at("workers.max"), times.at("workers.sum"));
+  for (unsigned i = 0; i < opts.threads; ++i) {
+    EXPECT_TRUE(times.contains("worker" + std::to_string(i) + ".expansion"));
+  }
+
+  std::ostringstream os;
+  support::JsonWriter w(os);
+  explore::write_json_report(w, "explore", "fig2_shasha_snir.cop", r, opts);
+  const JsonValue doc = parse_json_or_fail(os.str());
+  EXPECT_TRUE(doc.at("timings_ms").members.contains("workers.min"));
+  EXPECT_TRUE(doc.at("timings_ms").members.contains("workers.max"));
+  EXPECT_TRUE(doc.at("timings_ms").members.contains("workers.sum"));
+  EXPECT_TRUE(doc.at("counters").members.contains("steals"));
+  EXPECT_TRUE(doc.at("counters").members.contains("stolen_items"));
+  EXPECT_TRUE(doc.at("counters").members.contains("steal_misses"));
+  EXPECT_TRUE(doc.at("counters").members.contains("frontier_contention"));
+  EXPECT_EQ(doc.at("gauges").at("threads").num, 4.0);
+
+  t.enable_metrics(false);
+  t.reset();
+}
+
 }  // namespace
 }  // namespace copar

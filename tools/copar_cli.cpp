@@ -5,8 +5,8 @@
 //                                [--max-configs N] [--threads N] [--exact-keys]
 //                                            state-space statistics; exits 3
 //                                            if the exploration was truncated.
-//                                            --threads N>1 uses the parallel
-//                                            frontier engine; --exact-keys
+//                                            --threads N>1 uses the work-
+//                                            stealing engine; --exact-keys
 //                                            keeps full canonical keys (and
 //                                            counts fingerprint collisions)
 //   copar-cli analyze <file.cop>             §5 analyses + §7 applications report
@@ -56,6 +56,7 @@
 #include "src/check/check.h"
 #include "src/apps/placement.h"
 #include "src/apps/transform.h"
+#include "src/explore/parexplore.h"
 #include "src/explore/report.h"
 #include "src/explore/witness.h"
 #include "src/lang/parser.h"
@@ -225,8 +226,8 @@ int cmd_explore(const copar::CompiledProgram& p, const std::string& path,
     }
     opts.threads = static_cast<unsigned>(n);
   }
-  if (opts.threads > 1 && opts.sleep_sets) {
-    std::cerr << "error: --sleep requires the sequential engine (drop --threads)\n";
+  if (const auto d = explore::parallel_unsupported(opts)) {
+    std::cerr << "error (" << d->code << "): " << d->message << '\n';
     return 2;
   }
   const auto r = explore::explore(*p.lowered, opts);
