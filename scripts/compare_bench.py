@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Diff a freshly recorded BENCH_*.json against the committed record.
+
+    scripts/compare_bench.py FRESH COMMITTED [--threshold 0.15]
+
+Matches benchmark rows by name and compares the throughput metrics
+(configs_per_sec, items_per_second). Exits 1 if any row's throughput
+dropped by more than the threshold (default 15%) — CI runs this in
+bench-smoke after the speedup-floor assertion, so a perf regression
+fails the build with a per-row report instead of silently re-recording
+worse numbers.
+
+Honesty guard: when the two records carry different num_cpus the
+comparison is skipped (exit 0) with a loud notice — throughput deltas
+across different hosts measure the hardware, not the code. Rows present
+on only one side are reported but never fail the run (benchmarks come
+and go across PRs).
+"""
+
+import argparse
+import json
+import sys
+
+METRICS = ("configs_per_sec", "items_per_second")
+
+
+def rows_by_name(doc):
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("fresh", help="freshly recorded BENCH_*.json")
+    ap.add_argument("committed", help="committed record to compare against")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed fractional throughput drop (default 0.15)")
+    args = ap.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.committed) as f:
+        committed = json.load(f)
+
+    fresh_cpus = fresh.get("num_cpus")
+    committed_cpus = committed.get("num_cpus")
+    if fresh_cpus != committed_cpus:
+        print(f"skip: num_cpus differ (fresh={fresh_cpus}, committed={committed_cpus}) "
+              "-- cross-hardware throughput deltas are not comparable")
+        return 0
+
+    fresh_rows = rows_by_name(fresh)
+    committed_rows = rows_by_name(committed)
+
+    regressions = []
+    compared = 0
+    for name, old in sorted(committed_rows.items()):
+        new = fresh_rows.get(name)
+        if new is None:
+            print(f"note: '{name}' only in committed record")
+            continue
+        for metric in METRICS:
+            if metric not in old or metric not in new or old[metric] <= 0:
+                continue
+            compared += 1
+            delta = (new[metric] - old[metric]) / old[metric]
+            bad = delta < -args.threshold
+            tag = "REGRESSION" if bad else "ok"
+            print(f"{tag}: {name} {metric} {old[metric]:,.0f} -> {new[metric]:,.0f} "
+                  f"({delta:+.1%})")
+            if bad:
+                regressions.append((name, metric, delta))
+    for name in sorted(set(fresh_rows) - set(committed_rows)):
+        print(f"note: '{name}' only in fresh record")
+
+    if compared == 0:
+        print("error: no comparable throughput metrics found", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} throughput regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, metric, delta in regressions:
+            print(f"  {name} {metric} {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} throughput comparisons within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

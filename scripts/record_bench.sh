@@ -9,22 +9,32 @@
 #   BENCH_throughput.json   whole-pipeline corpus throughput (items/sec,
 #                           configs/sec)
 #
-#   scripts/record_bench.sh [build-dir] [min-time]
+#   scripts/record_bench.sh [build-dir] [min-time] [sample-ms]
 #
 # The records carry the host's CPU count so single-core runs are honest:
 # speedup on 1 CPU measures engine overhead, not scaling. CI re-runs this
 # on a multicore runner and asserts the speedup floor (see bench-smoke in
-# .github/workflows/ci.yml).
+# .github/workflows/ci.yml; scripts/compare_bench.py diffs a fresh record
+# against the committed one).
+#
+# sample-ms (default 50) runs the background gauge sampler during the
+# recorded runs, so the committed numbers include the sampler's (tiny)
+# overhead — the configuration users actually run with --sample. Pass 0
+# to record with the sampler off. Phase timers stay off either way.
 set -euo pipefail
 
 BUILD="${1:-build}"
 MIN_TIME="${2:-0.2}"
+SAMPLE_MS="${3:-50}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 for b in bench_parallel bench_throughput; do
   echo "-- $b"
+  SAMPLE_ARGS=()
+  if [ "$SAMPLE_MS" != "0" ]; then SAMPLE_ARGS=("--copar_sample=$SAMPLE_MS"); fi
   "$BUILD/bench/$b" --benchmark_min_time="$MIN_TIME" --benchmark_color=false \
+    "${SAMPLE_ARGS[@]}" \
     --benchmark_out="$TMP/$b.json" --benchmark_out_format=json >"$TMP/$b.txt"
   grep -E '^BM_' "$TMP/$b.txt" || true
 done

@@ -489,6 +489,7 @@ AbsResult<N> AbsExplorer<N>::run() {
         store_entries * (sizeof(AbsLoc) + sizeof(Value) + 2 * sizeof(void*)));
     result_.stats.set_gauge("peak_rss_bytes", telemetry::peak_rss_bytes());
   }
+  tel.publish_stats(result_.stats);
   return std::move(result_);
 }
 

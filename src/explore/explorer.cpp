@@ -304,6 +304,14 @@ ExploreResult Explorer::run() {
   if (tel.metrics_enabled()) {
     result.stats.set_gauge("peak_rss_bytes", telemetry::peak_rss_bytes());
   }
+  if (tel.live_enabled()) {
+    tel.set_live(telemetry::Gauge::Configs, result.num_configs);
+    tel.set_live(telemetry::Gauge::Transitions, result.num_transitions);
+    tel.set_live(telemetry::Gauge::VisitedEntries, visited.size());
+    tel.set_live(telemetry::Gauge::VisitedBytes, visited.memory_bytes());
+    tel.set_live(telemetry::Gauge::Frontier, 0);
+  }
+  tel.publish_stats(result.stats);
   return result;
 }
 

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "src/support/fingerprint.h"
+#include "src/support/telemetry.h"
 
 namespace copar::explore {
 
@@ -190,6 +191,12 @@ class WorkStealingFrontier {
     return counters_[worker];
   }
 
+  /// Queued items across all deques (approximate while workers run; the
+  /// progress heartbeat and the sampler read it as the frontier gauge).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(size_.load(std::memory_order_relaxed));
+  }
+
  private:
   struct Deque {
     std::mutex mu;
@@ -236,6 +243,11 @@ class WorkStealingFrontier {
       }
       counters_[worker].steals += 1;
       counters_[worker].stolen_items += batch.size();
+      {
+        auto& tel = telemetry::Telemetry::global();
+        if (tel.live_enabled()) tel.add_live(telemetry::Gauge::Steals, 1);
+        if (tel.trace_enabled()) tel.record_instant("steal");
+      }
       T item = std::move(batch.front());
       size_.fetch_sub(1);
       if (batch.size() > 1) {

@@ -62,9 +62,6 @@ struct WorkerStats {
   std::uint64_t truncated_transitions = 0;
   std::uint64_t sleep_suppressed_transitions = 0;
   std::uint64_t sleep_reexplorations = 0;
-  std::uint64_t expansion_ns = 0;
-  std::uint64_t stubborn_ns = 0;
-  std::uint64_t canonicalize_ns = 0;
   std::set<std::uint32_t> violations;
   std::set<std::pair<std::uint32_t, std::uint8_t>> faults;
 };
@@ -139,11 +136,10 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
     WorkerCtx& ctx = ctxs[widx];
     WorkerStats& ws = ctx.stats;
     Admit a;
-    if (metrics) {
-      const std::uint64_t t0 = telemetry::now_ns();
-      a.fp = succ.canonical_fingerprint();
-      ws.canonicalize_ns += telemetry::now_ns() - t0;
-    } else {
+    {
+      // Per-thread phase timer: the worker's own Canonicalize track (self
+      // time; suspends its enclosing Expansion scope).
+      telemetry::ScopedPhase phase(telemetry::Phase::Canonicalize);
       a.fp = succ.canonical_fingerprint();
     }
     if (!seen.insert(succ, a.fp, succ_sleep)) {
@@ -194,11 +190,8 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
       }
       // Full keys are materialized only here — terminals are few.
       std::string key;
-      if (metrics) {
-        const std::uint64_t t0 = telemetry::now_ns();
-        key = cfg.canonical_key();
-        ws.canonicalize_ns += telemetry::now_ns() - t0;
-      } else {
+      {
+        telemetry::ScopedPhase phase(telemetry::Phase::Canonicalize);
         key = cfg.canonical_key();
       }
       const std::scoped_lock lock(result_mu);
@@ -221,11 +214,8 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
       expansion = enabled;
       if (options.reduction == Reduction::Stubborn && enabled.size() > 1) {
         StubbornChoice choice;
-        if (metrics) {
-          const std::uint64_t t0 = telemetry::now_ns();
-          choice = stubborn_set(cfg, infos, static_info);
-          ws.stubborn_ns += telemetry::now_ns() - t0;
-        } else {
+        {
+          telemetry::ScopedPhase phase(telemetry::Phase::Stubborn);
           choice = stubborn_set(cfg, infos, static_info);
         }
         ws.stubborn_steps += 1;
@@ -297,17 +287,45 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
     }
   };
 
+  // Each worker's track tid, for the post-join per-worker attribution.
+  std::vector<std::uint32_t> worker_tids(options.threads, 0);
+
+  // Refreshes the live gauges (heartbeat + sampler inputs) from this
+  // worker's view. Cheap when nobody listens; the visited-set aggregate
+  // walk (64 shard locks) runs only every 1024 items per worker.
+  auto live_tick = [&](std::uint64_t items_seen) {
+    auto& tel = telemetry::Telemetry::global();
+    if (!tel.live_enabled()) return;
+    const std::uint64_t n = num_configs.load(std::memory_order_relaxed);
+    tel.set_live(telemetry::Gauge::Configs, n);
+    tel.set_live(telemetry::Gauge::VisitedEntries, n);
+    tel.set_live(telemetry::Gauge::Frontier, frontier.size());
+    if (items_seen % 1024 == 0) {
+      tel.set_live(telemetry::Gauge::VisitedBytes, seen.memory_bytes());
+    }
+    tel.heartbeat();
+  };
+
   auto worker = [&](unsigned index) {
+    telemetry::ThreadRegistration track("worker" + std::to_string(index));
+    worker_tids[index] = track.tid();
     WorkerStats& ws = ctxs[index].stats;
+    std::uint64_t items_seen = 0;
     try {
       while (auto item = frontier.pop(index)) {
         if (!abort.load() && !truncated.load()) {
-          if (metrics) {
-            const std::uint64_t t0 = telemetry::now_ns();
+          const std::uint64_t fired_before = ws.transitions;
+          {
+            telemetry::ScopedPhase phase(telemetry::Phase::Expansion);
             expand(*item, index);
-            ws.expansion_ns += telemetry::now_ns() - t0;
-          } else {
-            expand(*item, index);
+          }
+          items_seen += 1;
+          auto& tel = telemetry::Telemetry::global();
+          if (tel.live_enabled()) {
+            if (ws.transitions > fired_before) {
+              tel.add_live(telemetry::Gauge::Transitions, ws.transitions - fired_before);
+            }
+            live_tick(items_seen);
           }
         }
         frontier.done(index);
@@ -377,13 +395,24 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
     frontier_total.contention += fc.contention;
     ctx.recorder.merge_into(result);
     if (metrics) {
+      // Per-worker attribution from the workers' own telemetry tracks
+      // (self times: Stubborn/Canonicalize scopes suspend the enclosing
+      // Expansion scope, so the three sum to the worker's busy time).
+      auto& tel = telemetry::Telemetry::global();
+      const std::uint64_t expansion_ns =
+          tel.track_phase_ns(worker_tids[i], telemetry::Phase::Expansion);
+      const std::uint64_t stubborn_ns =
+          tel.track_phase_ns(worker_tids[i], telemetry::Phase::Stubborn);
+      const std::uint64_t canonicalize_ns =
+          tel.track_phase_ns(worker_tids[i], telemetry::Phase::Canonicalize);
       const std::string prefix = "worker" + std::to_string(i);
-      result.stats.add_time_ns(prefix + ".expansion", ws.expansion_ns);
-      result.stats.add_time_ns(prefix + ".stubborn", ws.stubborn_ns);
-      result.stats.add_time_ns(prefix + ".canonicalize", ws.canonicalize_ns);
-      busy_min_ns = i == 0 ? ws.expansion_ns : std::min(busy_min_ns, ws.expansion_ns);
-      busy_max_ns = std::max(busy_max_ns, ws.expansion_ns);
-      busy_sum_ns += ws.expansion_ns;
+      result.stats.add_time_ns(prefix + ".expansion", expansion_ns);
+      result.stats.add_time_ns(prefix + ".stubborn", stubborn_ns);
+      result.stats.add_time_ns(prefix + ".canonicalize", canonicalize_ns);
+      const std::uint64_t busy_ns = expansion_ns + stubborn_ns + canonicalize_ns;
+      busy_min_ns = i == 0 ? busy_ns : std::min(busy_min_ns, busy_ns);
+      busy_max_ns = std::max(busy_max_ns, busy_ns);
+      busy_sum_ns += busy_ns;
     }
   }
   if (metrics) {
@@ -461,6 +490,19 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
   result.stats.set_gauge("threads", options.threads);
   if (metrics) {
     result.stats.set_gauge("peak_rss_bytes", telemetry::peak_rss_bytes());
+  }
+  {
+    auto& tel = telemetry::Telemetry::global();
+    if (tel.live_enabled()) {
+      // Close the live view on the final numbers so the sampler's last
+      // sample (taken on stop) reflects the completed run.
+      tel.set_live(telemetry::Gauge::Configs, result.num_configs);
+      tel.set_live(telemetry::Gauge::Transitions, result.num_transitions);
+      tel.set_live(telemetry::Gauge::Frontier, 0);
+      tel.set_live(telemetry::Gauge::VisitedEntries, seen.size());
+      tel.set_live(telemetry::Gauge::VisitedBytes, seen.memory_bytes());
+    }
+    tel.publish_stats(result.stats);
   }
   return result;
 }

@@ -31,10 +31,16 @@
 // unsupported combination is sleep_sets + record_graph + threads > 1: the
 // *reduced* graph recorded under sleep sets depends on exploration order.
 //
-// Workers never touch the global telemetry instance (it is single-threaded
-// by contract); per-worker time is measured with local now_ns() deltas and
-// merged into the result's StatRegistry timings, alongside the aggregate
-// workers.{min,max,sum} keys. Terminals, violations, faults, and counters
+// Each worker registers its own telemetry track (ThreadRegistration):
+// Expansion / Stubborn / Canonicalize scopes land in per-thread phase
+// timers and per-thread trace rings, so a `--trace` run shows one
+// Perfetto row per worker. After the join the engine copies each track's
+// self-times into the result's StatRegistry timings
+// (workerN.{expansion,stubborn,canonicalize}) plus the aggregate
+// workers.{min,max,sum} keys over per-worker busy time (the sum of the
+// three self-times). Workers also feed the lock-free live gauges that the
+// `--progress` heartbeat and the `--sample` timeline read — readers never
+// touch engine internals. Terminals, violations, faults, and counters
 // are merged deterministically (set unions and sums), so the terminal-key
 // set — the correctness contract shared with the sequential engine — is
 // independent of scheduling. Transition counts can differ run to run (two

@@ -106,6 +106,14 @@ void write_json_report(support::JsonWriter& w, std::string_view command, std::st
   }
   w.end_object();
 
+  // Sampler timeline (present only when `--sample` collected anything):
+  // the bounded gauge time series, same shape as metrics-dump's
+  // "timeline" member.
+  if (!telemetry::Telemetry::global().timeline().empty()) {
+    w.key("timeline");
+    telemetry::Telemetry::global().write_timeline_json(w);
+  }
+
   w.key("result");
   w.begin_object();
   w.key("configs");

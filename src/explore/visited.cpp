@@ -99,13 +99,17 @@ ShardedVisitedSet::SleepNarrow ShardedVisitedSet::narrow_sleep(const support::Fi
 
 std::uint64_t ShardedVisitedSet::size() const {
   std::uint64_t n = 0;
-  for (const auto& s : shards_) n += s->set.size();
+  for (const auto& s : shards_) {
+    const std::scoped_lock lock(s->mu);
+    n += s->set.size();
+  }
   return n;
 }
 
 std::uint64_t ShardedVisitedSet::memory_bytes() const {
   std::uint64_t bytes = 0;
   for (const auto& s : shards_) {
+    const std::scoped_lock lock(s->mu);
     bytes += s->set.memory_bytes();
     bytes += s->sleep.size() *
              (sizeof(support::Fingerprint) + sizeof(std::uint64_t) + 2 * sizeof(void*));
@@ -115,7 +119,10 @@ std::uint64_t ShardedVisitedSet::memory_bytes() const {
 
 std::uint64_t ShardedVisitedSet::collisions() const {
   std::uint64_t n = 0;
-  for (const auto& s : shards_) n += s->set.collisions();
+  for (const auto& s : shards_) {
+    const std::scoped_lock lock(s->mu);
+    n += s->set.collisions();
+  }
   return n;
 }
 

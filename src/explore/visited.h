@@ -108,7 +108,9 @@ class ShardedVisitedSet {
   };
   SleepNarrow narrow_sleep(const support::Fingerprint& fp, std::uint64_t arrival);
 
-  // The aggregate queries run after the workers have joined (no locking).
+  // Aggregate queries, shard-locked so the progress/sampler path can read
+  // them mid-run (an in-flight run sees a momentary but consistent
+  // per-shard view; post-join they are exact).
   [[nodiscard]] std::uint64_t size() const;
   [[nodiscard]] std::uint64_t memory_bytes() const;
   [[nodiscard]] std::uint64_t collisions() const;

@@ -175,6 +175,7 @@ ReachResult explore(const PetriNet& net, const ReachOptions& options) {
   result.stats.set("markings", result.num_markings);
   result.stats.set("edges", result.num_edges);
   result.stats.set("deadlocks", result.deadlocks.size());
+  telemetry::Telemetry::global().publish_stats(result.stats);
   return result;
 }
 

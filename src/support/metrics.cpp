@@ -1,0 +1,161 @@
+#include "src/support/metrics.h"
+
+#include <cctype>
+#include <ostream>
+
+#include "src/support/json.h"
+
+namespace copar::telemetry {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes
+/// '_' (dots in keys like "worker0.expansion" included).
+std::string sanitize_prom(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+void write_map_object(support::JsonWriter& w, const char* name,
+                      const std::map<std::string, std::uint64_t>& m) {
+  w.key(name);
+  w.begin_object();
+  for (const auto& [k, v] : m) {
+    w.key(k);
+    w.value(v);
+  }
+  w.end_object();
+}
+
+void write_ms_object(support::JsonWriter& w, const char* name,
+                     const std::map<std::string, std::uint64_t>& ns_map) {
+  w.key(name);
+  w.begin_object();
+  for (const auto& [k, v] : ns_map) {
+    w.key(k);
+    w.value_fixed(static_cast<double>(v) / 1e6);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::capture() {
+  return from(Telemetry::global().published_stats());
+}
+
+MetricsSnapshot MetricsSnapshot::from(const StatRegistry& stats) {
+  Telemetry& tel = Telemetry::global();
+  MetricsSnapshot snap;
+  snap.counters = stats.all();
+  snap.gauges = stats.gauges();
+  snap.times_ns = stats.times_ns();
+  for (const Telemetry::TrackStats& track : tel.tracks()) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      if (track.phase_ns[i] == 0 && track.phase_counts[i] == 0) continue;
+      const char* name = phase_name(static_cast<Phase>(i));
+      snap.phases_ns[name] += track.phase_ns[i];
+      snap.phase_counts[name] += track.phase_counts[i];
+    }
+  }
+  snap.peak_rss_bytes = copar::telemetry::peak_rss_bytes();
+  snap.timeline = tel.timeline();
+  snap.sample_interval_ms = tel.sampler_interval_ms();
+  snap.timeline_compactions = tel.timeline_compactions();
+  return snap;
+}
+
+void MetricsSnapshot::write_text(std::ostream& os) const {
+  for (const auto& [k, v] : counters) os << k << '=' << v << '\n';
+  for (const auto& [k, v] : gauges) os << "gauge." << k << '=' << v << '\n';
+  for (const auto& [k, v] : phases_ns) {
+    os << "phase." << k << "_ms=" << static_cast<double>(v) / 1e6 << '\n';
+  }
+  for (const auto& [k, v] : times_ns) {
+    os << "timing." << k << "_ms=" << static_cast<double>(v) / 1e6 << '\n';
+  }
+  os << "peak_rss_bytes=" << peak_rss_bytes << '\n';
+  os << "timeline_samples=" << timeline.size() << '\n';
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  support::JsonWriter w(os);
+  w.begin_object();
+  w.key("tool");
+  w.value("copar-metrics");
+  w.key("schema");
+  w.value(std::uint64_t{1});
+  write_map_object(w, "counters", counters);
+  write_map_object(w, "gauges", gauges);
+  write_ms_object(w, "timings_ms", times_ns);
+  write_ms_object(w, "phases_ms", phases_ns);
+  write_map_object(w, "phase_counts", phase_counts);
+  w.key("memory");
+  w.begin_object();
+  w.key("peak_rss_bytes");
+  w.value(peak_rss_bytes);
+  w.end_object();
+  w.key("timeline");
+  w.begin_object();
+  w.key("sample_interval_ms");
+  w.value_fixed(sample_interval_ms);
+  w.key("compactions");
+  w.value(timeline_compactions);
+  w.key("samples");
+  w.begin_array();
+  const std::uint64_t base_ns = timeline.empty() ? 0 : timeline.front().t_ns;
+  for (const Telemetry::Sample& s : timeline) {
+    w.begin_object();
+    w.key("t_ms");
+    w.value_fixed(static_cast<double>(s.t_ns - base_ns) / 1e6);
+    for (std::size_t i = 0; i < kGaugeCount; ++i) {
+      w.key(gauge_name(static_cast<Gauge>(i)));
+      w.value(s.gauges[i]);
+    }
+    w.key("rss_bytes");
+    w.value(s.rss_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+void MetricsSnapshot::write_prometheus(std::ostream& os) const {
+  for (const auto& [k, v] : counters) {
+    const std::string name = "copar_" + sanitize_prom(k) + "_total";
+    os << "# TYPE " << name << " counter\n" << name << ' ' << v << '\n';
+  }
+  for (const auto& [k, v] : gauges) {
+    const std::string name = "copar_" + sanitize_prom(k);
+    os << "# TYPE " << name << " gauge\n" << name << ' ' << v << '\n';
+  }
+  if (!phases_ns.empty()) {
+    os << "# TYPE copar_phase_seconds gauge\n";
+    for (const auto& [k, v] : phases_ns) {
+      os << "copar_phase_seconds{phase=\"" << k << "\"} "
+         << static_cast<double>(v) / 1e9 << '\n';
+    }
+  }
+  if (!times_ns.empty()) {
+    os << "# TYPE copar_timing_seconds gauge\n";
+    for (const auto& [k, v] : times_ns) {
+      os << "copar_timing_seconds{name=\"" << sanitize_prom(k) << "\"} "
+         << static_cast<double>(v) / 1e9 << '\n';
+    }
+  }
+  os << "# TYPE copar_peak_rss_bytes gauge\ncopar_peak_rss_bytes " << peak_rss_bytes
+     << '\n';
+  os << "# TYPE copar_timeline_samples gauge\ncopar_timeline_samples "
+     << timeline.size() << '\n';
+}
+
+}  // namespace copar::telemetry

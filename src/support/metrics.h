@@ -1,0 +1,62 @@
+// MetricsSnapshot: the metrics export surface.
+//
+// A point-in-time copy of everything the telemetry layer knows — the
+// published StatRegistry (counters / gauges / timings), the phase-timer
+// totals across all thread tracks, peak RSS, and the sampler timeline —
+// with three renderers: human text, schema-pinned JSON (`"tool":
+// "copar-metrics", "schema": 1`), and Prometheus text exposition. The CLI
+// exposes it as `copar-cli metrics-dump` and via `--metrics-out <file>`
+// on every verb; a future `copar-serve` serves the same snapshot over
+// HTTP, so the JSON and Prometheus shapes are contract (pinned by the
+// MetricsSchema golden test).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "src/support/stats.h"
+#include "src/support/telemetry.h"
+
+namespace copar::telemetry {
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> gauges;
+  std::map<std::string, std::uint64_t> times_ns;
+  /// Self-time totals summed across all thread tracks, by phase_name().
+  std::map<std::string, std::uint64_t> phases_ns;
+  std::map<std::string, std::uint64_t> phase_counts;
+  std::uint64_t peak_rss_bytes = 0;
+  /// Sampler head (bounded timeline copied at capture time).
+  std::vector<Telemetry::Sample> timeline;
+  double sample_interval_ms = 0.0;
+  std::uint64_t timeline_compactions = 0;
+
+  /// Snapshot the global telemetry instance: published stats + per-track
+  /// phase totals + the sampler timeline.
+  static MetricsSnapshot capture();
+
+  /// Snapshot from an explicit registry (no global state) — phase totals
+  /// and timeline still come from the global telemetry instance.
+  static MetricsSnapshot from(const StatRegistry& stats);
+
+  /// `key=value` lines grouped by kind, stable order — for terminals.
+  void write_text(std::ostream& os) const;
+
+  /// One JSON object: {"tool": "copar-metrics", "schema": 1, "counters":
+  /// {...}, "gauges": {...}, "timings_ms": {...}, "phases_ms": {...},
+  /// "phase_counts": {...}, "memory": {"peak_rss_bytes": N},
+  /// "timeline": {...}}.
+  void write_json(std::ostream& os) const;
+
+  /// Prometheus text exposition format: counters as
+  /// `copar_<name>_total`, gauges as `copar_<name>`, phase self-times as
+  /// `copar_phase_seconds{phase="..."}`, named timings as
+  /// `copar_timing_seconds{name="..."}`, plus `copar_peak_rss_bytes`.
+  void write_prometheus(std::ostream& os) const;
+};
+
+}  // namespace copar::telemetry

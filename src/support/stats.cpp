@@ -26,6 +26,12 @@ void StatRegistry::add_time_ns(const std::string& name, std::uint64_t ns) {
   times_ns_[name] += ns;
 }
 
+void StatRegistry::overlay(const StatRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_.insert_or_assign(name, value);
+  for (const auto& [name, value] : other.gauges_) gauges_.insert_or_assign(name, value);
+  for (const auto& [name, value] : other.times_ns_) times_ns_.insert_or_assign(name, value);
+}
+
 std::string StatRegistry::to_string() const {
   std::ostringstream os;
   for (const auto& [name, value] : counters_) os << name << '=' << value << '\n';

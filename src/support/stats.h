@@ -83,6 +83,12 @@ class StatRegistry {
     return times_ns_;
   }
 
+  /// Key-wise merge of `other` into this registry: every counter, gauge,
+  /// and timing in `other` replaces (or creates) the same-named entry
+  /// here. Used by the telemetry publish seam so multi-engine commands
+  /// accumulate one combined registry.
+  void overlay(const StatRegistry& other);
+
   /// "name=value" lines, sorted by name — counters only (gauges and
   /// timings are report-only kinds, so this output is stable).
   [[nodiscard]] std::string to_string() const;

@@ -3,6 +3,8 @@
 #include <sys/resource.h>
 #include <time.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -27,6 +29,19 @@ const char* phase_name(Phase p) {
   return "?";
 }
 
+const char* gauge_name(Gauge g) {
+  switch (g) {
+    case Gauge::Configs: return "configs";
+    case Gauge::Transitions: return "transitions";
+    case Gauge::Frontier: return "frontier";
+    case Gauge::VisitedEntries: return "visited_entries";
+    case Gauge::VisitedBytes: return "visited_bytes";
+    case Gauge::Steals: return "steals";
+    case Gauge::kCount: break;
+  }
+  return "?";
+}
+
 std::uint64_t now_ns() {
   timespec ts{};
   clock_gettime(CLOCK_MONOTONIC, &ts);
@@ -41,96 +56,253 @@ std::uint64_t peak_rss_bytes() {
   return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024ull;
 }
 
+/// One registered thread's track: phase-timer stack and totals plus the
+/// trace ring. Single-writer — only the owning thread touches the mutable
+/// parts while live; flush/aggregation calls run after the owner joined
+/// (or, for the main track, from the main thread itself). The registry
+/// mutex only guards the states_ vector, never the per-track data.
+struct Telemetry::ThreadState {
+  std::uint32_t tid = 0;
+  std::string name;
+  bool retired = false;  // owner gone; safe to purge on reset()
+
+  struct Open {
+    Phase phase;
+    std::uint64_t start_ns;   // scope entry (for the inclusive trace slice)
+    std::uint64_t resume_ns;  // last resume (for exclusive accounting)
+  };
+  std::vector<Open> stack;
+  std::array<std::uint64_t, kPhaseCount> totals_ns{};
+  std::array<std::uint64_t, kPhaseCount> counts{};
+
+  std::vector<TraceEvent> ring;
+  std::size_t ring_head = 0;
+  std::uint64_t total_events = 0;
+};
+
+thread_local Telemetry::ThreadState* Telemetry::tls_state_ = nullptr;
+
 Telemetry& Telemetry::global() {
   static Telemetry instance;
   return instance;
 }
 
+Telemetry::ThreadState* Telemetry::register_state(std::string name) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  auto s = std::make_unique<ThreadState>();
+  s->tid = next_tid_++;
+  if (name.empty()) {
+    if (std::this_thread::get_id() == main_thread_id_) {
+      name = "main";
+    } else {
+      name = "thread-";
+      name += std::to_string(s->tid);
+    }
+  }
+  s->name = std::move(name);
+  ThreadState* raw = s.get();
+  states_.push_back(std::move(s));
+  return raw;
+}
+
+void Telemetry::retire_state(ThreadState* s) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  s->retired = true;
+}
+
+Telemetry::ThreadState& Telemetry::state() {
+  if (tls_state_ == nullptr) tls_state_ = register_state({});
+  return *tls_state_;
+}
+
+ThreadRegistration::ThreadRegistration(std::string name) {
+  Telemetry& t = Telemetry::global();
+  previous_ = Telemetry::tls_state_;
+  state_ = t.register_state(std::move(name));
+  Telemetry::tls_state_ = state_;
+  tid_ = state_->tid;
+}
+
+ThreadRegistration::~ThreadRegistration() {
+  Telemetry::global().retire_state(state_);
+  Telemetry::tls_state_ = previous_;
+}
+
 void Telemetry::enable_trace(std::size_t capacity) {
-  trace_on_ = capacity > 0;
+  trace_on_.store(capacity > 0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(reg_mu_);
   ring_capacity_ = capacity;
-  ring_.clear();
-  ring_.reserve(capacity < 4096 ? capacity : 4096);
-  ring_head_ = 0;
-  total_events_ = 0;
+  for (auto& s : states_) {
+    s->ring.clear();
+    s->ring_head = 0;
+    s->total_events = 0;
+  }
 }
 
 void Telemetry::enable_progress(double interval_s) {
-  progress_on_ = interval_s > 0;
+  progress_on_.store(interval_s > 0, std::memory_order_relaxed);
   progress_interval_ns_ = static_cast<std::uint64_t>(interval_s * 1e9);
-  progress_start_ns_ = 0;
+  progress_start_ns_.store(0, std::memory_order_relaxed);
 }
 
 void Telemetry::reset() {
-  stack_.clear();
-  for (auto& t : totals_ns_) t = 0;
-  for (auto& c : counts_) c = 0;
-  ring_.clear();
-  ring_head_ = 0;
-  total_events_ = 0;
-  progress_start_ns_ = 0;
-  progress_last_ns_ = 0;
-  progress_last_configs_ = 0;
+  stop_sampler();
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    // Purge retired tracks (their owners are gone; the tls pointers were
+    // nulled by ThreadRegistration). Live tracks — in practice the main
+    // thread's — are cleared in place.
+    states_.erase(std::remove_if(states_.begin(), states_.end(),
+                                 [](const std::unique_ptr<ThreadState>& s) {
+                                   return s->retired;
+                                 }),
+                  states_.end());
+    for (auto& s : states_) {
+      s->stack.clear();
+      s->totals_ns.fill(0);
+      s->counts.fill(0);
+      s->ring.clear();
+      s->ring_head = 0;
+      s->total_events = 0;
+    }
+  }
+  for (auto& g : live_) g.store(0, std::memory_order_relaxed);
+  progress_start_ns_.store(0, std::memory_order_relaxed);
+  progress_last_ns_.store(0, std::memory_order_relaxed);
+  progress_last_configs_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(timeline_mu_);
+    timeline_.clear();
+    sample_seq_ = 0;
+    sample_stride_ = 1;
+    timeline_compactions_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(published_mu_);
+    published_.clear();
+  }
 }
 
+// --- phase timers ----------------------------------------------------------
+
 void Telemetry::enter(Phase p) {
-  const std::uint64_t now = clock_();
-  if (!stack_.empty()) {
+  const std::uint64_t now = clock();
+  ThreadState& s = state();
+  if (!s.stack.empty()) {
     // Suspend the enclosing scope: bank its elapsed self-time.
-    Open& top = stack_.back();
-    totals_ns_[static_cast<std::size_t>(top.phase)] += now - top.resume_ns;
+    ThreadState::Open& top = s.stack.back();
+    s.totals_ns[static_cast<std::size_t>(top.phase)] += now - top.resume_ns;
   }
-  stack_.push_back(Open{p, now, now});
+  s.stack.push_back(ThreadState::Open{p, now, now});
 }
 
 void Telemetry::leave(Phase p) {
-  const std::uint64_t now = clock_();
-  if (stack_.empty() || stack_.back().phase != p) return;  // mismatched: drop
-  const Open top = stack_.back();
-  stack_.pop_back();
-  totals_ns_[static_cast<std::size_t>(p)] += now - top.resume_ns;
-  counts_[static_cast<std::size_t>(p)] += 1;
-  if (!stack_.empty()) stack_.back().resume_ns = now;
-  if (trace_on_) {
-    push_event(TraceEvent{top.start_ns, now - top.start_ns, phase_name(p), 'X', 0});
+  const std::uint64_t now = clock();
+  ThreadState& s = state();
+  if (s.stack.empty() || s.stack.back().phase != p) return;  // mismatched: drop
+  const ThreadState::Open top = s.stack.back();
+  s.stack.pop_back();
+  s.totals_ns[static_cast<std::size_t>(p)] += now - top.resume_ns;
+  s.counts[static_cast<std::size_t>(p)] += 1;
+  if (!s.stack.empty()) s.stack.back().resume_ns = now;
+  if (trace_enabled()) {
+    push_event(s, TraceEvent{top.start_ns, now - top.start_ns, phase_name(p), 'X', 0, 0});
   }
 }
 
-void Telemetry::push_event(const TraceEvent& e) {
-  total_events_ += 1;
-  if (ring_.size() < ring_capacity_) {
-    ring_.push_back(e);
+std::uint64_t Telemetry::phase_ns(Phase p) const {
+  const ThreadState* s = tls_state_;
+  return s != nullptr ? s->totals_ns[static_cast<std::size_t>(p)] : 0;
+}
+
+std::uint64_t Telemetry::phase_count(Phase p) const {
+  const ThreadState* s = tls_state_;
+  return s != nullptr ? s->counts[static_cast<std::size_t>(p)] : 0;
+}
+
+std::size_t Telemetry::phase_depth() const {
+  const ThreadState* s = tls_state_;
+  return s != nullptr ? s->stack.size() : 0;
+}
+
+std::vector<Telemetry::TrackStats> Telemetry::tracks() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  std::vector<TrackStats> out;
+  out.reserve(states_.size());
+  for (const auto& s : states_) {
+    TrackStats t;
+    t.tid = s->tid;
+    t.name = s->name;
+    t.phase_ns = s->totals_ns;
+    t.phase_counts = s->counts;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::uint64_t Telemetry::track_phase_ns(std::uint32_t tid, Phase p) const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  for (const auto& s : states_) {
+    if (s->tid == tid) return s->totals_ns[static_cast<std::size_t>(p)];
+  }
+  return 0;
+}
+
+// --- trace rings -----------------------------------------------------------
+
+void Telemetry::push_event(ThreadState& s, const TraceEvent& e) {
+  const std::size_t cap = ring_capacity_;
+  if (cap == 0) return;
+  s.total_events += 1;
+  if (s.ring.size() < cap) {
+    if (s.ring.capacity() == 0) s.ring.reserve(cap < 4096 ? cap : 4096);
+    s.ring.push_back(e);
     return;
   }
-  if (ring_capacity_ == 0) return;
-  ring_[ring_head_] = e;
-  ring_head_ = (ring_head_ + 1) % ring_capacity_;
+  s.ring[s.ring_head] = e;
+  s.ring_head = (s.ring_head + 1) % cap;
 }
 
 void Telemetry::record_complete(const char* name, std::uint64_t start_ns,
                                 std::uint64_t dur_ns) {
-  if (!trace_on_) return;
-  push_event(TraceEvent{start_ns, dur_ns, name, 'X', 0});
+  if (!trace_enabled()) return;
+  push_event(state(), TraceEvent{start_ns, dur_ns, name, 'X', 0, 0});
 }
 
 void Telemetry::record_counter(const char* name, std::uint64_t value) {
-  if (!trace_on_) return;
-  push_event(TraceEvent{clock_(), 0, name, 'C', value});
+  if (!trace_enabled()) return;
+  push_event(state(), TraceEvent{clock(), 0, name, 'C', value, 0});
 }
 
 void Telemetry::record_instant(const char* name) {
-  if (!trace_on_) return;
-  push_event(TraceEvent{clock_(), 0, name, 'i', 0});
+  if (!trace_enabled()) return;
+  push_event(state(), TraceEvent{clock(), 0, name, 'i', 0, 0});
+}
+
+std::size_t Telemetry::trace_size() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  std::size_t n = 0;
+  for (const auto& s : states_) n += s->ring.size();
+  return n;
+}
+
+std::uint64_t Telemetry::trace_dropped() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  std::uint64_t n = 0;
+  for (const auto& s : states_) n += s->total_events - s->ring.size();
+  return n;
 }
 
 std::vector<TraceEvent> Telemetry::trace_events() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   std::vector<TraceEvent> out;
-  out.reserve(ring_.size());
-  if (ring_.size() < ring_capacity_) {
-    out = ring_;  // never wrapped: already oldest-first
-  } else {
-    for (std::size_t i = 0; i < ring_.size(); ++i) {
-      out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  for (const auto& s : states_) {
+    const std::size_t n = s->ring.size();
+    const bool wrapped = s->total_events > n;
+    for (std::size_t i = 0; i < n; ++i) {
+      TraceEvent e = wrapped ? s->ring[(s->ring_head + i) % n] : s->ring[i];
+      e.tid = s->tid;
+      out.push_back(e);
     }
   }
   return out;
@@ -157,6 +329,29 @@ void Telemetry::write_trace_json(std::ostream& os) const {
   w.value("copar");
   w.end_object();
   w.end_object();
+  // One thread_name metadata event per registered track — empty rings
+  // included, so an idle worker shows up as an (empty) named row rather
+  // than disappearing from the timeline.
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    for (const auto& s : states_) {
+      w.begin_object();
+      w.key("name");
+      w.value("thread_name");
+      w.key("ph");
+      w.value("M");
+      w.key("pid");
+      w.value(std::uint64_t{1});
+      w.key("tid");
+      w.value(std::uint64_t{s->tid});
+      w.key("args");
+      w.begin_object();
+      w.key("name");
+      w.value(s->name);
+      w.end_object();
+      w.end_object();
+    }
+  }
   const std::vector<TraceEvent> events = trace_events();
   // Rebase timestamps to the earliest event so the values stay small
   // enough for full sub-microsecond precision in the JSON text.
@@ -180,7 +375,7 @@ void Telemetry::write_trace_json(std::ostream& os) const {
     w.key("pid");
     w.value(std::uint64_t{1});
     w.key("tid");
-    w.value(std::uint64_t{1});
+    w.value(std::uint64_t{e.tid});
     if (e.ph == 'C') {
       w.key("args");
       w.begin_object();
@@ -189,7 +384,7 @@ void Telemetry::write_trace_json(std::ostream& os) const {
       w.end_object();
     } else if (e.ph == 'i') {
       w.key("s");
-      w.value("g");  // global-scope instant
+      w.value("t");  // thread-scope instant (one per track)
     }
     w.end_object();
   }
@@ -209,26 +404,178 @@ bool Telemetry::write_trace_file(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
-void Telemetry::progress_slow(std::uint64_t configs, std::uint64_t transitions,
-                              std::size_t frontier) {
-  const std::uint64_t now = clock_();
-  if (progress_start_ns_ == 0) {
-    progress_start_ns_ = now;
-    progress_last_ns_ = now;
-    progress_last_configs_ = configs;
+// --- progress heartbeat ----------------------------------------------------
+
+void Telemetry::heartbeat() {
+  if (!progress_enabled()) return;
+  const std::uint64_t now = clock();
+  std::uint64_t start = progress_start_ns_.load(std::memory_order_relaxed);
+  if (start == 0) {
+    if (progress_start_ns_.compare_exchange_strong(start, now,
+                                                   std::memory_order_relaxed)) {
+      progress_last_ns_.store(now, std::memory_order_relaxed);
+      progress_last_configs_.store(live(Gauge::Configs), std::memory_order_relaxed);
+    }
     return;
   }
-  if (now - progress_last_ns_ < progress_interval_ns_) return;
-  const double dt = static_cast<double>(now - progress_last_ns_) / 1e9;
-  const double rate = static_cast<double>(configs - progress_last_configs_) / dt;
-  const double elapsed = static_cast<double>(now - progress_start_ns_) / 1e9;
+  std::uint64_t last = progress_last_ns_.load(std::memory_order_relaxed);
+  if (now - last < progress_interval_ns_) return;
+  // One CAS decides which caller prints this interval; losers return.
+  if (!progress_last_ns_.compare_exchange_strong(last, now, std::memory_order_relaxed)) {
+    return;
+  }
+  const std::uint64_t configs = live(Gauge::Configs);
+  const std::uint64_t prev =
+      progress_last_configs_.exchange(configs, std::memory_order_relaxed);
+  const double dt = static_cast<double>(now - last) / 1e9;
+  const double rate = dt > 0 ? static_cast<double>(configs - prev) / dt : 0.0;
+  const double elapsed = static_cast<double>(now - start) / 1e9;
   std::fprintf(stderr,
                "[copar] t=%.1fs configs=%" PRIu64 " (%.0f/s) transitions=%" PRIu64
-               " frontier=%zu\n",
-               elapsed, configs, rate, transitions, frontier);
-  progress_last_ns_ = now;
-  progress_last_configs_ = configs;
+               " frontier=%" PRIu64 "\n",
+               elapsed, configs, rate, live(Gauge::Transitions),
+               live(Gauge::Frontier));
   record_counter("configs", configs);
+}
+
+// --- sampler ---------------------------------------------------------------
+
+void Telemetry::start_sampler(double interval_ms) {
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  if (sampler_thread_.joinable()) return;
+  sampler_interval_ns_ = static_cast<std::uint64_t>(interval_ms * 1e6);
+  if (sampler_interval_ns_ == 0) sampler_interval_ns_ = 1'000'000;  // 1 ms floor
+  {
+    std::lock_guard<std::mutex> wait_lock(sampler_wait_mu_);
+    sampler_stop_ = false;
+  }
+  sampler_on_.store(true, std::memory_order_relaxed);
+  sampler_thread_ = std::thread([this] { sampler_loop(); });
+}
+
+void Telemetry::sampler_loop() {
+  ThreadRegistration reg("sampler");
+  std::unique_lock<std::mutex> lock(sampler_wait_mu_);
+  while (!sampler_stop_) {
+    sampler_cv_.wait_for(lock, std::chrono::nanoseconds(sampler_interval_ns_),
+                         [this] { return sampler_stop_; });
+    if (sampler_stop_) break;
+    lock.unlock();
+    sample_now();
+    lock.lock();
+  }
+}
+
+void Telemetry::stop_sampler() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    if (!sampler_thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> wait_lock(sampler_wait_mu_);
+      sampler_stop_ = true;
+    }
+    sampler_cv_.notify_all();
+    worker = std::move(sampler_thread_);
+  }
+  worker.join();
+  sampler_on_.store(false, std::memory_order_relaxed);
+  // Final sample so even sub-interval runs get a non-empty timeline.
+  sample_now();
+}
+
+bool Telemetry::sampler_running() const {
+  return sampler_on_.load(std::memory_order_relaxed);
+}
+
+void Telemetry::sample_now() {
+  Sample s;
+  s.t_ns = clock();
+  s.rss_bytes = peak_rss_bytes();
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    s.gauges[i] = live_[i].load(std::memory_order_relaxed);
+  }
+  if (trace_enabled()) {
+    for (std::size_t i = 0; i < kGaugeCount; ++i) {
+      record_counter(gauge_name(static_cast<Gauge>(i)), s.gauges[i]);
+    }
+    record_counter("rss_bytes", s.rss_bytes);
+  }
+  std::lock_guard<std::mutex> lock(timeline_mu_);
+  // Count-based decimation keeps the timeline bounded and deterministic:
+  // accept every stride-th tick; when full, drop every other sample and
+  // double the stride — full time coverage at halving resolution.
+  const bool accept = sample_seq_ % sample_stride_ == 0;
+  sample_seq_ += 1;
+  if (!accept) return;
+  timeline_.push_back(s);
+  if (timeline_.size() > timeline_capacity_ && timeline_capacity_ > 0) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < timeline_.size(); i += 2) {
+      timeline_[kept++] = timeline_[i];
+    }
+    timeline_.resize(kept);
+    sample_stride_ *= 2;
+    timeline_compactions_ += 1;
+  }
+}
+
+std::vector<Telemetry::Sample> Telemetry::timeline() const {
+  std::lock_guard<std::mutex> lock(timeline_mu_);
+  return timeline_;
+}
+
+void Telemetry::set_timeline_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(timeline_mu_);
+  timeline_capacity_ = cap > 0 ? cap : 1;
+}
+
+std::uint64_t Telemetry::timeline_compactions() const {
+  std::lock_guard<std::mutex> lock(timeline_mu_);
+  return timeline_compactions_;
+}
+
+void Telemetry::write_timeline_json(support::JsonWriter& w) const {
+  std::vector<Sample> samples = timeline();
+  std::uint64_t compactions;
+  {
+    std::lock_guard<std::mutex> lock(timeline_mu_);
+    compactions = timeline_compactions_;
+  }
+  w.begin_object();
+  w.key("sample_interval_ms");
+  w.value_fixed(sampler_interval_ms());
+  w.key("compactions");
+  w.value(compactions);
+  w.key("samples");
+  w.begin_array();
+  const std::uint64_t base_ns = samples.empty() ? 0 : samples.front().t_ns;
+  for (const Sample& s : samples) {
+    w.begin_object();
+    w.key("t_ms");
+    w.value_fixed(static_cast<double>(s.t_ns - base_ns) / 1e6);
+    for (std::size_t i = 0; i < kGaugeCount; ++i) {
+      w.key(gauge_name(static_cast<Gauge>(i)));
+      w.value(s.gauges[i]);
+    }
+    w.key("rss_bytes");
+    w.value(s.rss_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+// --- published stats -------------------------------------------------------
+
+void Telemetry::publish_stats(const StatRegistry& stats) {
+  std::lock_guard<std::mutex> lock(published_mu_);
+  published_.overlay(stats);
+}
+
+StatRegistry Telemetry::published_stats() const {
+  std::lock_guard<std::mutex> lock(published_mu_);
+  return published_;
 }
 
 }  // namespace copar::telemetry

@@ -1,4 +1,5 @@
-// Telemetry: phase timers, trace events, memory gauges, progress heartbeat.
+// Telemetry: per-thread trace tracks, phase timers, live gauges, a
+// time-series sampler, progress heartbeat, and the published metrics seam.
 //
 // The paper's evaluation is metric-driven (configuration counts, pruned
 // interleavings); this layer adds the *where-does-time-go* half so perf
@@ -8,27 +9,57 @@
 //     lower, static-info, expansion, stubborn-set computation,
 //     canonicalization/dedup, folding, ...). Nested scopes are accounted
 //     exclusively: a phase's total is its *self* time, so the totals sum
-//     to the instrumented wall time.
-//   * TraceRing — bounded ring buffer of trace events emitted as Chrome
-//     `trace_event` JSON (`copar-cli ... --trace out.json`), viewable in
-//     chrome://tracing or Perfetto. When the buffer wraps, the oldest
-//     events drop and the count is reported in the file's metadata.
-//   * Memory — peak RSS (getrusage) plus engine-reported byte estimates
-//     (visited-set keys, abstract stores) published as StatRegistry gauges.
+//     to the instrumented wall time. Every thread owns its own timer
+//     stack — the parallel engine's workers time their own expansion /
+//     stubborn / canonicalize phases and the engine aggregates the
+//     per-track totals into the `workers.{min,max,sum}` report keys.
+//   * TraceRing — bounded per-thread ring buffers of trace events emitted
+//     as one Chrome `trace_event` file (`copar-cli ... --trace out.json`),
+//     viewable in chrome://tracing or Perfetto. Each registered thread is
+//     its own `tid` track, so worker threads, the sampler, and the main
+//     thread appear as parallel timelines. When a ring wraps, the oldest
+//     events of that track drop and the total is reported in the file.
+//   * Live gauges — a fixed set of lock-free atomic slots (configs,
+//     transitions, frontier depth, visited entries/bytes, steals) that
+//     engines update from any thread. The progress heartbeat and the
+//     sampler read *only* these snapshots, never engine internals.
+//   * Sampler — an opt-in background thread (`--sample <ms>`) that
+//     periodically snapshots the live gauges plus RSS into a bounded
+//     timeline (emitted as `"timeline"` in `--json` reports and as 'C'
+//     counter events in the trace). "It got slow at the end" becomes a
+//     graph.
 //   * Progress — opt-in stderr heartbeat (`--progress`) with configs/sec
 //     and frontier depth for long truncation-bound explorations.
 //
-// Everything is OFF by default: a disabled ScopedPhase is one branch, so
-// the hot loops pay (measurably) nothing unless a CLI flag or benchmark
-// turns instrumentation on. Single-threaded, like the engines; the global
-// instance is not thread-safe.
+// Thread-safety contract: the instance returned by Telemetry::global() is
+// safe to use from any number of threads. Phase timers and trace events
+// are routed through thread-local tracks (single-writer, no locks on the
+// hot path); live gauges are relaxed atomics; configuration calls
+// (enable_*, reset, set_clock_for_test) and the flush/report calls
+// (write_trace_json, tracks, timeline) are serialized by the caller in
+// practice — configure before the run, flush after the join. Everything
+// is OFF by default: a disabled ScopedPhase is one branch, so the hot
+// loops pay (measurably) nothing unless a CLI flag or benchmark turns
+// instrumentation on.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "src/support/stats.h"
+
+namespace copar::support {
+class JsonWriter;
+}
 
 namespace copar::telemetry {
 
@@ -45,8 +76,28 @@ enum class Phase : std::uint8_t {
   kCount,
 };
 
+inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
 /// Stable lowercase name used in reports and trace files.
 const char* phase_name(Phase p);
+
+/// Live gauge slots engines publish into (relaxed atomics; any thread).
+/// The heartbeat and the sampler consume these — never engine internals,
+/// which parallel workers mutate without synchronization.
+enum class Gauge : std::uint8_t {
+  Configs,        // distinct configurations admitted so far
+  Transitions,    // transitions fired so far
+  Frontier,       // pending work (stack / queue / deque total)
+  VisitedEntries, // visited-set entry count
+  VisitedBytes,   // visited-set byte estimate (updated coarsely)
+  Steals,         // work-stealing frontier: successful steals
+  kCount,
+};
+
+inline constexpr std::size_t kGaugeCount = static_cast<std::size_t>(Gauge::kCount);
+
+/// Stable lowercase name used in the timeline and trace counter tracks.
+const char* gauge_name(Gauge g);
 
 /// Monotonic clock, nanoseconds. Epoch is arbitrary (comparisons only).
 std::uint64_t now_ns();
@@ -62,6 +113,7 @@ struct TraceEvent {
   const char* name = "";     // must point at static storage
   char ph = 'X';             // 'X' complete, 'C' counter, 'i' instant
   std::uint64_t value = 0;   // counter value ('C' events)
+  std::uint32_t tid = 0;     // track id (filled at flush from the ring's owner)
 };
 
 class Telemetry {
@@ -73,101 +125,225 @@ class Telemetry {
   // --- configuration -----------------------------------------------------
 
   /// Master switch for phase timers and memory gauges.
-  void enable_metrics(bool on = true) { metrics_on_ = on; }
-  /// Start recording trace events into a ring of `capacity` events.
+  void enable_metrics(bool on = true) { metrics_on_.store(on, std::memory_order_relaxed); }
+  /// Start recording trace events into per-thread rings of `capacity`
+  /// events each.
   void enable_trace(std::size_t capacity = 1 << 16);
   /// Start the stderr heartbeat, printed at most every `interval_s`.
   void enable_progress(double interval_s = 2.0);
 
-  [[nodiscard]] bool metrics_enabled() const noexcept { return metrics_on_; }
-  [[nodiscard]] bool trace_enabled() const noexcept { return trace_on_; }
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return metrics_on_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool trace_enabled() const noexcept {
+    return trace_on_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool progress_enabled() const noexcept {
+    return progress_on_.load(std::memory_order_relaxed);
+  }
   /// True if ScopedPhase should do any work at all.
-  [[nodiscard]] bool scopes_enabled() const noexcept { return metrics_on_ || trace_on_; }
+  [[nodiscard]] bool scopes_enabled() const noexcept { return metrics_enabled() || trace_enabled(); }
+  /// True if engines should maintain the live gauges (someone — the
+  /// heartbeat or the sampler — is reading them).
+  [[nodiscard]] bool live_enabled() const noexcept {
+    return progress_enabled() || sampler_on_.load(std::memory_order_relaxed);
+  }
 
   /// Injectable clock for deterministic unit tests.
   using ClockFn = std::uint64_t (*)();
-  void set_clock_for_test(ClockFn clock) { clock_ = clock ? clock : &now_ns; }
+  void set_clock_for_test(ClockFn fn) {
+    clock_.store(fn != nullptr ? fn : &now_ns, std::memory_order_relaxed);
+  }
 
-  /// Clears accumulated timers, trace events, and progress state (keeps
-  /// the enabled/disabled configuration).
+  /// Clears accumulated timers, trace events, live gauges, the timeline,
+  /// and progress state; purges retired thread tracks (keeps the
+  /// enabled/disabled configuration). Stops the sampler if running. Must
+  /// not race with recording threads — call between runs.
   void reset();
 
-  // --- phase timers (used via ScopedPhase) -------------------------------
+  // --- phase timers (used via ScopedPhase; per-thread) -------------------
 
   void enter(Phase p);
   void leave(Phase p);
 
-  /// Accumulated *self* nanoseconds of `p`.
-  [[nodiscard]] std::uint64_t phase_ns(Phase p) const {
-    return totals_ns_[static_cast<std::size_t>(p)];
-  }
-  /// Number of completed scopes of `p`.
-  [[nodiscard]] std::uint64_t phase_count(Phase p) const {
-    return counts_[static_cast<std::size_t>(p)];
-  }
-  /// Current nesting depth (for tests).
-  [[nodiscard]] std::size_t phase_depth() const noexcept { return stack_.size(); }
+  /// Accumulated *self* nanoseconds of `p` on the calling thread's track.
+  [[nodiscard]] std::uint64_t phase_ns(Phase p) const;
+  /// Number of completed scopes of `p` on the calling thread's track.
+  [[nodiscard]] std::uint64_t phase_count(Phase p) const;
+  /// Current nesting depth of the calling thread (for tests).
+  [[nodiscard]] std::size_t phase_depth() const;
 
-  // --- trace ring --------------------------------------------------------
+  // --- thread tracks -----------------------------------------------------
+
+  /// Snapshot of one registered thread's accumulated phase timers.
+  struct TrackStats {
+    std::uint32_t tid = 0;
+    std::string name;
+    std::array<std::uint64_t, kPhaseCount> phase_ns{};
+    std::array<std::uint64_t, kPhaseCount> phase_counts{};
+  };
+  /// All tracks (live and retired since the last reset), tid order.
+  [[nodiscard]] std::vector<TrackStats> tracks() const;
+  /// Self-nanoseconds of `p` on track `tid` (0 for unknown tids).
+  [[nodiscard]] std::uint64_t track_phase_ns(std::uint32_t tid, Phase p) const;
+
+  // --- trace rings -------------------------------------------------------
 
   void record_complete(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
   void record_counter(const char* name, std::uint64_t value);
   void record_instant(const char* name);
 
-  [[nodiscard]] std::size_t trace_size() const noexcept { return ring_.size(); }
-  [[nodiscard]] std::uint64_t trace_dropped() const noexcept {
-    return total_events_ - ring_.size();
-  }
-  /// Events in recording order, oldest first.
+  /// Total buffered events across all tracks.
+  [[nodiscard]] std::size_t trace_size() const;
+  /// Total events dropped to ring wrapping across all tracks.
+  [[nodiscard]] std::uint64_t trace_dropped() const;
+  /// Events oldest-first within each track, tracks in tid order; `tid`
+  /// filled in. Call after recording threads have joined.
   [[nodiscard]] std::vector<TraceEvent> trace_events() const;
 
-  /// Writes the Chrome trace_event JSON document ({"traceEvents": [...]}).
+  /// Writes the Chrome trace_event JSON document ({"traceEvents": [...]})
+  /// with one named thread track per registered thread.
   void write_trace_json(std::ostream& os) const;
   /// Convenience: write_trace_json to `path`. Returns false on I/O error.
   bool write_trace_file(const std::string& path) const;
 
-  // --- progress heartbeat ------------------------------------------------
+  // --- live gauges -------------------------------------------------------
 
-  /// Cheap per-transition hook; prints a heartbeat to stderr when the
-  /// configured interval has elapsed. `frontier` is the engine's pending
-  /// work (DFS stack / BFS queue / worklist depth).
-  void maybe_progress(std::uint64_t configs, std::uint64_t transitions, std::size_t frontier) {
-    if (!progress_on_) return;
-    progress_slow(configs, transitions, frontier);
+  void set_live(Gauge g, std::uint64_t v) noexcept {
+    live_[static_cast<std::size_t>(g)].store(v, std::memory_order_relaxed);
+  }
+  void add_live(Gauge g, std::uint64_t delta) noexcept {
+    live_[static_cast<std::size_t>(g)].fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t live(Gauge g) const noexcept {
+    return live_[static_cast<std::size_t>(g)].load(std::memory_order_relaxed);
   }
 
- private:
-  void push_event(const TraceEvent& e);
-  void progress_slow(std::uint64_t configs, std::uint64_t transitions, std::size_t frontier);
+  // --- progress heartbeat ------------------------------------------------
 
-  bool metrics_on_ = false;
-  bool trace_on_ = false;
-  bool progress_on_ = false;
-  ClockFn clock_ = &now_ns;
+  /// Cheap per-transition hook for single-loop engines: publishes the
+  /// three classic gauges and runs the heartbeat. `frontier` is the
+  /// engine's pending work (DFS stack / BFS queue / worklist depth).
+  void maybe_progress(std::uint64_t configs, std::uint64_t transitions, std::size_t frontier) {
+    if (!live_enabled()) return;
+    set_live(Gauge::Configs, configs);
+    set_live(Gauge::Transitions, transitions);
+    set_live(Gauge::Frontier, frontier);
+    set_live(Gauge::VisitedEntries, configs);
+    heartbeat();
+  }
 
-  struct Open {
-    Phase phase;
-    std::uint64_t start_ns;   // scope entry (inclusive, for trace events)
-    std::uint64_t resume_ns;  // last time this scope was on top
+  /// Prints a heartbeat to stderr from the live gauges when the configured
+  /// interval has elapsed. Thread-safe: concurrent callers race on one CAS
+  /// and exactly one prints per interval.
+  void heartbeat();
+
+  // --- sampler -----------------------------------------------------------
+
+  /// One timeline sample: a point-in-time copy of every live gauge + RSS.
+  struct Sample {
+    std::uint64_t t_ns = 0;
+    std::uint64_t rss_bytes = 0;
+    std::array<std::uint64_t, kGaugeCount> gauges{};
   };
-  std::vector<Open> stack_;
-  std::uint64_t totals_ns_[static_cast<std::size_t>(Phase::kCount)] = {};
-  std::uint64_t counts_[static_cast<std::size_t>(Phase::kCount)] = {};
 
-  std::vector<TraceEvent> ring_;
+  /// Starts the background sampling thread (idempotent). The thread
+  /// registers its own trace track ("sampler") and emits one Sample —
+  /// plus 'C' counter events when tracing — every `interval_ms`.
+  void start_sampler(double interval_ms);
+  /// Stops and joins the sampling thread (no-op when not running).
+  void stop_sampler();
+  [[nodiscard]] bool sampler_running() const;
+  [[nodiscard]] double sampler_interval_ms() const {
+    return static_cast<double>(sampler_interval_ns_) / 1e6;
+  }
+
+  /// Takes one sample immediately (the sampler thread's tick; also the
+  /// deterministic test entry point — drive it with set_clock_for_test).
+  void sample_now();
+  /// Bounded timeline so far (copy). When the buffer fills, every other
+  /// sample is dropped and the minimum spacing doubles — the timeline
+  /// keeps full time coverage at halving resolution.
+  [[nodiscard]] std::vector<Sample> timeline() const;
+  /// Timeline capacity in samples (compaction threshold). Default 4096.
+  void set_timeline_capacity(std::size_t cap);
+  /// Compactions performed (each halves the resolution).
+  [[nodiscard]] std::uint64_t timeline_compactions() const;
+
+  /// Writes {"sample_interval_ms": ..., "compactions": N, "samples":
+  /// [{"t_ms": ..., "configs": ..., ...}, ...]} — the `--json` report's
+  /// "timeline" member. Timestamps are rebased to the first sample.
+  void write_timeline_json(support::JsonWriter& w) const;
+
+  // --- published end-of-run stats (the metrics-export seam) --------------
+
+  /// Engines publish their final StatRegistry here (key-wise overlay, so
+  /// multi-engine commands accumulate). MetricsSnapshot::capture() and the
+  /// future copar-serve metrics endpoint read it back.
+  void publish_stats(const StatRegistry& stats);
+  [[nodiscard]] StatRegistry published_stats() const;
+
+ private:
+  struct ThreadState;
+
+  /// The calling thread's track, auto-registering ("main" for the first
+  /// thread, "thread-<tid>" otherwise).
+  ThreadState& state();
+  ThreadState* register_state(std::string name);
+  void retire_state(ThreadState* s);
+  void push_event(ThreadState& s, const TraceEvent& e);
+  void sampler_loop();
+  [[nodiscard]] std::uint64_t clock() const {
+    return clock_.load(std::memory_order_relaxed)();
+  }
+
+  friend class ThreadRegistration;
+
+  std::atomic<bool> metrics_on_{false};
+  std::atomic<bool> trace_on_{false};
+  std::atomic<bool> progress_on_{false};
+  std::atomic<bool> sampler_on_{false};
+  std::atomic<ClockFn> clock_{&now_ns};
+
+  mutable std::mutex reg_mu_;
+  std::vector<std::unique_ptr<ThreadState>> states_;
+  std::uint32_t next_tid_ = 1;
   std::size_t ring_capacity_ = 0;
-  std::size_t ring_head_ = 0;  // next slot to overwrite once full
-  std::uint64_t total_events_ = 0;
+  // The thread that constructed the singleton — its lazily-registered
+  // track is named "main" regardless of registration order (the sampler
+  // may register first).
+  std::thread::id main_thread_id_ = std::this_thread::get_id();
+  static thread_local ThreadState* tls_state_;
+
+  std::array<std::atomic<std::uint64_t>, kGaugeCount> live_{};
 
   std::uint64_t progress_interval_ns_ = 0;
-  std::uint64_t progress_start_ns_ = 0;
-  std::uint64_t progress_last_ns_ = 0;
-  std::uint64_t progress_last_configs_ = 0;
+  std::atomic<std::uint64_t> progress_start_ns_{0};
+  std::atomic<std::uint64_t> progress_last_ns_{0};
+  std::atomic<std::uint64_t> progress_last_configs_{0};
+
+  std::mutex sampler_mu_;       // guards sampler_thread_
+  std::mutex sampler_wait_mu_;  // guards sampler_stop_ + cv
+  std::condition_variable sampler_cv_;
+  std::thread sampler_thread_;
+  bool sampler_stop_ = false;
+  std::uint64_t sampler_interval_ns_ = 0;
+
+  mutable std::mutex timeline_mu_;
+  std::vector<Sample> timeline_;
+  std::size_t timeline_capacity_ = 4096;
+  std::uint64_t sample_seq_ = 0;     // ticks seen (accepted when seq % stride == 0)
+  std::uint64_t sample_stride_ = 1;  // doubles on each compaction
+  std::uint64_t timeline_compactions_ = 0;
+
+  mutable std::mutex published_mu_;
+  StatRegistry published_;
 };
 
 /// RAII phase scope. One branch when telemetry is off; when on, exclusive
-/// time lands in the phase timers and (if tracing) a complete event with
-/// the scope's *inclusive* duration lands in the ring.
+/// time lands in the calling thread's phase timers and (if tracing) a
+/// complete event with the scope's *inclusive* duration lands in that
+/// thread's ring.
 class ScopedPhase {
  public:
   explicit ScopedPhase(Phase p) : phase_(p) {
@@ -186,6 +362,26 @@ class ScopedPhase {
  private:
   Phase phase_;
   bool active_ = false;
+};
+
+/// RAII thread-track registration: names the calling thread's track
+/// ("worker3", "sampler", ...) for the trace file and per-track timer
+/// queries, and retires the track on destruction so reset() can purge it
+/// after the flush. Worker threads construct one at the top of their loop.
+class ThreadRegistration {
+ public:
+  explicit ThreadRegistration(std::string name);
+  ~ThreadRegistration();
+  ThreadRegistration(const ThreadRegistration&) = delete;
+  ThreadRegistration& operator=(const ThreadRegistration&) = delete;
+
+  /// The registered track's id (the `tid` in the trace file).
+  [[nodiscard]] std::uint32_t tid() const noexcept { return tid_; }
+
+ private:
+  Telemetry::ThreadState* state_ = nullptr;
+  Telemetry::ThreadState* previous_ = nullptr;  // restored on destruction
+  std::uint32_t tid_ = 0;
 };
 
 }  // namespace copar::telemetry

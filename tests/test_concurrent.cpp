@@ -10,15 +10,19 @@
 #include <atomic>
 #include <cstdint>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/explore/explorer.h"
 #include "src/explore/frontier.h"
 #include "src/explore/visited.h"
 #include "src/sem/config.h"
 #include "src/sem/program.h"
 #include "src/support/fingerprint.h"
+#include "src/support/telemetry.h"
 #include "src/workload/paper_examples.h"
+#include "src/workload/philosophers.h"
 
 namespace copar::explore {
 namespace {
@@ -141,6 +145,43 @@ TEST(ParExploreStress, WorkStealingFrontierAbortWakesSleepers) {
   }
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(exited.load(), kThreads);
+}
+
+TEST(ParExploreStress, ParallelExploreRecordsOneTrackPerWorker) {
+  // Full engine run with trace + sampler live: under TSan this exercises
+  // the per-worker trace rings, the live-gauge atomics, and the sampler
+  // thread against real worker interleavings. Functionally it pins the
+  // per-worker track contract: every worker registers exactly one
+  // telemetry track named workerN.
+  auto& tel = telemetry::Telemetry::global();
+  tel.reset();
+  tel.enable_metrics(true);
+  tel.enable_trace(1 << 14);
+  tel.start_sampler(1.0);  // 1ms: samples race with worker gauge writes
+
+  const auto prog = compile(workload::dining_philosophers(3));
+  ExploreOptions opts;
+  opts.threads = 4;
+  const auto r = explore(*prog->lowered, opts);
+  EXPECT_GT(r.num_configs, 0u);
+
+  tel.stop_sampler();
+  // stop_sampler takes a final sample, so even a fast run has a timeline.
+  EXPECT_FALSE(tel.timeline().empty());
+
+  std::set<std::string> names;
+  for (const auto& track : tel.tracks()) names.insert(track.name);
+  for (unsigned i = 0; i < opts.threads; ++i) {
+    EXPECT_TRUE(names.contains("worker" + std::to_string(i)))
+        << "missing telemetry track worker" << i;
+  }
+  // The sampler registered its own track too — it must not masquerade as
+  // a worker.
+  EXPECT_TRUE(names.contains("sampler"));
+
+  tel.enable_trace(0);
+  tel.enable_metrics(false);
+  tel.reset();
 }
 
 }  // namespace

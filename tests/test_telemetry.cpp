@@ -4,16 +4,19 @@
 // text counters.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/explore/report.h"
 #include "src/sem/program.h"
 #include "src/support/json.h"
+#include "src/support/metrics.h"
 #include "src/support/stats.h"
 #include "src/support/telemetry.h"
 #include "src/workload/paper_examples.h"
@@ -339,13 +342,19 @@ TEST_F(TelemetryTest, TraceJsonParsesAndContainsEvents) {
   const JsonValue doc = parse_json_or_fail(os.str());
   const JsonValue& events = doc.at("traceEvents");
   ASSERT_EQ(events.kind, JsonValue::Kind::Array);
-  // Metadata + complete + counter + instant.
-  ASSERT_EQ(events.items.size(), 4u);
-  EXPECT_EQ(events.items[1].at("name").str, "expansion");
-  EXPECT_EQ(events.items[1].at("ph").str, "X");
-  EXPECT_DOUBLE_EQ(events.items[1].at("dur").num, 0.2);  // 200ns = 0.2us
-  EXPECT_EQ(events.items[2].at("ph").str, "C");
-  EXPECT_DOUBLE_EQ(events.items[2].at("args").at("value").num, 42.0);
+  // process_name metadata + thread_name metadata (one recording track) +
+  // complete + counter + instant.
+  ASSERT_EQ(events.items.size(), 5u);
+  EXPECT_EQ(events.items[0].at("name").str, "process_name");
+  EXPECT_EQ(events.items[1].at("name").str, "thread_name");
+  EXPECT_EQ(events.items[1].at("args").at("name").str, "main");
+  EXPECT_EQ(events.items[2].at("name").str, "expansion");
+  EXPECT_EQ(events.items[2].at("ph").str, "X");
+  EXPECT_DOUBLE_EQ(events.items[2].at("dur").num, 0.2);  // 200ns = 0.2us
+  EXPECT_EQ(events.items[3].at("ph").str, "C");
+  EXPECT_DOUBLE_EQ(events.items[3].at("args").at("value").num, 42.0);
+  // Every non-metadata event carries the recording track's tid.
+  EXPECT_EQ(events.items[2].at("tid").num, events.items[1].at("tid").num);
 }
 
 // --- StatRegistry: handles, gauges, timings ----------------------------
@@ -485,6 +494,241 @@ TEST(JsonReport, ParallelReportPinsWorkerAggregatesAndStealCounters) {
 
   t.enable_metrics(false);
   t.reset();
+}
+
+// --- multi-thread trace stress -----------------------------------------
+
+TEST_F(TelemetryTest, MultiThreadTraceStressLosesNothingBelowCapacity) {
+  Telemetry& t = Telemetry::global();
+  t.set_clock_for_test(nullptr);  // real clock: timestamps must advance
+  t.enable_trace(4096);           // per-track ring capacity, well above M
+
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 500;
+  std::atomic<bool> go{false};
+  std::vector<std::uint32_t> tids(kThreads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&, i] {
+      telemetry::ThreadRegistration track("stress" + std::to_string(i));
+      tids[static_cast<std::size_t>(i)] = track.tid();
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      Telemetry& tel = Telemetry::global();
+      for (int j = 0; j < kEvents; ++j) {
+        tel.record_complete("ev", static_cast<std::uint64_t>(j), 1);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+
+  // Below capacity nothing may be dropped: every event from every thread
+  // survives into the flush, attributed to its own track.
+  EXPECT_EQ(t.trace_dropped(), 0u);
+  EXPECT_EQ(t.trace_size(), static_cast<std::size_t>(kThreads) * kEvents);
+
+  const std::vector<telemetry::TraceEvent> events = t.trace_events();
+  std::map<std::uint32_t, std::size_t> per_tid;
+  std::map<std::uint32_t, std::uint64_t> last_ts;
+  for (const telemetry::TraceEvent& e : events) {
+    per_tid[e.tid] += 1;
+    // Within one track events flush oldest-first; a single-writer ring
+    // must preserve that order.
+    auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts_ns, it->second);
+    }
+    last_ts[e.tid] = e.ts_ns;
+  }
+  ASSERT_EQ(per_tid.size(), static_cast<std::size_t>(kThreads));
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(per_tid[tids[static_cast<std::size_t>(i)]],
+              static_cast<std::size_t>(kEvents))
+        << "track " << i;
+  }
+}
+
+// --- sampler timeline ---------------------------------------------------
+
+using telemetry::Gauge;
+
+TEST_F(TelemetryTest, TimelineDecimationIsDeterministic) {
+  Telemetry& t = Telemetry::global();
+  t.set_timeline_capacity(8);
+
+  // 9 accepted ticks overflow capacity 8: every other sample is dropped
+  // and the stride doubles. Each tick stamps Configs with its index.
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    g_fake_now = i * 1'000'000;  // 1ms apart
+    t.set_live(Gauge::Configs, i);
+    t.sample_now();
+  }
+  std::vector<Telemetry::Sample> tl = t.timeline();
+  ASSERT_EQ(tl.size(), 5u);  // indices 0,2,4,6,8 survive
+  EXPECT_EQ(t.timeline_compactions(), 1u);
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    EXPECT_EQ(tl[i].t_ns, i * 2 * 1'000'000);
+    EXPECT_EQ(tl[i].gauges[static_cast<std::size_t>(Gauge::Configs)], i * 2);
+  }
+
+  // Stride is now 2: the next tick is rejected, the one after accepted.
+  g_fake_now = 9'000'000;
+  t.sample_now();
+  EXPECT_EQ(t.timeline().size(), 5u);
+  g_fake_now = 10'000'000;
+  t.set_live(Gauge::Configs, 10);
+  t.sample_now();
+  tl = t.timeline();
+  ASSERT_EQ(tl.size(), 6u);
+  EXPECT_EQ(tl.back().t_ns, 10u * 1'000'000);
+  EXPECT_EQ(tl.back().gauges[static_cast<std::size_t>(Gauge::Configs)], 10u);
+}
+
+TEST_F(TelemetryTest, TimelineJsonSchemaIsPinned) {
+  Telemetry& t = Telemetry::global();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    g_fake_now = 500'000 + i * 2'000'000;
+    t.set_live(Gauge::Configs, 10 * i);
+    t.set_live(Gauge::Frontier, i);
+    t.sample_now();
+  }
+
+  std::ostringstream os;
+  {
+    support::JsonWriter w(os);
+    t.write_timeline_json(w);
+  }
+  const JsonValue doc = parse_json_or_fail(os.str());
+
+  // Schema golden: field names and types are contract (report.cpp embeds
+  // this object as "timeline" in every --json report).
+  ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+  EXPECT_EQ(doc.at("sample_interval_ms").kind, JsonValue::Kind::Number);
+  EXPECT_EQ(doc.at("compactions").kind, JsonValue::Kind::Number);
+  const JsonValue& samples = doc.at("samples");
+  ASSERT_EQ(samples.kind, JsonValue::Kind::Array);
+  ASSERT_EQ(samples.items.size(), 3u);
+  const char* kFields[] = {"t_ms",           "configs",       "transitions",
+                           "frontier",       "visited_entries", "visited_bytes",
+                           "steals",         "rss_bytes"};
+  for (const JsonValue& s : samples.items) {
+    ASSERT_EQ(s.kind, JsonValue::Kind::Object);
+    EXPECT_EQ(s.members.size(), std::size(kFields));
+    for (const char* f : kFields) {
+      EXPECT_EQ(s.at(f).kind, JsonValue::Kind::Number) << f;
+    }
+  }
+  // Timestamps are rebased to the first sample.
+  EXPECT_DOUBLE_EQ(samples.items[0].at("t_ms").num, 0.0);
+  EXPECT_DOUBLE_EQ(samples.items[1].at("t_ms").num, 2.0);
+  EXPECT_DOUBLE_EQ(samples.items[2].at("configs").num, 20.0);
+}
+
+TEST(JsonReport, TimelineAppearsInReportWhenSampled) {
+  Telemetry& t = Telemetry::global();
+  t.reset();
+  t.enable_metrics(true);
+  // Interval far past the run: the only sample is the final one taken by
+  // stop_sampler(), making the timeline deterministic.
+  t.start_sampler(60'000.0);
+
+  auto program = compile(workload::fig2_shasha_snir());
+  explore::ExploreOptions opts;
+  const auto r = explore::explore(*program->lowered, opts);
+  t.stop_sampler();
+
+  std::ostringstream os;
+  support::JsonWriter w(os);
+  explore::write_json_report(w, "explore", "fig2_shasha_snir.cop", r, opts);
+  const JsonValue doc = parse_json_or_fail(os.str());
+  const JsonValue& tl = doc.at("timeline");
+  ASSERT_EQ(tl.kind, JsonValue::Kind::Object);
+  ASSERT_EQ(tl.at("samples").items.size(), 1u);
+  // The engine's final gauge flush feeds the sample.
+  EXPECT_EQ(tl.at("samples").items[0].at("configs").num,
+            static_cast<double>(r.num_configs));
+
+  t.enable_metrics(false);
+  t.reset();
+}
+
+// --- metrics export surface ---------------------------------------------
+
+TEST(MetricsSchema, JsonFieldsAndTypesArePinned) {
+  Telemetry& t = Telemetry::global();
+  t.reset();
+  t.enable_metrics(true);
+  t.set_clock_for_test(&fake_clock);
+  g_fake_now = 0;
+  t.enter(Phase::Expansion);
+  g_fake_now = 5'000'000;
+  t.leave(Phase::Expansion);
+  t.set_live(Gauge::Configs, 7);
+  t.sample_now();
+
+  StatRegistry stats;
+  stats.add("configs", 7);
+  stats.set_gauge("threads", 4);
+  stats.add_time_ns("total", 1'000'000);
+  t.publish_stats(stats);
+
+  const auto snap = telemetry::MetricsSnapshot::capture();
+  std::ostringstream os;
+  snap.write_json(os);
+  const JsonValue doc = parse_json_or_fail(os.str());
+
+  // Schema golden: `copar-cli metrics-dump` and --metrics-out emit this
+  // document; field names and types are contract, values are not.
+  EXPECT_EQ(doc.at("tool").str, "copar-metrics");
+  EXPECT_EQ(doc.at("schema").num, 1.0);
+  EXPECT_EQ(doc.at("counters").kind, JsonValue::Kind::Object);
+  EXPECT_EQ(doc.at("gauges").kind, JsonValue::Kind::Object);
+  EXPECT_EQ(doc.at("timings_ms").kind, JsonValue::Kind::Object);
+  EXPECT_EQ(doc.at("phases_ms").kind, JsonValue::Kind::Object);
+  EXPECT_EQ(doc.at("phase_counts").kind, JsonValue::Kind::Object);
+  EXPECT_EQ(doc.at("memory").at("peak_rss_bytes").kind, JsonValue::Kind::Number);
+  EXPECT_EQ(doc.at("timeline").at("compactions").kind, JsonValue::Kind::Number);
+  EXPECT_EQ(doc.at("timeline").at("samples").kind, JsonValue::Kind::Array);
+
+  // Published stats and per-track phase totals round-trip.
+  EXPECT_EQ(doc.at("counters").at("configs").num, 7.0);
+  EXPECT_EQ(doc.at("gauges").at("threads").num, 4.0);
+  EXPECT_DOUBLE_EQ(doc.at("timings_ms").at("total").num, 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("phases_ms").at("expansion").num, 5.0);
+  EXPECT_EQ(doc.at("phase_counts").at("expansion").num, 1.0);
+  ASSERT_EQ(doc.at("timeline").at("samples").items.size(), 1u);
+  EXPECT_EQ(doc.at("timeline").at("samples").items[0].at("configs").num, 7.0);
+
+  t.enable_metrics(false);
+  t.set_clock_for_test(nullptr);
+  t.reset();
+}
+
+TEST(MetricsSchema, PrometheusRendersStableFamilies) {
+  telemetry::MetricsSnapshot snap;
+  snap.counters["configs"] = 12;
+  snap.counters["weird-name.x"] = 1;
+  snap.gauges["threads"] = 4;
+  snap.times_ns["total"] = 2'000'000'000;
+  snap.phases_ns["expansion"] = 1'500'000'000;
+  snap.peak_rss_bytes = 1024;
+
+  std::ostringstream os;
+  snap.write_prometheus(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# TYPE copar_configs_total counter\ncopar_configs_total 12\n"),
+            std::string::npos);
+  // Names outside [a-zA-Z0-9_:] are sanitized to underscores.
+  EXPECT_NE(out.find("copar_weird_name_x_total 1\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE copar_threads gauge\ncopar_threads 4\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("copar_phase_seconds{phase=\"expansion\"} 1.5\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("copar_timing_seconds{name=\"total\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("copar_peak_rss_bytes 1024\n"), std::string::npos);
+  EXPECT_NE(out.find("copar_timeline_samples 0\n"), std::string::npos);
 }
 
 }  // namespace

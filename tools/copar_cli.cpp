@@ -27,15 +27,27 @@
 //   copar-cli check --list-checks            catalog of check codes
 //   copar-cli disasm <file.cop>              lowered atomic-action code
 //   copar-cli fmt <file.cop>                 pretty-print the parsed program
+//   copar-cli metrics-dump <file.cop> [explore options] [--format json|prom|text]
+//                                            run an exploration and print the
+//                                            MetricsSnapshot (the copar-serve
+//                                            metrics surface) instead of the
+//                                            report
 //
 // Global observability flags (any command):
 //   --json               machine-readable report: one JSON document on stdout
 //                        (counters, per-phase milliseconds, memory gauges,
 //                        terminals, violations) for run/explore/analyze/abstract
 //   --trace <out.json>   record a Chrome trace_event timeline of the engine
-//                        phases; open in chrome://tracing or Perfetto
+//                        phases (one track per worker thread); open in
+//                        chrome://tracing or Perfetto
 //   --progress [secs]    stderr heartbeat every `secs` (default 2) seconds
 //                        with configs/sec and frontier depth
+//   --sample <ms>        background sampler: snapshot the live gauges every
+//                        `ms` milliseconds into the report's "timeline" (and
+//                        counter tracks in the trace)
+//   --metrics-out <f>    after the run, write the metrics snapshot to `f`
+//                        (Prometheus text when `f` ends in .prom, JSON
+//                        otherwise)
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -62,19 +74,22 @@
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
 #include "src/sem/program.h"
+#include "src/support/metrics.h"
 #include "src/support/telemetry.h"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: copar-cli "
-               "<run|explore|analyze|abstract|check|witness|parallelize|graph|disasm|fmt> "
-               "<file.cop> [options]\n"
-               "global options: --json  --trace <out.json>  --progress [seconds]\n"
+               "<run|explore|analyze|abstract|check|witness|parallelize|graph|disasm|fmt"
+               "|metrics-dump> <file.cop> [options]\n"
+               "global options: --json  --trace <out.json>  --progress [seconds]  "
+               "--sample <ms>  --metrics-out <file>\n"
                "explore options: --stubborn --coarsen --sleep --max-configs N "
                "--threads N --exact-keys\n"
                "check options:   --sarif --disable <c1,c2,...> --no-witness "
-               "--max-configs N  (or: check --list-checks)\n";
+               "--max-configs N  (or: check --list-checks)\n"
+               "metrics-dump options: explore options plus --format json|prom|text\n";
   return 2;
 }
 
@@ -107,7 +122,11 @@ struct GlobalOpts {
   std::string trace_path;
   bool progress = false;
   double progress_interval_s = 2.0;
+  double sample_ms = 0;  // 0: sampler off
+  std::string metrics_out;
   bool missing_trace_path = false;  // `--trace` given as the last argument
+  bool bad_sample = false;          // `--sample` without a positive number
+  bool missing_metrics_out = false;
 };
 
 GlobalOpts extract_global_opts(std::vector<std::string>& args) {
@@ -134,6 +153,23 @@ GlobalOpts extract_global_opts(std::vector<std::string>& args) {
           ++i;
         }
       }
+    } else if (a == "--sample") {
+      g.bad_sample = true;
+      if (i + 1 < args.size()) {
+        char* end = nullptr;
+        const double v = std::strtod(args[i + 1].c_str(), &end);
+        if (end != nullptr && *end == '\0' && v > 0) {
+          g.sample_ms = v;
+          g.bad_sample = false;
+          ++i;
+        }
+      }
+    } else if (a == "--metrics-out") {
+      if (i + 1 < args.size()) {
+        g.metrics_out = args[++i];
+      } else {
+        g.missing_metrics_out = true;
+      }
     } else {
       rest.push_back(a);
     }
@@ -144,15 +180,21 @@ GlobalOpts extract_global_opts(std::vector<std::string>& args) {
 
 void apply_global_opts(const GlobalOpts& g) {
   auto& tel = copar::telemetry::Telemetry::global();
-  if (g.json || !g.trace_path.empty()) tel.enable_metrics();
+  if (g.json || !g.trace_path.empty() || !g.metrics_out.empty()) tel.enable_metrics();
   if (!g.trace_path.empty()) tel.enable_trace();
   if (g.progress) tel.enable_progress(g.progress_interval_s);
+  if (g.sample_ms > 0) tel.start_sampler(g.sample_ms);
 }
+
+/// Stops the sampler (taking a final end-of-run sample) so reports and
+/// trace flushes see the completed timeline. Safe to call repeatedly.
+void finish_sampling() { copar::telemetry::Telemetry::global().stop_sampler(); }
 
 int cmd_run(const copar::CompiledProgram& p, const std::string& path, const GlobalOpts& g) {
   using namespace copar;
   const explore::ExploreOptions opts;
   const auto r = explore::explore(*p.lowered, opts);
+  finish_sampling();
   const int rc = r.deadlock_found || !r.violations.empty() || !r.faults.empty() ? 1 : 0;
   if (g.json) {
     support::JsonWriter w(std::cout);
@@ -192,10 +234,11 @@ int cmd_run(const copar::CompiledProgram& p, const std::string& path, const Glob
   return rc;
 }
 
-int cmd_explore(const copar::CompiledProgram& p, const std::string& path,
-                const std::vector<std::string>& args, const GlobalOpts& g) {
+/// Parses the shared exploration option set (`explore` and `metrics-dump`
+/// accept the same flags). Returns 0 on success, the exit code otherwise.
+int parse_explore_opts(const std::vector<std::string>& args,
+                       copar::explore::ExploreOptions& opts) {
   using namespace copar;
-  explore::ExploreOptions opts;
   if (has_flag(args, "--stubborn")) opts.reduction = explore::Reduction::Stubborn;
   if (has_flag(args, "--coarsen")) opts.coarsen = true;
   if (has_flag(args, "--sleep")) opts.sleep_sets = true;
@@ -230,7 +273,16 @@ int cmd_explore(const copar::CompiledProgram& p, const std::string& path,
     std::cerr << "error (" << d->code << "): " << d->message << '\n';
     return 2;
   }
+  return 0;
+}
+
+int cmd_explore(const copar::CompiledProgram& p, const std::string& path,
+                const std::vector<std::string>& args, const GlobalOpts& g) {
+  using namespace copar;
+  explore::ExploreOptions opts;
+  if (const int rc = parse_explore_opts(args, opts); rc != 0) return rc;
   const auto r = explore::explore(*p.lowered, opts);
+  finish_sampling();
   if (g.json) {
     support::JsonWriter w(std::cout);
     explore::write_json_report(w, "explore", path, r, opts);
@@ -256,6 +308,7 @@ int cmd_analyze(const copar::CompiledProgram& p, const std::string& path, const 
 
   absem::AbsExplorer<absdom::FlatInt> engine(*p.lowered, {});
   const auto abs = engine.run();
+  finish_sampling();
 
   telemetry::ScopedPhase phase_analysis(telemetry::Phase::Analysis);
   const auto effects = analysis::side_effects_from(*p.lowered, abs);
@@ -358,6 +411,7 @@ int cmd_abstract(const copar::CompiledProgram& p, const std::string& path,
   if (has_flag(args, "--clan")) opts.folding = absem::Folding::Clan;
   absem::AbsExplorer<absdom::FlatInt> engine(*p.lowered, opts);
   const auto r = engine.run();
+  finish_sampling();
   if (g.json) {
     support::JsonWriter w(std::cout);
     w.begin_object();
@@ -573,8 +627,53 @@ int cmd_parallelize(const copar::CompiledProgram& p, const std::string& source,
   return ok ? 0 : 1;
 }
 
-/// Flushes the trace file (if requested) regardless of the exit path.
+/// `copar-cli metrics-dump` — run an exploration and print the metrics
+/// export surface (the same snapshot copar-serve will serve over HTTP)
+/// instead of the exploration report.
+int cmd_metrics_dump(const copar::CompiledProgram& p, const std::vector<std::string>& args) {
+  using namespace copar;
+  explore::ExploreOptions opts;
+  if (const int rc = parse_explore_opts(args, opts); rc != 0) return rc;
+  std::string format = flag_value(args, "--format");
+  if (format.empty()) format = "json";
+  if (format != "json" && format != "prom" && format != "text") {
+    std::cerr << "error: --format expects json, prom, or text, got '" << format << "'\n";
+    return 2;
+  }
+  telemetry::Telemetry::global().enable_metrics();
+  (void)explore::explore(*p.lowered, opts);
+  finish_sampling();
+  const auto snap = telemetry::MetricsSnapshot::capture();
+  if (format == "prom") {
+    snap.write_prometheus(std::cout);
+  } else if (format == "text") {
+    snap.write_text(std::cout);
+  } else {
+    snap.write_json(std::cout);
+  }
+  return 0;
+}
+
+/// Flushes the trace file and the metrics snapshot (if requested)
+/// regardless of the exit path.
 int finish(const GlobalOpts& g, int rc) {
+  finish_sampling();
+  if (!g.metrics_out.empty()) {
+    std::ofstream out(g.metrics_out);
+    if (!out) {
+      std::cerr << "error: cannot write metrics to " << g.metrics_out << '\n';
+      return rc == 0 ? 1 : rc;
+    }
+    const auto snap = copar::telemetry::MetricsSnapshot::capture();
+    // Prometheus exposition when the target looks like a scrape file,
+    // schema-pinned JSON otherwise.
+    if (g.metrics_out.size() >= 5 &&
+        g.metrics_out.compare(g.metrics_out.size() - 5, 5, ".prom") == 0) {
+      snap.write_prometheus(out);
+    } else {
+      snap.write_json(out);
+    }
+  }
   if (!g.trace_path.empty()) {
     if (!copar::telemetry::Telemetry::global().write_trace_file(g.trace_path)) {
       std::cerr << "error: cannot write trace to " << g.trace_path << '\n';
@@ -597,6 +696,14 @@ int main(int argc, char** argv) {
   const GlobalOpts global = extract_global_opts(args);
   if (global.missing_trace_path) {
     std::cerr << "error: --trace expects an output path\n";
+    return 2;
+  }
+  if (global.bad_sample) {
+    std::cerr << "error: --sample expects a positive interval in milliseconds\n";
+    return 2;
+  }
+  if (global.missing_metrics_out) {
+    std::cerr << "error: --metrics-out expects an output path\n";
     return 2;
   }
   apply_global_opts(global);
@@ -629,6 +736,8 @@ int main(int argc, char** argv) {
       rc = cmd_parallelize(*program, source, args);
     } else if (cmd == "graph") {
       rc = cmd_graph(*program, args);
+    } else if (cmd == "metrics-dump") {
+      rc = cmd_metrics_dump(*program, args);
     } else if (cmd == "disasm") {
       std::cout << program->lowered->disassemble();
       rc = 0;
