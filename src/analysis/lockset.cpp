@@ -1,0 +1,340 @@
+#include "src/analysis/lockset.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/lang/ast.h"
+#include "src/sem/lockid.h"
+#include "src/support/bitset.h"
+
+namespace copar::analysis {
+
+namespace {
+
+using sem::Instr;
+using sem::Op;
+using sem::Proc;
+
+/// Dataflow state on entry to an instruction.
+struct State {
+  LockSets::Mask must = 0;
+  LockSets::Mask may = 0;
+  bool unk = false;   // an anonymous lock may be held
+  bool live = false;  // the point is reachable
+
+  bool operator==(const State&) const = default;
+};
+
+/// Must-join: intersection over live predecessors; may-join: union.
+void join_into(State& into, const State& from) {
+  if (!from.live) return;
+  if (!into.live) {
+    into = from;
+    return;
+  }
+  into.must &= from.must;
+  into.may |= from.may;
+  into.unk = into.unk || from.unk;
+}
+
+/// What a proc's own code (non-transitively) may do to locks.
+struct ProcLockOps {
+  LockSets::Mask may_lock = 0;
+  LockSets::Mask may_unlock = 0;
+  bool unk_lock = false;
+  bool unk_unlock = false;
+};
+
+}  // namespace
+
+LockSets::LockSets(const sem::LoweredProgram& prog, const explore::StaticInfo& info)
+    : prog_(&prog) {
+  const std::vector<Proc>& procs = prog.procs();
+  const std::size_t nprocs = procs.size();
+
+  // --- lock table: every global slot a Lock/Unlock statically names -------
+  std::set<std::uint32_t> slots;
+  for (const Proc& p : procs) {
+    for (const Instr& i : p.code) {
+      if (i.op != Op::Lock && i.op != Op::Unlock) continue;
+      if (const auto slot = sem::lock_global_slot(prog, *i.lhs)) slots.insert(*slot);
+    }
+  }
+  for (const std::uint32_t slot : slots) {
+    if (lock_slots_.size() == 64) {
+      overflowed_ = true;
+      break;
+    }
+    lock_slots_.push_back(slot);
+  }
+  auto bit_of = [&](const lang::Expr& lv) -> std::optional<unsigned> {
+    const auto slot = sem::lock_global_slot(prog, lv);
+    return slot ? bit_of_slot(*slot) : std::nullopt;
+  };
+
+  // --- per-proc transitive lock-op summaries (for Call transfer) ----------
+  std::vector<ProcLockOps> own(nprocs);
+  for (const Proc& p : procs) {
+    for (const Instr& i : p.code) {
+      if (i.op != Op::Lock && i.op != Op::Unlock) continue;
+      const auto bit = bit_of(*i.lhs);
+      const Mask mask = bit ? (Mask{1} << *bit) : 0;
+      if (i.op == Op::Lock) {
+        own[p.id].may_lock |= mask;
+        own[p.id].unk_lock = own[p.id].unk_lock || !bit;
+      } else {
+        own[p.id].may_unlock |= mask;
+        own[p.id].unk_unlock = own[p.id].unk_unlock || !bit;
+      }
+    }
+  }
+  // reachable_procs includes fork children; for the caller's lockset that is
+  // an over-approximation (children act on their own pids), sound in both
+  // directions: extra may-unlocks only shrink must-sets, extra may-locks
+  // only grow may-sets.
+  std::vector<ProcLockOps> summary(nprocs);
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    for (const std::uint32_t q : info.reachable_procs(p)) {
+      summary[p].may_lock |= own[q].may_lock;
+      summary[p].may_unlock |= own[q].may_unlock;
+      summary[p].unk_lock = summary[p].unk_lock || own[q].unk_lock;
+      summary[p].unk_unlock = summary[p].unk_unlock || own[q].unk_unlock;
+    }
+  }
+
+  // --- interprocedural fixpoint -------------------------------------------
+  std::vector<State> entry(nprocs);
+  entry[prog.entry_proc()].live = true;
+
+  std::vector<std::vector<State>> in(nprocs);
+  for (std::uint32_t p = 0; p < nprocs; ++p) in[p].resize(procs[p].code.size());
+
+  auto transfer = [&](std::uint32_t proc, std::uint32_t pc, State st) -> State {
+    const Instr& i = procs[proc].code[pc];
+    switch (i.op) {
+      case Op::Lock:
+        if (const auto bit = bit_of(*i.lhs)) {
+          st.must |= Mask{1} << *bit;
+          st.may |= Mask{1} << *bit;
+        } else {
+          st.unk = true;
+        }
+        break;
+      case Op::Unlock:
+        if (const auto bit = bit_of(*i.lhs)) {
+          st.must &= ~(Mask{1} << *bit);
+          st.may &= ~(Mask{1} << *bit);
+        } else {
+          // Releases *some* cell — possibly any tracked lock.
+          st.must = 0;
+        }
+        break;
+      case Op::Call: {
+        ProcLockOps callee;
+        for (const std::uint32_t t : info.instr_targets(proc, pc)) {
+          callee.may_lock |= summary[t].may_lock;
+          callee.may_unlock |= summary[t].may_unlock;
+          callee.unk_lock = callee.unk_lock || summary[t].unk_lock;
+          callee.unk_unlock = callee.unk_unlock || summary[t].unk_unlock;
+        }
+        st.must &= ~callee.may_unlock;
+        if (callee.unk_unlock) st.must = 0;
+        st.may |= callee.may_lock;
+        st.unk = st.unk || callee.unk_lock;
+        break;
+      }
+      default:
+        // Fork/Join included: lock ownership is per-process, so spawning or
+        // joining children never changes the forker's own lockset.
+        break;
+    }
+    return st;
+  };
+
+  // Intra pass over one proc; returns true when any in-state changed.
+  // Re-run to a global fixpoint as entry states refine (monotone: must
+  // shrinks, may/unk/live grow).
+  auto run_intra = [&](std::uint32_t p) -> bool {
+    const std::vector<Instr>& code = procs[p].code;
+    const std::size_t n = code.size();
+    if (n == 0) return false;
+    std::vector<std::vector<std::uint32_t>> preds(n);
+    for (std::uint32_t pc = 0; pc < n; ++pc) {
+      switch (code[pc].op) {
+        case Op::Branch:
+          preds[code[pc].t1].push_back(pc);
+          preds[code[pc].t2].push_back(pc);
+          break;
+        case Op::Jump:
+          preds[code[pc].t1].push_back(pc);
+          break;
+        case Op::Return:
+        case Op::Halt:
+          break;
+        default:
+          if (pc + 1 < n) preds[pc + 1].push_back(pc);
+          break;
+      }
+    }
+    bool any_change = false;
+    bool pass_change = true;
+    while (pass_change) {
+      pass_change = false;
+      for (std::uint32_t pc = 0; pc < n; ++pc) {
+        State next;
+        if (pc == 0) join_into(next, entry[p]);
+        for (const std::uint32_t q : preds[pc]) {
+          if (in[p][q].live) join_into(next, transfer(p, q, in[p][q]));
+        }
+        if (!(next == in[p][pc])) {
+          in[p][pc] = next;
+          pass_change = true;
+          any_change = true;
+        }
+      }
+    }
+    return any_change;
+  };
+
+  // Propagate entry states across call and fork edges; returns change.
+  auto propagate = [&](std::uint32_t p) -> bool {
+    bool changed = false;
+    const std::vector<Instr>& code = procs[p].code;
+    for (std::uint32_t pc = 0; pc < code.size(); ++pc) {
+      if (!in[p][pc].live) continue;
+      auto join_entry = [&](std::uint32_t t, const State& st) {
+        State next = entry[t];
+        join_into(next, st);
+        if (!(next == entry[t])) {
+          entry[t] = next;
+          changed = true;
+        }
+      };
+      if (code[pc].op == Op::Call) {
+        for (const std::uint32_t t : info.instr_targets(p, pc)) join_entry(t, in[p][pc]);
+      } else if (code[pc].op == Op::Fork || code[pc].op == Op::ForkRange) {
+        // A forked child owns no locks at birth, whatever the forker holds.
+        State born;
+        born.live = true;
+        for (const std::uint32_t c : code[pc].forks) join_entry(c, born);
+      }
+    }
+    return changed;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t p = 0; p < nprocs; ++p) {
+      if (!entry[p].live) continue;
+      if (run_intra(p)) changed = true;
+      if (propagate(p)) changed = true;
+    }
+  }
+
+  // --- pristine lock cells --------------------------------------------------
+  // A lock cell obeys the ownership protocol only if lock/unlock are its
+  // sole writers and it starts zero. The identified Lock/Unlock instruction's
+  // own class set is exactly the cell's class, which gives us the class ids
+  // without re-deriving the slot→class map.
+  DynamicBitset lock_classes;
+  for (const Proc& p : procs) {
+    for (std::uint32_t pc = 0; pc < p.code.size(); ++pc) {
+      const Instr& i = p.code[pc];
+      if ((i.op == Op::Lock || i.op == Op::Unlock) && bit_of(*i.lhs)) {
+        lock_classes |= info.instr_writes(p.id, pc);
+      }
+    }
+  }
+  for (const std::uint32_t slot : lock_slots_) {
+    const lang::Expr* init = nullptr;
+    for (const sem::GlobalSlot& g : prog.globals()) {
+      if (g.slot == slot) init = g.init;
+    }
+    if (init != nullptr &&
+        !(init->kind() == lang::ExprKind::IntLit &&
+          lang::expr_cast<lang::IntLit>(*init).value() == 0) &&
+        !(init->kind() == lang::ExprKind::BoolLit &&
+          !lang::expr_cast<lang::BoolLit>(*init).value())) {
+      pristine_ = false;  // non-zero initializer: cell starts "held by nobody"
+    }
+  }
+  if (overflowed_) pristine_ = false;
+  for (const Proc& p : procs) {
+    for (std::uint32_t pc = 0; pc < p.code.size(); ++pc) {
+      if (!in[p.id][pc].live) continue;
+      const Instr& i = p.code[pc];
+      if (i.op == Op::Lock || i.op == Op::Unlock) {
+        if (!bit_of(*i.lhs)) pristine_ = false;  // anonymous lock traffic
+      } else if (info.instr_writes(p.id, pc).intersects(lock_classes)) {
+        pristine_ = false;  // a data write can poison or free the cell
+      }
+    }
+  }
+
+  // --- store rows + discipline predicates -----------------------------------
+  must_in_.resize(nprocs);
+  may_in_.resize(nprocs);
+  unk_in_.resize(nprocs);
+  live_.resize(nprocs);
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    const std::size_t n = procs[p].code.size();
+    must_in_[p].resize(n);
+    may_in_[p].resize(n);
+    unk_in_[p].assign(n, 0);
+    live_[p].assign(n, 0);
+    for (std::uint32_t pc = 0; pc < n; ++pc) {
+      const State& st = in[p][pc];
+      must_in_[p][pc] = st.must;
+      may_in_[p][pc] = st.may;
+      unk_in_[p][pc] = st.unk ? 1 : 0;
+      live_[p][pc] = st.live ? 1 : 0;
+      if (!st.live) continue;
+      const Instr& instr = procs[p].code[pc];
+      const bool process_end =
+          instr.op == Op::Halt && (procs[p].is_thread || p == prog.entry_proc());
+      if ((instr.op == Op::Lock || instr.op == Op::Join || process_end) &&
+          (st.may != 0 || st.unk)) {
+        blocking_while_locked_ = true;
+      }
+      if (instr.op == Op::Unlock) {
+        const auto bit = bit_of(*instr.lhs);
+        if (!bit || (st.must >> *bit & 1) == 0) unlocks_owned_ = false;
+      }
+    }
+  }
+}
+
+std::string LockSets::lock_name(unsigned bit) const {
+  return sem::lock_cell_name(*prog_, lock_slots_.at(bit));
+}
+
+std::optional<unsigned> LockSets::bit_of_slot(std::uint32_t slot) const {
+  const auto it = std::lower_bound(lock_slots_.begin(), lock_slots_.end(), slot);
+  if (it == lock_slots_.end() || *it != slot) return std::nullopt;
+  return static_cast<unsigned>(it - lock_slots_.begin());
+}
+
+std::string LockSets::report() const {
+  std::ostringstream os;
+  for (const sem::Proc& p : prog_->procs()) {
+    for (std::uint32_t pc = 0; pc < p.code.size(); ++pc) {
+      if (!live(p.id, pc)) continue;
+      const Mask m = held(p.id, pc);
+      if (m == 0) continue;
+      os << p.name << '@' << pc << ": {";
+      bool first = true;
+      for (unsigned b = 0; b < num_locks(); ++b) {
+        if ((m >> b & 1) == 0) continue;
+        if (!first) os << ',';
+        os << lock_name(b);
+        first = false;
+      }
+      os << "}\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace copar::analysis

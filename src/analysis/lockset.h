@@ -1,0 +1,119 @@
+// Flow-sensitive, interprocedural lockset analysis over the lowered program.
+//
+// For every reachable program point (proc, pc) this computes:
+//
+//   * the MUST-held lockset on entry — locks the executing process is
+//     guaranteed to own whenever control reaches the point. The join is
+//     intersection, so a lock counts only if *every* path holds it; two
+//     accesses whose must-sets share a lock are mutually exclusive, which is
+//     the suppression test of the static race tier (see racecand.h).
+//   * a MAY-held lockset (union join) used for the blocking-discipline
+//     query: when no reachable process ever blocks — at a Lock or a Join —
+//     while possibly holding a lock, lock-cycle deadlocks are impossible.
+//
+// Lock identity is static (sem/lockid.h): only lock cells named by a plain
+// global variable reference are tracked, up to 64 of them (a bitmask, the
+// same cap as the sleep-set pid masks). Anonymous lock operations are
+// handled conservatively: an anonymous acquire protects nothing (must-set
+// unchanged) but may hold "something" (the unknown flag); an anonymous
+// release could release any tracked lock, so it clears the must-set.
+//
+// Interprocedural rules:
+//   * the entry proc starts with the empty lockset;
+//   * a function's entry set is the intersection of the locksets at its
+//     (reachable) call sites — its body is protected only by locks every
+//     caller holds; after the call the caller keeps a lock only if no
+//     transitive callee may release it;
+//   * thread procs start empty: lock ownership is per-process, so a forked
+//     child inherits nothing, and fork/join leave the forker's own lockset
+//     untouched (a child can never successfully release its parent's lock).
+//
+// Points the analysis never reaches (dead code, procs never called) report
+// the *full* mask: vacuously, every lock is held at a point that cannot
+// execute. Consumers that care can ask `live()`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/explore/staticinfo.h"
+#include "src/sem/lower.h"
+
+namespace copar::analysis {
+
+class LockSets {
+ public:
+  using Mask = std::uint64_t;
+
+  LockSets(const sem::LoweredProgram& prog, const explore::StaticInfo& info);
+
+  /// Number of tracked lock cells (distinct global slots ever locked).
+  [[nodiscard]] unsigned num_locks() const noexcept {
+    return static_cast<unsigned>(lock_slots_.size());
+  }
+  /// True when more than 64 distinct lock cells exist; the excess cells are
+  /// untracked (treated as anonymous), which only loses suppressions.
+  [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+
+  /// Source name of tracked lock `bit` ("m").
+  [[nodiscard]] std::string lock_name(unsigned bit) const;
+  /// Bit of a global slot, if it is a tracked lock cell.
+  [[nodiscard]] std::optional<unsigned> bit_of_slot(std::uint32_t slot) const;
+
+  /// The analysis reaches (proc, pc) from the program entry.
+  [[nodiscard]] bool live(std::uint32_t proc, std::uint32_t pc) const {
+    return live_[proc][pc] != 0;
+  }
+  /// MUST-held mask on entry to (proc, pc); full mask when not live.
+  [[nodiscard]] Mask held(std::uint32_t proc, std::uint32_t pc) const {
+    return live(proc, pc) ? must_in_[proc][pc] : ~Mask{0};
+  }
+  /// MAY-held mask on entry to (proc, pc); empty when not live.
+  [[nodiscard]] Mask may_held(std::uint32_t proc, std::uint32_t pc) const {
+    return live(proc, pc) ? may_in_[proc][pc] : Mask{0};
+  }
+  /// An anonymous (untracked) lock may be held on entry to (proc, pc).
+  [[nodiscard]] bool may_hold_unknown(std::uint32_t proc, std::uint32_t pc) const {
+    return live(proc, pc) && unk_in_[proc][pc] != 0;
+  }
+
+  /// Some reachable process may block (at a Lock or a Join) or terminate
+  /// (thread/entry Halt) while possibly holding a lock.
+  [[nodiscard]] bool blocking_while_locked() const noexcept { return blocking_while_locked_; }
+
+  /// Every lock cell is *pristine*: zero-initialized, named statically by
+  /// every lock/unlock that touches it, and never written by a non-lock
+  /// instruction. Pristine cells obey the ownership protocol exactly —
+  /// truthy iff some live process holds them.
+  [[nodiscard]] bool pristine() const noexcept { return pristine_; }
+
+  /// Deadlock is statically impossible: lock cells are pristine and no
+  /// reachable process ever blocks or terminates while holding one. (A
+  /// blocked process waits on a cell some live process holds; that holder
+  /// would itself have to be blocked or dead while holding — excluded.)
+  [[nodiscard]] bool deadlock_free() const noexcept {
+    return pristine_ && !blocking_while_locked_;
+  }
+
+  /// Unlock-not-held faults are statically impossible: cells are pristine
+  /// and every reachable Unlock releases a lock in its must-held set.
+  [[nodiscard]] bool unlocks_safe() const noexcept { return pristine_ && unlocks_owned_; }
+
+  /// Stable per-point dump ("main@3: {m}") for tests and debugging.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  const sem::LoweredProgram* prog_;
+  std::vector<std::uint32_t> lock_slots_;  // bit -> global slot, ascending
+  bool overflowed_ = false;
+  bool blocking_while_locked_ = false;
+  bool pristine_ = true;
+  bool unlocks_owned_ = true;
+  // Entry-of-instruction states, indexed [proc][pc].
+  std::vector<std::vector<Mask>> must_in_, may_in_;
+  std::vector<std::vector<char>> unk_in_, live_;
+};
+
+}  // namespace copar::analysis

@@ -9,12 +9,12 @@
 
 namespace copar::analysis {
 
-bool Mhp::parallel(const sem::LoweredProgram& prog, std::string_view l1,
-                   std::string_view l2) const {
+MhpAnswer Mhp::parallel(const sem::LoweredProgram& prog, std::string_view l1,
+                        std::string_view l2) const {
   const auto s = labeled_stmt(prog, l1);
   const auto t = labeled_stmt(prog, l2);
-  if (!s.has_value() || !t.has_value()) return false;
-  return parallel(*s, *t);
+  if (!s.has_value() || !t.has_value()) return MhpAnswer::UnknownLabel;
+  return parallel(*s, *t) ? MhpAnswer::Yes : MhpAnswer::No;
 }
 
 std::string Mhp::report(const sem::LoweredProgram& prog) const {

@@ -13,6 +13,10 @@
 
 namespace copar::analysis {
 
+/// Answer of a by-label MHP query. A typo'd label is reported distinctly
+/// instead of masquerading as "not parallel".
+enum class MhpAnswer : std::uint8_t { No, Yes, UnknownLabel };
+
 class Mhp {
  public:
   std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;  // lo <= hi
@@ -21,9 +25,9 @@ class Mhp {
     return pairs.contains({std::min(s, t), std::max(s, t)});
   }
 
-  /// By label; false if either label is unknown.
-  [[nodiscard]] bool parallel(const sem::LoweredProgram& prog, std::string_view l1,
-                              std::string_view l2) const;
+  /// By label; UnknownLabel if either label does not name a statement.
+  [[nodiscard]] MhpAnswer parallel(const sem::LoweredProgram& prog, std::string_view l1,
+                                   std::string_view l2) const;
 
   [[nodiscard]] std::string report(const sem::LoweredProgram& prog) const;
 };

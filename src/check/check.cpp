@@ -16,9 +16,15 @@
 #include "src/analysis/anomaly.h"
 #include "src/analysis/common.h"
 #include "src/analysis/deadstore.h"
+#include "src/analysis/lockset.h"
+#include "src/analysis/racecand.h"
+#include "src/analysis/staticmhp.h"
 #include "src/explore/explorer.h"
 #include "src/explore/witness.h"
+#include "src/sem/lockid.h"
 #include "src/sem/step.h"
+#include "src/support/stats.h"
+#include "src/support/telemetry.h"
 
 namespace copar::check {
 
@@ -27,7 +33,7 @@ namespace {
 constexpr std::string_view kSuppressHint =
     "suppress with `// copar-ignore(<code>)` on or above the line";
 
-constexpr std::array<RuleInfo, 17> kCatalog = {{
+constexpr std::array<RuleInfo, 18> kCatalog = {{
     {"arity-mismatch", Severity::Error, "call with the wrong number of arguments",
      "The callee's parameter list does not match the argument count on some path."},
     {"assert-fail", Severity::Error, "assertion fails on some interleaving",
@@ -55,6 +61,9 @@ constexpr std::array<RuleInfo, 17> kCatalog = {{
     {"race", Severity::Error, "data race between concurrent statements",
      "Two statements that may run in parallel access the same location, at least one "
      "writing, with no synchronization ordering them."},
+    {"race-guarded", Severity::Note, "conflicting accesses protected by a common lock",
+     "The static tier proved the pair race-free: every path to both accesses holds the "
+     "named lock, so they are mutually exclusive. Reported by --tier=static only."},
     {"syntax", Severity::Error, "lexical, syntactic, or resolution error",
      "The program does not parse or resolve; remaining checks did not run."},
     {"type-error", Severity::Error, "operands have incompatible runtime types",
@@ -146,10 +155,56 @@ std::string_view fault_code(sem::Fault f) {
   return "fault";
 }
 
+std::string_view tier_name(Tier t) {
+  switch (t) {
+    case Tier::Auto: return "auto";
+    case Tier::Static: return "static";
+    case Tier::Explore: return "explore";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The co-enabledness predicate behind race witnesses: a reachable state
+/// where both statements are simultaneously enabled (for a self-race, two
+/// enabled instances of the statement).
+std::function<bool(const sem::Configuration&)> race_reach_predicate(std::uint32_t s1,
+                                                                    std::uint32_t s2) {
+  return [s1, s2](const sem::Configuration& cfg) {
+    int n1 = 0;
+    int n2 = 0;
+    for (const sem::ActionInfo& info : sem::all_action_infos(cfg)) {
+      if (!info.enabled || info.stmt_id == sem::kNoStmt) continue;
+      if (info.stmt_id == s1) ++n1;
+      if (info.stmt_id == s2) ++n2;
+    }
+    return s1 == s2 ? n1 >= 2 : (n1 >= 1 && n2 >= 1);
+  };
+}
+
+/// The static race tier: location classes, syntactic parallelism, locksets,
+/// and the pruned candidate list (docs/TIERED_CHECKING.md).
+struct StaticTier {
+  explore::StaticInfo info;
+  analysis::StaticParallelism par;
+  analysis::LockSets locks;
+  analysis::CandidateReport cands;
+
+  explicit StaticTier(const sem::LoweredProgram& prog)
+      : info(prog),
+        par(prog, info),
+        locks(prog, info),
+        cands(analysis::race_candidates(prog, info, par, locks)) {}
+};
+
+}  // namespace
+
 CheckSummary run_checks(const CompiledProgram& cp, DiagnosticEngine& engine,
                         const CheckOptions& opts) {
   const sem::LoweredProgram& prog = *cp.lowered;
   CheckSummary sum;
+  sum.tier = opts.tier;
 
   // Abstract pass (intervals): may-faults, uninitialized reads, assertion
   // and reachability facts. Terminates on every program (widening).
@@ -159,41 +214,88 @@ CheckSummary run_checks(const CompiledProgram& cp, DiagnosticEngine& engine,
       absem::AbsExplorer<absdom::Interval>(prog, aopts).run();
   sum.abstract_states = abs.num_states;
 
+  // Static tier (auto/static): lockset + MHP candidate generation, zero
+  // exploration.
+  std::optional<StaticTier> st;
+  if (opts.tier != Tier::Explore) {
+    st.emplace(prog);
+    sum.stats.pairs_total = st->cands.pairs_total;
+    sum.stats.pruned_mhp = st->cands.pruned_mhp;
+    sum.stats.pruned_lockset = st->cands.pruned_lockset;
+    sum.stats.candidates = st->cands.candidates.size();
+  }
+
+  // Does the full concrete exploration run? The auto tier skips it when the
+  // static facts discharge everything it would establish: races go through
+  // directed per-candidate searches instead, and faults / assertions /
+  // deadlock are covered by the (sound) abstract may-sets plus the lock
+  // discipline predicates — the abstract pass does not model
+  // unlock-not-held or deadlock, so those two need the lockset proofs.
+  bool explore_now = true;
+  if (opts.tier == Tier::Static) {
+    explore_now = false;
+  } else if (opts.tier == Tier::Auto) {
+    explore_now = abs.truncated || !abs.may_faults.empty() ||
+                  !abs.may_fail_asserts.empty() || !st->locks.deadlock_free() ||
+                  !st->locks.unlocks_safe();
+  }
+
   // Concrete pass: ground truth when it completes — copar programs are
   // closed (no inputs), so an untruncated exploration covers every behavior.
-  explore::ExploreOptions eopts;
-  eopts.record_pairs = true;
-  eopts.max_configs = opts.max_configs;
-  const explore::ExploreResult conc = explore::explore(prog, eopts);
-  sum.concrete_configs = conc.num_configs;
-  sum.concrete_exhaustive = !conc.truncated;
+  explore::ExploreResult conc;
+  if (explore_now) {
+    explore::ExploreOptions eopts;
+    // The auto tier resolves races via directed searches; skip the
+    // O(enabled²)-per-state pair recording it would never read.
+    eopts.record_pairs = opts.tier == Tier::Explore;
+    eopts.max_configs = opts.max_configs;
+    conc = explore::explore(prog, eopts);
+    sum.explored = true;
+    sum.concrete_configs = conc.num_configs;
+    sum.stats.configs_explored += conc.num_configs;
+    sum.concrete_exhaustive = !conc.truncated;
+  } else {
+    // Auto: nothing left for exploration to decide — definite by static
+    // proof (directed searches may still flip this on budget exhaustion).
+    // Static: definite only when the static facts discharge everything.
+    sum.concrete_exhaustive =
+        opts.tier == Tier::Auto ||
+        (!abs.truncated && abs.may_faults.empty() && abs.may_fail_asserts.empty() &&
+         st->cands.candidates.empty() && st->locks.deadlock_free() &&
+         st->locks.unlocks_safe());
+  }
 
   std::size_t witness_budget = opts.witnesses ? opts.max_witnesses : 0;
   auto try_witness = [&](explore::WitnessQuery q) -> std::optional<explore::Witness> {
     if (witness_budget == 0) return std::nullopt;
     --witness_budget;
     q.explore.max_configs = opts.max_configs;
-    return explore::find_witness(prog, q);
+    explore::WitnessStats ws;
+    auto w = explore::find_witness(prog, q, &ws);
+    sum.stats.configs_explored += ws.configs;
+    return w;
   };
 
   // --- run-time faults ----------------------------------------------------
-  for (const auto& [stmt, fault_raw] : conc.faults) {
-    const auto fault = static_cast<sem::Fault>(fault_raw);
-    Diagnostic d = make_finding(fault_code(fault), Severity::Error, prog.stmt_span(stmt),
-                                std::string(fault_phrase(fault)) + " in " +
-                                    analysis::describe_stmt(prog, stmt));
-    explore::WitnessQuery q;
-    q.want_fault = stmt;
-    if (auto w = try_witness(std::move(q))) d.notes = witness_notes(prog, *w);
-    engine.report(std::move(d));
+  if (sum.explored) {
+    for (const auto& [stmt, fault_raw] : conc.faults) {
+      const auto fault = static_cast<sem::Fault>(fault_raw);
+      Diagnostic d = make_finding(fault_code(fault), Severity::Error, prog.stmt_span(stmt),
+                                  std::string(fault_phrase(fault)) + " in " +
+                                      analysis::describe_stmt(prog, stmt));
+      explore::WitnessQuery q;
+      q.want_fault = stmt;
+      if (auto w = try_witness(std::move(q))) d.notes = witness_notes(prog, *w);
+      engine.report(std::move(d));
+    }
   }
-  if (!sum.concrete_exhaustive) {
-    // The concrete space was truncated: surface the abstract may-faults it
-    // did not get to confirm. (When exhaustive, unconfirmed abstract
+  if ((sum.explored && conc.truncated) || opts.tier == Tier::Static) {
+    // No (complete) concrete confirmation pass: surface the abstract
+    // may-faults as warnings. (When exhaustive, unconfirmed abstract
     // alarms are refuted and dropped.)
     std::set<std::pair<std::uint32_t, std::uint8_t>> seen;
     for (const auto& [stmt, expr, fault_raw] : abs.may_faults) {
-      if (conc.faults.contains({stmt, fault_raw})) continue;
+      if (sum.explored && conc.faults.contains({stmt, fault_raw})) continue;
       if (!seen.insert({stmt, fault_raw}).second) continue;
       const auto fault = static_cast<sem::Fault>(fault_raw);
       engine.report(make_finding(fault_code(fault), Severity::Warning, prog.stmt_span(stmt),
@@ -201,55 +303,155 @@ CheckSummary run_checks(const CompiledProgram& cp, DiagnosticEngine& engine,
                                      analysis::describe_stmt(prog, stmt)));
     }
   }
+  if (opts.tier == Tier::Static && st->locks.pristine() && !st->locks.unlocks_safe()) {
+    // The abstract pass does not model lock ownership; the lockset analysis
+    // flags releases that may not own the lock.
+    for (const sem::Proc& p : prog.procs()) {
+      for (std::uint32_t pc = 0; pc < p.code.size(); ++pc) {
+        const sem::Instr& i = p.code[pc];
+        if (i.op != sem::Op::Unlock || !st->locks.live(p.id, pc)) continue;
+        const auto slot = sem::lock_global_slot(prog, *i.lhs);
+        const auto bit = slot ? st->locks.bit_of_slot(*slot) : std::nullopt;
+        if (bit && (st->locks.held(p.id, pc) >> *bit & 1) != 0) continue;
+        const SourceSpan span = i.stmt != nullptr ? prog.stmt_span(i.stmt->id()) : SourceSpan{};
+        engine.report(make_finding("unlock-not-held", Severity::Warning, span,
+                                   "possible unlock of a lock that is not held (not in the "
+                                   "must-held lockset)"));
+      }
+    }
+  }
 
   // --- data races ---------------------------------------------------------
-  analysis::Anomalies anomalies;
-  if (sum.concrete_exhaustive) {
-    anomalies = analysis::anomalies_from(conc);
-  } else {
-    // Fall back to the sound abstract anomaly candidates.
-    absem::AbsOptions fopts;
-    fopts.max_states = opts.abs_max_states;
-    const absem::AbsResult<absdom::FlatInt> flat =
-        absem::AbsExplorer<absdom::FlatInt>(prog, fopts).run();
-    anomalies = analysis::anomalies_from(flat);
-  }
-  for (const analysis::Anomaly& a : anomalies.all) {
-    if (is_sync_stmt(prog, a.stmt1) && is_sync_stmt(prog, a.stmt2)) continue;
-    std::ostringstream msg;
-    if (!sum.concrete_exhaustive) msg << "possible ";
-    msg << (a.write_write ? "write/write" : "write/read") << " data race between "
-        << analysis::describe_stmt(prog, a.stmt1) << " and "
-        << analysis::describe_stmt(prog, a.stmt2);
-    Diagnostic d = make_finding("race", Severity::Error, prog.stmt_span(a.stmt1), msg.str());
-    d.related_spans.push_back(prog.stmt_span(a.stmt2));
-    // Witness: a reachable state where both statements are simultaneously
-    // enabled (for a self-race, two enabled instances of the statement).
-    explore::WitnessQuery q;
-    const std::uint32_t s1 = a.stmt1;
-    const std::uint32_t s2 = a.stmt2;
-    q.reach_predicate = [s1, s2](const sem::Configuration& cfg) {
-      int n1 = 0;
-      int n2 = 0;
-      for (const sem::ActionInfo& info : sem::all_action_infos(cfg)) {
-        if (!info.enabled || info.stmt_id == sem::kNoStmt) continue;
-        if (info.stmt_id == s1) ++n1;
-        if (info.stmt_id == s2) ++n2;
-      }
-      return s1 == s2 ? n1 >= 2 : (n1 >= 1 && n2 >= 1);
-    };
-    if (auto w = try_witness(std::move(q))) {
-      d.notes = witness_notes(prog, *w);
-      d.notes.push_back(DiagNote{
-          prog.stmt_span(s2), "here " + analysis::describe_stmt(prog, s1) + " and " +
-                                  analysis::describe_stmt(prog, s2) +
-                                  " are both enabled; either may fire first"});
+  if (opts.tier == Tier::Explore) {
+    analysis::Anomalies anomalies;
+    if (sum.concrete_exhaustive) {
+      anomalies = analysis::anomalies_from(conc);
+    } else {
+      // Fall back to the sound abstract anomaly candidates.
+      absem::AbsOptions fopts;
+      fopts.max_states = opts.abs_max_states;
+      const absem::AbsResult<absdom::FlatInt> flat =
+          absem::AbsExplorer<absdom::FlatInt>(prog, fopts).run();
+      anomalies = analysis::anomalies_from(flat);
     }
-    engine.report(std::move(d));
+    for (const analysis::Anomaly& a : anomalies.all) {
+      if (is_sync_stmt(prog, a.stmt1) && is_sync_stmt(prog, a.stmt2)) continue;
+      std::ostringstream msg;
+      if (!sum.concrete_exhaustive) msg << "possible ";
+      msg << (a.write_write ? "write/write" : "write/read") << " data race between "
+          << analysis::describe_stmt(prog, a.stmt1) << " and "
+          << analysis::describe_stmt(prog, a.stmt2);
+      Diagnostic d =
+          make_finding("race", Severity::Error, prog.stmt_span(a.stmt1), msg.str());
+      d.related_spans.push_back(prog.stmt_span(a.stmt2));
+      explore::WitnessQuery q;
+      q.reach_predicate = race_reach_predicate(a.stmt1, a.stmt2);
+      if (auto w = try_witness(std::move(q))) {
+        d.notes = witness_notes(prog, *w);
+        d.notes.push_back(DiagNote{
+            prog.stmt_span(a.stmt2), "here " + analysis::describe_stmt(prog, a.stmt1) +
+                                         " and " + analysis::describe_stmt(prog, a.stmt2) +
+                                         " are both enabled; either may fire first"});
+      }
+      engine.report(std::move(d));
+    }
+  } else if (opts.tier == Tier::Static) {
+    // Static tier: candidates are reported as-is (possible races), pairs
+    // proven race-free by a common lock as race-guarded notes.
+    for (const analysis::RaceCandidate& c : st->cands.candidates) {
+      for (const bool ww : {true, false}) {
+        if (ww ? !c.write_write : !c.write_read) continue;
+        std::ostringstream msg;
+        msg << "possible " << (ww ? "write/write" : "write/read")
+            << " data race between " << analysis::describe_stmt(prog, c.stmt1) << " and "
+            << analysis::describe_stmt(prog, c.stmt2);
+        Diagnostic d =
+            make_finding("race", Severity::Error, prog.stmt_span(c.stmt1), msg.str());
+        d.related_spans.push_back(prog.stmt_span(c.stmt2));
+        d.notes.push_back(DiagNote{{}, "static-tier candidate: run --tier=auto to confirm "
+                                       "or refute with a directed search"});
+        engine.report(std::move(d));
+      }
+    }
+    for (const analysis::SuppressedPair& s : st->cands.suppressed) {
+      Diagnostic d = make_finding(
+          "race-guarded", Severity::Note, prog.stmt_span(s.stmt1),
+          "conflicting accesses " + analysis::describe_stmt(prog, s.stmt1) + " and " +
+              analysis::describe_stmt(prog, s.stmt2) + " are race-free: both hold lock '" +
+              s.lock + "'");
+      d.related_spans.push_back(prog.stmt_span(s.stmt2));
+      engine.report(std::move(d));
+    }
+  } else {
+    // Auto tier: a directed witness search per candidate, budgeted per pair.
+    // A found co-enabled state confirms the race; an exhausted search
+    // refutes it; a truncated search downgrades to "possible".
+    for (const analysis::RaceCandidate& c : st->cands.candidates) {
+      explore::WitnessQuery q;
+      q.reach_predicate = race_reach_predicate(c.stmt1, c.stmt2);
+      q.explore.max_configs = opts.pair_budget;
+      explore::WitnessStats ws;
+      const std::optional<explore::Witness> w = explore::find_witness(prog, q, &ws);
+      sum.stats.configs_explored += ws.configs;
+      if (!w.has_value() && !ws.truncated) {
+        ++sum.stats.refuted;
+        continue;
+      }
+      if (w.has_value()) {
+        ++sum.stats.confirmed;
+      } else {
+        ++sum.stats.budget_exhausted;
+        sum.concrete_exhaustive = false;
+      }
+      for (const bool ww : {true, false}) {
+        if (ww ? !c.write_write : !c.write_read) continue;
+        std::ostringstream msg;
+        if (!w.has_value()) msg << "possible ";
+        msg << (ww ? "write/write" : "write/read") << " data race between "
+            << analysis::describe_stmt(prog, c.stmt1) << " and "
+            << analysis::describe_stmt(prog, c.stmt2);
+        Diagnostic d =
+            make_finding("race", Severity::Error, prog.stmt_span(c.stmt1), msg.str());
+        d.related_spans.push_back(prog.stmt_span(c.stmt2));
+        if (w.has_value() && opts.witnesses) {
+          d.notes = witness_notes(prog, *w);
+          d.notes.push_back(DiagNote{
+              prog.stmt_span(c.stmt2), "here " + analysis::describe_stmt(prog, c.stmt1) +
+                                           " and " + analysis::describe_stmt(prog, c.stmt2) +
+                                           " are both enabled; either may fire first"});
+        } else if (!w.has_value()) {
+          d.notes.push_back(DiagNote{
+              {}, "directed search exhausted its --pair-budget of " +
+                      std::to_string(opts.pair_budget) +
+                      " configurations without confirming or refuting; raise it to decide"});
+        }
+        engine.report(std::move(d));
+      }
+    }
   }
 
   // --- deadlock -----------------------------------------------------------
-  if (conc.deadlock_found) {
+  if (opts.tier == Tier::Static && !st->locks.deadlock_free()) {
+    // No exploration to confirm it; anchor at the first blocking point that
+    // may hold a lock (or the first lock statement when cells are tainted).
+    SourceSpan span;
+    for (const sem::Proc& p : prog.procs()) {
+      for (std::uint32_t pc = 0; pc < p.code.size() && !span.valid(); ++pc) {
+        const sem::Instr& i = p.code[pc];
+        if (i.stmt == nullptr || !st->locks.live(p.id, pc)) continue;
+        const bool blocks = i.op == sem::Op::Lock || i.op == sem::Op::Join;
+        if (!blocks) continue;
+        if (!st->locks.pristine() || st->locks.may_held(p.id, pc) != 0 ||
+            st->locks.may_hold_unknown(p.id, pc)) {
+          span = prog.stmt_span(i.stmt->id());
+        }
+      }
+    }
+    engine.report(make_finding("deadlock", Severity::Warning, span,
+                               "possible deadlock: a process may block while holding a "
+                               "lock (static tier; run --tier=auto to confirm)"));
+  }
+  if (sum.explored && conc.deadlock_found) {
     // Anchor the finding at the statements the blocked processes sit on.
     SourceSpan span;
     std::vector<SourceSpan> related;
@@ -277,18 +479,20 @@ CheckSummary run_checks(const CompiledProgram& cp, DiagnosticEngine& engine,
   }
 
   // --- assertions ---------------------------------------------------------
-  for (const std::uint32_t stmt : conc.violations) {
-    Diagnostic d = make_finding("assert-fail", Severity::Error, prog.stmt_span(stmt),
-                                "assertion fails on some interleaving: " +
-                                    analysis::describe_stmt(prog, stmt));
-    explore::WitnessQuery q;
-    q.want_violation = stmt;
-    if (auto w = try_witness(std::move(q))) d.notes = witness_notes(prog, *w);
-    engine.report(std::move(d));
+  if (sum.explored) {
+    for (const std::uint32_t stmt : conc.violations) {
+      Diagnostic d = make_finding("assert-fail", Severity::Error, prog.stmt_span(stmt),
+                                  "assertion fails on some interleaving: " +
+                                      analysis::describe_stmt(prog, stmt));
+      explore::WitnessQuery q;
+      q.want_violation = stmt;
+      if (auto w = try_witness(std::move(q))) d.notes = witness_notes(prog, *w);
+      engine.report(std::move(d));
+    }
   }
-  if (!sum.concrete_exhaustive) {
+  if ((sum.explored && conc.truncated) || opts.tier == Tier::Static) {
     for (const std::uint32_t stmt : abs.may_fail_asserts) {
-      if (conc.violations.contains(stmt)) continue;
+      if (sum.explored && conc.violations.contains(stmt)) continue;
       engine.report(make_finding("assert-may-fail", Severity::Warning, prog.stmt_span(stmt),
                                  "assertion may fail: " +
                                      analysis::describe_stmt(prog, stmt)));
@@ -328,6 +532,21 @@ CheckSummary run_checks(const CompiledProgram& cp, DiagnosticEngine& engine,
     engine.report(make_finding("dead-store", Severity::Warning, prog.stmt_span(stmt),
                                "stored value is never observed: " +
                                    analysis::describe_stmt(prog, stmt)));
+  }
+
+  // Tier statistics ride the shared metrics surface (`copar-cli
+  // --metrics-out`, `metrics-dump`): publish as `check.*` counters.
+  {
+    StatRegistry reg;
+    reg.set("check.pairs_total", sum.stats.pairs_total);
+    reg.set("check.pruned_mhp", sum.stats.pruned_mhp);
+    reg.set("check.pruned_lockset", sum.stats.pruned_lockset);
+    reg.set("check.candidates", sum.stats.candidates);
+    reg.set("check.confirmed", sum.stats.confirmed);
+    reg.set("check.refuted", sum.stats.refuted);
+    reg.set("check.budget_exhausted", sum.stats.budget_exhausted);
+    reg.set("check.configs_explored", sum.stats.configs_explored);
+    telemetry::Telemetry::global().publish_stats(reg);
   }
 
   engine.sort_by_location();

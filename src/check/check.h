@@ -31,7 +31,25 @@
 
 namespace copar::check {
 
+/// Which race pipeline runs (docs/TIERED_CHECKING.md).
+///
+///   * Explore — the legacy pipeline: one full concrete exploration with
+///     pair recording is the race oracle.
+///   * Static  — the static tier alone, zero exploration: lockset + MHP
+///     candidates are reported as possible races, lock-suppressed pairs as
+///     `race-guarded` notes.
+///   * Auto (default) — the static tier prunes, then a *directed* witness
+///     search confirms or refutes each surviving candidate under a per-pair
+///     budget; the full exploration runs only for what the static tier
+///     cannot discharge (abstract may-faults, may-fail assertions, possible
+///     deadlock or unlock-not-held).
+enum class Tier : std::uint8_t { Auto, Static, Explore };
+
+std::string_view tier_name(Tier t);
+
 struct CheckOptions {
+  /// Race pipeline (see Tier).
+  Tier tier = Tier::Auto;
   /// Search for witness interleavings for error findings (bounded BFS).
   bool witnesses = true;
   /// At most this many witness searches per run (they re-explore).
@@ -39,14 +57,42 @@ struct CheckOptions {
   /// Budgets for the concrete exploration and the abstract fixpoint.
   std::uint64_t max_configs = 200000;
   std::uint64_t abs_max_states = 200000;
+  /// Directed-search budget per candidate pair (auto tier).
+  std::uint64_t pair_budget = 50000;
+};
+
+/// Static-tier effectiveness counters (also exported as `check.*` metrics
+/// and in the `--json` report).
+struct TierStats {
+  /// Conflicting statement pairs considered (the candidate universe).
+  std::uint64_t pairs_total = 0;
+  /// ... of which no syntactic interleaving can co-schedule.
+  std::uint64_t pruned_mhp = 0;
+  /// ... of which a common must-held lock proves race-free.
+  std::uint64_t pruned_lockset = 0;
+  /// Candidates that survived both prunes.
+  std::uint64_t candidates = 0;
+  /// Auto tier: candidates confirmed by a directed witness, refuted by an
+  /// exhausted search, or undecided when the pair budget ran out.
+  std::uint64_t confirmed = 0;
+  std::uint64_t refuted = 0;
+  std::uint64_t budget_exhausted = 0;
+  /// Explorer configurations expanded on behalf of the race pipeline
+  /// (full exploration + directed searches); 0 in the static tier.
+  std::uint64_t configs_explored = 0;
 };
 
 struct CheckSummary {
-  /// The concrete exploration covered the full state space (no truncation):
-  /// error findings are definite, refuted abstract alarms were dropped.
+  /// The findings are definite: either a full concrete exploration covered
+  /// the state space, or the static tier discharged everything it skipped
+  /// (and no directed search ran out of budget).
   bool concrete_exhaustive = false;
+  /// A full concrete exploration ran (false when the tiers skipped it).
+  bool explored = false;
+  Tier tier = Tier::Auto;
   std::uint64_t concrete_configs = 0;
   std::uint64_t abstract_states = 0;
+  TierStats stats;
 };
 
 /// Stable check-code metadata (sorted by id), the single source of truth

@@ -52,8 +52,10 @@ bool matches(const WitnessQuery& q, const Configuration& cfg, bool deadlock) {
 }  // namespace
 
 std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
-                                    const WitnessQuery& query) {
+                                    const WitnessQuery& query, WitnessStats* stats) {
   const StaticInfo static_info(prog);
+  WitnessStats local;
+  if (stats == nullptr) stats = &local;
 
   struct Node {
     Configuration cfg;
@@ -93,7 +95,11 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
     const std::uint32_t id = *popped;
     telemetry::Telemetry::global().maybe_progress(nodes.size(), nodes.size() - work.size(),
                                                  work.size());
-    if (nodes.size() > query.explore.max_configs) return std::nullopt;
+    stats->configs = nodes.size();
+    if (nodes.size() > query.explore.max_configs) {
+      stats->truncated = true;
+      return std::nullopt;
+    }
 
     // Snapshot — nodes may reallocate during expansion.
     const Configuration cfg = nodes[id].cfg;
@@ -134,6 +140,7 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
     (void)fire_with_insertion_proviso(enabled, expansion, reduced, /*cycle_proviso=*/true,
                                       fire);
   }
+  stats->configs = nodes.size();
   return std::nullopt;
 }
 

@@ -50,9 +50,20 @@ struct WitnessQuery {
   ExploreOptions explore;  // reduction etc.; record flags are ignored
 };
 
+/// How a witness search ended: the configurations it expanded and whether it
+/// gave up on `max_configs` before covering the space. A nullopt result with
+/// `truncated == false` is a *refutation* — the full space holds no match —
+/// while `truncated == true` is merely budget exhaustion.
+struct WitnessStats {
+  std::uint64_t configs = 0;
+  bool truncated = false;
+};
+
 /// Explores until a terminal matching the query is found; nullopt if the
-/// (possibly truncated) exploration finds none.
-std::optional<Witness> find_witness(const sem::LoweredProgram& prog, const WitnessQuery& query);
+/// (possibly truncated) exploration finds none. `stats`, when non-null,
+/// receives the search effort and the truncation verdict.
+std::optional<Witness> find_witness(const sem::LoweredProgram& prog, const WitnessQuery& query,
+                                    WitnessStats* stats = nullptr);
 
 /// Convenience: a schedule into any deadlock.
 std::optional<Witness> find_deadlock(const sem::LoweredProgram& prog);

@@ -1,0 +1,22 @@
+#include "src/sem/lockid.h"
+
+#include "src/lang/ast.h"
+
+namespace copar::sem {
+
+std::optional<std::uint32_t> lock_global_slot(const LoweredProgram& prog,
+                                              const lang::Expr& lvalue) {
+  if (lvalue.kind() != lang::ExprKind::VarRef) return std::nullopt;
+  const VarLoc& vl = prog.varloc(lvalue.id());
+  if (!vl.is_global) return std::nullopt;
+  return vl.slot;
+}
+
+std::string lock_cell_name(const LoweredProgram& prog, std::uint32_t slot) {
+  for (const GlobalSlot& g : prog.globals()) {
+    if (g.slot == slot) return std::string(prog.module().interner().spelling(g.name));
+  }
+  return "global#" + std::to_string(slot);
+}
+
+}  // namespace copar::sem

@@ -1,0 +1,30 @@
+// Static identity of lock cells in the lowered form.
+//
+// The concrete semantics locks whatever store cell the lvalue evaluates to
+// (step.cpp keys `lock_owners` by (object, offset)). The static tier needs a
+// name for that cell before any execution exists. A lock operand that is a
+// plain global variable reference always denotes the same store cell — the
+// globals object at a fixed slot — so it gets a stable identity; anything
+// else (locals, derefs, indexed cells) may denote different cells on
+// different paths and stays anonymous, which the lockset analysis treats
+// conservatively (an anonymous acquire protects nothing, an anonymous
+// release may release anything).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/sem/lower.h"
+
+namespace copar::sem {
+
+/// The global slot a lock/unlock operand statically resolves to, or nullopt
+/// when the operand is not a plain global variable reference.
+std::optional<std::uint32_t> lock_global_slot(const LoweredProgram& prog,
+                                              const lang::Expr& lvalue);
+
+/// Source name of a global lock cell ("m"), or "global#<slot>" if unnamed.
+std::string lock_cell_name(const LoweredProgram& prog, std::uint32_t slot);
+
+}  // namespace copar::sem

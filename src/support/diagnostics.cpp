@@ -225,7 +225,8 @@ void DiagnosticEngine::render_text(std::ostream& os, std::string_view source,
   os << '\n';
 }
 
-void DiagnosticEngine::render_json(std::ostream& os, std::string_view file) const {
+void DiagnosticEngine::render_json(std::ostream& os, std::string_view file,
+                                   const std::function<void(support::JsonWriter&)>& extra) const {
   support::JsonWriter w(os);
   w.begin_object();
   w.key("file");
@@ -275,6 +276,7 @@ void DiagnosticEngine::render_json(std::ostream& os, std::string_view file) cons
   w.key("suppressed");
   w.value(static_cast<std::uint64_t>(suppressed_count_));
   w.end_object();
+  if (extra) extra(w);
   w.end_object();
   os << '\n';
 }

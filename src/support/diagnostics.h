@@ -19,6 +19,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <set>
@@ -27,6 +28,10 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace copar::support {
+class JsonWriter;
+}
 
 namespace copar {
 
@@ -138,8 +143,12 @@ class DiagnosticEngine {
   /// analyzed program text (used for the quoted lines) and `file` its name.
   void render_text(std::ostream& os, std::string_view source, std::string_view file) const;
 
-  /// One JSON document: {file, findings: [...], summary: {...}}.
-  void render_json(std::ostream& os, std::string_view file) const;
+  /// One JSON document: {file, findings: [...], summary: {...}}. `extra`,
+  /// when set, is invoked inside the top-level object after `summary` so
+  /// callers can append their own sections (e.g. the check tier stats) —
+  /// it must emit complete key/value pairs.
+  void render_json(std::ostream& os, std::string_view file,
+                   const std::function<void(support::JsonWriter&)>& extra = {}) const;
 
   /// A SARIF 2.1.0 document with one run; `rules` provides the tool-driver
   /// rule metadata (codes absent from it still render with bare ids).

@@ -134,14 +134,16 @@ TEST(Mhp, LabeledQueries) {
   explore::ExploreOptions opts;
   opts.record_pairs = true;
   const Mhp concrete = mhp_from(explore::explore(*p.lowered, opts));
-  EXPECT_TRUE(concrete.parallel(*p.lowered, "sA", "sB"));
-  EXPECT_FALSE(concrete.parallel(*p.lowered, "sBefore", "sA"));
-  EXPECT_FALSE(concrete.parallel(*p.lowered, "sAfter", "sA"));
+  EXPECT_EQ(concrete.parallel(*p.lowered, "sA", "sB"), MhpAnswer::Yes);
+  EXPECT_EQ(concrete.parallel(*p.lowered, "sBefore", "sA"), MhpAnswer::No);
+  EXPECT_EQ(concrete.parallel(*p.lowered, "sAfter", "sA"), MhpAnswer::No);
+  EXPECT_EQ(concrete.parallel(*p.lowered, "sNoSuchLabel", "sA"), MhpAnswer::UnknownLabel);
+  EXPECT_EQ(concrete.parallel(*p.lowered, "sA", "sNoSuchLabel"), MhpAnswer::UnknownLabel);
 
   const Mhp abstract = mhp_from(abs_run(p));
-  EXPECT_TRUE(abstract.parallel(*p.lowered, "sA", "sB"));
-  EXPECT_FALSE(abstract.parallel(*p.lowered, "sBefore", "sA"));
-  EXPECT_FALSE(abstract.parallel(*p.lowered, "sAfter", "sA"));
+  EXPECT_EQ(abstract.parallel(*p.lowered, "sA", "sB"), MhpAnswer::Yes);
+  EXPECT_EQ(abstract.parallel(*p.lowered, "sBefore", "sA"), MhpAnswer::No);
+  EXPECT_EQ(abstract.parallel(*p.lowered, "sAfter", "sA"), MhpAnswer::No);
 }
 
 TEST(Lifetime, PlacementExampleFacts) {
@@ -204,7 +206,7 @@ TEST(Anomaly, LockedWritesNotCoEnabled) {
   explore::ExploreOptions opts;
   opts.record_pairs = true;
   const Mhp mhp = mhp_from(explore::explore(*p.lowered, opts));
-  EXPECT_FALSE(mhp.parallel(*p.lowered, "sW1", "sW2"));
+  EXPECT_EQ(mhp.parallel(*p.lowered, "sW1", "sW2"), MhpAnswer::No);
 }
 
 TEST(Common, DescribeHelpers) {

@@ -111,7 +111,7 @@ TEST(Peterson, MutualExclusionVerified) {
   EXPECT_TRUE(r.terminal_int_values("done1").contains(1));
   // The two critical sections are never co-enabled.
   const analysis::Mhp mhp = analysis::mhp_from(r);
-  EXPECT_FALSE(mhp.parallel(*keep->lowered, "sCS0", "sCS1"));
+  EXPECT_EQ(mhp.parallel(*keep->lowered, "sCS0", "sCS1"), analysis::MhpAnswer::No);
 }
 
 TEST(Peterson, BrokenProtocolViolatesExclusion) {

@@ -20,6 +20,7 @@
 //   copar-cli graph <file.cop> [--stubborn] [--coarsen]
 //                                            Graphviz dot of the configuration graph
 //   copar-cli check <file.cop> [--sarif] [--disable c1,c2] [--no-witness]
+//                              [--tier auto|static|explore] [--pair-budget N]
 //                              [--max-configs N]
 //                                            static diagnostics (races, faults,
 //                                            uninitialized reads, dead code...);
@@ -74,6 +75,7 @@
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
 #include "src/sem/program.h"
+#include "src/support/json.h"
 #include "src/support/metrics.h"
 #include "src/support/telemetry.h"
 
@@ -88,7 +90,8 @@ int usage() {
                "explore options: --stubborn --coarsen --sleep --max-configs N "
                "--threads N --exact-keys\n"
                "check options:   --sarif --disable <c1,c2,...> --no-witness "
-               "--max-configs N  (or: check --list-checks)\n"
+               "--max-configs N --tier auto|static|explore --pair-budget N  "
+               "(or: check --list-checks)\n"
                "metrics-dump options: explore options plus --format json|prom|text\n";
   return 2;
 }
@@ -497,14 +500,53 @@ int cmd_check(const std::string& path, const std::string& source,
   const bool sarif = has_flag(args, "--sarif");
   check::CheckOptions copts;
   if (has_flag(args, "--no-witness")) copts.witnesses = false;
-  if (const std::string v = flag_value(args, "--max-configs"); !v.empty()) {
+  // Accept both `--flag value` and `--flag=value` (CI scripts use the
+  // latter for the tier switches).
+  auto flag_eq_or_space = [&](std::string_view flag) -> std::string {
+    const std::string prefix = std::string(flag) + "=";
+    for (const std::string& a : args) {
+      if (a.size() > prefix.size() && a.compare(0, prefix.size(), prefix) == 0) {
+        return a.substr(prefix.size());
+      }
+    }
+    return flag_value(args, flag);
+  };
+  auto parse_positive = [&](std::string_view flag, std::uint64_t* out) -> bool {
+    const std::string v = flag_eq_or_space(flag);
+    if (v.empty()) {
+      if (has_flag(args, flag)) {
+        std::cerr << "error: " << flag << " requires a value\n";
+        return false;
+      }
+      return true;
+    }
     char* end = nullptr;
     const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
     if (end == nullptr || *end != '\0' || n == 0) {
-      std::cerr << "error: --max-configs expects a positive integer, got '" << v << "'\n";
+      std::cerr << "error: " << flag << " expects a positive integer, got '" << v << "'\n";
+      return false;
+    }
+    *out = n;
+    return true;
+  };
+  if (!parse_positive("--max-configs", &copts.max_configs)) return 2;
+  if (!parse_positive("--pair-budget", &copts.pair_budget)) return 2;
+  if (const std::string v = flag_eq_or_space("--tier"); v.empty()) {
+    if (has_flag(args, "--tier")) {
+      std::cerr << "error: --tier requires a value (auto|static|explore)\n";
       return 2;
     }
-    copts.max_configs = n;
+  } else {
+    if (v == "auto") {
+      copts.tier = check::Tier::Auto;
+    } else if (v == "static") {
+      copts.tier = check::Tier::Static;
+    } else if (v == "explore") {
+      copts.tier = check::Tier::Explore;
+    } else {
+      std::cerr << "error: --tier expects auto|static|explore, got '" << v << "'\n";
+      return 2;
+    }
   }
 
   DiagnosticEngine engine;
@@ -540,17 +582,58 @@ int cmd_check(const std::string& path, const std::string& source,
   if (sarif) {
     engine.render_sarif(std::cout, path, check::catalog());
   } else if (g.json) {
-    engine.render_json(std::cout, path);
+    const bool checked = !front.has_errors();
+    engine.render_json(std::cout, path, [&](support::JsonWriter& w) {
+      if (!checked) return;
+      w.key("tier");
+      w.begin_object();
+      w.key("mode");
+      w.value(check::tier_name(sum.tier));
+      w.key("pairs_total");
+      w.value(sum.stats.pairs_total);
+      w.key("pruned_mhp");
+      w.value(sum.stats.pruned_mhp);
+      w.key("pruned_lockset");
+      w.value(sum.stats.pruned_lockset);
+      w.key("candidates");
+      w.value(sum.stats.candidates);
+      w.key("confirmed");
+      w.value(sum.stats.confirmed);
+      w.key("refuted");
+      w.value(sum.stats.refuted);
+      w.key("budget_exhausted");
+      w.value(sum.stats.budget_exhausted);
+      w.key("configs_explored");
+      w.value(sum.stats.configs_explored);
+      w.key("explored");
+      w.value(sum.explored);
+      w.key("exhaustive");
+      w.value(sum.concrete_exhaustive);
+      w.end_object();
+    });
   } else {
     if (engine.all().empty()) {
       std::cout << path << ": no findings\n";
     } else {
       engine.render_text(std::cout, source, path);
     }
-    if (!front.has_errors() && !sum.concrete_exhaustive) {
+    if (!front.has_errors() && copts.tier != check::Tier::Explore) {
+      std::cerr << "tier " << check::tier_name(sum.tier) << ": "
+                << sum.stats.pairs_total << " pairs, " << sum.stats.pruned_mhp
+                << " mhp-pruned, " << sum.stats.pruned_lockset << " lockset-pruned, "
+                << sum.stats.candidates << " candidates (" << sum.stats.confirmed
+                << " confirmed, " << sum.stats.refuted << " refuted, "
+                << sum.stats.budget_exhausted << " budget-exhausted), "
+                << sum.stats.configs_explored << " configurations explored\n";
+    }
+    if (!front.has_errors() && sum.explored && !sum.concrete_exhaustive) {
       std::cerr << "note: state space truncated at " << copts.max_configs
                 << " configurations; abstract may-findings included, raise --max-configs "
                    "to confirm\n";
+    }
+    if (!front.has_errors() && !sum.explored && !sum.concrete_exhaustive) {
+      std::cerr << "note: static tier left candidates unconfirmed; run --tier=auto "
+                   "with a larger --pair-budget or --tier=explore to decide them\n";
     }
   }
   return engine.has_errors() ? 1 : 0;
