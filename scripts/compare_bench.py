@@ -4,11 +4,13 @@
     scripts/compare_bench.py FRESH COMMITTED [--threshold 0.15]
 
 Matches benchmark rows by name and compares the throughput metrics
-(configs_per_sec, items_per_second). Exits 1 if any row's throughput
-dropped by more than the threshold (default 15%) — CI runs this in
-bench-smoke after the speedup-floor assertion, so a perf regression
-fails the build with a per-row report instead of silently re-recording
-worse numbers.
+(configs_per_sec, items_per_second, steps_per_sec). Exits 1 if any row's
+throughput dropped by more than the threshold (default 15%) — CI runs
+this in bench-smoke after the speedup-floor assertion, so a perf
+regression fails the build with a per-row report instead of silently
+re-recording worse numbers. Improvements beyond the same threshold are
+tagged IMPROVED and summarized (still exit 0), so bench-smoke artifacts
+show perf wins as loudly as losses.
 
 Honesty guard: when the two records carry different num_cpus the
 comparison is skipped (exit 0) with a loud notice — throughput deltas
@@ -21,7 +23,7 @@ import argparse
 import json
 import sys
 
-METRICS = ("configs_per_sec", "items_per_second")
+METRICS = ("configs_per_sec", "items_per_second", "steps_per_sec")
 
 
 def rows_by_name(doc):
@@ -53,6 +55,7 @@ def main():
     committed_rows = rows_by_name(committed)
 
     regressions = []
+    improvements = []
     compared = 0
     for name, old in sorted(committed_rows.items()):
         new = fresh_rows.get(name)
@@ -65,24 +68,33 @@ def main():
             compared += 1
             delta = (new[metric] - old[metric]) / old[metric]
             bad = delta < -args.threshold
-            tag = "REGRESSION" if bad else "ok"
+            improved = delta > args.threshold
+            tag = "REGRESSION" if bad else ("IMPROVED" if improved else "ok")
             print(f"{tag}: {name} {metric} {old[metric]:,.0f} -> {new[metric]:,.0f} "
                   f"({delta:+.1%})")
             if bad:
                 regressions.append((name, metric, delta))
+            elif improved:
+                improvements.append((name, metric, delta))
     for name in sorted(set(fresh_rows) - set(committed_rows)):
         print(f"note: '{name}' only in fresh record")
 
     if compared == 0:
         print("error: no comparable throughput metrics found", file=sys.stderr)
         return 2
+    if improvements:
+        print(f"\n{len(improvements)} throughput improvement(s) beyond "
+              f"{args.threshold:.0%}:")
+        for name, metric, delta in improvements:
+            print(f"  {name} {metric} {delta:+.1%}")
     if regressions:
         print(f"\n{len(regressions)} throughput regression(s) beyond "
               f"{args.threshold:.0%}:", file=sys.stderr)
         for name, metric, delta in regressions:
             print(f"  {name} {metric} {delta:+.1%}", file=sys.stderr)
         return 1
-    print(f"\nall {compared} throughput comparisons within {args.threshold:.0%}")
+    print(f"\nall {compared} throughput comparisons at or above "
+          f"-{args.threshold:.0%}")
     return 0
 
 

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Records the parallel-scaling perf trajectory: runs bench_parallel and
-# bench_throughput, then distills their google-benchmark JSON into the two
-# committed records at the repo root:
+# Records the perf trajectory: runs bench_parallel, bench_throughput and
+# bench_step, then distills their google-benchmark JSON into the committed
+# records at the repo root:
 #
 #   BENCH_parallel.json     per-{workload,threads} rows (configs/sec, steal
 #                           and contention counters, visited_bytes) plus a
 #                           speedup table normalized to the threads=1 row
 #   BENCH_throughput.json   whole-pipeline corpus throughput (items/sec,
 #                           configs/sec)
+#   BENCH_step.json         successor-generation cost vs store width
+#                           (steps/sec per width — the copy-on-write
+#                           flatness record)
 #
 #   scripts/record_bench.sh [build-dir] [min-time] [sample-ms]
 #
@@ -29,7 +32,7 @@ SAMPLE_MS="${3:-50}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-for b in bench_parallel bench_throughput; do
+for b in bench_parallel bench_throughput bench_step; do
   echo "-- $b"
   SAMPLE_ARGS=()
   if [ "$SAMPLE_MS" != "0" ]; then SAMPLE_ARGS=("--copar_sample=$SAMPLE_MS"); fi
@@ -115,4 +118,27 @@ with open("BENCH_throughput.json", "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
 print("wrote BENCH_throughput.json (%d rows)" % len(rows))
+
+# --- BENCH_step.json -----------------------------------------------------
+doc = load("bench_step.json")
+ctx = doc["context"]
+rows = []
+for b in doc["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    row = {"name": b["name"], "real_time_ns": round(b["real_time"], 1)}
+    row.update(counters(b, ["steps_per_sec", "store_cells", "store_objects"]))
+    rows.append(row)
+out = {
+    "date": ctx["date"],
+    "num_cpus": ctx["num_cpus"],
+    "note": ("apply_action cost vs store width; structural sharing means "
+             "real_time_ns must stay ~flat as store_cells grows (WideObject) "
+             "and grow only by ~1ns/handle in store_objects (ManyObjects)."),
+    "benchmarks": rows,
+}
+with open("BENCH_step.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_step.json (%d rows)" % len(rows))
 EOF

@@ -167,14 +167,21 @@ void Recorder::merge_into(ExploreResult& result) const {
 }
 
 Configuration core_step(const Configuration& cfg, Pid pid, const StaticInfo& static_info,
-                        bool coarsen, Recorder& rec, StepCounters& counters) {
+                        bool coarsen, Recorder& rec, StepCounters& counters,
+                        const sem::ActionInfo* info_hint) {
   const bool facts = rec.wants_step_facts();
   Configuration succ = [&] {
-    if (!facts) return sem::apply_action(cfg, pid);
-    const ActionInfo info = sem::action_info(cfg, pid);
+    if (!facts) {
+      // Fast path: one decode per transition — reuse the engine's enablement
+      // check when it provides one.
+      if (info_hint != nullptr) return sem::apply_action(cfg, *info_hint);
+      return sem::apply_action(cfg, pid);
+    }
+    const ActionInfo local = info_hint == nullptr ? sem::action_info(cfg, pid) : ActionInfo{};
+    const ActionInfo& info = info_hint != nullptr ? *info_hint : local;
     require(info.exists && info.enabled, "core_step: action not fireable");
     rec.action(cfg, info);
-    Configuration s = sem::apply_action(cfg, pid);
+    Configuration s = sem::apply_action(cfg, info);
     if (info.kind == ActionKind::Return) rec.return_lifetime(cfg, pid, s);
     return s;
   }();
@@ -194,7 +201,7 @@ Configuration core_step(const Configuration& cfg, Pid pid, const StaticInfo& sta
     if (action_is_critical(succ, next, static_info)) break;
     if (!seen_points.insert({next.proc, next.pc}).second) break;  // local cycle
     if (facts) rec.action(succ, next);
-    Configuration succ2 = sem::apply_action(succ, pid);
+    Configuration succ2 = sem::apply_action(succ, next);
     if (facts && next.kind == ActionKind::Return) rec.return_lifetime(succ, pid, succ2);
     succ = std::move(succ2);
     counters.coarsened_micro_actions += 1;

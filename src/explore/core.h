@@ -66,8 +66,13 @@ class Recorder {
 /// One (possibly coarsened) step of process `pid` from `cfg` — the single
 /// step implementation behind every engine. Records fired actions and
 /// return lifetimes through `rec` when it wants them.
+///
+/// `info_hint`, when non-null, must be the ActionInfo an engine already
+/// computed for (cfg, pid) — e.g. for sleep sets or graph recording — and
+/// lets the step fire without decoding the instruction a second time.
 [[nodiscard]] sem::Configuration core_step(const sem::Configuration& cfg, sem::Pid pid,
                                            const StaticInfo& static_info, bool coarsen,
-                                           Recorder& rec, StepCounters& counters);
+                                           Recorder& rec, StepCounters& counters,
+                                           const sem::ActionInfo* info_hint = nullptr);
 
 }  // namespace copar::explore

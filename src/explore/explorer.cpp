@@ -8,6 +8,7 @@
 #include "src/explore/proviso.h"
 #include "src/explore/stubborn.h"
 #include "src/explore/visited.h"
+#include "src/sem/cowstats.h"
 #include "src/support/telemetry.h"
 
 namespace copar::explore {
@@ -93,6 +94,8 @@ ExploreResult Explorer::run() {
   };
   telemetry::Telemetry& tel = telemetry::Telemetry::global();
   telemetry::ScopedPhase phase_expansion(telemetry::Phase::Expansion);
+  const sem::cowstats::Snapshot cow0 = sem::cowstats::snapshot();
+  std::uint64_t frontier_peak_bytes = 0;
   VisitedSet visited(options_.exact_keys);
   Recorder recorder(options_);
   StepCounters step_counters;
@@ -187,7 +190,8 @@ ExploreResult Explorer::run() {
     sem::ActionKind edge_kind = ActionKind::None;
     std::uint32_t edge_stmt = sem::kNoStmt;
     ActionInfo fired;
-    if (options_.record_graph || options_.sleep_sets) {
+    const bool have_fired = options_.record_graph || options_.sleep_sets;
+    if (have_fired) {
       fired = sem::action_info(top.cfg, pid);
       edge_kind = fired.kind;
       edge_stmt = fired.stmt_id;
@@ -206,9 +210,12 @@ ExploreResult Explorer::run() {
       for (std::size_t i = 0; i < fire_index; ++i) keep_if_independent(top.expand[i]);
     }
 
-    Configuration succ =
-        core_step(top.cfg, pid, static_info_, options_.coarsen, recorder, step_counters);
+    Configuration succ = core_step(top.cfg, pid, static_info_, options_.coarsen, recorder,
+                                   step_counters, have_fired ? &fired : nullptr);
     result.num_transitions += 1;
+    const std::uint64_t live_bytes = sem::cowstats::live_bytes();
+    if (live_bytes > frontier_peak_bytes) frontier_peak_bytes = live_bytes;
+    tel.set_live(telemetry::Gauge::FrontierBytes, live_bytes);
     tel.maybe_progress(result.num_configs, result.num_transitions, stack.size());
     VisitedSet::Probe probe;
     {
@@ -301,6 +308,13 @@ ExploreResult Explorer::run() {
   result.stats.set_gauge("visited_bytes", visited.memory_bytes());
   result.stats.set_gauge("visited_configs", visited.size());
   result.stats.set_gauge("fingerprint_collisions", visited.collisions());
+  {
+    const sem::cowstats::Snapshot cow1 = sem::cowstats::snapshot();
+    result.stats.set_gauge("cow.objects_copied", cow1.objects_copied - cow0.objects_copied);
+    result.stats.set_gauge("cow.objects_shared", cow1.objects_shared - cow0.objects_shared);
+    result.stats.set_gauge("cow.process_clones", cow1.process_clones - cow0.process_clones);
+    result.stats.set_gauge("frontier_peak_bytes", frontier_peak_bytes);
+  }
   if (tel.metrics_enabled()) {
     result.stats.set_gauge("peak_rss_bytes", telemetry::peak_rss_bytes());
   }
@@ -310,6 +324,7 @@ ExploreResult Explorer::run() {
     tel.set_live(telemetry::Gauge::VisitedEntries, visited.size());
     tel.set_live(telemetry::Gauge::VisitedBytes, visited.memory_bytes());
     tel.set_live(telemetry::Gauge::Frontier, 0);
+    tel.set_live(telemetry::Gauge::FrontierBytes, sem::cowstats::live_bytes());
   }
   tel.publish_stats(result.stats);
   return result;

@@ -13,6 +13,7 @@
 
 #include "src/explore/core.h"
 #include "src/explore/frontier.h"
+#include "src/sem/cowstats.h"
 #include "src/explore/proviso.h"
 #include "src/explore/stubborn.h"
 #include "src/explore/visited.h"
@@ -103,6 +104,7 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
 
   const StaticInfo static_info(program);
   const bool metrics = telemetry::Telemetry::global().metrics_enabled();
+  const sem::cowstats::Snapshot cow0 = sem::cowstats::snapshot();
 
   ShardedVisitedSet seen(options.exact_keys, options.sleep_sets);
   WorkStealingFrontier<WorkItem> frontier(options.threads);
@@ -260,12 +262,13 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
     auto fire = [&](Pid pid) -> bool {
       const std::size_t idx = fire_seq++;
       ActionInfo fired;
-      if (options.record_graph || options.sleep_sets) fired = sem::action_info(cfg, pid);
+      const bool have_fired = options.record_graph || options.sleep_sets;
+      if (have_fired) fired = sem::action_info(cfg, pid);
       std::uint64_t succ_sleep = 0;
       if (options.sleep_sets && idx < expansion.size()) succ_sleep = succ_sleep_for(fired, idx);
       ws.transitions += 1;
-      Configuration succ =
-          core_step(cfg, pid, static_info, options.coarsen, ctx.recorder, ctx.steps);
+      Configuration succ = core_step(cfg, pid, static_info, options.coarsen, ctx.recorder,
+                                     ctx.steps, have_fired ? &fired : nullptr);
       const Admit a = admit(std::move(succ), succ_sleep, widx);
       if (a.dropped) {
         // As in the sequential engine, the transition whose successor is
@@ -289,6 +292,9 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
 
   // Each worker's track tid, for the post-join per-worker attribution.
   std::vector<std::uint32_t> worker_tids(options.threads, 0);
+  // Per-worker peak of the live-structure byte gauge, max-merged after the
+  // join (each entry is written by exactly one worker).
+  std::vector<std::uint64_t> worker_peak_bytes(options.threads, 0);
 
   // Refreshes the live gauges (heartbeat + sampler inputs) from this
   // worker's view. Cheap when nobody listens; the visited-set aggregate
@@ -300,6 +306,7 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
     tel.set_live(telemetry::Gauge::Configs, n);
     tel.set_live(telemetry::Gauge::VisitedEntries, n);
     tel.set_live(telemetry::Gauge::Frontier, frontier.size());
+    tel.set_live(telemetry::Gauge::FrontierBytes, sem::cowstats::live_bytes());
     if (items_seen % 1024 == 0) {
       tel.set_live(telemetry::Gauge::VisitedBytes, seen.memory_bytes());
     }
@@ -320,6 +327,8 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
             expand(*item, index);
           }
           items_seen += 1;
+          const std::uint64_t live_bytes = sem::cowstats::live_bytes();
+          if (live_bytes > worker_peak_bytes[index]) worker_peak_bytes[index] = live_bytes;
           auto& tel = telemetry::Telemetry::global();
           if (tel.live_enabled()) {
             if (ws.transitions > fired_before) {
@@ -488,6 +497,15 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
   result.stats.set_gauge("visited_configs", seen.size());
   result.stats.set_gauge("fingerprint_collisions", seen.collisions());
   result.stats.set_gauge("threads", options.threads);
+  {
+    const sem::cowstats::Snapshot cow1 = sem::cowstats::snapshot();
+    result.stats.set_gauge("cow.objects_copied", cow1.objects_copied - cow0.objects_copied);
+    result.stats.set_gauge("cow.objects_shared", cow1.objects_shared - cow0.objects_shared);
+    result.stats.set_gauge("cow.process_clones", cow1.process_clones - cow0.process_clones);
+    result.stats.set_gauge(
+        "frontier_peak_bytes",
+        *std::max_element(worker_peak_bytes.begin(), worker_peak_bytes.end()));
+  }
   if (metrics) {
     result.stats.set_gauge("peak_rss_bytes", telemetry::peak_rss_bytes());
   }
@@ -501,6 +519,7 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
       tel.set_live(telemetry::Gauge::Frontier, 0);
       tel.set_live(telemetry::Gauge::VisitedEntries, seen.size());
       tel.set_live(telemetry::Gauge::VisitedBytes, seen.memory_bytes());
+      tel.set_live(telemetry::Gauge::FrontierBytes, sem::cowstats::live_bytes());
     }
     tel.publish_stats(result.stats);
   }

@@ -140,8 +140,8 @@ StubbornChoice stubborn_set(const sem::Configuration& cfg, const std::vector<Act
             }
           }
         } else if (ap.kind == sem::ActionKind::Lock && ap.has_lock_loc) {
-          auto owner = cfg.lock_owners.find({ap.lock_obj, ap.lock_off});
-          if (owner != cfg.lock_owners.end()) {
+          auto owner = cfg.lock_owners->find({ap.lock_obj, ap.lock_off});
+          if (owner != cfg.lock_owners->end()) {
             add(owner->second);
           } else {
             // Held without a tracked owner (user wrote the cell directly):

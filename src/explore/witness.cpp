@@ -131,7 +131,7 @@ std::optional<Witness> find_witness(const sem::LoweredProgram& prog,
       step.stmt = info.stmt_id;
       step.kind = info.kind;
       step.point = prog.describe_point(info.proc, info.pc);
-      Configuration succ = sem::apply_action(cfg, pid);
+      Configuration succ = sem::apply_action(cfg, info);
       return push(std::move(succ), id, std::move(step)).has_value();
     };
     // BFS has no stack, so the stack proviso cannot apply; the core's

@@ -2,11 +2,38 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_map>
 
+#include "src/sem/cowstats.h"
 #include "src/sem/eval.h"
 
 namespace copar::sem {
+
+std::size_t process_bytes(const Process& p) noexcept {
+  return sizeof(Process) + p.frames.capacity() * sizeof(Frame) +
+         p.pstr.syms().capacity() * sizeof(PSym) + p.path.capacity() * sizeof(PathElem);
+}
+
+ProcessTable::Handle ProcessTable::track(Process&& p) {
+  const std::size_t n = process_bytes(p);
+  cowstats::add_live_bytes(n);
+  return Handle(new Process(std::move(p)),
+                [n](Process* ptr) noexcept {
+                  cowstats::sub_live_bytes(n);
+                  delete ptr;
+                });
+}
+
+Process& ProcessTable::mutate(Pid pid) {
+  require(pid < procs_.size(), "ProcessTable::mutate: bad pid");
+  Handle& h = procs_[pid];
+  if (h.use_count() != 1) {
+    h = track(Process(*h));
+    cowstats::note_process_clone();
+  }
+  return *h;
+}
+
+void ProcessTable::push_back(Process&& p) { procs_.push_back(track(std::move(p))); }
 
 std::string_view fault_name(Fault f) {
   switch (f) {
@@ -115,21 +142,28 @@ void emit_pstring(Sink& sink, const ProcString& s) {
 template <class Sink>
 void serialize_canonical(const Configuration& cfg, Sink& sink) {
   // 1. Canonical order of live processes: lexicographic by fork path.
+  // Pids and ObjIds are dense indices, so the renumbering maps here and
+  // below are flat vectors (no per-call hashing) — this traversal runs once
+  // per discovered configuration and dominates the canonicalize phase.
   std::vector<Pid> live;
+  live.reserve(cfg.processes.size());
   for (Pid pid = 0; pid < cfg.processes.size(); ++pid) {
     if (cfg.processes[pid].live()) live.push_back(pid);
   }
   std::sort(live.begin(), live.end(),
             [&](Pid a, Pid b) { return cfg.processes[a].path < cfg.processes[b].path; });
-  std::unordered_map<Pid, std::uint32_t> canon_pid;
-  for (std::uint32_t i = 0; i < live.size(); ++i) canon_pid.emplace(live[i], i);
+  std::vector<std::uint32_t> canon_pid(cfg.processes.size(), 0xffffffffu);
+  for (std::uint32_t i = 0; i < live.size(); ++i) canon_pid[live[i]] = i;
 
   // 2. Object renumbering by deterministic reachability (also GC).
-  std::unordered_map<ObjId, std::uint32_t> remap;
+  std::vector<std::uint32_t> remap(cfg.store.num_objects(), 0xffffffffu);
   std::vector<ObjId> order;
+  order.reserve(cfg.store.num_objects());
   auto visit = [&](ObjId obj) {
     if (obj == kNoObj) return;
-    if (remap.emplace(obj, static_cast<std::uint32_t>(order.size())).second) {
+    std::uint32_t& slot = remap[obj];
+    if (slot == 0xffffffffu) {
+      slot = static_cast<std::uint32_t>(order.size());
       order.push_back(obj);
     }
   };
@@ -149,8 +183,7 @@ void serialize_canonical(const Configuration& cfg, Sink& sink) {
   }
 
   auto canon_obj = [&](ObjId obj) -> std::uint32_t {
-    auto it = remap.find(obj);
-    return it == remap.end() ? 0xffffffffu : it->second;
+    return obj < remap.size() ? remap[obj] : 0xffffffffu;  // kNoObj maps out
   };
   auto emit_value = [&](const Value& v) {
     sink.u8(static_cast<std::uint8_t>(v.kind()));
@@ -207,12 +240,12 @@ void serialize_canonical(const Configuration& cfg, Sink& sink) {
 
   // Lock table, sorted by canonical location.
   std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> locks;
+  locks.reserve(cfg.lock_owners.size());
   for (const auto& [loc, owner] : cfg.lock_owners) {
     const std::uint32_t co = canon_obj(loc.first);
     if (co == 0xffffffffu) continue;  // unreachable cell: lock is inert
-    auto it = canon_pid.find(owner);
     locks.emplace_back(co, loc.second,
-                       it == canon_pid.end() ? 0xffffffffu : it->second);
+                       owner < canon_pid.size() ? canon_pid[owner] : 0xffffffffu);
   }
   std::sort(locks.begin(), locks.end());
   sink.u32(static_cast<std::uint32_t>(locks.size()));

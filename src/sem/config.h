@@ -17,8 +17,11 @@
 // paper's instrumented semantics, whose states carry that history.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -28,6 +31,7 @@
 #include "src/sem/procstring.h"
 #include "src/sem/store.h"
 #include "src/sem/value.h"
+#include "src/support/cow.h"
 #include "src/support/fingerprint.h"
 
 namespace copar::sem {
@@ -88,16 +92,78 @@ enum class Fault : std::uint8_t {
 
 std::string_view fault_name(Fault f);
 
+/// Deep size of a process (frame stack + procedure string + fork path), the
+/// handle accounting unit for the frontier-bytes gauge.
+[[nodiscard]] std::size_t process_bytes(const Process& p) noexcept;
+
+/// The process vector of a configuration, with structural sharing: copying
+/// a ProcessTable copies one refcounted handle per process. Reads go
+/// through const access; the stepper clones exactly the processes it
+/// touches via mutate() (normally just the stepped pid). Handles are
+/// stable: references returned by mutate() survive push_back, unlike the
+/// plain-vector representation this replaces.
+class ProcessTable {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return procs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return procs_.empty(); }
+  [[nodiscard]] const Process& operator[](Pid pid) const { return *procs_[pid]; }
+
+  /// The COW seam: mutable access to one process, cloning it first iff its
+  /// handle is shared with another table. Same ownership contract as
+  /// Store::mutate.
+  [[nodiscard]] Process& mutate(Pid pid);
+
+  void push_back(Process&& p);
+
+  /// Const forward iterator dereferencing through the handles, so existing
+  /// `for (const Process& p : cfg.processes)` loops keep working.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Process;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Process*;
+    using reference = const Process&;
+
+    const_iterator() = default;
+    [[nodiscard]] reference operator*() const { return **it_; }
+    [[nodiscard]] pointer operator->() const { return it_->get(); }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++it_;
+      return tmp;
+    }
+    friend bool operator==(const const_iterator&, const const_iterator&) = default;
+
+   private:
+    friend class ProcessTable;
+    using Inner = std::vector<std::shared_ptr<Process>>::const_iterator;
+    explicit const_iterator(Inner it) : it_(it) {}
+    Inner it_;
+  };
+  [[nodiscard]] const_iterator begin() const noexcept { return const_iterator(procs_.begin()); }
+  [[nodiscard]] const_iterator end() const noexcept { return const_iterator(procs_.end()); }
+
+ private:
+  using Handle = std::shared_ptr<Process>;
+  static Handle track(Process&& p);
+  std::vector<Handle> procs_;
+};
+
 class Configuration {
  public:
   Store store;
-  std::vector<Process> processes;  // index = pid; entries are never erased
-  /// Held locks: location (obj, off) -> owner pid.
-  std::map<std::pair<ObjId, std::uint32_t>, Pid> lock_owners;
+  ProcessTable processes;  // index = pid; entries are never erased
+  /// Held locks: location (obj, off) -> owner pid. Shared until written.
+  support::CowBox<std::map<std::pair<ObjId, std::uint32_t>, Pid>> lock_owners;
   /// Failed assertions (statement ids) observed on this path.
-  std::set<std::uint32_t> violations;
+  support::CowBox<std::set<std::uint32_t>> violations;
   /// Runtime faults (statement id, kind) observed on this path.
-  std::set<std::pair<std::uint32_t, std::uint8_t>> faults;
+  support::CowBox<std::set<std::pair<std::uint32_t, std::uint8_t>>> faults;
 
   /// Builds the initial configuration: globals frame (function cells bound
   /// to closures, initializers evaluated left to right) and a root process

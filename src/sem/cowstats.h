@@ -1,0 +1,79 @@
+// Process-wide counters for the copy-on-write configuration representation.
+//
+// All counters are relaxed atomics: they are monotone telemetry, never
+// synchronization. Engines report per-run numbers by snapshotting before
+// and after and publishing the delta (the counters are process-global, so
+// absolute values accumulate across runs in one process).
+//
+//   objects_copied    clones forced by a write to a shared Object/Process
+//   objects_shared    writes served in place because the target was
+//                     exclusively owned (each one is a deep copy the old
+//                     representation would have paid at config-copy time)
+//   process_clones    Process clones (the stepped pid per transition, plus
+//                     the parent on thread exit)
+//   live_bytes        deep bytes of all live shared Objects and Processes —
+//                     the structural memory of every Configuration alive,
+//                     counted once per shared node regardless of how many
+//                     configurations reference it. With exploration
+//                     frontiers holding most live configurations, this is
+//                     the "frontier bytes" gauge. Byte sizes are measured
+//                     at handle creation (Objects never grow afterwards;
+//                     Processes may grow their frame stack in place, which
+//                     this gauge deliberately ignores to keep add/subtract
+//                     exactly balanced).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace copar::sem::cowstats {
+
+struct Counters {
+  std::atomic<std::uint64_t> objects_copied{0};
+  std::atomic<std::uint64_t> objects_shared{0};
+  std::atomic<std::uint64_t> process_clones{0};
+  std::atomic<std::uint64_t> live_bytes{0};
+};
+
+inline Counters& counters() noexcept {
+  static Counters c;
+  return c;
+}
+
+inline void note_object_copied() noexcept {
+  counters().objects_copied.fetch_add(1, std::memory_order_relaxed);
+}
+inline void note_object_shared() noexcept {
+  counters().objects_shared.fetch_add(1, std::memory_order_relaxed);
+}
+inline void note_process_clone() noexcept {
+  counters().process_clones.fetch_add(1, std::memory_order_relaxed);
+}
+inline void add_live_bytes(std::size_t n) noexcept {
+  counters().live_bytes.fetch_add(n, std::memory_order_relaxed);
+}
+inline void sub_live_bytes(std::size_t n) noexcept {
+  counters().live_bytes.fetch_sub(n, std::memory_order_relaxed);
+}
+[[nodiscard]] inline std::uint64_t live_bytes() noexcept {
+  return counters().live_bytes.load(std::memory_order_relaxed);
+}
+
+/// Plain-integer copy of the counters, for delta reporting.
+struct Snapshot {
+  std::uint64_t objects_copied = 0;
+  std::uint64_t objects_shared = 0;
+  std::uint64_t process_clones = 0;
+};
+
+[[nodiscard]] inline Snapshot snapshot() noexcept {
+  const Counters& c = counters();
+  Snapshot s;
+  s.objects_copied = c.objects_copied.load(std::memory_order_relaxed);
+  s.objects_shared = c.objects_shared.load(std::memory_order_relaxed);
+  s.process_clones = c.process_clones.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace copar::sem::cowstats

@@ -25,8 +25,10 @@ namespace {
 
 /// Folds micro-ops after a pc change: unconditional jumps, and the exit
 /// bookkeeping of a cobegin branch that ran off its end.
+/// Precondition: the caller already owns `pid`'s process exclusively (it
+/// was just mutated or freshly pushed), so the mutate() here never clones.
 void settle(Configuration& cfg, Pid pid) {
-  Process& p = cfg.processes[pid];
+  Process& p = cfg.processes.mutate(pid);
   for (;;) {
     if (!p.live() || p.frames.empty()) return;
     Frame& f = p.top();
@@ -46,7 +48,7 @@ void settle(Configuration& cfg, Pid pid) {
       p.frames.clear();
       require(p.parent != kNoPid && cfg.processes[p.parent].pending_children > 0,
               "thread exit without pending parent");
-      cfg.processes[p.parent].pending_children -= 1;
+      cfg.processes.mutate(p.parent).pending_children -= 1;
       return;
     }
     return;
@@ -222,11 +224,16 @@ bool is_deadlock(const Configuration& cfg) {
   return any_live;
 }
 
-Configuration apply_action(const Configuration& cfg, Pid pid) {
-  Configuration next = cfg;
-  Process& p = next.processes[pid];
+namespace {
+
+/// Fires an already-decoded action. `d` must have been decoded from `cfg`
+/// at `pid`'s current control point (either just now, or by the
+/// action_info() that established enablement — the configuration must not
+/// have changed in between).
+Configuration apply_decoded(const Configuration& cfg, Pid pid, const Decoded& d) {
+  Configuration next = cfg;  // shallow: shares every object and process
+  Process& p = next.processes.mutate(pid);
   require(p.live() && !p.frames.empty(), "apply_action: process not runnable");
-  const Decoded d = decode(next, pid);
   require(d.kind != ActionKind::None, "apply_action: no action");
   const std::uint32_t stmt_id = (d.instr->stmt != nullptr) ? d.instr->stmt->id() : kNoStmt;
 
@@ -252,7 +259,7 @@ Configuration apply_action(const Configuration& cfg, Pid pid) {
         const ObjId obj = next.store.allocate(ObjKind::Heap, stmt_id, pid, p.pstr,
                                               static_cast<std::uint32_t>(nv.as_int()));
         next.store.write(a.obj, a.off, Value::pointer(obj, 0));
-        next.processes[pid].top().pc += 1;  // store.allocate may not move frames, but re-read
+        p.top().pc += 1;  // p is handle-stable across store.allocate
         break;
       }
       case ActionKind::Call: {
@@ -339,10 +346,10 @@ Configuration apply_action(const Configuration& cfg, Pid pid) {
             Process child;
             child.status = ProcStatus::Running;
             child.parent = pid;
-            child.path = next.processes[pid].path;
+            child.path = p.path;
             child.path.push_back(PathElem{site, static_cast<std::uint32_t>(k)});
-            child.pstr = next.processes[pid].pstr.append(
-                ProcString::fork_sym(site, static_cast<std::uint32_t>(k)));
+            child.pstr =
+                p.pstr.append(ProcString::fork_sym(site, static_cast<std::uint32_t>(k)));
             const ObjId fobj = next.store.allocate(ObjKind::Frame, child_proc, pid,
                                                    child.pstr, std::max(target.nslots, 2u));
             next.store.write(fobj, 0, Value::pointer(forker_frame, 0));
@@ -360,9 +367,9 @@ Configuration apply_action(const Configuration& cfg, Pid pid) {
           Process child;
           child.status = ProcStatus::Running;
           child.parent = pid;
-          child.path = next.processes[pid].path;
+          child.path = p.path;
           child.path.push_back(PathElem{site, b});
-          child.pstr = next.processes[pid].pstr.append(ProcString::fork_sym(site, b));
+          child.pstr = p.pstr.append(ProcString::fork_sym(site, b));
           child.frames.push_back(Frame{children[b], 0, forker_frame, false, kNoObj, 0});
           next.processes.push_back(std::move(child));
           // An empty branch exits immediately (settle folds its Halt).
@@ -381,26 +388,27 @@ Configuration apply_action(const Configuration& cfg, Pid pid) {
         require(next.store.read(a.obj, a.off) == Value::integer(0),
                 "lock fired while held");
         next.store.write(a.obj, a.off, Value::integer(1));
-        next.lock_owners[{a.obj, a.off}] = pid;
+        next.lock_owners.mut()[{a.obj, a.off}] = pid;
         f.pc += 1;
         break;
       }
       case ActionKind::Unlock: {
         const Address a = ev.addr(*d.instr->lhs);
         if (!next.store.in_bounds(a.obj, a.off)) throw EvalFault{Fault::OutOfBounds, 0};
-        auto it = next.lock_owners.find({a.obj, a.off});
-        if (it == next.lock_owners.end() || it->second != pid) {
+        const auto it = next.lock_owners->find({a.obj, a.off});
+        if (it == next.lock_owners->end() || it->second != pid) {
           throw EvalFault{Fault::UnlockNotHeld, d.instr->lhs->id()};
         }
         next.store.write(a.obj, a.off, Value::integer(0));
-        next.lock_owners.erase(it);
+        // Erase by key: mut() may clone, which would invalidate `it`.
+        next.lock_owners.mut().erase({a.obj, a.off});
         f.pc += 1;
         break;
       }
       case ActionKind::Assert: {
         if (d.instr->rhs != nullptr) {
           const Value c = ev.eval(*d.instr->rhs);
-          if (!c.truthy()) next.violations.insert(stmt_id);
+          if (!c.truthy()) next.violations.mut().insert(stmt_id);
         }
         f.pc += 1;
         break;
@@ -409,14 +417,29 @@ Configuration apply_action(const Configuration& cfg, Pid pid) {
         throw Error("apply_action: none");
     }
   } catch (const EvalFault& fault) {
-    Process& pf = next.processes[pid];
-    pf.status = ProcStatus::Faulted;
-    pf.frames.clear();
-    next.faults.insert({stmt_id, static_cast<std::uint8_t>(fault.kind)});
+    p.status = ProcStatus::Faulted;
+    p.frames.clear();
+    next.faults.mut().insert({stmt_id, static_cast<std::uint8_t>(fault.kind)});
     return next;
   }
   settle(next, pid);
   return next;
+}
+
+}  // namespace
+
+Configuration apply_action(const Configuration& cfg, Pid pid) {
+  return apply_decoded(cfg, pid, decode(cfg, pid));
+}
+
+Configuration apply_action(const Configuration& cfg, const ActionInfo& info) {
+  require(info.exists, "apply_action: no action");
+  Decoded d;
+  d.kind = info.kind;
+  d.instr = info.instr;
+  d.proc = info.proc;
+  d.pc = info.pc;
+  return apply_decoded(cfg, info.pid, d);
 }
 
 }  // namespace copar::sem

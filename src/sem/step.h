@@ -72,6 +72,12 @@ struct ActionInfo {
 /// Returns the successor configuration (cfg is not modified).
 [[nodiscard]] Configuration apply_action(const Configuration& cfg, Pid pid);
 
+/// Fires the action `info` describes without re-decoding the instruction —
+/// the fast path when action_info() already established enablement.
+/// Precondition: `info` was computed from this `cfg` (same control point);
+/// info.exists && info.enabled.
+[[nodiscard]] Configuration apply_action(const Configuration& cfg, const ActionInfo& info);
+
 /// True when some process is live but none has an enabled action (e.g.
 /// everyone blocked on locks/joins) — the "infinite wait" of Taylor's
 /// analysis.

@@ -2,7 +2,24 @@
 
 #include <sstream>
 
+#include "src/sem/cowstats.h"
+
 namespace copar::sem {
+
+std::size_t object_bytes(const Object& o) noexcept {
+  return sizeof(Object) + o.cells.capacity() * sizeof(Value) +
+         o.birth.syms().capacity() * sizeof(PSym);
+}
+
+Store::Handle Store::track(Object&& o) {
+  const std::size_t n = object_bytes(o);
+  cowstats::add_live_bytes(n);
+  return Handle(new Object(std::move(o)),
+                [n](Object* p) noexcept {
+                  cowstats::sub_live_bytes(n);
+                  delete p;
+                });
+}
 
 ObjId Store::allocate(ObjKind kind, std::uint32_t site, std::uint32_t creator, ProcString birth,
                       std::uint32_t ncells) {
@@ -14,37 +31,47 @@ ObjId Store::allocate(ObjKind kind, std::uint32_t site, std::uint32_t creator, P
   obj.base = next_base_;
   obj.cells.assign(ncells, Value::integer(0));
   next_base_ += ncells;
-  objects_.push_back(std::move(obj));
+  objects_.push_back(track(std::move(obj)));
   return static_cast<ObjId>(objects_.size() - 1);
 }
 
 const Object& Store::object(ObjId id) const {
   require(id < objects_.size(), "Store::object: bad object id");
-  return objects_[id];
+  return *objects_[id];
 }
 
-Object& Store::object(ObjId id) {
-  require(id < objects_.size(), "Store::object: bad object id");
-  return objects_[id];
+Object& Store::mutate(ObjId id) {
+  require(id < objects_.size(), "Store::mutate: bad object id");
+  Handle& h = objects_[id];
+  if (h.use_count() != 1) {
+    // Shared with another configuration: clone before writing. A count that
+    // is stale (another owner dropping concurrently) only causes a spare
+    // clone, never a write to shared structure.
+    h = track(Object(*h));
+    cowstats::note_object_copied();
+  } else {
+    cowstats::note_object_shared();
+  }
+  return *h;
 }
 
 bool Store::in_bounds(ObjId obj, std::uint32_t off) const noexcept {
-  return obj < objects_.size() && off < objects_[obj].cells.size();
+  return obj < objects_.size() && off < objects_[obj]->cells.size();
 }
 
 Value Store::read(ObjId obj, std::uint32_t off) const {
   require(in_bounds(obj, off), "store read out of bounds");
-  return objects_[obj].cells[off];
+  return objects_[obj]->cells[off];
 }
 
 void Store::write(ObjId obj, std::uint32_t off, Value v) {
   require(in_bounds(obj, off), "store write out of bounds");
-  objects_[obj].cells[off] = v;
+  mutate(obj).cells[off] = v;
 }
 
 std::size_t Store::loc_id(ObjId obj, std::uint32_t off) const {
   require(in_bounds(obj, off), "loc_id out of bounds");
-  return objects_[obj].base + off;
+  return objects_[obj]->base + off;
 }
 
 std::pair<ObjId, std::uint32_t> Store::locate(std::size_t loc) const {
@@ -54,7 +81,7 @@ std::pair<ObjId, std::uint32_t> Store::locate(std::size_t loc) const {
   std::size_t hi = objects_.size();
   while (lo + 1 < hi) {
     const std::size_t mid = (lo + hi) / 2;
-    if (objects_[mid].base <= loc) {
+    if (objects_[mid]->base <= loc) {
       lo = mid;
     } else {
       hi = mid;
@@ -62,15 +89,15 @@ std::pair<ObjId, std::uint32_t> Store::locate(std::size_t loc) const {
   }
   // Zero-cell objects share their base with the next object; skip backwards
   // never needed because such objects own no locations.
-  const std::uint32_t off = static_cast<std::uint32_t>(loc - objects_[lo].base);
-  require(off < objects_[lo].cells.size(), "locate: location in zero-cell gap");
+  const std::uint32_t off = static_cast<std::uint32_t>(loc - objects_[lo]->base);
+  require(off < objects_[lo]->cells.size(), "locate: location in zero-cell gap");
   return {static_cast<ObjId>(lo), off};
 }
 
 std::string Store::to_string() const {
   std::ostringstream os;
   for (std::size_t i = 0; i < objects_.size(); ++i) {
-    const Object& o = objects_[i];
+    const Object& o = *objects_[i];
     os << "obj" << i << "(";
     switch (o.obj_kind) {
       case ObjKind::Globals: os << "globals"; break;

@@ -9,9 +9,17 @@
 //
 // Per the instrumented semantics (§5), every object records its allocation
 // site, creating process, and *birthdate* procedure string.
+//
+// Representation: objects are held by refcounted handles, so copying a
+// Store copies one handle per object, not the cells. All mutation goes
+// through the COW seam `mutate(id)`, which clones an object only on the
+// first write after a share (see docs/STATE_REPRESENTATION.md for the
+// ownership discipline that makes the refcount test sound in the parallel
+// engine).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +48,11 @@ struct Object {
   std::vector<Value> cells;
 };
 
+/// Deep size of an object (the handle accounting unit for the
+/// frontier-bytes gauge). Cells never grow after allocation, so this is
+/// stable over the object's lifetime.
+[[nodiscard]] std::size_t object_bytes(const Object& o) noexcept;
+
 class Store {
  public:
   /// Creates `ncells` zero-initialized cells; returns the new object's id.
@@ -47,7 +60,10 @@ class Store {
                  std::uint32_t ncells);
 
   [[nodiscard]] const Object& object(ObjId id) const;
-  [[nodiscard]] Object& object(ObjId id);
+  /// The COW seam: mutable access to an object, cloning it first iff its
+  /// handle is shared with another Store. Callers must hold exclusive
+  /// ownership of this *Store* (one worker, one configuration).
+  [[nodiscard]] Object& mutate(ObjId id);
   [[nodiscard]] std::size_t num_objects() const noexcept { return objects_.size(); }
   /// One past the largest dense location id.
   [[nodiscard]] std::size_t num_locations() const noexcept { return next_base_; }
@@ -67,7 +83,13 @@ class Store {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::vector<Object> objects_;
+  /// Shared immutable handle. The pointee is only written through mutate()
+  /// while its refcount is exactly 1, so sharing handles across
+  /// configurations (and worker threads) is safe.
+  using Handle = std::shared_ptr<Object>;
+  static Handle track(Object&& o);
+
+  std::vector<Handle> objects_;
   std::uint32_t next_base_ = 0;
 };
 

@@ -60,11 +60,39 @@ class Fp128Hasher {
       nbuf_ = 0;
     }
   }
+  // u32/u64 pack whole words into the little-endian buffer instead of
+  // looping over u8 — the canonical stream is mostly u32s, and this is the
+  // hot path of canonical_fingerprint(). Byte-for-byte equivalent to the
+  // per-u8 version (same buffer contents, same flush points, same len_),
+  // so fingerprints are unchanged.
   void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+    const int n = nbuf_;
+    len_ += 4;
+    if (n <= 4) {
+      buf_ |= static_cast<std::uint64_t>(v) << (8 * n);
+      if ((nbuf_ = n + 4) == 8) {
+        word(buf_);
+        buf_ = 0;
+        nbuf_ = 0;
+      }
+    } else {
+      // 8-n low bytes complete the buffer; the remaining n-4 carry over.
+      buf_ |= static_cast<std::uint64_t>(v) << (8 * n);
+      word(buf_);
+      buf_ = static_cast<std::uint64_t>(v) >> (8 * (8 - n));
+      nbuf_ = n - 4;
+    }
   }
   void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+    const int n = nbuf_;
+    len_ += 8;
+    if (n == 0) {
+      word(v);
+      return;
+    }
+    buf_ |= v << (8 * n);
+    word(buf_);
+    buf_ = v >> (8 * (8 - n));  // high n bytes start the next buffer
   }
 
   [[nodiscard]] Fingerprint finalize() const {

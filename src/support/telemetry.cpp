@@ -37,6 +37,7 @@ const char* gauge_name(Gauge g) {
     case Gauge::VisitedEntries: return "visited_entries";
     case Gauge::VisitedBytes: return "visited_bytes";
     case Gauge::Steals: return "steals";
+    case Gauge::FrontierBytes: return "frontier_bytes";
     case Gauge::kCount: break;
   }
   return "?";

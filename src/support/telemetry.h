@@ -91,6 +91,8 @@ enum class Gauge : std::uint8_t {
   VisitedEntries, // visited-set entry count
   VisitedBytes,   // visited-set byte estimate (updated coarsely)
   Steals,         // work-stealing frontier: successful steals
+  FrontierBytes,  // deep bytes of live shared configuration structure
+                  // (frontier-dominated; see src/sem/cowstats.h)
   kCount,
 };
 

@@ -19,6 +19,7 @@
 #include "src/explore/visited.h"
 #include "src/sem/config.h"
 #include "src/sem/program.h"
+#include "src/sem/step.h"
 #include "src/support/fingerprint.h"
 #include "src/support/telemetry.h"
 #include "src/workload/paper_examples.h"
@@ -145,6 +146,64 @@ TEST(ParExploreStress, WorkStealingFrontierAbortWakesSleepers) {
   }
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(exited.load(), kThreads);
+}
+
+TEST(ParExploreStress, CowSharedParentSurvivesConcurrentChildren) {
+  // The copy-on-write contract under contention: N threads each repeatedly
+  // shallow-copy ONE shared parent configuration and walk divergent action
+  // paths from it. Every write goes through Store::mutate / ProcessTable::
+  // mutate / CowBox::mut while the other threads hold (and read) the same
+  // handles, so under TSan this drives the clone-on-write decision and the
+  // shared_ptr refcounts across real thread interleavings. Functionally the
+  // parent must stay byte-identical — a child that ever wrote through a
+  // shared handle would corrupt it.
+  const auto prog = compile(workload::fig2_shasha_snir());
+  sem::Configuration parent = sem::Configuration::initial(*prog->lowered);
+  // Advance deterministically until at least two actions are enabled, so the
+  // children below genuinely diverge.
+  for (int guard = 0; guard < 1000; ++guard) {
+    const auto infos = sem::all_action_infos(parent);
+    std::vector<const sem::ActionInfo*> enabled;
+    for (const auto& i : infos) {
+      if (i.exists && i.enabled) enabled.push_back(&i);
+    }
+    ASSERT_FALSE(enabled.empty());
+    if (enabled.size() >= 2) break;
+    parent = sem::apply_action(parent, *enabled.front());
+  }
+  const std::string before = parent.canonical_key();
+
+  constexpr unsigned kThreads = 4;
+  constexpr int kRounds = 200;
+  constexpr int kDepth = 8;
+  std::atomic<std::uint64_t> steps{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        sem::Configuration cur = parent;  // shallow: shares every handle
+        for (int d = 0; d < kDepth; ++d) {
+          const auto infos = sem::all_action_infos(cur);
+          std::vector<const sem::ActionInfo*> enabled;
+          for (const auto& i : infos) {
+            if (i.exists && i.enabled) enabled.push_back(&i);
+          }
+          if (enabled.empty()) break;
+          // Different threads/rounds pick different branches, so clones of
+          // the same parent handle race with reads of it on other threads.
+          const auto& pick = *enabled[(t + r + d) % enabled.size()];
+          cur = sem::apply_action(cur, pick);
+          steps.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_GT(steps.load(), kThreads * kRounds);
+  EXPECT_EQ(parent.canonical_key(), before)
+      << "a concurrent child mutated the shared parent in place";
 }
 
 TEST(ParExploreStress, ParallelExploreRecordsOneTrackPerWorker) {

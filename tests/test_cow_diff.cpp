@@ -1,0 +1,214 @@
+// Differential pin of observable engine behavior across the COW state
+// representation (ISSUE 9).
+//
+// The copy-on-write Configuration must be a pure representation change:
+// every engine's terminal-key set, violations, faults, deadlock verdict,
+// and the rendered `check` diagnostics must stay byte-identical. These
+// goldens were recorded against the pre-COW deep-copy engine (commit
+// 8a8590c) and the matrix re-runs on every build:
+//
+//     samples × {Full, Stubborn} × {coarsen off/on} × {threads 1, 4}
+//
+// plus one `check` battery digest per sample. Regenerate (only when an
+// *intentional* semantic change lands) with:
+//
+//     COPAR_UPDATE_GOLDENS=1 ./build/tests/test_cow_diff
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/check.h"
+#include "src/explore/explorer.h"
+#include "src/sem/program.h"
+#include "src/sem/step.h"
+#include "src/support/fingerprint.h"
+
+namespace copar {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fp_hex(const support::Fingerprint& fp) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(fp.hi),
+                static_cast<unsigned long long>(fp.lo));
+  return buf;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Digest of everything the exploration observably computes: the sorted
+/// terminal canonical keys (length-prefixed — byte-identity, not just
+/// set-cardinality), violations, faults, and the deadlock verdict.
+std::string explore_digest(const explore::ExploreResult& r) {
+  support::Fp128Hasher h;
+  const auto keys = r.terminal_keys();
+  h.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const std::string& k : keys) {
+    h.u32(static_cast<std::uint32_t>(k.size()));
+    for (const char c : k) h.u8(static_cast<std::uint8_t>(c));
+  }
+  h.u32(static_cast<std::uint32_t>(r.violations.size()));
+  for (const std::uint32_t v : r.violations) h.u32(v);
+  h.u32(static_cast<std::uint32_t>(r.faults.size()));
+  for (const auto& [stmt, kind] : r.faults) {
+    h.u32(stmt);
+    h.u8(kind);
+  }
+  h.u8(r.deadlock_found ? 1 : 0);
+  return fp_hex(h.finalize());
+}
+
+/// Digest of the full rendered `check` text output (diagnostics including
+/// witness schedules), byte for byte.
+std::string check_digest(const CompiledProgram& prog, const std::string& source,
+                         const std::string& name) {
+  DiagnosticEngine engine;
+  (void)check::run_checks(prog, engine, {});
+  std::ostringstream os;
+  engine.render_text(os, source, name);
+  const std::string text = os.str();
+  support::Fp128Hasher h;
+  h.u32(static_cast<std::uint32_t>(text.size()));
+  for (const char c : text) h.u8(static_cast<std::uint8_t>(c));
+  return fp_hex(h.finalize());
+}
+
+constexpr std::uint64_t kBudget = 300000;
+
+struct Matrix {
+  /// "<sample> <cell>" -> digest ("truncated" for over-budget cells, which
+  /// stay pinned as truncated so a budget change is visible too).
+  std::map<std::string, std::string> rows;
+};
+
+Matrix compute_matrix() {
+  Matrix m;
+  const fs::path dir = COPAR_SAMPLES_DIR;
+  std::vector<fs::path> sample_paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".cop") sample_paths.push_back(entry.path());
+  }
+  std::sort(sample_paths.begin(), sample_paths.end());
+  for (const fs::path& path : sample_paths) {
+    const std::string name = path.filename().string();
+    const std::string source = read_file(path);
+    const auto prog = compile(source);
+    for (const explore::Reduction red :
+         {explore::Reduction::Full, explore::Reduction::Stubborn}) {
+      for (const bool coarsen : {false, true}) {
+        for (const unsigned threads : {1u, 4u}) {
+          explore::ExploreOptions opts;
+          opts.reduction = red;
+          opts.coarsen = coarsen;
+          opts.threads = threads;
+          opts.max_configs = kBudget;
+          const explore::ExploreResult r = explore::explore(*prog->lowered, opts);
+          std::string cell = std::string(red == explore::Reduction::Full ? "full" : "stubborn");
+          cell += coarsen ? "+coarsen" : "";
+          cell += " t" + std::to_string(threads);
+          m.rows[name + " " + cell] = r.truncated ? "truncated" : explore_digest(r);
+        }
+      }
+    }
+    m.rows[name + " check"] = check_digest(*prog, source, name);
+  }
+  return m;
+}
+
+fs::path golden_path() { return fs::path(COPAR_GOLDENS_DIR) / "cow_diff.golden"; }
+
+TEST(CowDifferential, EngineMatrixMatchesPreCowGoldens) {
+  const Matrix m = compute_matrix();
+  ASSERT_FALSE(m.rows.empty());
+
+  if (std::getenv("COPAR_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    for (const auto& [key, digest] : m.rows) out << key << ' ' << digest << '\n';
+    GTEST_SKIP() << "goldens regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (run with COPAR_UPDATE_GOLDENS=1 to create)";
+  std::map<std::string, std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.rfind(' ');
+    ASSERT_NE(pos, std::string::npos) << "malformed golden line: " << line;
+    golden[line.substr(0, pos)] = line.substr(pos + 1);
+  }
+  // Every golden row must be reproduced exactly, and no row may disappear
+  // (a vanished sample or cell would silently shrink coverage).
+  for (const auto& [key, digest] : golden) {
+    const auto it = m.rows.find(key);
+    ASSERT_NE(it, m.rows.end()) << "golden row no longer computed: " << key;
+    EXPECT_EQ(it->second, digest) << "engine output changed for: " << key;
+  }
+  for (const auto& [key, digest] : m.rows) {
+    EXPECT_TRUE(golden.contains(key)) << "new unpinned row (update goldens): " << key;
+  }
+}
+
+// A successor must never alias its parent's identity: mutating the child
+// through the COW seam may not write through shared structure into the
+// parent, and the child's canonical identity must be its own.
+TEST(CowDifferential, SharedThenMutatedConfigNeverAliasesParent) {
+  const auto prog = compile(R"(
+    var a = 0;
+    var b;
+    fun main() {
+      b = alloc(4);
+      cobegin { a = a + 1; b[0] = 7; } || { a = a + 2; b[1] = 9; } coend;
+      assert(a != 0);
+    }
+  )");
+  sem::Configuration root = sem::Configuration::initial(*prog->lowered);
+  const std::string root_key = root.canonical_key();
+  const auto root_fp = root.canonical_fingerprint();
+
+  // Walk a deterministic schedule; at every step the parent's key must be
+  // unaffected by the child's creation and mutation, and key <-> fingerprint
+  // must stay in lockstep on both sides.
+  sem::Configuration cur = root;
+  for (int steps = 0; steps < 1000; ++steps) {
+    sem::Pid fire = sem::kNoPid;
+    for (sem::Pid pid = 0; pid < cur.processes.size(); ++pid) {
+      if (!cur.processes[pid].live()) continue;
+      const sem::ActionInfo info = sem::action_info(cur, pid);
+      if (info.exists && info.enabled) {
+        fire = pid;
+        break;
+      }
+    }
+    if (fire == sem::kNoPid) break;
+    const std::string parent_key = cur.canonical_key();
+    sem::Configuration child = sem::apply_action(cur, fire);
+    // The parent is bit-for-bit untouched by the child's mutations.
+    EXPECT_EQ(cur.canonical_key(), parent_key);
+    EXPECT_EQ(cur.canonical_fingerprint(), sem::Configuration(cur).canonical_fingerprint());
+    // The child has its own identity (every action here changes state).
+    EXPECT_NE(child.canonical_key(), parent_key);
+    EXPECT_NE(child.canonical_fingerprint(), cur.canonical_fingerprint());
+    cur = std::move(child);
+  }
+  EXPECT_EQ(root.canonical_key(), root_key);
+  EXPECT_EQ(root.canonical_fingerprint(), root_fp);
+}
+
+}  // namespace
+}  // namespace copar

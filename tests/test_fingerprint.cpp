@@ -42,6 +42,24 @@ TEST(Fp128Hasher, WidthHelpersMatchByteStream) {
   Fp128Hasher d;
   for (std::uint8_t v : {1, 2, 3, 4, 5, 6, 7, 8}) d.u8(v);
   EXPECT_EQ(c.finalize(), d.finalize());
+
+  // ...at every buffer offset, not just word-aligned ones: the packed
+  // u32/u64 fast paths carry bytes across the 8-byte flush boundary, and
+  // each carry case (offset 5..7 for u32, 1..7 for u64) must produce the
+  // same stream as the byte-at-a-time definition.
+  for (int off = 0; off < 8; ++off) {
+    Fp128Hasher e;
+    Fp128Hasher f;
+    for (int i = 0; i < off; ++i) {
+      e.u8(static_cast<std::uint8_t>(0x40 + i));
+      f.u8(static_cast<std::uint8_t>(0x40 + i));
+    }
+    e.u32(0xd4c3b2a1u);
+    for (std::uint8_t v : {0xa1, 0xb2, 0xc3, 0xd4}) f.u8(v);
+    e.u64(0x8877665544332211ull);
+    for (std::uint8_t v : {0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88}) f.u8(v);
+    EXPECT_EQ(e.finalize(), f.finalize()) << "offset " << off;
+  }
 }
 
 TEST(Fp128Hasher, NeverProducesReservedMarkers) {

@@ -610,9 +610,9 @@ TEST_F(TelemetryTest, TimelineJsonSchemaIsPinned) {
   const JsonValue& samples = doc.at("samples");
   ASSERT_EQ(samples.kind, JsonValue::Kind::Array);
   ASSERT_EQ(samples.items.size(), 3u);
-  const char* kFields[] = {"t_ms",           "configs",       "transitions",
+  const char* kFields[] = {"t_ms",           "configs",        "transitions",
                            "frontier",       "visited_entries", "visited_bytes",
-                           "steals",         "rss_bytes"};
+                           "steals",         "frontier_bytes", "rss_bytes"};
   for (const JsonValue& s : samples.items) {
     ASSERT_EQ(s.kind, JsonValue::Kind::Object);
     EXPECT_EQ(s.members.size(), std::size(kFields));
@@ -703,6 +703,34 @@ TEST(MetricsSchema, JsonFieldsAndTypesArePinned) {
 
   t.enable_metrics(false);
   t.set_clock_for_test(nullptr);
+  t.reset();
+}
+
+TEST(MetricsSchema, CowGaugesExportedByEngines) {
+  Telemetry& t = Telemetry::global();
+  t.reset();
+  t.enable_metrics(true);
+
+  auto program = compile(workload::fig2_shasha_snir());
+  explore::ExploreOptions opts;
+  (void)explore::explore(*program->lowered, opts);
+
+  const auto snap = telemetry::MetricsSnapshot::capture();
+  std::ostringstream os;
+  snap.write_json(os);
+  const JsonValue doc = parse_json_or_fail(os.str());
+  const JsonValue& gauges = doc.at("gauges");
+  // The COW representation's telemetry: clone / in-place-write counts and
+  // the peak of the live structural-bytes gauge. Values vary with the
+  // machine and schedule; presence and type are the contract.
+  for (const char* name : {"cow.objects_copied", "cow.objects_shared", "cow.process_clones",
+                           "frontier_peak_bytes"}) {
+    EXPECT_EQ(gauges.at(name).kind, JsonValue::Kind::Number) << name;
+  }
+  // Any exploration writes through the COW seam at least once.
+  EXPECT_GT(gauges.at("cow.objects_shared").num + gauges.at("cow.objects_copied").num, 0.0);
+
+  t.enable_metrics(false);
   t.reset();
 }
 

@@ -22,7 +22,7 @@ inline sem::Configuration run_deterministic(const sem::LoweredProgram& program,
       if (!cfg.processes[pid].live()) continue;
       const sem::ActionInfo info = sem::action_info(cfg, pid);
       if (info.exists && info.enabled) {
-        cfg = sem::apply_action(cfg, pid);
+        cfg = sem::apply_action(cfg, info);
         fired = true;
       }
     }
