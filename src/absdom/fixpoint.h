@@ -6,6 +6,7 @@
 // another.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -43,6 +44,13 @@ class FixpointSolver {
 
   FixpointStats solve(const TransferFn& transfer, bool use_widening = false) {
     FixpointStats stats;
+    // Canonicalize successor lists so the requeue order depends only on the
+    // node ids, not on the order (or multiplicity) of add_edge calls —
+    // solver results and iteration trajectories are reproducible.
+    for (auto& succs : succs_) {
+      std::sort(succs.begin(), succs.end());
+      succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+    }
     std::deque<std::size_t> work;
     std::vector<char> queued(values_.size(), 1);
     for (std::size_t n = 0; n < values_.size(); ++n) work.push_back(n);

@@ -39,6 +39,13 @@ class FlatInt {
   /// Finite height: widening is join.
   [[nodiscard]] FlatInt widen(const FlatInt& o) const { return join(o); }
 
+  /// Narrowing companion (widened.narrow(next) with next ⊑ widened): only
+  /// a ⊤ produced by widening can be refined.
+  [[nodiscard]] FlatInt narrow(const FlatInt& o) const {
+    if (is_top()) return o;
+    return *this;
+  }
+
   [[nodiscard]] bool leq(const FlatInt& o) const {
     if (is_bottom()) return true;
     if (o.is_top()) return true;

@@ -57,6 +57,16 @@ class Interval {
     return Interval(false, lo, hi);
   }
 
+  /// Standard narrowing: an infinite bound of `*this` is refined from
+  /// `next`, finite bounds stay. Use as widened.narrow(next) with
+  /// next ⊑ widened (one descending pass after a widened fixpoint).
+  [[nodiscard]] Interval narrow(const Interval& next) const {
+    if (bottom_ || next.bottom_) return next;
+    const std::int64_t lo = lo_ == kNegInf ? next.lo_ : lo_;
+    const std::int64_t hi = hi_ == kPosInf ? next.hi_ : hi_;
+    return Interval(false, lo, hi);
+  }
+
   friend bool operator==(const Interval&, const Interval&) = default;
 
   // --- abstract arithmetic (saturating; sound but not always optimal) ------
@@ -79,9 +89,9 @@ class Interval {
   }
   static Interval div(const Interval& a, const Interval& b) {
     if (a.bottom_ || b.bottom_) return bottom();
-    if (auto y = b.as_constant(); y && *y != 0 && !a.is_top()) {
-      const std::int64_t p = a.lo_ / *y;
-      const std::int64_t q = a.hi_ / *y;
+    if (auto y = b.as_constant(); y && *y != 0) {
+      const std::int64_t p = sat_div(a.lo_, *y);
+      const std::int64_t q = sat_div(a.hi_, *y);
       return Interval(false, std::min(p, q), std::max(p, q));
     }
     return top();
@@ -89,7 +99,14 @@ class Interval {
   static Interval mod(const Interval& a, const Interval& b) {
     if (a.bottom_ || b.bottom_) return bottom();
     if (auto x = a.as_constant()) {
-      if (auto y = b.as_constant(); y && *y != 0) return constant(*x % *y);
+      if (auto y = b.as_constant(); y && *y != 0) {
+        // x % -1 == 0 for every x; handling it first also sidesteps the
+        // INT64_MIN % -1 hardware trap.
+        if (*y == -1) return constant(0);
+        // ±∞ sentinels are not real constants — don't fold them.
+        if (*x == kNegInf || *x == kPosInf) return top();
+        return constant(*x % *y);
+      }
     }
     return top();
   }
@@ -200,6 +217,14 @@ class Interval {
     std::int64_t r = 0;
     if (__builtin_sub_overflow(a, b, &r)) return a > b ? kPosInf : kNegInf;
     return r;
+  }
+  static std::int64_t sat_div(std::int64_t a, std::int64_t b) {
+    // b != 0. kNegInf doubles as the finite INT64_MIN, so routing it here
+    // also avoids the INT64_MIN / -1 hardware trap (the one overflowing
+    // case of signed division); -∞ / -1 correctly saturates to +∞.
+    if (a == kNegInf) return b > 0 ? kNegInf : kPosInf;
+    if (a == kPosInf) return b > 0 ? kPosInf : kNegInf;
+    return a / b;
   }
   static std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
     std::int64_t r = 0;

@@ -85,6 +85,18 @@ struct AbsValue {
     out.fns = fns.join(o.fns);
     return out;
   }
+  /// Narrowing (widened.narrow(next) with next ⊑ widened): refine the
+  /// numeric component when the domain supports it; the finite-height
+  /// components keep the widened (= joined) value.
+  [[nodiscard]] AbsValue narrow(const AbsValue& o) const {
+    AbsValue out = *this;
+    if constexpr (requires(const N a, const N b) {
+                    { a.narrow(b) } -> std::same_as<N>;
+                  }) {
+      out.num = num.narrow(o.num);
+    }
+    return out;
+  }
   [[nodiscard]] bool leq(const AbsValue& o) const {
     return num.leq(o.num) && (!may_null || o.may_null) && ptrs.leq(o.ptrs) && fns.leq(o.fns);
   }

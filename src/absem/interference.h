@@ -1,0 +1,61 @@
+// Interference facts for the rely/guarantee thread-modular engine (tmod).
+//
+// A thread's *guarantee* is the abstract map of writes it may perform on
+// shared locations; a thread's *rely* is the join of the other threads'
+// guarantees (plus its own when several instances of it may run at once).
+// Analyzing every thread sequentially against a rely that over-approximates
+// the joined guarantees yields a sound over-approximation of all
+// interleavings (Miné's thread-modular recipe over the Chow–Harrison model).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "src/absdom/map.h"
+#include "src/absem/absloc.h"
+#include "src/absem/absvalue.h"
+
+namespace copar::absem {
+
+/// The interference lattice: abstract written values per location. Both
+/// guarantees and relies live here; absent keys mean "never written".
+template <NumDomain N>
+using Interference = absdom::MapLattice<AbsLoc, AbsValue<N>>;
+
+/// One abstract access recorded during a thread's sequential analysis,
+/// keyed by originating statement. These feed race-pair generation.
+struct AccessRecord {
+  std::uint32_t thread = 0;  // thread-root proc id of the accessor
+  std::uint32_t stmt = 0;    // originating statement id
+  AbsLoc loc;
+  bool is_write = false;
+  /// Lock/Unlock cell traffic — synchronization, not data flow. Two sync
+  /// accesses never form a race (that contention is the lock's job).
+  bool sync = false;
+  /// Must-held lockset, intersected over every occurrence of this
+  /// (stmt, loc, kind) access (bitmask per analysis::LockSets; 0 = no lock
+  /// provably held, so the access never prunes on mutual exclusion).
+  std::uint64_t locks = 0;
+
+  friend auto operator<=>(const AccessRecord&, const AccessRecord&) = default;
+};
+
+/// Hooks and knobs for tmod_analyze. The hooks exist because src/analysis
+/// depends on src/absem (not the other way around): callers that have
+/// lockset / static-MHP results inject them here; every null hook defaults
+/// to the sound "don't know" answer.
+struct TmodOptions {
+  /// Cap on widened interference rounds before giving up (truncated=true).
+  std::uint32_t max_rounds = 32;
+  /// Must-held lockset bitmask at (proc, pc); null = no lock information
+  /// (mask 0 everywhere — no interference or race pruning).
+  std::function<std::uint64_t(std::uint32_t, std::uint32_t)> must_locks;
+  /// May two instances of thread-root `proc` run concurrently with each
+  /// other? Null = assume yes (sound).
+  std::function<bool(std::uint32_t)> self_parallel;
+  /// May statements s1 and s2 run in parallel? Null = assume yes (sound).
+  std::function<bool(std::uint32_t, std::uint32_t)> parallel;
+};
+
+}  // namespace copar::absem

@@ -1,0 +1,782 @@
+// The rely/guarantee thread-modular engine (see tmod.h).
+//
+// Structure: a per-thread sequential abstract interpreter (a worklist over
+// (proc, pc) points, mirroring AbsExplorer's transfer functions but with no
+// interleaved control state) is run for every thread root against a rely
+// map; writes feed the thread's guarantee; guarantees are joined into the
+// relies with widening until nothing grows; one narrowing pass with the
+// exact guarantee join then produces the reported facts. Reads always
+// evaluate own-store ⊔ rely, so a strong own-store update never hides
+// another thread's interference.
+//
+// Determinism: thread roots, worklists, and every recorded container are
+// std::map/std::set ordered by (proc, pc, stmt, loc) keys — reports are
+// byte-reproducible across runs and platforms.
+#include "src/absem/tmod.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/lang/ast.h"
+#include "src/sem/config.h"
+#include "src/sem/step.h"
+#include "src/support/diagnostics.h"
+#include "src/support/telemetry.h"
+
+namespace copar::absem {
+namespace {
+
+template <NumDomain N>
+class ThreadModular {
+ public:
+  using Value = AbsValue<N>;
+  using Store = absdom::MapLattice<AbsLoc, Value>;
+  using Point = std::pair<std::uint32_t, std::uint32_t>;  // (proc, pc)
+
+  ThreadModular(const sem::LoweredProgram& prog, const TmodOptions& opts)
+      : prog_(prog), opts_(opts) {}
+
+  TmodResult<N> run();
+
+ private:
+  /// A discovered call site: where a callee's return flows back to.
+  struct Cont {
+    std::uint32_t proc = 0;
+    std::uint32_t pc = 0;
+    std::set<AbsLoc> dst;  // return-value destination (empty: discarded)
+    friend auto operator<=>(const Cont&, const Cont&) = default;
+  };
+
+  /// Per-thread analysis state, accumulated monotonically across rounds.
+  struct ThreadState {
+    std::map<Point, Store> states;  // abstract store on entry to each point
+    std::map<std::uint32_t, std::set<Cont>> conts;  // callee -> return sites
+    Interference<N> guarantee;      // this thread's abstract writes
+  };
+
+  static constexpr std::uint32_t kNoCtx = 0xffffffffu;
+
+  [[nodiscard]] bool self_par(std::uint32_t root) const {
+    return opts_.self_parallel ? opts_.self_parallel(root) : true;
+  }
+
+  [[nodiscard]] std::uint32_t settle_pc(std::uint32_t proc, std::uint32_t pc) const {
+    const auto& code = prog_.proc(proc).code;
+    while (pc < code.size() && code[pc].op == sem::Op::Jump) pc = code[pc].t1;
+    return pc;
+  }
+
+  AbsLoc var_absloc(std::uint32_t proc, const lang::Expr& ref) const {
+    const sem::VarLoc& vl = prog_.varloc(ref.id());
+    if (vl.is_global) return AbsLoc::global(vl.slot);
+    std::uint32_t fn = prog_.proc(proc).owner_fn;
+    for (std::uint16_t h = 0; h < vl.hops; ++h) {
+      fn = prog_.proc(fn).lexical_parent;
+      require(fn != sem::kNoProc, "tmod hop chain fell off the top");
+    }
+    // Context-insensitive: all activations of a function share one frame.
+    return AbsLoc::frame(fn, vl.slot, 0);
+  }
+
+  /// Every read sees own-store ⊔ rely: interference is never hidden by a
+  /// strong own-store update. A bottom own cell reads as the implicit zero.
+  Value read_loc(const Store& store, const AbsLoc& loc) {
+    cur_reads_.insert(loc);
+    Value own = store.get(loc);
+    if (own.is_bottom()) own = Value::of_int(0);
+    return own.join(cur_rely_->get(loc));
+  }
+
+  void note_fault(sem::Fault f, std::uint32_t expr_id) {
+    if (recording_ && track_faults_ && cur_stmt_ != kNoCtx) {
+      result_.may_faults.insert({cur_stmt_, expr_id, static_cast<std::uint8_t>(f)});
+    }
+  }
+
+  absdom::PowerSet<AbsLoc> spread_frames(const absdom::PowerSet<AbsLoc>& locs) const {
+    absdom::PowerSet<AbsLoc> out;
+    for (const AbsLoc& loc : locs.elems()) {
+      if (loc.kind == AbsLoc::Kind::Frame) {
+        const sem::Proc& fn = prog_.proc(loc.a);
+        for (std::uint32_t slot = 1; slot < std::max(fn.nslots, 1u); ++slot) {
+          out.insert(AbsLoc::frame(loc.a, slot, 0));
+        }
+      } else {
+        out.insert(loc);
+      }
+    }
+    return out;
+  }
+
+  Value eval(const Store& store, std::uint32_t proc, const lang::Expr& e);
+  std::set<AbsLoc> lvalue_locs(const Store& store, std::uint32_t proc, const lang::Expr& lv);
+  void check_bounds(const Value& base, const Value& index, const lang::Index& ix);
+  bool refine_branch(Store& store, std::uint32_t proc, const lang::Expr& cond, bool want_true);
+
+  /// Writes `v` to `locs`: strong in the own store when the target is one
+  /// non-summary cell, weak otherwise; always joined into the guarantee.
+  /// `attribute` controls access attribution to the current statement
+  /// (false for return-value writes, attributed at the call site).
+  void update(Store& store, const std::set<AbsLoc>& locs, const Value& v,
+              bool attribute = true) {
+    for (const AbsLoc& loc : locs) {
+      if (attribute) cur_writes_.insert(loc);
+      if (cur_ts_->guarantee.join_at(loc, v)) grew_ = true;
+    }
+    if (locs.size() == 1 && !locs.begin()->is_summary()) {
+      store.set(*locs.begin(), v);  // strong update: unique concrete cell
+      return;
+    }
+    for (const AbsLoc& loc : locs) store.join_at(loc, v);
+  }
+
+  void propagate(Point pt, const Store& store) {
+    auto [it, fresh] = cur_ts_->states.emplace(pt, store);
+    if (!fresh && !absdom::widen_into(it->second, store)) return;
+    grew_ = true;
+    worklist_.insert(pt);
+  }
+
+  /// Joins `store` into a forked proc's seed (widened across rounds); the
+  /// report pass runs on the converged seeds and never grows them.
+  void seed_child(std::uint32_t child, const Store& store) {
+    if (recording_) return;
+    auto [it, fresh] = seeds_.emplace(child, store);
+    if (fresh || absdom::widen_into(it->second, store)) grew_ = true;
+  }
+
+  void note_access(const AbsLoc& loc, bool is_write) {
+    const auto key = std::make_tuple(cur_thread_, cur_stmt_, loc, is_write, cur_sync_);
+    auto [it, fresh] = access_masks_.emplace(key, cur_mask_);
+    if (!fresh) it->second &= cur_mask_;
+  }
+
+  void analyze(std::uint32_t root, ThreadState& ts, const Interference<N>& rely,
+               const Store& seed);
+  void transfer(Point pt, const Store& store);
+  [[nodiscard]] TmodRaceReport make_races() const;
+
+  const sem::LoweredProgram& prog_;
+  TmodOptions opts_;
+  TmodResult<N> result_;
+
+  /// Thread roots and their (widened) entry stores.
+  std::map<std::uint32_t, Store> seeds_;
+  /// (thread, stmt, loc, is_write, sync) -> must-lock mask (intersected).
+  std::map<std::tuple<std::uint32_t, std::uint32_t, AbsLoc, bool, bool>, std::uint64_t>
+      access_masks_;
+
+  // --- state of the analysis currently in flight ---------------------------
+  ThreadState* cur_ts_ = nullptr;
+  const Interference<N>* cur_rely_ = nullptr;
+  std::uint32_t cur_thread_ = 0;
+  std::set<Point> worklist_;
+  std::set<AbsLoc> cur_reads_;
+  std::set<AbsLoc> cur_writes_;
+  std::uint32_t cur_stmt_ = kNoCtx;
+  std::uint64_t cur_mask_ = 0;
+  bool cur_sync_ = false;
+  bool track_faults_ = false;
+  /// False during the widened rounds (only guarantees/seeds matter), true
+  /// during the final narrowed pass that produces the reported facts.
+  bool recording_ = false;
+  /// Anything grew (states, guarantees, seeds, relies) — convergence flag.
+  bool grew_ = false;
+  std::uint64_t evals_ = 0;
+};
+
+template <NumDomain N>
+AbsValue<N> ThreadModular<N>::eval(const Store& store, std::uint32_t proc,
+                                   const lang::Expr& e) {
+  using lang::ExprKind;
+  switch (e.kind()) {
+    case ExprKind::IntLit:
+      return Value::of_int(lang::expr_cast<lang::IntLit>(e).value());
+    case ExprKind::BoolLit:
+      return Value::of_int(lang::expr_cast<lang::BoolLit>(e).value() ? 1 : 0);
+    case ExprKind::NullLit:
+      return Value::of_null();
+    case ExprKind::VarRef: {
+      const AbsLoc loc = var_absloc(proc, e);
+      if (recording_ && track_faults_ && cur_stmt_ != kNoCtx && store.get(loc).is_bottom()) {
+        result_.uninit_reads.insert({cur_stmt_, e.id(), loc});
+      }
+      return read_loc(store, loc);
+    }
+    case ExprKind::Unary: {
+      const auto& u = lang::expr_cast<lang::Unary>(e);
+      const Value v = eval(store, proc, u.operand());
+      Value out;
+      if (u.op() == lang::UnOp::Neg) {
+        out.num = N::sub(N::constant(0), v.num);
+      } else {  // not
+        if (v.may_be_truthy()) out.num = out.num.join(N::constant(0));
+        if (v.may_be_falsy()) out.num = out.num.join(N::constant(1));
+      }
+      return out;
+    }
+    case ExprKind::Binary: {
+      const auto& b = lang::expr_cast<lang::Binary>(e);
+      const Value l = eval(store, proc, b.lhs());
+      const Value r = eval(store, proc, b.rhs());
+      Value out;
+      using lang::BinOp;
+      auto bool_out = [&](bool can_true, bool can_false) {
+        if (can_true) out.num = out.num.join(N::constant(1));
+        if (can_false) out.num = out.num.join(N::constant(0));
+      };
+      switch (b.op()) {
+        case BinOp::Add:
+        case BinOp::Sub: {
+          out.num = b.op() == BinOp::Add ? N::add(l.num, r.num) : N::sub(l.num, r.num);
+          if (!l.ptrs.is_bottom()) out.ptrs = out.ptrs.join(spread_frames(l.ptrs));
+          return out;
+        }
+        case BinOp::Mul:
+          out.num = N::mul(l.num, r.num);
+          return out;
+        case BinOp::Div:
+          if (r.may_be_falsy()) note_fault(sem::Fault::DivByZero, b.rhs().id());
+          out.num = N::div(l.num, r.num);
+          return out;
+        case BinOp::Mod:
+          if (r.may_be_falsy()) note_fault(sem::Fault::DivByZero, b.rhs().id());
+          out.num = N::mod(l.num, r.num);
+          return out;
+        case BinOp::Eq:
+        case BinOp::Ne: {
+          const bool ptrish =
+              !l.ptrs.is_bottom() || !r.ptrs.is_bottom() || l.may_null || r.may_null ||
+              !l.fns.is_bottom() || !r.fns.is_bottom();
+          if (ptrish) {
+            bool_out(true, true);  // aliasing undecided at this precision
+            return out;
+          }
+          out.num = N::cmp(l.num, r.num,
+                           b.op() == BinOp::Eq
+                               ? +[](std::int64_t x, std::int64_t y) { return x == y; }
+                               : +[](std::int64_t x, std::int64_t y) { return x != y; });
+          return out;
+        }
+        case BinOp::Lt:
+          out.num = N::cmp(l.num, r.num, +[](std::int64_t x, std::int64_t y) { return x < y; });
+          return out;
+        case BinOp::Le:
+          out.num = N::cmp(l.num, r.num, +[](std::int64_t x, std::int64_t y) { return x <= y; });
+          return out;
+        case BinOp::Gt:
+          out.num = N::cmp(l.num, r.num, +[](std::int64_t x, std::int64_t y) { return x > y; });
+          return out;
+        case BinOp::Ge:
+          out.num = N::cmp(l.num, r.num, +[](std::int64_t x, std::int64_t y) { return x >= y; });
+          return out;
+        case BinOp::And:
+          bool_out(l.may_be_truthy() && r.may_be_truthy(),
+                   l.may_be_falsy() || r.may_be_falsy());
+          return out;
+        case BinOp::Or:
+          bool_out(l.may_be_truthy() || r.may_be_truthy(),
+                   l.may_be_falsy() && r.may_be_falsy());
+          return out;
+      }
+      throw Error("tmod eval: bad binop");
+    }
+    case ExprKind::AddrOf: {
+      const auto& a = lang::expr_cast<lang::AddrOf>(e);
+      Value out;
+      for (const AbsLoc& loc : lvalue_locs(store, proc, a.lvalue())) out.ptrs.insert(loc);
+      return out;
+    }
+    case ExprKind::Deref:
+    case ExprKind::Index: {
+      Value out;
+      for (const AbsLoc& loc : lvalue_locs(store, proc, e)) {
+        out = out.join(read_loc(store, loc));
+      }
+      return out;
+    }
+    case ExprKind::FunLit:
+      return Value::of_fn(lang::expr_cast<lang::FunLit>(e).decl().index());
+  }
+  throw Error("tmod eval: bad expr kind");
+}
+
+template <NumDomain N>
+std::set<AbsLoc> ThreadModular<N>::lvalue_locs(const Store& store, std::uint32_t proc,
+                                               const lang::Expr& lv) {
+  using lang::ExprKind;
+  switch (lv.kind()) {
+    case ExprKind::VarRef:
+      return {var_absloc(proc, lv)};
+    case ExprKind::Deref: {
+      const auto& d = lang::expr_cast<lang::Deref>(lv);
+      const Value p = eval(store, proc, d.pointer());
+      if (p.may_null) note_fault(sem::Fault::DerefNull, d.pointer().id());
+      return {p.ptrs.elems().begin(), p.ptrs.elems().end()};
+    }
+    case ExprKind::Index: {
+      const auto& ix = lang::expr_cast<lang::Index>(lv);
+      const Value base = eval(store, proc, ix.base());
+      const Value index = eval(store, proc, ix.index());
+      if (base.may_null) note_fault(sem::Fault::DerefNull, ix.base().id());
+      check_bounds(base, index, ix);
+      const auto spread = spread_frames(base.ptrs);
+      return {spread.elems().begin(), spread.elems().end()};
+    }
+    default:
+      throw Error("tmod lvalue_locs: not an lvalue");
+  }
+}
+
+template <NumDomain N>
+void ThreadModular<N>::check_bounds(const Value& base, const Value& index,
+                                    const lang::Index& ix) {
+  if (!recording_ || !track_faults_ || cur_stmt_ == kNoCtx) return;
+  for (const AbsLoc& loc : base.ptrs.elems()) {
+    if (loc.kind != AbsLoc::Kind::Heap) continue;
+    const auto it = result_.site_sizes.find(loc.a);
+    if (it == result_.site_sizes.end()) continue;
+    const bool below = N::cmp(index.num, N::constant(0),
+                              +[](std::int64_t x, std::int64_t y) { return x < y; })
+                           .may_be_truthy();
+    const bool above = N::cmp(index.num, it->second,
+                              +[](std::int64_t x, std::int64_t y) { return x >= y; })
+                          .may_be_truthy();
+    if (below || above) {
+      note_fault(sem::Fault::OutOfBounds, ix.index().id());
+      return;
+    }
+  }
+}
+
+template <NumDomain N>
+bool ThreadModular<N>::refine_branch(Store& store, std::uint32_t proc,
+                                     const lang::Expr& cond, bool want_true) {
+  using lang::BinOp;
+  using lang::ExprKind;
+  if (cond.kind() != ExprKind::Binary) return true;
+  const auto& b = lang::expr_cast<lang::Binary>(cond);
+  absdom::CmpOp op;
+  switch (b.op()) {
+    case BinOp::Lt: op = absdom::CmpOp::Lt; break;
+    case BinOp::Le: op = absdom::CmpOp::Le; break;
+    case BinOp::Gt: op = absdom::CmpOp::Gt; break;
+    case BinOp::Ge: op = absdom::CmpOp::Ge; break;
+    case BinOp::Eq: op = absdom::CmpOp::Eq; break;
+    case BinOp::Ne: op = absdom::CmpOp::Ne; break;
+    default: return true;
+  }
+
+  // A refinable location is a unique concrete cell: a global, or a frame
+  // slot of the entry proc while nothing calls it. Refining a cell other
+  // threads may write stays sound: the refined value lands in the *own*
+  // store only, and every later read re-joins the rely.
+  auto refinable = [&](const AbsLoc& loc) {
+    if (loc.kind == AbsLoc::Kind::Global) return true;
+    return loc.kind == AbsLoc::Kind::Frame && loc.a == prog_.entry_proc() &&
+           !cur_ts_->conts.contains(prog_.entry_proc());
+  };
+
+  auto try_side = [&](const lang::Expr& var_side, const lang::Expr& other_side,
+                      absdom::CmpOp side_op) {
+    if (var_side.kind() != ExprKind::VarRef) return true;
+    const AbsLoc loc = var_absloc(proc, var_side);
+    if (!refinable(loc)) return true;
+    const Value v = read_loc(store, loc);
+    if (v.may_null || !v.ptrs.is_bottom() || !v.fns.is_bottom()) return true;
+    const Value rhs = eval(store, proc, other_side);
+    const N refined = N::refine_cmp(v.num, side_op, rhs.num, want_true);
+    if (refined == v.num) return true;
+    if (refined.is_bottom()) return false;  // edge infeasible for this state
+    Value nv = v;
+    nv.num = refined;
+    store.set(loc, nv);  // strong: own-store only; reads re-join the rely
+    return true;
+  };
+
+  if (!try_side(b.lhs(), b.rhs(), op)) return false;
+  return try_side(b.rhs(), b.lhs(), absdom::mirror(op));
+}
+
+template <NumDomain N>
+void ThreadModular<N>::analyze(std::uint32_t root, ThreadState& ts,
+                               const Interference<N>& rely, const Store& seed) {
+  cur_ts_ = &ts;
+  cur_rely_ = &rely;
+  cur_thread_ = root;
+  worklist_.clear();
+  // Re-evaluate every known point: a grown rely can change any transfer
+  // that reads shared state. Monotone, so this terminates.
+  for (const auto& [pt, st] : ts.states) worklist_.insert(pt);
+  propagate({root, settle_pc(root, 0)}, seed);
+  while (!worklist_.empty()) {
+    const Point pt = *worklist_.begin();
+    worklist_.erase(worklist_.begin());
+    const auto it = ts.states.find(pt);
+    if (it == ts.states.end()) continue;
+    const Store snapshot = it->second;  // copy: transfer only reads it
+    transfer(pt, snapshot);
+    ++evals_;
+  }
+}
+
+template <NumDomain N>
+void ThreadModular<N>::transfer(Point pt, const Store& store) {
+  const auto [proc_id, pc] = pt;
+  const sem::Proc& proc = prog_.proc(proc_id);
+  const sem::Instr& instr = proc.code.at(pc);
+
+  cur_reads_.clear();
+  cur_writes_.clear();
+  cur_stmt_ = instr.stmt != nullptr ? instr.stmt->id() : kNoCtx;
+  // Lock/unlock cell traffic is synchronization, not data flow.
+  cur_sync_ = instr.op == sem::Op::Lock || instr.op == sem::Op::Unlock;
+  track_faults_ = !cur_sync_;
+  cur_mask_ = opts_.must_locks ? opts_.must_locks(proc_id, pc) : 0;
+  if (recording_ && cur_stmt_ != kNoCtx) result_.reached_stmts.insert(cur_stmt_);
+
+  auto advance = [&](std::uint32_t new_pc, Store s) {
+    propagate({proc_id, settle_pc(proc_id, new_pc)}, s);
+  };
+
+  switch (instr.op) {
+    case sem::Op::Assign: {
+      Store s = store;
+      const Value v = eval(s, proc_id, *instr.rhs);
+      update(s, lvalue_locs(s, proc_id, *instr.lhs), v);
+      advance(pc + 1, std::move(s));
+      break;
+    }
+    case sem::Op::Alloc: {
+      Store s = store;
+      const Value size = eval(s, proc_id, *instr.rhs);
+      require(instr.stmt != nullptr, "alloc without statement");
+      if (N::cmp(size.num, N::constant(0),
+                 +[](std::int64_t x, std::int64_t y) { return x < y; })
+              .may_be_truthy()) {
+        note_fault(sem::Fault::NegativeAlloc, instr.rhs->id());
+      }
+      auto [sit, fresh] = result_.site_sizes.emplace(instr.stmt->id(), size.num);
+      if (!fresh) sit->second = sit->second.join(size.num);
+      const AbsLoc site = AbsLoc::heap(instr.stmt->id());
+      s.join_at(site, Value::of_int(0));  // fresh cells are zero
+      update(s, lvalue_locs(s, proc_id, *instr.lhs), Value::of_ptr(site));
+      advance(pc + 1, std::move(s));
+      break;
+    }
+    case sem::Op::Call: {
+      Store s = store;
+      const Value callee = eval(s, proc_id, *instr.rhs);
+      std::vector<Value> args;
+      if (instr.args != nullptr) {
+        for (const auto& a : *instr.args) args.push_back(eval(s, proc_id, *a));
+      }
+      std::set<AbsLoc> dst;
+      if (instr.lhs != nullptr) {
+        dst = lvalue_locs(s, proc_id, *instr.lhs);
+        // The eventual return-value write belongs to this call site.
+        for (const AbsLoc& loc : dst) cur_writes_.insert(loc);
+      }
+      for (std::uint32_t f : callee.fns.elems()) {
+        const sem::Proc& target = prog_.proc(f);
+        if (target.fun == nullptr) continue;  // thread procs are not callable
+        if (target.fun->params().size() != args.size()) continue;  // faults concretely
+        const Cont cont{proc_id, settle_pc(proc_id, pc + 1), dst};
+        if (cur_ts_->conts[f].insert(cont).second) {
+          grew_ = true;
+          // A new call edge gives the callee's returns a new successor:
+          // requeue them (transfer skips points with no state yet).
+          for (std::uint32_t p2 = 0; p2 < target.code.size(); ++p2) {
+            const sem::Op op2 = target.code[p2].op;
+            if (op2 == sem::Op::Return || op2 == sem::Op::Halt) worklist_.insert({f, p2});
+          }
+        }
+        Store s2 = s;
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          const AbsLoc ploc = AbsLoc::frame(f, static_cast<std::uint32_t>(1 + i), 0);
+          if (cur_ts_->guarantee.join_at(ploc, args[i])) grew_ = true;
+          s2.join_at(ploc, args[i]);
+          cur_writes_.insert(ploc);
+        }
+        propagate({f, settle_pc(f, 0)}, std::move(s2));
+      }
+      break;
+    }
+    case sem::Op::Return:
+    case sem::Op::Halt: {
+      if (proc.is_thread) break;  // thread exit: the point disappears
+      Store s = store;
+      Value v = Value::of_null();
+      if (instr.op == sem::Op::Return && instr.rhs != nullptr) {
+        v = eval(s, proc_id, *instr.rhs);
+      }
+      if (proc_id == prog_.entry_proc()) break;  // main finished
+      const auto it = cur_ts_->conts.find(proc_id);
+      if (it == cur_ts_->conts.end()) break;  // callers not discovered yet
+      for (const Cont& cont : it->second) {
+        Store s2 = s;
+        // The write was attributed at the call site; see Op::Call.
+        if (!cont.dst.empty()) update(s2, cont.dst, v, /*attribute=*/false);
+        propagate({cont.proc, cont.pc}, std::move(s2));
+      }
+      break;
+    }
+    case sem::Op::Branch: {
+      Store s = store;
+      const Value c = eval(s, proc_id, *instr.rhs);
+      if (c.may_be_truthy()) {
+        Store st = s;
+        if (refine_branch(st, proc_id, *instr.rhs, true)) {
+          advance(instr.t1, std::move(st));
+        }
+      }
+      if (c.may_be_falsy()) {
+        Store sf = s;
+        if (refine_branch(sf, proc_id, *instr.rhs, false)) {
+          advance(instr.t2, std::move(sf));
+        }
+      }
+      break;
+    }
+    case sem::Op::Fork: {
+      require(instr.stmt != nullptr, "fork without statement");
+      for (std::uint32_t child : instr.forks) seed_child(child, store);
+      advance(pc + 1, store);  // parent proceeds to the Join
+      break;
+    }
+    case sem::Op::ForkRange: {
+      require(instr.stmt != nullptr, "doall without statement");
+      Store s = store;
+      const Value lo = eval(s, proc_id, *instr.rhs);
+      const Value hi = eval(s, proc_id, *instr.rhs2);
+      const std::uint32_t child = instr.forks.at(0);
+      const N nonempty = N::cmp(hi.num, lo.num,
+                                +[](std::int64_t x, std::int64_t y) { return x >= y; });
+      if (nonempty.may_be_truthy() || lo.num.is_bottom() || hi.num.is_bottom()) {
+        // The index of every instance lies in [lo, hi]: join of the bounds.
+        const AbsLoc iloc = AbsLoc::frame(child, 1, 0);
+        const Value iv = Value::of_num(lo.num.join(hi.num));
+        if (cur_ts_->guarantee.join_at(iloc, iv)) grew_ = true;
+        cur_writes_.insert(iloc);
+        Store seed = s;
+        seed.join_at(iloc, iv);
+        seed_child(child, seed);
+      }
+      advance(pc + 1, std::move(s));  // parent proceeds (range may be empty)
+      break;
+    }
+    case sem::Op::Join:
+      // Always enabled: thread-modular analysis has no child liveness to
+      // consult. Over-approximates reachability, which is the sound side.
+      advance(pc + 1, store);
+      break;
+    case sem::Op::Lock: {
+      Store s = store;
+      const std::set<AbsLoc> locs = lvalue_locs(s, proc_id, *instr.lhs);
+      bool may_acquire = false;
+      for (const AbsLoc& loc : locs) {
+        // read_loc joins the rely, so another thread's unlock (guarantee
+        // value 0) keeps this acquirable even when the own store says held.
+        if (read_loc(s, loc).may_be_falsy()) may_acquire = true;
+      }
+      if (may_acquire) {
+        update(s, locs, Value::of_int(1));
+        advance(pc + 1, std::move(s));
+      }
+      break;
+    }
+    case sem::Op::Unlock: {
+      Store s = store;
+      const std::set<AbsLoc> locs = lvalue_locs(s, proc_id, *instr.lhs);
+      update(s, locs, Value::of_int(0));
+      advance(pc + 1, std::move(s));
+      break;
+    }
+    case sem::Op::Assert: {
+      Store s = store;
+      if (instr.rhs != nullptr) {
+        const Value c = eval(s, proc_id, *instr.rhs);
+        if (recording_ && c.may_be_falsy() && instr.stmt != nullptr) {
+          result_.may_fail_asserts.insert(instr.stmt->id());
+        }
+      }
+      advance(pc + 1, std::move(s));
+      break;
+    }
+    case sem::Op::Jump:
+      throw Error("tmod transfer: unsettled jump");
+  }
+
+  if (recording_ && cur_stmt_ != kNoCtx) {
+    for (const AbsLoc& loc : cur_reads_) note_access(loc, /*is_write=*/false);
+    for (const AbsLoc& loc : cur_writes_) note_access(loc, /*is_write=*/true);
+  }
+}
+
+template <NumDomain N>
+TmodRaceReport ThreadModular<N>::make_races() const {
+  struct PairAgg {
+    bool ww = false;
+    bool wr = false;
+    bool all_protected = true;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, PairAgg> agg;
+  std::map<AbsLoc, std::vector<const AccessRecord*>> by_loc;
+  for (const AccessRecord& a : result_.accesses) by_loc[a.loc].push_back(&a);
+  for (const auto& [loc, recs] : by_loc) {
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      // j == i pairs a statement with a second instance of itself; the MHP
+      // hook decides whether two instances can actually coexist.
+      for (std::size_t j = i; j < recs.size(); ++j) {
+        const AccessRecord& a = *recs[i];
+        const AccessRecord& b = *recs[j];
+        if (!a.is_write && !b.is_write) continue;
+        if (a.sync && b.sync) continue;  // lock-cell contention is not a race
+        PairAgg& p = agg[{std::min(a.stmt, b.stmt), std::max(a.stmt, b.stmt)}];
+        if (a.is_write && b.is_write) {
+          p.ww = true;
+        } else {
+          p.wr = true;
+        }
+        // Mutually excluded only when some lock is must-held on both sides;
+        // one unprotected occurrence makes the whole pair unprotected.
+        p.all_protected = p.all_protected && ((a.locks & b.locks) != 0);
+      }
+    }
+  }
+  TmodRaceReport out;
+  for (const auto& [key, p] : agg) {
+    ++out.pairs_total;
+    if (opts_.parallel && !opts_.parallel(key.first, key.second)) {
+      ++out.pruned_mhp;
+      continue;
+    }
+    if (p.all_protected) {
+      ++out.pruned_lockset;
+      continue;
+    }
+    out.races.push_back(TmodRace{key.first, key.second, p.ww, p.wr});
+  }
+  return out;
+}
+
+template <NumDomain N>
+TmodResult<N> ThreadModular<N>::run() {
+  telemetry::Telemetry& tel = telemetry::Telemetry::global();
+  telemetry::ScopedPhase phase_folding(telemetry::Phase::Folding);
+
+  // Initial store: globals (function slots + initializers, left to right).
+  // Initializers run before any fork: empty rely, nothing recorded.
+  Store init;
+  for (const sem::GlobalSlot& g : prog_.globals()) {
+    if (g.fun != nullptr) {
+      init.set(AbsLoc::global(g.slot), Value::of_fn(g.fun->index()));
+    }
+  }
+  const Interference<N> no_rely;
+  ThreadState scratch;
+  cur_ts_ = &scratch;
+  cur_rely_ = &no_rely;
+  cur_thread_ = prog_.entry_proc();
+  cur_stmt_ = kNoCtx;
+  track_faults_ = false;
+  for (const sem::GlobalSlot& g : prog_.globals()) {
+    if (g.init != nullptr) {
+      cur_reads_.clear();
+      init.set(AbsLoc::global(g.slot), eval(init, prog_.entry_proc(), *g.init));
+    }
+  }
+  cur_reads_.clear();
+  seeds_.emplace(prog_.entry_proc(), std::move(init));
+
+  // --- widened interference rounds ----------------------------------------
+  std::map<std::uint32_t, ThreadState> threads;
+  std::map<std::uint32_t, Interference<N>> rely_w;
+  bool converged = false;
+  std::uint32_t round = 0;
+  while (round < opts_.max_rounds) {
+    ++round;
+    grew_ = false;
+    std::vector<std::uint32_t> roots;
+    roots.reserve(seeds_.size());
+    for (const auto& [r, s] : seeds_) roots.push_back(r);
+    for (std::uint32_t r : roots) {
+      analyze(r, threads[r], rely_w[r], seeds_.at(r));
+    }
+    for (const std::uint32_t r : roots) {
+      Interference<N> raw;
+      for (const auto& [s, ts2] : threads) {
+        if (s != r || self_par(r)) raw = raw.join(ts2.guarantee);
+      }
+      if (absdom::widen_into(rely_w[r], raw)) grew_ = true;
+    }
+    if (!grew_) {
+      converged = true;
+      break;
+    }
+  }
+  result_.rounds = round;
+  result_.truncated = !converged;
+
+  // --- narrowing: exact relies (plain join of the final guarantees) -------
+  std::map<std::uint32_t, Interference<N>> rely_final;
+  for (const auto& [r, seed] : seeds_) {
+    Interference<N> raw;
+    for (const auto& [s, ts2] : threads) {
+      if (s != r || self_par(r)) raw = raw.join(ts2.guarantee);
+    }
+    // Sound: the final guarantees are a rely/guarantee post-fixpoint, and
+    // re-analysis under any rely ⊒ their join can only shrink guarantees.
+    // Without convergence the widened relies stay as-is (no narrowing).
+    Interference<N> base = rely_w[r].join(raw);
+    if (converged) {
+      Interference<N> narrowed;
+      for (const auto& [loc, v] : base.entries()) narrowed.set(loc, v.narrow(raw.get(loc)));
+      base = std::move(narrowed);
+    }
+    rely_final.emplace(r, std::move(base));
+  }
+
+  // --- report pass: fresh analysis under the narrowed relies --------------
+  recording_ = true;
+  std::map<std::uint32_t, ThreadState> report;
+  for (const auto& [r, seed] : seeds_) {
+    analyze(r, report[r], rely_final.at(r), seed);
+  }
+  result_.threads = static_cast<std::uint32_t>(report.size());
+  for (const auto& [r, rel] : rely_final) {
+    result_.interference_facts += rel.entries().size();
+  }
+  result_.relies = std::move(rely_final);
+  for (auto& [r, ts] : report) result_.guarantees.emplace(r, std::move(ts.guarantee));
+  for (const auto& [key, mask] : access_masks_) {
+    const auto& [thread, stmt, loc, is_write, sync] = key;
+    result_.accesses.push_back(AccessRecord{thread, stmt, loc, is_write, sync, mask});
+  }
+  result_.races = make_races();
+
+  const std::uint64_t alarms = result_.races.races.size() + result_.may_fail_asserts.size() +
+                               result_.may_faults.size() + result_.uninit_reads.size();
+  result_.stats.set("tmod.threads", result_.threads);
+  result_.stats.set("tmod.rounds", result_.rounds);
+  result_.stats.set("tmod.interference_facts", result_.interference_facts);
+  result_.stats.set("tmod.alarms", alarms);
+  result_.stats.set("tmod.point_evaluations", evals_);
+  tel.publish_stats(result_.stats);
+  return std::move(result_);
+}
+
+}  // namespace
+
+template <NumDomain N>
+TmodResult<N> tmod_analyze(const sem::LoweredProgram& prog, const TmodOptions& opts) {
+  ThreadModular<N> engine(prog, opts);
+  return engine.run();
+}
+
+template TmodResult<absdom::Interval> tmod_analyze<absdom::Interval>(
+    const sem::LoweredProgram&, const TmodOptions&);
+template TmodResult<absdom::FlatInt> tmod_analyze<absdom::FlatInt>(
+    const sem::LoweredProgram&, const TmodOptions&);
+
+}  // namespace copar::absem

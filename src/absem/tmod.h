@@ -1,0 +1,94 @@
+// Thread-modular abstract analysis: rely/guarantee interference fixpoint.
+//
+// Unlike the explorers (concrete DFS, parallel BFS, abstract folding), this
+// engine never enumerates interleavings. Each thread body is analyzed
+// sequentially against a *rely* — an abstract summary of the writes the
+// other threads may perform — and the per-thread *guarantees* (abstract
+// writes to shared locations) are joined back into the relies until a
+// global fixpoint, widening on the interference lattice. One narrowing
+// pass with the exact (non-widened) guarantee join then recovers precision
+// lost to widening. Cost is polynomial in program size and independent of
+// the interleaving count, so `check` can answer on programs whose
+// configuration space can never be enumerated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/absdom/flat.h"
+#include "src/absdom/interval.h"
+#include "src/absem/interference.h"
+#include "src/sem/lower.h"
+#include "src/support/stats.h"
+
+namespace copar::absem {
+
+/// One candidate race: two statements (normalized stmt1 <= stmt2) that may
+/// run in parallel and access a common abstract location, at least one
+/// writing, not both synchronization, with no common must-held lock.
+struct TmodRace {
+  std::uint32_t stmt1 = 0;
+  std::uint32_t stmt2 = 0;
+  bool write_write = false;
+  bool write_read = false;
+
+  friend auto operator<=>(const TmodRace&, const TmodRace&) = default;
+};
+
+/// Race-pair accounting. Invariant:
+///   pairs_total == pruned_mhp + pruned_lockset + races.size().
+struct TmodRaceReport {
+  std::vector<TmodRace> races;  // sorted by (stmt1, stmt2)
+  std::uint64_t pairs_total = 0;
+  std::uint64_t pruned_mhp = 0;
+  std::uint64_t pruned_lockset = 0;
+};
+
+template <NumDomain N>
+struct TmodResult {
+  /// Thread roots analyzed (entry proc + every forked proc discovered).
+  std::uint32_t threads = 0;
+  /// Widened interference rounds until the global fixpoint (or the cap).
+  std::uint32_t rounds = 0;
+  /// True when max_rounds was hit before convergence; alarms are then
+  /// incomplete (never the case for terminating widenings in practice).
+  bool truncated = false;
+
+  // --- alarms (same shapes as AbsResult, so `check` reuses its plumbing) --
+  std::set<std::uint32_t> may_fail_asserts;
+  /// (stmt id, expr id, sem::Fault) may-fault triples.
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>> may_faults;
+  /// (stmt id, expr id, loc) reads that may observe the implicit zero.
+  std::set<std::tuple<std::uint32_t, std::uint32_t, AbsLoc>> uninit_reads;
+  TmodRaceReport races;
+
+  // --- facts ---------------------------------------------------------------
+  std::set<std::uint32_t> reached_stmts;
+  /// Alloc-site sizes (joined), for bounds reporting parity.
+  std::map<std::uint32_t, N> site_sizes;
+  /// Every recorded access, sorted (deterministic).
+  std::vector<AccessRecord> accesses;
+  /// Final per-thread guarantees and the relies they were analyzed under.
+  std::map<std::uint32_t, Interference<N>> guarantees;
+  std::map<std::uint32_t, Interference<N>> relies;
+  /// Total rely bindings across threads (the "interference facts" metric).
+  std::uint64_t interference_facts = 0;
+
+  StatRegistry stats;
+};
+
+/// Runs the thread-modular engine over a lowered program. Deterministic:
+/// thread roots, worklists, and all result containers are ordered.
+template <NumDomain N>
+TmodResult<N> tmod_analyze(const sem::LoweredProgram& prog,
+                           const TmodOptions& opts = {});
+
+extern template TmodResult<absdom::Interval> tmod_analyze<absdom::Interval>(
+    const sem::LoweredProgram&, const TmodOptions&);
+extern template TmodResult<absdom::FlatInt> tmod_analyze<absdom::FlatInt>(
+    const sem::LoweredProgram&, const TmodOptions&);
+
+}  // namespace copar::absem

@@ -13,10 +13,12 @@
 #include "src/absdom/flat.h"
 #include "src/absdom/interval.h"
 #include "src/absem/absexplore.h"
+#include "src/absem/tmod.h"
 #include "src/analysis/anomaly.h"
 #include "src/analysis/common.h"
 #include "src/analysis/deadstore.h"
 #include "src/analysis/lockset.h"
+#include "src/analysis/mhp.h"
 #include "src/analysis/racecand.h"
 #include "src/analysis/staticmhp.h"
 #include "src/explore/explorer.h"
@@ -160,6 +162,7 @@ std::string_view tier_name(Tier t) {
     case Tier::Auto: return "auto";
     case Tier::Static: return "static";
     case Tier::Explore: return "explore";
+    case Tier::Tmod: return "tmod";
   }
   return "?";
 }
@@ -198,10 +201,241 @@ struct StaticTier {
         cands(analysis::race_candidates(prog, info, par, locks)) {}
 };
 
+/// The thread-modular tier: the rely/guarantee interference engine
+/// (src/absem/tmod) is the sole analysis — no interleaving enumeration at
+/// all, so this path answers on programs whose configuration space can
+/// never be explored. Its sound may-alarms come with a thread-modular
+/// provenance note; unless --no-witness was given, a directed witness
+/// search confirms or refutes each race candidate exactly like the auto
+/// tier (those searches are the only exploration this tier ever does).
+CheckSummary run_tmod_checks(const CompiledProgram& cp, DiagnosticEngine& engine,
+                             const CheckOptions& opts) {
+  const sem::LoweredProgram& prog = *cp.lowered;
+  CheckSummary sum;
+  sum.tier = Tier::Tmod;
+
+  // Static facts feed the engine: must-locksets prune interference and race
+  // pairs on mutual exclusion, static MHP prunes pairs no syntactic
+  // interleaving can co-schedule.
+  const StaticTier st(prog);
+  const analysis::Mhp mhp = st.par.stmt_mhp();
+
+  absem::TmodOptions topts;
+  if (st.locks.pristine()) {
+    // Tainted lock cells cannot prove mutual exclusion; leaving the hook
+    // null (mask 0 everywhere) keeps the pruning sound.
+    topts.must_locks = [&st](std::uint32_t p, std::uint32_t pc) -> std::uint64_t {
+      return st.locks.live(p, pc) ? st.locks.held(p, pc) : 0;
+    };
+  }
+  topts.self_parallel = [&st](std::uint32_t p) { return st.par.parallel_procs(p, p); };
+  topts.parallel = [&mhp](std::uint32_t s, std::uint32_t t) { return mhp.parallel(s, t); };
+
+  const absem::TmodResult<absdom::Interval> tm =
+      absem::tmod_analyze<absdom::Interval>(prog, topts);
+
+  sum.tmod.ran = true;
+  sum.tmod.threads = tm.threads;
+  sum.tmod.rounds = tm.rounds;
+  sum.tmod.truncated = tm.truncated;
+  sum.tmod.interference_facts = tm.interference_facts;
+  sum.stats.pairs_total = tm.races.pairs_total;
+  sum.stats.pruned_mhp = tm.races.pruned_mhp;
+  sum.stats.pruned_lockset = tm.races.pruned_lockset;
+  sum.stats.candidates = tm.races.races.size();
+
+  const DiagNote provenance{
+      {}, "established by the thread-modular interference analysis "
+          "(rely/guarantee, no interleaving enumeration); run --tier=auto to "
+          "confirm or refute concretely"};
+
+  // --- may-faults ---------------------------------------------------------
+  {
+    std::set<std::pair<std::uint32_t, std::uint8_t>> seen;
+    for (const auto& [stmt, expr, fault_raw] : tm.may_faults) {
+      if (!seen.insert({stmt, fault_raw}).second) continue;
+      ++sum.tmod.alarms;
+      const auto fault = static_cast<sem::Fault>(fault_raw);
+      Diagnostic d =
+          make_finding(fault_code(fault), Severity::Warning, prog.stmt_span(stmt),
+                       "possible " + std::string(fault_phrase(fault)) + " in " +
+                           analysis::describe_stmt(prog, stmt));
+      d.notes.push_back(provenance);
+      engine.report(std::move(d));
+    }
+  }
+  if (st.locks.pristine() && !st.locks.unlocks_safe()) {
+    // The engine does not model lock ownership; the lockset analysis flags
+    // releases that may not own the lock (same scan as the static tier).
+    for (const sem::Proc& p : prog.procs()) {
+      for (std::uint32_t pc = 0; pc < p.code.size(); ++pc) {
+        const sem::Instr& i = p.code[pc];
+        if (i.op != sem::Op::Unlock || !st.locks.live(p.id, pc)) continue;
+        const auto slot = sem::lock_global_slot(prog, *i.lhs);
+        const auto bit = slot ? st.locks.bit_of_slot(*slot) : std::nullopt;
+        if (bit && (st.locks.held(p.id, pc) >> *bit & 1) != 0) continue;
+        const SourceSpan span = i.stmt != nullptr ? prog.stmt_span(i.stmt->id()) : SourceSpan{};
+        engine.report(make_finding("unlock-not-held", Severity::Warning, span,
+                                   "possible unlock of a lock that is not held (not in the "
+                                   "must-held lockset)"));
+      }
+    }
+  }
+
+  // --- data races ---------------------------------------------------------
+  for (const absem::TmodRace& c : tm.races.races) {
+    ++sum.tmod.alarms;
+    std::optional<explore::Witness> w;
+    if (opts.witnesses) {
+      // Directed per-candidate search, budgeted per pair (auto-tier rules):
+      // a co-enabled state confirms, an exhausted search refutes, a
+      // truncated one downgrades to "possible".
+      explore::WitnessQuery q;
+      q.reach_predicate = race_reach_predicate(c.stmt1, c.stmt2);
+      q.explore.max_configs = opts.pair_budget;
+      explore::WitnessStats ws;
+      w = explore::find_witness(prog, q, &ws);
+      sum.stats.configs_explored += ws.configs;
+      if (!w.has_value() && !ws.truncated) {
+        ++sum.stats.refuted;
+        continue;
+      }
+      if (w.has_value()) {
+        ++sum.stats.confirmed;
+      } else {
+        ++sum.stats.budget_exhausted;
+      }
+    }
+    for (const bool ww : {true, false}) {
+      if (ww ? !c.write_write : !c.write_read) continue;
+      std::ostringstream msg;
+      if (!w.has_value()) msg << "possible ";
+      msg << (ww ? "write/write" : "write/read") << " data race between "
+          << analysis::describe_stmt(prog, c.stmt1) << " and "
+          << analysis::describe_stmt(prog, c.stmt2);
+      Diagnostic d =
+          make_finding("race", Severity::Error, prog.stmt_span(c.stmt1), msg.str());
+      d.related_spans.push_back(prog.stmt_span(c.stmt2));
+      if (w.has_value()) {
+        d.notes = witness_notes(prog, *w);
+        d.notes.push_back(DiagNote{
+            prog.stmt_span(c.stmt2), "here " + analysis::describe_stmt(prog, c.stmt1) +
+                                         " and " + analysis::describe_stmt(prog, c.stmt2) +
+                                         " are both enabled; either may fire first"});
+      } else if (opts.witnesses) {
+        d.notes.push_back(DiagNote{
+            {}, "directed search exhausted its --pair-budget of " +
+                    std::to_string(opts.pair_budget) +
+                    " configurations without confirming or refuting; raise it to decide"});
+      } else {
+        d.notes.push_back(DiagNote{{}, "thread-modular candidate: re-run without "
+                                       "--no-witness (or with --tier=auto) to confirm or "
+                                       "refute with a directed search"});
+      }
+      engine.report(std::move(d));
+    }
+  }
+
+  // --- deadlock -----------------------------------------------------------
+  if (!st.locks.deadlock_free()) {
+    // Same static scan as --tier=static: anchor at the first blocking point
+    // that may hold a lock (or the first lock statement when cells are
+    // tainted).
+    SourceSpan span;
+    for (const sem::Proc& p : prog.procs()) {
+      for (std::uint32_t pc = 0; pc < p.code.size() && !span.valid(); ++pc) {
+        const sem::Instr& i = p.code[pc];
+        if (i.stmt == nullptr || !st.locks.live(p.id, pc)) continue;
+        const bool blocks = i.op == sem::Op::Lock || i.op == sem::Op::Join;
+        if (!blocks) continue;
+        if (!st.locks.pristine() || st.locks.may_held(p.id, pc) != 0 ||
+            st.locks.may_hold_unknown(p.id, pc)) {
+          span = prog.stmt_span(i.stmt->id());
+        }
+      }
+    }
+    engine.report(make_finding("deadlock", Severity::Warning, span,
+                               "possible deadlock: a process may block while holding a "
+                               "lock (thread-modular tier; run --tier=auto to confirm)"));
+  }
+
+  // --- assertions ---------------------------------------------------------
+  for (const std::uint32_t stmt : tm.may_fail_asserts) {
+    ++sum.tmod.alarms;
+    Diagnostic d = make_finding("assert-may-fail", Severity::Warning, prog.stmt_span(stmt),
+                                "assertion may fail: " +
+                                    analysis::describe_stmt(prog, stmt));
+    d.notes.push_back(provenance);
+    engine.report(std::move(d));
+  }
+
+  // --- uninitialized reads ------------------------------------------------
+  {
+    std::set<std::pair<std::uint32_t, std::string>> seen;
+    for (const auto& [stmt, expr, loc] : tm.uninit_reads) {
+      std::string what = analysis::describe_loc(prog, loc);
+      if (!seen.insert({stmt, what}).second) continue;
+      ++sum.tmod.alarms;
+      engine.report(make_finding("uninit-read", Severity::Warning, prog.stmt_span(stmt),
+                                 "read of " + what + " before any write (observes the "
+                                 "implicit 0) in " + analysis::describe_stmt(prog, stmt)));
+    }
+  }
+
+  // --- unreachable statements ---------------------------------------------
+  if (!tm.truncated) {
+    std::set<std::uint32_t> lowered_stmts;
+    for (const sem::Proc& p : prog.procs()) {
+      for (const sem::Instr& instr : p.code) {
+        if (instr.stmt != nullptr) lowered_stmts.insert(instr.stmt->id());
+      }
+    }
+    for (const std::uint32_t stmt : lowered_stmts) {
+      if (tm.reached_stmts.contains(stmt)) continue;
+      engine.report(make_finding("unreachable", Severity::Warning, prog.stmt_span(stmt),
+                                 "statement is unreachable: " +
+                                     analysis::describe_stmt(prog, stmt)));
+    }
+  }
+
+  // --- dead stores ----------------------------------------------------------
+  for (const std::uint32_t stmt : analysis::find_dead_stores(prog).stores) {
+    engine.report(make_finding("dead-store", Severity::Warning, prog.stmt_span(stmt),
+                               "stored value is never observed: " +
+                                   analysis::describe_stmt(prog, stmt)));
+  }
+
+  // Definite iff the engine converged with nothing undecided left: no
+  // may-alarms beyond races, the lock discipline discharged statically, and
+  // every race candidate confirmed or refuted by its directed search.
+  sum.concrete_exhaustive =
+      !tm.truncated && tm.may_faults.empty() && tm.may_fail_asserts.empty() &&
+      st.locks.deadlock_free() && st.locks.unlocks_safe() &&
+      sum.stats.budget_exhausted == 0 && (opts.witnesses || tm.races.races.empty());
+
+  {
+    StatRegistry reg;
+    reg.set("check.pairs_total", sum.stats.pairs_total);
+    reg.set("check.pruned_mhp", sum.stats.pruned_mhp);
+    reg.set("check.pruned_lockset", sum.stats.pruned_lockset);
+    reg.set("check.candidates", sum.stats.candidates);
+    reg.set("check.confirmed", sum.stats.confirmed);
+    reg.set("check.refuted", sum.stats.refuted);
+    reg.set("check.budget_exhausted", sum.stats.budget_exhausted);
+    reg.set("check.configs_explored", sum.stats.configs_explored);
+    telemetry::Telemetry::global().publish_stats(reg);
+  }
+
+  engine.sort_by_location();
+  return sum;
+}
+
 }  // namespace
 
 CheckSummary run_checks(const CompiledProgram& cp, DiagnosticEngine& engine,
                         const CheckOptions& opts) {
+  if (opts.tier == Tier::Tmod) return run_tmod_checks(cp, engine, opts);
+
   const sem::LoweredProgram& prog = *cp.lowered;
   CheckSummary sum;
   sum.tier = opts.tier;

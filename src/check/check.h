@@ -43,7 +43,14 @@ namespace copar::check {
 ///     budget; the full exploration runs only for what the static tier
 ///     cannot discharge (abstract may-faults, may-fail assertions, possible
 ///     deadlock or unlock-not-held).
-enum class Tier : std::uint8_t { Auto, Static, Explore };
+///   * Tmod    — the thread-modular rely/guarantee engine (docs/
+///     THREAD_MODULAR.md) is the sole analysis: no interleaving enumeration
+///     at all, so it answers on programs whose configuration space can
+///     never be explored. Its alarms carry a thread-modular provenance
+///     note; directed witness searches confirm or refute its race
+///     candidates unless --no-witness asks for the pure zero-exploration
+///     path.
+enum class Tier : std::uint8_t { Auto, Static, Explore, Tmod };
 
 std::string_view tier_name(Tier t);
 
@@ -82,6 +89,23 @@ struct TierStats {
   std::uint64_t configs_explored = 0;
 };
 
+/// Thread-modular engine facts (--tier=tmod only); the `"tmod"` section of
+/// the --json report. Zero-valued with ran=false for the other tiers.
+struct TmodStats {
+  bool ran = false;
+  /// Thread roots analyzed by the rely/guarantee engine.
+  std::uint32_t threads = 0;
+  /// Widened interference rounds until the global fixpoint.
+  std::uint32_t rounds = 0;
+  /// The round cap was hit before convergence (alarms then incomplete).
+  bool truncated = false;
+  /// Rely bindings across threads (size of the interference environment).
+  std::uint64_t interference_facts = 0;
+  /// Alarms the engine raised (races + may-faults + may-fail assertions +
+  /// uninitialized reads), before witness refutation.
+  std::uint64_t alarms = 0;
+};
+
 struct CheckSummary {
   /// The findings are definite: either a full concrete exploration covered
   /// the state space, or the static tier discharged everything it skipped
@@ -93,6 +117,7 @@ struct CheckSummary {
   std::uint64_t concrete_configs = 0;
   std::uint64_t abstract_states = 0;
   TierStats stats;
+  TmodStats tmod;
 };
 
 /// Stable check-code metadata (sorted by id), the single source of truth

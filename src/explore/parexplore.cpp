@@ -63,6 +63,7 @@ struct WorkerStats {
   std::uint64_t truncated_transitions = 0;
   std::uint64_t sleep_suppressed_transitions = 0;
   std::uint64_t sleep_reexplorations = 0;
+  std::uint64_t sleep_pids_capped = 0;
   std::set<std::uint32_t> violations;
   std::set<std::pair<std::uint32_t, std::uint8_t>> faults;
 };
@@ -242,7 +243,18 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
     auto succ_sleep_for = [&](const ActionInfo& fired, std::size_t idx) -> std::uint64_t {
       std::uint64_t out = 0;
       auto keep_if_independent = [&](Pid t) {
-        if (t >= kMaxSleepPid) return;
+        if (t >= kMaxSleepPid) {
+          // The pid does not fit the 64-bit sleep mask, so this sibling can
+          // never be put to sleep. Sound (sleep sets only prune) but the
+          // reduction silently degrades — surface it once, count always.
+          ws.sleep_pids_capped += 1;
+          warn_once("sleep-pids-capped",
+                    "process ids >= " + std::to_string(kMaxSleepPid) +
+                        " exceed the sleep-set pid mask; sleep-set reduction is "
+                        "disabled for them (exploration stays sound but prunes "
+                        "less; see the sleep.pids_capped counter)");
+          return;
+        }
         const ActionInfo other = sem::action_info(cfg, t);
         if (!other.exists) return;
         if (!actions_conflict(fired, other)) out |= std::uint64_t{1} << t;
@@ -393,6 +405,7 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
     total.truncated_transitions += ws.truncated_transitions;
     total.sleep_suppressed_transitions += ws.sleep_suppressed_transitions;
     total.sleep_reexplorations += ws.sleep_reexplorations;
+    total.sleep_pids_capped += ws.sleep_pids_capped;
     steps_total.coarsened_micro_actions += ctx.steps.coarsened_micro_actions;
     steps_total.coarsen_guard_hits += ctx.steps.coarsen_guard_hits;
     for (std::uint32_t v : ws.violations) result.violations.insert(v);
@@ -446,6 +459,7 @@ ExploreResult parallel_explore(const sem::LoweredProgram& program,
   add_if("truncated_transitions", total.truncated_transitions);
   add_if("sleep_suppressed_transitions", total.sleep_suppressed_transitions);
   add_if("sleep_reexplorations", total.sleep_reexplorations);
+  add_if("sleep.pids_capped", total.sleep_pids_capped);
   // The steal counters are always present under threads > 1 (even at
   // zero): they are the engine's health signals (see docs/PARALLEL.md).
   result.stats.set("steals", frontier_total.steals);

@@ -241,6 +241,70 @@ TEST(IntervalDomain, TruthinessAroundZero) {
   EXPECT_FALSE(Interval::range(1, 5).may_be_falsy());
 }
 
+TEST(IntervalDomain, DivisionAtTheRails) {
+  // kNegInf doubles as the finite INT64_MIN, so INT64_MIN / -1 — the one
+  // overflowing case of signed division, a hardware trap — must never reach
+  // the CPU (regression: it used to SIGFPE).
+  const Interval int_min = Interval::constant(Interval::kNegInf);
+  EXPECT_EQ(Interval::div(int_min, Interval::constant(-1)).hi(), Interval::kPosInf);
+  // -∞ / -1 flips the bound to +∞.
+  EXPECT_EQ(Interval::div(Interval::range(Interval::kNegInf, 0), Interval::constant(-1)),
+            Interval::range(0, Interval::kPosInf));
+  // Infinite bounds divide without collapsing: top / 2 stays top.
+  EXPECT_TRUE(Interval::div(Interval::top(), Interval::constant(2)).is_top());
+  // Plain finite division still folds exactly.
+  EXPECT_EQ(Interval::div(Interval::range(-9, 9), Interval::constant(3)),
+            Interval::range(-3, 3));
+}
+
+TEST(IntervalDomain, ModuloAtTheRails) {
+  // INT64_MIN % -1 traps on hardware like the division; x % -1 == 0 for
+  // every x, so the domain folds it before the CPU sees it.
+  EXPECT_EQ(Interval::mod(Interval::constant(Interval::kNegInf), Interval::constant(-1))
+                .as_constant(),
+            0);
+  EXPECT_EQ(Interval::mod(Interval::constant(7), Interval::constant(-1)).as_constant(), 0);
+  // ±∞ sentinels are not real constants: folding them as INT64_MIN/MAX
+  // would invent a value; the result must stay top.
+  EXPECT_TRUE(
+      Interval::mod(Interval::constant(Interval::kNegInf), Interval::constant(7)).is_top());
+  EXPECT_TRUE(
+      Interval::mod(Interval::constant(Interval::kPosInf), Interval::constant(7)).is_top());
+  EXPECT_EQ(Interval::mod(Interval::constant(-7), Interval::constant(3)).as_constant(),
+            -7 % 3);
+}
+
+TEST(IntervalDomain, WideningIsStableAtTheRails) {
+  // A bound already at its rail has nowhere to jump: widening is idempotent
+  // there, and a near-rail bound that moves lands exactly on the rail (no
+  // off-by-one overflow past it).
+  const Interval at_rail = Interval::range(0, Interval::kPosInf);
+  EXPECT_EQ(at_rail.widen(at_rail), at_rail);
+  const Interval near_hi = Interval::range(0, Interval::kPosInf - 1);
+  EXPECT_EQ(near_hi.widen(Interval::range(0, Interval::kPosInf)).hi(), Interval::kPosInf);
+  const Interval near_lo = Interval::range(Interval::kNegInf + 1, 0);
+  EXPECT_EQ(near_lo.widen(Interval::range(Interval::kNegInf, 0)).lo(), Interval::kNegInf);
+}
+
+TEST(IntervalDomain, NarrowingRefinesOnlyInfiniteBounds) {
+  // narrow() undoes widening jumps: an infinite bound is refined from the
+  // next iterate, a finite bound never moves (so it cannot oscillate).
+  EXPECT_EQ(Interval::top().narrow(Interval::range(0, 5)), Interval::range(0, 5));
+  EXPECT_EQ(Interval::range(0, Interval::kPosInf).narrow(Interval::range(0, 7)),
+            Interval::range(0, 7));
+  EXPECT_EQ(Interval::range(Interval::kNegInf, 9).narrow(Interval::range(-2, 9)),
+            Interval::range(-2, 9));
+  EXPECT_EQ(Interval::range(0, 5).narrow(Interval::range(1, 4)), Interval::range(0, 5));
+  EXPECT_TRUE(Interval::range(0, 5).narrow(Interval::bottom()).is_bottom());
+  EXPECT_EQ(Interval::bottom().narrow(Interval::range(0, 5)), Interval::range(0, 5));
+}
+
+TEST(FlatDomain, NarrowingRefinesOnlyTop) {
+  EXPECT_EQ(FlatInt::top().narrow(FlatInt::constant(3)), FlatInt::constant(3));
+  EXPECT_EQ(FlatInt::constant(4).narrow(FlatInt::constant(3)), FlatInt::constant(4));
+  EXPECT_EQ(FlatInt::bottom().narrow(FlatInt::constant(3)), FlatInt::bottom());
+}
+
 TEST(SignDomain, NegateSwapsSigns) {
   EXPECT_EQ(Sign::negate(Sign::constant(3)), Sign::constant(-3));
   EXPECT_EQ(Sign::negate(Sign::constant(0)), Sign::constant(0));

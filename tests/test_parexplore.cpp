@@ -250,6 +250,35 @@ TEST(Explore, CoarsenGuardCapIsCountedNotSilent) {
   EXPECT_EQ(r.terminal_int_values("done"), (std::set<std::int64_t>{1}));
 }
 
+TEST(ParExplore, SleepPidCapIsCountedNotSilent) {
+  // Pids are assigned monotonically and never reused, so 32 sequential
+  // cobegins burn pids 1..64 and the final pair lands past the 64-bit
+  // sleep-set mask (regression: the cap used to degrade silently).
+  std::string src = "var a; var b;\nfun main() {\n";
+  for (int i = 0; i < 32; ++i) src += "  cobegin { skip; } || { skip; } coend;\n";
+  src += "  cobegin { a = 1; } || { b = 1; } coend;\n}\n";
+  const auto prog = compile(src);
+
+  ExploreOptions off;
+  off.threads = 2;
+  const ExploreResult base = explore(*prog->lowered, off);
+  ExploreOptions on = off;
+  on.sleep_sets = true;
+  const ExploreResult slept = explore(*prog->lowered, on);
+
+  ASSERT_FALSE(base.truncated);
+  ASSERT_FALSE(slept.truncated);
+  // The capped pids must surface as a counter, not vanish.
+  EXPECT_GT(slept.stats.get("sleep.pids_capped"), 0u);
+  // Soundness pin: sleep sets prune transitions, never states or verdicts,
+  // so every stat a truncation or lost state would move matches --sleep off.
+  EXPECT_EQ(slept.num_configs, base.num_configs);
+  EXPECT_EQ(slept.terminal_keys(), base.terminal_keys());
+  EXPECT_EQ(slept.deadlock_found, base.deadlock_found);
+  EXPECT_EQ(slept.violations, base.violations);
+  EXPECT_EQ(slept.faults, base.faults);
+}
+
 TEST(Explore, FingerprintVisitedSetIsSmaller) {
   // The point of the fingerprint table: dedup memory well below the
   // string-keyed baseline on the same exploration.

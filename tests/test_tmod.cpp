@@ -1,0 +1,299 @@
+// The thread-modular rely/guarantee engine (src/absem/tmod) and its
+// integration into the check battery (check --tier=tmod).
+//
+// The load-bearing property is soundness inclusion: tmod never enumerates
+// interleavings, so everything the concrete explorer can observe must be
+// covered by a tmod alarm — races, failing assertions, runtime faults.
+// The TmodAgreement tests check it differentially over every shipped
+// sample, in both instantiated domains (intervals and flat constants), and
+// additionally pin that a tmod race candidate *refuted* by an exhaustive
+// directed search never reappears as a concrete explorer race.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/absdom/flat.h"
+#include "src/absdom/interval.h"
+#include "src/absem/tmod.h"
+#include "src/analysis/anomaly.h"
+#include "src/analysis/common.h"
+#include "src/check/check.h"
+#include "src/explore/explorer.h"
+#include "src/explore/witness.h"
+#include "src/lang/ast.h"
+#include "src/sem/program.h"
+#include "src/sem/step.h"
+#include "src/support/diagnostics.h"
+
+namespace copar {
+namespace {
+
+using StmtPair = std::pair<std::uint32_t, std::uint32_t>;
+
+bool is_sync_stmt(const sem::LoweredProgram& prog, std::uint32_t stmt_id) {
+  const lang::Stmt* s = prog.stmt(stmt_id);
+  return s != nullptr &&
+         (s->kind() == lang::StmtKind::Lock || s->kind() == lang::StmtKind::Unlock);
+}
+
+StmtPair norm(std::uint32_t a, std::uint32_t b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+template <absem::NumDomain N>
+std::set<StmtPair> tmod_race_pairs(const absem::TmodResult<N>& r) {
+  std::set<StmtPair> out;
+  for (const absem::TmodRace& c : r.races.races) out.insert(norm(c.stmt1, c.stmt2));
+  return out;
+}
+
+/// Co-enabledness predicate for the directed refutation searches (the same
+/// query check.cpp uses for its confirm/refute pass).
+std::function<bool(const sem::Configuration&)> race_reach(std::uint32_t s1,
+                                                          std::uint32_t s2) {
+  return [s1, s2](const sem::Configuration& cfg) {
+    int n1 = 0;
+    int n2 = 0;
+    for (const sem::ActionInfo& info : sem::all_action_infos(cfg)) {
+      if (!info.enabled || info.stmt_id == sem::kNoStmt) continue;
+      if (info.stmt_id == s1) ++n1;
+      if (info.stmt_id == s2) ++n2;
+    }
+    return s1 == s2 ? n1 >= 2 : (n1 >= 1 && n2 >= 1);
+  };
+}
+
+// --- engine basics ---------------------------------------------------------
+
+constexpr std::string_view kRacyCounter = R"(
+    var count = 0;
+    fun main() {
+      var t1; var t2;
+      cobegin
+        { sA1: t1 = count; sA2: count = t1 + 1; }
+      ||
+        { sB1: t2 = count; sB2: count = t2 + 1; }
+      coend;
+      sCheck: assert(count == 2);
+    }
+)";
+
+constexpr std::string_view kUnboundedSpin = R"(
+    var count = 0; var stop = 0;
+    fun main() {
+      cobegin
+        { while (stop == 0) { sInc: count = count + 1; } }
+      ||
+        { sStop: stop = 1; }
+      coend;
+      sCheck: assert(count >= 0);
+    }
+)";
+
+TEST(Tmod, ConvergesAndFindsTheLostUpdate) {
+  const auto prog = compile(kRacyCounter);
+  const auto r = absem::tmod_analyze<absdom::Interval>(*prog->lowered);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.threads, 3u);  // main + two cobegin branches
+  EXPECT_GT(r.rounds, 0u);
+  EXPECT_GT(r.interference_facts, 0u);
+  // Race accounting invariant.
+  EXPECT_EQ(r.races.pairs_total,
+            r.races.pruned_mhp + r.races.pruned_lockset + r.races.races.size());
+  EXPECT_FALSE(r.races.races.empty());
+  // Under interference the increments are not atomic: count == 2 is not
+  // provable, so the assertion must stay a may-alarm.
+  EXPECT_FALSE(r.may_fail_asserts.empty());
+}
+
+TEST(Tmod, IsDeterministic) {
+  const auto prog = compile(kRacyCounter);
+  const auto a = absem::tmod_analyze<absdom::Interval>(*prog->lowered);
+  const auto b = absem::tmod_analyze<absdom::Interval>(*prog->lowered);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.interference_facts, b.interference_facts);
+  EXPECT_EQ(a.races.races, b.races.races);
+  EXPECT_EQ(a.may_fail_asserts, b.may_fail_asserts);
+  EXPECT_EQ(a.accesses, b.accesses);
+}
+
+TEST(Tmod, TerminatesWhereExplorersTruncate) {
+  // The acceptance program: an unbounded spin loop. Every enumerating
+  // engine truncates; tmod converges and still reports soundly.
+  const auto prog = compile(kUnboundedSpin);
+  explore::ExploreOptions eopts;
+  eopts.max_configs = 5000;
+  const explore::ExploreResult conc = explore::explore(*prog->lowered, eopts);
+  EXPECT_TRUE(conc.truncated);
+
+  const auto r = absem::tmod_analyze<absdom::Interval>(*prog->lowered);
+  EXPECT_FALSE(r.truncated);
+  // The stop-flag handoff is the (only) race: the spin read vs sStop.
+  EXPECT_FALSE(r.races.races.empty());
+  // count ∈ [0, +inf] under any interference, so `count >= 0` is proven:
+  // no assertion alarm on an unbounded program is the whole point.
+  EXPECT_TRUE(r.may_fail_asserts.empty());
+}
+
+TEST(Tmod, LocksetHookPrunesMutuallyExclusiveSections) {
+  const auto prog = compile(R"(
+    var count = 0; var m = 0;
+    fun main() {
+      cobegin
+        { lock(m); sA: count = count + 1; unlock(m); }
+      ||
+        { lock(m); sB: count = count + 1; unlock(m); }
+      coend;
+    }
+  )");
+  DiagnosticEngine engine;
+  check::CheckOptions opts;
+  opts.tier = check::Tier::Tmod;
+  const check::CheckSummary sum = check::run_checks(*prog, engine, opts);
+  EXPECT_TRUE(sum.tmod.ran);
+  EXPECT_GT(sum.stats.pruned_lockset, 0u);
+  EXPECT_EQ(sum.stats.candidates, 0u);
+  EXPECT_EQ(sum.stats.configs_explored, 0u);
+}
+
+TEST(CheckTmod, PureTierNeverExplores) {
+  const auto prog = compile(kRacyCounter);
+  DiagnosticEngine engine;
+  check::CheckOptions opts;
+  opts.tier = check::Tier::Tmod;
+  opts.witnesses = false;  // the pure zero-exploration path
+  const check::CheckSummary sum = check::run_checks(*prog, engine, opts);
+  EXPECT_EQ(sum.tier, check::Tier::Tmod);
+  EXPECT_FALSE(sum.explored);
+  EXPECT_EQ(sum.stats.configs_explored, 0u);
+  EXPECT_TRUE(sum.tmod.ran);
+  EXPECT_GT(sum.tmod.threads, 0u);
+  EXPECT_GT(sum.tmod.alarms, 0u);
+  // Candidates stay "possible" without the directed searches.
+  bool possible_race = false;
+  for (const Diagnostic& d : engine.all()) {
+    if (d.code == "race" && d.message.find("possible") != std::string::npos) {
+      possible_race = true;
+    }
+  }
+  EXPECT_TRUE(possible_race);
+}
+
+TEST(CheckTmod, DirectedSearchConfirmsRealRaces) {
+  const auto prog = compile(kRacyCounter);
+  DiagnosticEngine engine;
+  check::CheckOptions opts;
+  opts.tier = check::Tier::Tmod;
+  const check::CheckSummary sum = check::run_checks(*prog, engine, opts);
+  EXPECT_GT(sum.stats.confirmed, 0u);
+  EXPECT_GT(sum.stats.configs_explored, 0u);
+  for (const Diagnostic& d : engine.all()) {
+    if (d.code != "race") continue;
+    EXPECT_EQ(d.message.find("possible"), std::string::npos) << d.message;
+    EXPECT_FALSE(d.notes.empty()) << "confirmed race should carry a witness";
+  }
+}
+
+// --- soundness inclusion over the shipped samples --------------------------
+
+/// Everything the concrete explorer observed on a completed exploration.
+struct ConcreteFacts {
+  bool completed = false;
+  std::set<StmtPair> races;
+  std::set<std::uint32_t> violations;
+  std::set<std::pair<std::uint32_t, std::uint8_t>> faults;
+};
+
+ConcreteFacts concrete_facts(const sem::LoweredProgram& prog) {
+  ConcreteFacts out;
+  explore::ExploreOptions opts;
+  opts.record_pairs = true;
+  opts.max_configs = 300000;
+  const explore::ExploreResult res = explore::explore(prog, opts);
+  if (res.truncated) return out;
+  out.completed = true;
+  for (const analysis::Anomaly& a : analysis::anomalies_from(res).all) {
+    if (is_sync_stmt(prog, a.stmt1) && is_sync_stmt(prog, a.stmt2)) continue;
+    out.races.insert(norm(a.stmt1, a.stmt2));
+  }
+  out.violations = res.violations;
+  for (const auto& f : res.faults) out.faults.insert(f);
+  return out;
+}
+
+template <absem::NumDomain N>
+void expect_inclusion(const std::string& name, const sem::LoweredProgram& prog,
+                      const ConcreteFacts& conc) {
+  const absem::TmodResult<N> tm = absem::tmod_analyze<N>(prog);
+  ASSERT_FALSE(tm.truncated) << name;
+  EXPECT_EQ(tm.races.pairs_total,
+            tm.races.pruned_mhp + tm.races.pruned_lockset + tm.races.races.size())
+      << name;
+
+  const std::set<StmtPair> tmod_races = tmod_race_pairs(tm);
+  for (const StmtPair& p : conc.races) {
+    EXPECT_TRUE(tmod_races.contains(p))
+        << name << ": explorer race " << analysis::describe_stmt(prog, p.first) << " || "
+        << analysis::describe_stmt(prog, p.second) << " missing from tmod alarms";
+  }
+  for (const std::uint32_t v : conc.violations) {
+    EXPECT_TRUE(tm.may_fail_asserts.contains(v))
+        << name << ": concretely failing assert " << analysis::describe_stmt(prog, v)
+        << " missing from tmod may-fail set";
+  }
+  std::set<std::pair<std::uint32_t, std::uint8_t>> tmod_faults;
+  for (const auto& [stmt, expr, fault] : tm.may_faults) tmod_faults.insert({stmt, fault});
+  for (const auto& f : conc.faults) {
+    EXPECT_TRUE(tmod_faults.contains(f))
+        << name << ": concrete fault at " << analysis::describe_stmt(prog, f.first)
+        << " missing from tmod may-faults";
+  }
+
+  // Refutation soundness: a tmod candidate killed by an *exhaustive*
+  // directed search must not be a concrete race (the search and the full
+  // exploration agree on reachability).
+  for (const absem::TmodRace& c : tm.races.races) {
+    explore::WitnessQuery q;
+    q.reach_predicate = race_reach(c.stmt1, c.stmt2);
+    q.explore.max_configs = 300000;
+    explore::WitnessStats ws;
+    const auto w = explore::find_witness(prog, q, &ws);
+    if (!w.has_value() && !ws.truncated) {
+      EXPECT_FALSE(conc.races.contains(norm(c.stmt1, c.stmt2)))
+          << name << ": refuted tmod candidate "
+          << analysis::describe_stmt(prog, c.stmt1) << " || "
+          << analysis::describe_stmt(prog, c.stmt2) << " is a concrete explorer race";
+    }
+  }
+}
+
+TEST(TmodAgreement, AlarmsCoverExplorerFindingsOnAllSamples) {
+  const std::filesystem::path dir = COPAR_SAMPLES_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+  std::size_t checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".cop") continue;
+    const std::string name = entry.path().filename().string();
+    std::ifstream in(entry.path());
+    std::stringstream src;
+    src << in.rdbuf();
+    const auto prog = compile(src.str());
+    const ConcreteFacts conc = concrete_facts(*prog->lowered);
+    if (!conc.completed) continue;  // unbounded sample: nothing to compare
+    ++checked;
+    expect_inclusion<absdom::Interval>(name, *prog->lowered, conc);
+    expect_inclusion<absdom::FlatInt>(name, *prog->lowered, conc);
+  }
+  EXPECT_GT(checked, 0u) << "no sample completed exploration";
+}
+
+}  // namespace
+}  // namespace copar

@@ -9,7 +9,13 @@
 //                                            stealing engine; --exact-keys
 //                                            keeps full canonical keys (and
 //                                            counts fingerprint collisions)
-//   copar-cli analyze <file.cop>             §5 analyses + §7 applications report
+//   copar-cli analyze <file.cop> [--engine explore|tmod]
+//                                            §5 analyses + §7 applications report
+//                                            (--engine tmod: the thread-modular
+//                                            rely/guarantee interference report
+//                                            instead — no interleaving
+//                                            enumeration, terminates on any
+//                                            program)
 //   copar-cli abstract <file.cop> [--clan]   abstract exploration summary
 //   copar-cli witness <file.cop> [--deadlock | --violation L | --fault L]
 //                                            print a schedule exhibiting the fact
@@ -20,7 +26,7 @@
 //   copar-cli graph <file.cop> [--stubborn] [--coarsen]
 //                                            Graphviz dot of the configuration graph
 //   copar-cli check <file.cop> [--sarif] [--disable c1,c2] [--no-witness]
-//                              [--tier auto|static|explore] [--pair-budget N]
+//                              [--tier auto|static|explore|tmod] [--pair-budget N]
 //                              [--max-configs N]
 //                                            static diagnostics (races, faults,
 //                                            uninitialized reads, dead code...);
@@ -57,14 +63,18 @@
 #include <vector>
 
 #include "src/absdom/flat.h"
+#include "src/absdom/interval.h"
 #include "src/absem/absexplore.h"
+#include "src/absem/tmod.h"
 #include "src/analysis/anomaly.h"
 #include "src/analysis/common.h"
 #include "src/analysis/deadstore.h"
 #include "src/analysis/depend.h"
 #include "src/analysis/lifetime.h"
+#include "src/analysis/lockset.h"
 #include "src/analysis/mhp.h"
 #include "src/analysis/sideeffect.h"
+#include "src/analysis/staticmhp.h"
 #include "src/apps/parallelize.h"
 #include "src/check/check.h"
 #include "src/apps/placement.h"
@@ -89,8 +99,9 @@ int usage() {
                "--sample <ms>  --metrics-out <file>\n"
                "explore options: --stubborn --coarsen --sleep --max-configs N "
                "--threads N --exact-keys\n"
+               "analyze options: --engine explore|tmod\n"
                "check options:   --sarif --disable <c1,c2,...> --no-witness "
-               "--max-configs N --tier auto|static|explore --pair-budget N  "
+               "--max-configs N --tier auto|static|explore|tmod --pair-budget N  "
                "(or: check --list-checks)\n"
                "metrics-dump options: explore options plus --format json|prom|text\n";
   return 2;
@@ -301,8 +312,163 @@ int cmd_explore(const copar::CompiledProgram& p, const std::string& path,
   return 0;
 }
 
-int cmd_analyze(const copar::CompiledProgram& p, const std::string& path, const GlobalOpts& g) {
+/// `copar-cli analyze --engine tmod` — the thread-modular rely/guarantee
+/// interference report. No interleaving enumeration at all: the engine
+/// terminates on any program, including ones the explorers can only
+/// truncate, and its report is a sound over-approximation of every
+/// interleaving.
+int cmd_analyze_tmod(const copar::CompiledProgram& p, const std::string& path,
+                     const GlobalOpts& g) {
   using namespace copar;
+  const sem::LoweredProgram& prog = *p.lowered;
+
+  // Static lockset / MHP facts prune interference and race pairs, exactly
+  // as `check --tier tmod` wires them.
+  const explore::StaticInfo info(prog);
+  const analysis::StaticParallelism par(prog, info);
+  const analysis::LockSets locks(prog, info);
+  const analysis::Mhp mhp = par.stmt_mhp();
+  absem::TmodOptions topts;
+  if (locks.pristine()) {
+    topts.must_locks = [&locks](std::uint32_t pr, std::uint32_t pc) -> std::uint64_t {
+      return locks.live(pr, pc) ? locks.held(pr, pc) : 0;
+    };
+  }
+  topts.self_parallel = [&par](std::uint32_t pr) { return par.parallel_procs(pr, pr); };
+  topts.parallel = [&mhp](std::uint32_t s, std::uint32_t t) { return mhp.parallel(s, t); };
+
+  const auto r = absem::tmod_analyze<absdom::Interval>(prog, topts);
+  finish_sampling();
+
+  if (g.json) {
+    support::JsonWriter w(std::cout);
+    w.begin_object();
+    w.key("tool");
+    w.value("copar");
+    w.key("command");
+    w.value("analyze");
+    w.key("engine");
+    w.value("tmod");
+    w.key("file");
+    w.value(path);
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, value] : r.stats.all()) {
+      w.key(name);
+      w.value(value);
+    }
+    w.end_object();
+    w.key("phases_ms");
+    telemetry::write_phases_ms(w);
+    w.key("phase_counts");
+    telemetry::write_phase_counts(w);
+    w.key("memory");
+    w.begin_object();
+    w.key("peak_rss_bytes");
+    w.value(telemetry::peak_rss_bytes());
+    w.end_object();
+    w.key("result");
+    w.begin_object();
+    w.key("threads");
+    w.value(static_cast<std::uint64_t>(r.threads));
+    w.key("rounds");
+    w.value(static_cast<std::uint64_t>(r.rounds));
+    w.key("truncated");
+    w.value(r.truncated);
+    w.key("interference_facts");
+    w.value(r.interference_facts);
+    w.key("races");
+    w.begin_object();
+    w.key("pairs_total");
+    w.value(r.races.pairs_total);
+    w.key("pruned_mhp");
+    w.value(r.races.pruned_mhp);
+    w.key("pruned_lockset");
+    w.value(r.races.pruned_lockset);
+    w.key("count");
+    w.value(static_cast<std::uint64_t>(r.races.races.size()));
+    w.end_object();
+    w.key("may_fail_asserts");
+    w.begin_array();
+    for (std::uint32_t s : r.may_fail_asserts) w.value(static_cast<std::uint64_t>(s));
+    w.end_array();
+    w.key("may_faults");
+    w.value(static_cast<std::uint64_t>(r.may_faults.size()));
+    w.key("uninit_reads");
+    w.value(static_cast<std::uint64_t>(r.uninit_reads.size()));
+    w.end_object();
+    w.end_object();
+    std::cout << '\n';
+    return 0;
+  }
+
+  std::cout << "== thread-modular interference analysis ==\n";
+  std::cout << "threads: " << r.threads << ", rounds: " << r.rounds
+            << (r.truncated ? " (round cap hit — alarms incomplete)" : " (converged)")
+            << '\n';
+  std::cout << "interference facts: " << r.interference_facts << '\n';
+  for (const auto& [root, rely] : r.relies) {
+    std::cout << "thread p" << root << " '" << prog.procs()[root].name << "':\n";
+    for (const auto& [loc, v] : rely.entries()) {
+      std::cout << "  rely      " << analysis::describe_loc(prog, loc) << " = "
+                << v.to_string() << '\n';
+    }
+    const auto git = r.guarantees.find(root);
+    if (git != r.guarantees.end()) {
+      for (const auto& [loc, v] : git->second.entries()) {
+        std::cout << "  guarantee " << analysis::describe_loc(prog, loc) << " = "
+                  << v.to_string() << '\n';
+      }
+    }
+  }
+  std::cout << "race candidates: " << r.races.races.size() << " (of "
+            << r.races.pairs_total << " pairs: " << r.races.pruned_mhp << " mhp-pruned, "
+            << r.races.pruned_lockset << " lockset-pruned)\n";
+  for (const absem::TmodRace& c : r.races.races) {
+    std::cout << "  " << (c.write_write ? "write/write " : "")
+              << (c.write_read ? "write/read " : "") << "race between "
+              << analysis::describe_stmt(prog, c.stmt1) << " and "
+              << analysis::describe_stmt(prog, c.stmt2) << '\n';
+  }
+  if (!r.may_fail_asserts.empty()) {
+    std::cout << "asserts that may fail:";
+    for (auto s : r.may_fail_asserts) std::cout << ' ' << analysis::describe_stmt(prog, s);
+    std::cout << '\n';
+  }
+  if (!r.may_faults.empty()) {
+    std::cout << "may-faults:";
+    for (const auto& [stmt, expr, fault] : r.may_faults) {
+      std::cout << ' ' << analysis::describe_stmt(prog, stmt) << '('
+                << sem::fault_name(static_cast<sem::Fault>(fault)) << ')';
+    }
+    std::cout << '\n';
+  }
+  if (!r.uninit_reads.empty()) {
+    std::cout << "uninitialized reads: " << r.uninit_reads.size() << '\n';
+  }
+  return 0;
+}
+
+int cmd_analyze(const copar::CompiledProgram& p, const std::string& path,
+                const std::vector<std::string>& args, const GlobalOpts& g) {
+  using namespace copar;
+  std::string engine_name = flag_value(args, "--engine");
+  bool engine_given = has_flag(args, "--engine");
+  for (const std::string& a : args) {
+    if (a.rfind("--engine=", 0) == 0) {
+      engine_given = true;
+      if (engine_name.empty()) engine_name = a.substr(9);
+    }
+  }
+  if (engine_given && engine_name.empty()) {
+    std::cerr << "error: --engine requires a value (explore|tmod)\n";
+    return 2;
+  }
+  if (engine_name == "tmod") return cmd_analyze_tmod(p, path, g);
+  if (!engine_name.empty() && engine_name != "explore") {
+    std::cerr << "error: --engine expects explore or tmod, got '" << engine_name << "'\n";
+    return 2;
+  }
   explore::ExploreOptions opts;
   opts.record_pairs = true;
   opts.record_accesses = true;
@@ -533,7 +699,7 @@ int cmd_check(const std::string& path, const std::string& source,
   if (!parse_positive("--pair-budget", &copts.pair_budget)) return 2;
   if (const std::string v = flag_eq_or_space("--tier"); v.empty()) {
     if (has_flag(args, "--tier")) {
-      std::cerr << "error: --tier requires a value (auto|static|explore)\n";
+      std::cerr << "error: --tier requires a value (auto|static|explore|tmod)\n";
       return 2;
     }
   } else {
@@ -543,8 +709,10 @@ int cmd_check(const std::string& path, const std::string& source,
       copts.tier = check::Tier::Static;
     } else if (v == "explore") {
       copts.tier = check::Tier::Explore;
+    } else if (v == "tmod") {
+      copts.tier = check::Tier::Tmod;
     } else {
-      std::cerr << "error: --tier expects auto|static|explore, got '" << v << "'\n";
+      std::cerr << "error: --tier expects auto|static|explore|tmod, got '" << v << "'\n";
       return 2;
     }
   }
@@ -610,6 +778,21 @@ int cmd_check(const std::string& path, const std::string& source,
       w.key("exhaustive");
       w.value(sum.concrete_exhaustive);
       w.end_object();
+      if (sum.tmod.ran) {
+        w.key("tmod");
+        w.begin_object();
+        w.key("threads");
+        w.value(static_cast<std::uint64_t>(sum.tmod.threads));
+        w.key("rounds");
+        w.value(static_cast<std::uint64_t>(sum.tmod.rounds));
+        w.key("truncated");
+        w.value(sum.tmod.truncated);
+        w.key("interference_facts");
+        w.value(sum.tmod.interference_facts);
+        w.key("alarms");
+        w.value(sum.tmod.alarms);
+        w.end_object();
+      }
     });
   } else {
     if (engine.all().empty()) {
@@ -632,8 +815,13 @@ int cmd_check(const std::string& path, const std::string& source,
                    "to confirm\n";
     }
     if (!front.has_errors() && !sum.explored && !sum.concrete_exhaustive) {
-      std::cerr << "note: static tier left candidates unconfirmed; run --tier=auto "
-                   "with a larger --pair-budget or --tier=explore to decide them\n";
+      if (copts.tier == check::Tier::Tmod) {
+        std::cerr << "note: thread-modular alarms left undecided; run --tier=auto "
+                     "or raise --pair-budget to confirm or refute them\n";
+      } else {
+        std::cerr << "note: static tier left candidates unconfirmed; run --tier=auto "
+                     "with a larger --pair-budget or --tier=explore to decide them\n";
+      }
     }
   }
   return engine.has_errors() ? 1 : 0;
@@ -810,7 +998,7 @@ int main(int argc, char** argv) {
     } else if (cmd == "explore") {
       rc = cmd_explore(*program, path, args, global);
     } else if (cmd == "analyze") {
-      rc = cmd_analyze(*program, path, global);
+      rc = cmd_analyze(*program, path, args, global);
     } else if (cmd == "abstract") {
       rc = cmd_abstract(*program, path, args, global);
     } else if (cmd == "witness") {
